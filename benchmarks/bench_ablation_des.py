@@ -1,0 +1,53 @@
+"""Ablation: analytic timing model vs discrete-event simulation.
+
+Cross-validates the throughput harness behind Figs. 5–6: in the paper's
+regime (uncontended uplink) the analytic makespans track the DES within a
+few percent, so the figures don't hinge on the analytic simplification;
+with the uplink shrunk 50× the DES shows the queueing the analytic model
+abstracts away.
+"""
+
+from conftest import save_figure
+
+from repro.analysis.report import FigureResult
+from repro.analysis.workloads import build_workloads
+from repro.network.topology import build_testbed
+from repro.system.config import EFDedupConfig
+from repro.system.des_throughput import run_edge_rings_des
+from repro.system.throughput import run_edge_rings
+
+
+def test_ablation_analytic_vs_des(benchmark):
+    def run() -> FigureResult:
+        config = EFDedupConfig(
+            chunk_size=4096, replication_factor=2, lookup_batch=80, hash_mb_per_s=25.0
+        )
+        scenarios = []
+        for label, bw_divisor in (("paper uplink", 1.0), ("uplink / 50", 50.0)):
+            topology = build_testbed(n_nodes=12, n_edge_clouds=6)
+            topology.wan_bandwidth_bytes_per_s /= bw_divisor
+            bundle = build_workloads(topology, files_per_node=2, n_groups=4)
+            ids = topology.node_ids
+            partition = [ids[i : i + 4] for i in range(0, len(ids), 4)]
+            analytic = run_edge_rings(topology, partition, bundle.workloads, config)
+            des = run_edge_rings_des(topology, partition, bundle.workloads, config)
+            scenarios.append((label, analytic.makespan_s, des.makespan_s))
+        result = FigureResult(
+            figure="Ablation A3",
+            title="throughput model: analytic vs discrete-event makespan",
+            x_label="scenario (0=paper uplink, 1=uplink/50)",
+            y_label="makespan (s)",
+            x=tuple(float(i) for i in range(len(scenarios))),
+        )
+        result.add_series("analytic", [s[1] for s in scenarios])
+        result.add_series("discrete-event", [s[2] for s in scenarios])
+        for label, analytic_s, des_s in scenarios:
+            result.notes[f"ratio[{label}]"] = des_s / analytic_s
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_figure(result, "ablation_des")
+    # Paper regime: the two models agree closely.
+    assert 0.7 < result.notes["ratio[paper uplink]"] < 1.3
+    # Contended regime: the DES exposes queueing the analytic model omits.
+    assert result.notes["ratio[uplink / 50]"] > 1.3

@@ -1,0 +1,112 @@
+"""Ablation: estimation warm start vs cold start (the Fig. 3 mechanism)
+and continuous-fit vs the paper's grid search.
+"""
+
+from conftest import save_figure
+
+from repro.analysis.report import FigureResult
+from repro.core.dedup_ratio import expected_ratio_for_draws
+from repro.core.estimation import CharacteristicEstimator, SubsetObservation
+
+
+def _observations(pool_sizes, vectors, draws):
+    n = len(vectors)
+    obs = []
+    for i in range(n):
+        d = [0.0] * n
+        d[i] = draws
+        obs.append(
+            SubsetObservation(
+                draws=tuple(d),
+                measured_ratio=expected_ratio_for_draws(pool_sizes, vectors, d),
+            )
+        )
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = [0.0] * n
+            d[i] = d[j] = draws
+            obs.append(
+                SubsetObservation(
+                    draws=tuple(d),
+                    measured_ratio=expected_ratio_for_draws(pool_sizes, vectors, d),
+                )
+            )
+    return obs
+
+
+def test_ablation_warm_vs_cold(benchmark):
+    """Warm-started fits on successive batches run far faster than cold fits
+    with equal or better error (the paper: warm searches end 'extremely
+    quickly ... with even smaller errors')."""
+    pool_sizes = [150.0, 250.0]
+    vectors = [[0.65, 0.35], [0.3, 0.7]]
+    batches = [_observations(pool_sizes, vectors, d) for d in (100.0, 120.0, 140.0)]
+
+    def run() -> FigureResult:
+        warm_est = CharacteristicEstimator(
+            n_sources=2, n_pools=2, error_threshold=0.01, restarts=4, seed=0
+        )
+        warm_fits = warm_est.fit_over_time(batches)
+        cold_est = CharacteristicEstimator(
+            n_sources=2, n_pools=2, error_threshold=0.01, restarts=4, seed=0
+        )
+        cold_fits = [cold_est.fit(batch) for batch in batches]
+        result = FigureResult(
+            figure="Ablation C1",
+            title="estimation: warm vs cold start over successive batches",
+            x_label="time step",
+            y_label="seconds / mse",
+            x=(0.0, 1.0, 2.0),
+        )
+        result.add_series("warm seconds", [f.fit_seconds for f in warm_fits])
+        result.add_series("cold seconds", [f.fit_seconds for f in cold_fits])
+        result.add_series("warm mse", [f.mse for f in warm_fits])
+        result.add_series("cold mse", [f.mse for f in cold_fits])
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_figure(result, "ablation_warm_start")
+    warm_s = result.get("warm seconds")
+    cold_s = result.get("cold seconds")
+    # After the first step, warm fits are much faster.
+    assert sum(warm_s[1:]) < sum(cold_s[1:])
+    # And still accurate.
+    assert max(result.get("warm mse")[1:]) < 0.05
+
+
+def test_ablation_grid_vs_continuous(benchmark):
+    """The paper's exhaustive grid search vs our continuous fit on the same
+    observations: the continuous fit reaches lower error in less time than
+    a coarse grid (the paper's fine grid would take hours)."""
+    pool_sizes = [100.0]
+    vectors = [[1.0], [1.0]]
+    obs = _observations(pool_sizes, vectors, 60.0)
+
+    def run() -> FigureResult:
+        est = CharacteristicEstimator(
+            n_sources=2, n_pools=1, error_threshold=0.01, restarts=4, seed=1
+        )
+        continuous = est.fit(obs)
+        grid = est.grid_fit(
+            obs,
+            size_grid=[25.0 * k for k in range(1, 17)],  # 25..400 step 25
+            probability_grid=[1.0],
+        )
+        result = FigureResult(
+            figure="Ablation C2",
+            title="continuous fit vs grid search (K=1, true s=100)",
+            x_label="method (0=continuous, 1=grid)",
+            y_label="seconds / mse",
+            x=(0.0, 1.0),
+        )
+        result.add_series("seconds", [continuous.fit_seconds, grid.fit_seconds])
+        result.add_series("mse", [continuous.mse, grid.mse])
+        result.notes["grid_pool_size"] = grid.pool_sizes[0]
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_figure(result, "ablation_grid_search")
+    # The grid recovers the true pool size (100 is on the grid).
+    assert result.notes["grid_pool_size"] == 100.0
+    # Both reach tiny error on noise-free data.
+    assert max(result.get("mse")) < 0.05

@@ -1,0 +1,119 @@
+"""Ablation: partitioning algorithm quality and runtime.
+
+Compares the joint greedy (with and without move refinement), the literal
+sequential Algorithm 2, and the matching-based accelerated variant against
+the exhaustive optimum on small instances, and measures runtime at the
+Fig. 7 simulation scale.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from conftest import save_figure
+
+from repro.analysis.experiments import _simulation_problem
+from repro.analysis.report import FigureResult
+from repro.core.costs import SNOD2Problem
+from repro.core.model import ChunkPoolModel, grouped_sources
+from repro.core.partitioning import (
+    ExhaustivePartitioner,
+    MatchingPartitioner,
+    SmartPartitioner,
+)
+from repro.network.costmatrix import latency_cost_matrix
+from repro.network.topology import build_testbed
+
+
+def _small_instance(seed: int) -> SNOD2Problem:
+    rng = np.random.default_rng(seed)
+    vectors = rng.dirichlet(np.ones(3), size=3)
+    model = ChunkPoolModel(
+        list(rng.uniform(50, 300, 3)),
+        grouped_sources([i % 3 for i in range(7)], vectors.tolist(), 80.0),
+    )
+    return SNOD2Problem(
+        model=model,
+        nu=latency_cost_matrix(build_testbed(7, 3)),
+        duration=2.0,
+        gamma=2,
+        alpha=float(rng.uniform(5, 100)),
+    )
+
+
+def test_ablation_quality_vs_optimal(benchmark):
+    """Mean cost ratio to the exhaustive optimum over 6 small instances."""
+    algorithms = {
+        "smart+refine": lambda: SmartPartitioner(3),
+        "smart-bare": lambda: SmartPartitioner(3, refine_passes=0),
+        "smart-sequential": lambda: SmartPartitioner(3, discipline="sequential"),
+        "matching": lambda: MatchingPartitioner(3),
+    }
+
+    def run() -> FigureResult:
+        seeds = range(6)
+        ratios: dict[str, list[float]] = {name: [] for name in algorithms}
+        for seed in seeds:
+            problem = _small_instance(seed)
+            optimal = ExhaustivePartitioner(3).optimal_cost(problem)
+            for name, make in algorithms.items():
+                cost = problem.total_cost(make().partition_checked(problem))
+                ratios[name].append(cost / optimal)
+        result = FigureResult(
+            figure="Ablation A1",
+            title="partitioner cost / exhaustive optimum (7-node instances)",
+            x_label="instance seed",
+            y_label="cost ratio (1.0 = optimal)",
+            x=tuple(float(s) for s in seeds),
+        )
+        for name, values in ratios.items():
+            result.add_series(name, values)
+            result.notes[f"mean_{name}"] = float(np.mean(values))
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_figure(result, "ablation_partitioner_quality")
+    assert result.notes["mean_smart+refine"] <= result.notes["mean_smart-bare"] + 1e-9
+    assert result.notes["mean_smart+refine"] < 1.05
+    assert result.notes["mean_matching"] < 1.6
+
+
+@pytest.mark.parametrize("n_nodes", [100, 300])
+def test_ablation_runtime_at_scale(benchmark, n_nodes):
+    """Wall time of each algorithm on a Fig. 7-style instance."""
+    problem = _simulation_problem(n_nodes, alpha=0.001, seed=5)
+
+    def run() -> FigureResult:
+        algorithms = {
+            "smart-joint+refine": SmartPartitioner(20),
+            "smart-joint-bare": SmartPartitioner(20, refine_passes=0),
+            "smart-sequential": SmartPartitioner(20, discipline="sequential"),
+        }
+        names, times, costs = [], [], []
+        for name, algo in algorithms.items():
+            started = time.perf_counter()
+            partition = algo.partition_checked(problem)
+            times.append(time.perf_counter() - started)
+            costs.append(problem.total_cost(partition))
+            names.append(name)
+        result = FigureResult(
+            figure="Ablation A2",
+            title=f"partitioner runtime and cost at N={n_nodes}",
+            x_label="algorithm index",
+            y_label="seconds / cost",
+            x=tuple(float(i) for i in range(len(names))),
+        )
+        result.add_series("seconds", times)
+        result.add_series("aggregate cost", costs)
+        for name, t in zip(names, times):
+            result.notes[f"s_{name}"] = t
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_figure(result, f"ablation_partitioner_runtime_n{n_nodes}")
+    times = result.get("seconds")
+    costs = result.get("aggregate cost")
+    # All variants finish in seconds even at simulation scale...
+    assert max(times) < 30.0
+    # ...and refinement never degrades the objective.
+    assert costs[0] <= costs[1] + 1e-6

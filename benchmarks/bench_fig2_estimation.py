@@ -1,0 +1,25 @@
+"""Fig. 2: real vs estimated dedup ratio per file-pair combination.
+
+Paper claim: fitting the chunk-pool model to sampled file pairs yields MSE
+< 0.3 and average estimation error < 4% across the 6×6 combinations of two
+accelerometer sources.
+"""
+
+from conftest import save_figure
+
+from repro.analysis.experiments import fig2_estimation_accuracy
+
+
+def test_fig2_estimation_accuracy(benchmark):
+    result = benchmark.pedantic(
+        fig2_estimation_accuracy, kwargs={"n_files": 6}, rounds=1, iterations=1
+    )
+    save_figure(result, "fig2")
+    assert result.notes["mse"] < 0.3, "paper: MSE below 0.3"
+    assert result.notes["mean_rel_error_pct"] < 4.0, "paper: average error < 4%"
+    # Estimated ratios track the real ones pairwise.
+    real = result.get("real")
+    estimated = result.get("estimated")
+    assert len(real) == 36  # 6 x 6 combinations, as in the paper
+    for r, e in zip(real, estimated):
+        assert abs(r - e) / r < 0.15

@@ -1,0 +1,26 @@
+"""Fig. 3: estimation error across time slots with warm-started fits.
+
+Paper claims: successive time slots fit from the previous parameters, the
+search "ends extremely quickly" (seconds), and the mean error stays < 4%.
+"""
+
+from conftest import save_figure
+
+from repro.analysis.experiments import fig3_estimation_over_time
+
+
+def test_fig3_estimation_over_time(benchmark):
+    result = benchmark.pedantic(
+        fig3_estimation_over_time,
+        kwargs={"n_steps": 3, "n_files": 4},
+        rounds=1,
+        iterations=1,
+    )
+    save_figure(result, "fig3")
+    errors = result.get("error_pct")
+    fit_times = result.get("fit_seconds")
+    assert all(e < 4.0 for e in errors), "paper: error < 4% at every slot"
+    # Warm-started slots converge much faster than the cold first fit.
+    assert min(fit_times[1:]) < fit_times[0]
+    # Later errors do not blow up relative to the first.
+    assert max(errors[1:]) < errors[0] * 2 + 1.0

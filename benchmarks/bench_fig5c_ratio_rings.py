@@ -1,0 +1,40 @@
+"""Fig. 5(c): dedup ratio vs number of D2-rings.
+
+Paper claims: the cloud strategies' global index is the dedup-ratio upper
+bound; with fewer rings (more nodes per ring) SMART quickly approaches it.
+"""
+
+import pytest
+from conftest import save_figure
+
+from repro.analysis.experiments import fig5c_ratio_vs_rings
+
+
+@pytest.mark.parametrize(
+    "dataset,files_per_node",
+    [("accelerometer", 2), ("trafficvideo", 4)],
+    ids=["dataset1-accel", "dataset2-video"],
+)
+def test_fig5c_ratio_vs_rings(benchmark, dataset, files_per_node):
+    result = benchmark.pedantic(
+        fig5c_ratio_vs_rings,
+        kwargs={
+            "ring_counts": (1, 2, 4, 5, 10, 20),
+            "dataset": dataset,
+            "files_per_node": files_per_node,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_figure(result, f"fig5c_{dataset}")
+    measured = result.get("SMART (measured)")
+    upper = result.get("cloud (upper bound)")[0]
+    # Ratio never exceeds the cloud bound and decreases as rings multiply.
+    assert all(m <= upper * 1.01 for m in measured)
+    assert measured[0] >= measured[-1]
+    # One ring achieves (numerically) the cloud's global-index ratio.
+    assert measured[0] == pytest.approx(upper, rel=0.02)
+    # The analytical model tracks the measurement.
+    model = result.get("SMART (model)")
+    for m, p in zip(measured, model):
+        assert m == pytest.approx(p, rel=0.15)

@@ -1,0 +1,40 @@
+"""Fig. 6(a): storage and network cost vs number of D2-rings.
+
+Paper claims (20 nodes in 10 edge clouds, 5 ms inter-cloud latency,
+α = 0.1): storage cost increases with more rings (fewer dedup
+opportunities), while network cost increases with fewer/larger rings
+(more cross-edge-cloud hash lookups).
+"""
+
+import pytest
+from conftest import save_figure
+
+from repro.analysis.experiments import fig6a_cost_vs_rings
+
+
+@pytest.mark.parametrize(
+    "dataset,files_per_node",
+    [("accelerometer", 2), ("trafficvideo", 4)],
+    ids=["dataset1-accel", "dataset2-video"],
+)
+def test_fig6a_cost_vs_rings(benchmark, dataset, files_per_node):
+    result = benchmark.pedantic(
+        fig6a_cost_vs_rings,
+        kwargs={
+            "ring_counts": (1, 2, 4, 5, 10, 20),
+            "dataset": dataset,
+            "files_per_node": files_per_node,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_figure(result, f"fig6a_{dataset}")
+    storage = result.get("storage MB (measured)")
+    network = result.get("network RTT-s (measured)")
+    # Opposite monotone trends across the sweep's endpoints.
+    assert storage[-1] > storage[0]
+    assert network[-1] < network[0]
+    # The model-predicted storage tracks the measured storage.
+    model_storage = result.get("storage MB (model)")
+    for measured, predicted in zip(storage, model_storage):
+        assert abs(measured - predicted) / measured < 0.15

@@ -1,0 +1,39 @@
+"""Fig. 7(b): cost vs the tradeoff factor α (simulation, 200 nodes).
+
+Paper claims: as α grows the (weighted) network term of SMART's cost rises
+and the partition shifts toward network-friendliness; tuning α selects the
+network-storage tradeoff; SMART's aggregate stays below both
+single-objective variants (60.2% / 45.1% lower at α = 0.001).
+"""
+
+from conftest import save_figure
+
+from repro.analysis.experiments import fig7b_cost_vs_alpha
+
+
+def test_fig7b_cost_vs_alpha(benchmark):
+    alphas = (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1)
+    result = benchmark.pedantic(
+        fig7b_cost_vs_alpha,
+        kwargs={"alphas": alphas, "n_nodes": 200},
+        rounds=1,
+        iterations=1,
+    )
+    save_figure(result, "fig7b")
+    aggregate = result.get("SMART aggregate")
+    network = result.get("SMART network")
+    weighted_net = [a * v for a, v in zip(alphas, network)]
+    # The weighted network term and the aggregate rise with α.
+    assert weighted_net[-1] > weighted_net[0]
+    assert all(b >= a for a, b in zip(aggregate, aggregate[1:]))
+    # SMART at or below the single-objective variants across the sweep
+    # (1.05 tolerance: all three are greedy heuristics, ties wobble).
+    for label in ("Network-Only aggregate", "Dedup-Only aggregate"):
+        baseline = result.get(label)
+        assert all(s <= b * 1.05 for s, b in zip(aggregate, baseline))
+    # At small α Dedup-Only is near-optimal and Network-Only pays dearly;
+    # at large α the roles swap — the tension the figure illustrates.
+    dedup_only = result.get("Dedup-Only aggregate")
+    network_only = result.get("Network-Only aggregate")
+    assert network_only[0] > dedup_only[0]
+    assert dedup_only[-1] > network_only[-1]

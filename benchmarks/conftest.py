@@ -1,0 +1,24 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark runs one figure's experiment at paper-scale parameters,
+asserts the figure's qualitative claims, and saves the rendered table under
+``benchmarks/results/`` (also echoed to stdout; run with ``-s`` to see it
+live)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.report import FigureResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_figure(result: FigureResult, name: str) -> str:
+    """Render ``result``, write it to results/<name>.txt, and return it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.to_text()
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text

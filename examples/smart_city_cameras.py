@@ -1,0 +1,96 @@
+"""Smart-city traffic cameras: strategy comparison and failure resilience.
+
+The paper's second workload: stationary traffic cameras streaming frames to
+the cloud. Cameras at the same intersection see the same vehicles, so their
+frames dedupe across nodes. This example:
+
+1. builds a 12-camera fleet across 6 edge clouds (3 intersections),
+2. compares the three deployment strategies the paper evaluates
+   (EF-dedup D2-rings, Cloud-assisted, Cloud-only) on throughput, WAN
+   traffic, and dedup ratio,
+3. kills an edge node mid-run and shows the ring deduplicating through the
+   failure (Sec. IV's resilience claim).
+
+Run:  python examples/smart_city_cameras.py
+"""
+
+from repro.analysis import build_workloads, make_problem
+from repro.analysis.experiments import experiment_config
+from repro.core.partitioning import SmartPartitioner
+from repro.datasets import TrafficVideoSource
+from repro.network import build_testbed
+from repro.system import (
+    D2Ring,
+    Strategy,
+    run_strategy,
+)
+
+
+def compare_strategies() -> None:
+    topology = build_testbed(n_nodes=12, n_edge_clouds=6)
+    bundle = build_workloads(
+        topology, dataset="trafficvideo", files_per_node=6, n_groups=3
+    )
+    config = experiment_config()
+
+    problem = make_problem(topology, bundle, config.chunk_size, alpha=0.1)
+    partition_idx = SmartPartitioner(n_rings=3).partition_checked(problem)
+    ids = topology.node_ids
+    partition = [[ids[i] for i in ring] for ring in partition_idx]
+
+    print("=== Strategy comparison (12 cameras, 6 frames each) ===")
+    print(f"SMART D2-rings: {partition}\n")
+    header = f"{'strategy':<16} {'throughput MB/s':>16} {'WAN MB':>8} {'ratio':>6}"
+    print(header)
+    print("-" * len(header))
+    for strategy in (Strategy.EF_DEDUP, Strategy.CLOUD_ASSISTED, Strategy.CLOUD_ONLY):
+        report = run_strategy(
+            strategy,
+            topology,
+            bundle.workloads,
+            partition=partition if strategy is Strategy.EF_DEDUP else None,
+            config=config,
+        )
+        print(
+            f"{strategy.value:<16} {report.aggregate_throughput_mb_s:>16.1f} "
+            f"{report.wan_bytes / 1e6:>8.2f} {report.dedup_ratio:>6.2f}"
+        )
+    print()
+
+
+def failure_resilience() -> None:
+    print("=== Failure resilience: a ring member dies mid-stream ===")
+    cameras = [TrafficVideoSource(camera=i, fleet_seed=0) for i in range(3)]
+    config = experiment_config()
+    ring = D2Ring("intersection-7", ["cam-0", "cam-1", "cam-2"], config=config)
+
+    # Normal operation: first frames from every camera.
+    for cam, node in zip(cameras, ring.members):
+        ring.ingest(node, cam.generate_file(0).data)
+    before = ring.combined_stats()
+    print(f"3 frames ingested, dedup ratio so far: {before.dedup_ratio:.2f}x")
+
+    # cam-2's index replica goes down (power cut at the cabinet).
+    ring.fail_node("cam-2")
+    print("cam-2's index replica DOWN — the ring keeps deduplicating:")
+    result = ring.ingest("cam-0", cameras[0].generate_file(1).data)
+    print(
+        f"  cam-0 ingested frame 1: {result.stats.duplicate_chunks} of "
+        f"{result.stats.raw_chunks} chunks were duplicates (found despite the failure)"
+    )
+    pending = ring.store.hints.total_pending
+    print(f"  hints buffered for cam-2 while down: {pending}")
+
+    # Recovery: hints replay, the replica converges.
+    ring.recover_node("cam-2")
+    print(
+        f"cam-2 recovered — hints pending now: {ring.store.hints.total_pending}, "
+        f"ring dedup ratio: {ring.dedup_ratio:.2f}x"
+    )
+    print(f"cloud holds {ring.cloud.stored_chunks} unique chunks "
+          f"({ring.cloud.stored_bytes / 1e6:.2f} MB)")
+
+
+if __name__ == "__main__":
+    compare_strategies()
+    failure_resilience()

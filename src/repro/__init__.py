@@ -1,0 +1,36 @@
+"""EF-dedup: collaborative data deduplication at the network edge.
+
+A from-scratch reproduction of Li et al., "EF-dedup: Enabling Collaborative
+Data Deduplication at the Network Edge" (ICDCS 2019), including every
+substrate the paper's prototype depends on:
+
+- :mod:`repro.core` — the chunk-pool source model, Theorem 1 dedup ratios,
+  the SNOD2 optimization, Algorithm 1 estimation, Algorithm 2 (SMART)
+  partitioning with variants and baselines, and the Theorem 2 reduction;
+- :mod:`repro.chunking`, :mod:`repro.dedup` — the dedup pipeline
+  (duperemove replacement);
+- :mod:`repro.kvstore` — a distributed key-value store (Cassandra
+  replacement) with consistent hashing, replication, and hinted handoff;
+- :mod:`repro.network`, :mod:`repro.sim` — the testbed replacement:
+  topologies, NetEm-style latency injection, and simulated time;
+- :mod:`repro.datasets` — synthetic IoT datasets with controlled redundancy;
+- :mod:`repro.system` — the EF-dedup prototype: Dedup Agents, D2-rings,
+  the central cloud, and the throughput harness;
+- :mod:`repro.analysis` — one experiment runner per figure of the paper.
+
+Quickstart:
+    >>> from repro.network import build_testbed
+    >>> from repro.analysis import build_workloads, make_problem
+    >>> from repro.core.partitioning import SmartPartitioner
+    >>> from repro.system import EFDedupCluster
+    >>> topology = build_testbed(n_nodes=10, n_edge_clouds=5)
+    >>> bundle = build_workloads(topology, files_per_node=1)
+    >>> problem = make_problem(topology, bundle, chunk_size=4096)
+    >>> cluster = EFDedupCluster(topology, problem)
+    >>> _ = cluster.plan(SmartPartitioner(n_rings=3))
+    >>> cluster.deploy()
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,193 @@
+"""JSON persistence for models, fits, plans, and pool libraries.
+
+An operator's artifacts — the fitted chunk-pool model, the D2-ring plan,
+the profiled pool library — outlive single processes: estimation runs
+offline (Sec. III-A), planning happens at deploy time, and the paper's
+future-work pool library is explicitly meant to be shared. This module
+round-trips all of them through plain JSON (no pickle: artifacts may cross
+trust boundaries, and JSON diffs are reviewable).
+
+Every ``dump_*`` returns a JSON-serializable dict; ``dumps_* / loads_*``
+wrap them as strings. Version fields guard against silently loading
+artifacts written by an incompatible layout.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.costs import Partition, validate_partition
+from repro.core.estimation import EstimationResult
+from repro.core.model import ChunkPoolModel, SourceSpec
+from repro.core.profiling import PoolLibrary, PoolProfile
+
+_FORMAT_VERSION = 1
+
+
+class PersistenceError(Exception):
+    """An artifact could not be serialized or loaded."""
+
+
+def _check_version(payload: dict, kind: str) -> None:
+    if not isinstance(payload, dict):
+        raise PersistenceError(f"{kind}: expected a JSON object, got {type(payload).__name__}")
+    if payload.get("kind") != kind:
+        raise PersistenceError(
+            f"expected artifact kind {kind!r}, got {payload.get('kind')!r}"
+        )
+    if payload.get("version") != _FORMAT_VERSION:
+        raise PersistenceError(
+            f"{kind}: unsupported format version {payload.get('version')!r} "
+            f"(this library reads version {_FORMAT_VERSION})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# ChunkPoolModel
+# ---------------------------------------------------------------------- #
+
+
+def dump_model(model: ChunkPoolModel) -> dict[str, Any]:
+    return {
+        "kind": "chunk-pool-model",
+        "version": _FORMAT_VERSION,
+        "pool_sizes": list(model.pool_sizes),
+        "sources": [
+            {"index": s.index, "rate": s.rate, "vector": list(s.vector)}
+            for s in model.sources
+        ],
+    }
+
+
+def load_model(payload: dict[str, Any]) -> ChunkPoolModel:
+    _check_version(payload, "chunk-pool-model")
+    try:
+        sources = [
+            SourceSpec(
+                index=int(s["index"]),
+                rate=float(s["rate"]),
+                vector=tuple(float(p) for p in s["vector"]),
+            )
+            for s in payload["sources"]
+        ]
+        return ChunkPoolModel(
+            pool_sizes=[float(x) for x in payload["pool_sizes"]], sources=sources
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"malformed chunk-pool-model: {exc}") from exc
+
+
+# ---------------------------------------------------------------------- #
+# EstimationResult
+# ---------------------------------------------------------------------- #
+
+
+def dump_estimation(result: EstimationResult) -> dict[str, Any]:
+    return {
+        "kind": "estimation-result",
+        "version": _FORMAT_VERSION,
+        "pool_sizes": list(result.pool_sizes),
+        "vectors": [list(v) for v in result.vectors],
+        "mse": result.mse,
+        "mean_relative_error": result.mean_relative_error,
+        "converged": result.converged,
+        "fit_seconds": result.fit_seconds,
+    }
+
+
+def load_estimation(payload: dict[str, Any]) -> EstimationResult:
+    _check_version(payload, "estimation-result")
+    try:
+        return EstimationResult(
+            pool_sizes=tuple(float(s) for s in payload["pool_sizes"]),
+            vectors=tuple(tuple(float(p) for p in v) for v in payload["vectors"]),
+            mse=float(payload["mse"]),
+            mean_relative_error=float(payload["mean_relative_error"]),
+            converged=bool(payload["converged"]),
+            fit_seconds=float(payload["fit_seconds"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"malformed estimation-result: {exc}") from exc
+
+
+# ---------------------------------------------------------------------- #
+# Partition (a D2-ring plan)
+# ---------------------------------------------------------------------- #
+
+
+def dump_plan(partition: Partition, n_sources: int) -> dict[str, Any]:
+    validate_partition(partition, n_sources)
+    return {
+        "kind": "d2-ring-plan",
+        "version": _FORMAT_VERSION,
+        "n_sources": n_sources,
+        "rings": [list(ring) for ring in partition],
+    }
+
+
+def load_plan(payload: dict[str, Any]) -> Partition:
+    _check_version(payload, "d2-ring-plan")
+    try:
+        partition = [[int(v) for v in ring] for ring in payload["rings"]]
+        validate_partition(partition, int(payload["n_sources"]))
+        return partition
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"malformed d2-ring-plan: {exc}") from exc
+
+
+# ---------------------------------------------------------------------- #
+# PoolLibrary
+# ---------------------------------------------------------------------- #
+
+
+def dump_library(library: PoolLibrary) -> dict[str, Any]:
+    return {
+        "kind": "pool-library",
+        "version": _FORMAT_VERSION,
+        "profiles": [
+            {"name": p.name, "fingerprints": sorted(p.fingerprints)}
+            for p in library.profiles
+        ],
+    }
+
+
+def load_library(payload: dict[str, Any]) -> PoolLibrary:
+    """Rebuild a library's profiles (chunker/fingerprinter come from the
+    caller's constructor defaults — only the fingerprint sets persist)."""
+    _check_version(payload, "pool-library")
+    library = PoolLibrary()
+    try:
+        for entry in payload["profiles"]:
+            profile = PoolProfile(
+                name=str(entry["name"]),
+                fingerprints=frozenset(str(fp) for fp in entry["fingerprints"]),
+            )
+            if not profile.fingerprints:
+                raise ValueError(f"profile {profile.name!r} is empty")
+            library._profiles.append(profile)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"malformed pool-library: {exc}") from exc
+    return library
+
+
+# ---------------------------------------------------------------------- #
+# string wrappers
+# ---------------------------------------------------------------------- #
+
+
+def dumps(payload: dict[str, Any]) -> str:
+    """Serialize any ``dump_*`` payload to a stable, diff-friendly string."""
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def loads(text: str) -> dict[str, Any]:
+    """Parse artifact JSON (dispatch on ``payload['kind']`` yourself, or
+    call the matching ``load_*``)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"invalid artifact JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise PersistenceError("artifact JSON must be an object")
+    return payload

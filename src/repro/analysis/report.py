@@ -1,0 +1,82 @@
+"""Result containers and text rendering for the figure reproductions.
+
+Each experiment returns a :class:`FigureResult` — named series over a shared
+x axis — that renders as an aligned text table, the "same rows/series the
+paper reports". Benchmarks print these so a run's output is directly
+comparable to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Series:
+    """One line of a figure: a label and y values aligned with the x axis."""
+
+    label: str
+    values: tuple[float, ...]
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: x axis plus one or more series."""
+
+    figure: str
+    title: str
+    x_label: str
+    y_label: str
+    x: tuple[float, ...]
+    series: list[Series] = field(default_factory=list)
+    notes: dict[str, float] = field(default_factory=dict)
+
+    def add_series(self, label: str, values: list[float]) -> None:
+        if len(values) != len(self.x):
+            raise ValueError(
+                f"series {label!r} has {len(values)} values for {len(self.x)} x points"
+            )
+        self.series.append(Series(label=label, values=tuple(values)))
+
+    def get(self, label: str) -> tuple[float, ...]:
+        for s in self.series:
+            if s.label == label:
+                return s.values
+        raise KeyError(f"no series {label!r} in {self.figure}")
+
+    def to_text(self, precision: int = 2) -> str:
+        """Render as an aligned table (x column + one column per series)."""
+        headers = [self.x_label] + [s.label for s in self.series]
+        rows: list[list[str]] = []
+        for i, xv in enumerate(self.x):
+            row = [f"{xv:g}"]
+            row.extend(f"{s.values[i]:.{precision}f}" for s in self.series)
+            rows.append(row)
+        widths = [
+            max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+            for c in range(len(headers))
+        ]
+        lines = [
+            f"{self.figure}: {self.title}   [y: {self.y_label}]",
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        if self.notes:
+            lines.append("notes: " + ", ".join(f"{k}={v:.4g}" for k, v in sorted(self.notes.items())))
+        return "\n".join(lines)
+
+
+def improvement_pct(better: float, worse: float) -> float:
+    """How much larger ``better`` is than ``worse``, in percent."""
+    if worse <= 0:
+        raise ValueError(f"baseline must be positive, got {worse!r}")
+    return (better / worse - 1.0) * 100.0
+
+
+def reduction_pct(smaller: float, larger: float) -> float:
+    """How much smaller ``smaller`` is than ``larger``, in percent."""
+    if larger <= 0:
+        raise ValueError(f"baseline must be positive, got {larger!r}")
+    return (1.0 - smaller / larger) * 100.0

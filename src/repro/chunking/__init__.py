@@ -1,0 +1,31 @@
+"""Chunking substrate: fixed-size and content-defined chunkers plus chunk
+fingerprinting. Replaces duperemove's splitting/hashing stages."""
+
+from repro.chunking.base import Chunk, Chunker, validate_chunking
+from repro.chunking.fixed import DEFAULT_CHUNK_SIZE, FixedSizeChunker
+from repro.chunking.gear import GearChunker
+from repro.chunking.hashing import (
+    Fingerprinter,
+    blake2b_fingerprint,
+    default_fingerprint,
+    get_fingerprinter,
+    sha1_fingerprint,
+    sha256_fingerprint,
+)
+from repro.chunking.rabin import RabinChunker
+
+__all__ = [
+    "Chunk",
+    "Chunker",
+    "DEFAULT_CHUNK_SIZE",
+    "Fingerprinter",
+    "FixedSizeChunker",
+    "GearChunker",
+    "RabinChunker",
+    "blake2b_fingerprint",
+    "default_fingerprint",
+    "get_fingerprinter",
+    "sha1_fingerprint",
+    "sha256_fingerprint",
+    "validate_chunking",
+]

@@ -1,0 +1,87 @@
+"""Chunk and Chunker abstractions.
+
+A chunker splits a byte stream into contiguous chunks. Deduplication then
+fingerprints each chunk and stores only unique fingerprints. Two families are
+provided: fixed-size chunking (what duperemove and the paper's prototype use)
+and content-defined chunking (the paper's "variable-size chunking" future-work
+item), implemented with Gear and Rabin rolling hashes.
+
+Invariant shared by all chunkers: concatenating ``chunk.data`` for the chunks
+of a file, in order, reproduces the file exactly, and ``chunk.offset`` /
+``chunk.length`` describe the chunk's position in the original stream.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous slice of an input stream.
+
+    Attributes:
+        data: the chunk's bytes.
+        offset: byte offset of the chunk in the original stream.
+    """
+
+    data: bytes
+    offset: int
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class Chunker(ABC):
+    """Splits byte streams into chunks.
+
+    Implementations must be deterministic: the same input always produces the
+    same chunk sequence (this is what makes identical regions dedupe).
+    """
+
+    @abstractmethod
+    def chunk(self, data: bytes) -> Iterator[Chunk]:
+        """Split ``data`` into chunks, in stream order."""
+
+    def chunk_stream(self, blocks: Iterable[bytes]) -> Iterator[Chunk]:
+        """Split a stream supplied as an iterable of byte blocks.
+
+        The default implementation buffers the whole stream; chunkers with
+        bounded look-ahead may override this with an incremental version.
+        """
+        data = b"".join(blocks)
+        return self.chunk(data)
+
+    def chunk_lengths(self, data: bytes) -> list[int]:
+        """Lengths of the chunks of ``data`` (convenience for analysis)."""
+        return [c.length for c in self.chunk(data)]
+
+
+def validate_chunking(data: bytes, chunks: list[Chunk]) -> None:
+    """Assert the chunker invariants for ``chunks`` produced from ``data``.
+
+    Raises ``ValueError`` describing the first violated invariant. Used by
+    tests and by property-based checks.
+    """
+    expected_offset = 0
+    for i, chunk in enumerate(chunks):
+        if chunk.offset != expected_offset:
+            raise ValueError(
+                f"chunk {i} has offset {chunk.offset}, expected {expected_offset}"
+            )
+        if chunk.length == 0 and len(data) > 0:
+            raise ValueError(f"chunk {i} is empty")
+        expected_offset += chunk.length
+    if expected_offset != len(data):
+        raise ValueError(
+            f"chunks cover {expected_offset} bytes but input has {len(data)}"
+        )
+    joined = b"".join(c.data for c in chunks)
+    if joined != data:
+        raise ValueError("concatenated chunks do not reproduce the input")

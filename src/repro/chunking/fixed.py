@@ -1,0 +1,42 @@
+"""Fixed-size chunking.
+
+This is what duperemove (the tool the paper's Dedup Agent is built from) and
+most block-level dedup systems use: the stream is cut every ``chunk_size``
+bytes regardless of content. Cheap and cache-friendly, but a single inserted
+byte shifts every subsequent boundary (the boundary-shift problem that
+content-defined chunking fixes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.chunking.base import Chunk, Chunker
+
+DEFAULT_CHUNK_SIZE = 128 * 1024  # duperemove's default dedup block size
+
+
+class FixedSizeChunker(Chunker):
+    """Cuts the input into consecutive ``chunk_size``-byte chunks.
+
+    The final chunk may be shorter. With ``pad_last=True`` the final chunk is
+    zero-padded to the full size, which models block-device dedup where every
+    block occupies a full block on disk.
+    """
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE, pad_last: bool = False) -> None:
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size!r}")
+        self.chunk_size = chunk_size
+        self.pad_last = pad_last
+
+    def chunk(self, data: bytes) -> Iterator[Chunk]:
+        size = self.chunk_size
+        for offset in range(0, len(data), size):
+            piece = data[offset : offset + size]
+            if self.pad_last and len(piece) < size:
+                piece = piece + b"\x00" * (size - len(piece))
+            yield Chunk(data=piece, offset=offset)
+
+    def __repr__(self) -> str:
+        return f"FixedSizeChunker(chunk_size={self.chunk_size}, pad_last={self.pad_last})"

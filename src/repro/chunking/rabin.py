@@ -1,0 +1,93 @@
+"""Rabin-Karp rolling-hash content-defined chunking.
+
+The classical CDC scheme (LBFS, Venti): a polynomial rolling hash over a
+sliding window of ``window_size`` bytes; a boundary is declared when
+``h mod divisor == target``. Slower than Gear (the roll needs a multiply and
+a subtract of the outgoing byte's contribution) but the window property is
+stronger: the boundary decision depends on exactly the last ``window_size``
+bytes, independent of chunk start — useful as a correctness reference for the
+Gear chunker in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.chunking.base import Chunk, Chunker
+
+_MOD = (1 << 61) - 1  # Mersenne prime: cheap modular reduction, no collisions in practice
+_BASE = 263
+
+
+class RabinChunker(Chunker):
+    """Content-defined chunker using a Rabin-Karp rolling hash.
+
+    Args:
+        avg_size: expected chunk size; the boundary test fires with
+            probability ``1/avg_size`` per byte once past ``min_size``.
+        min_size: minimum chunk length (boundary test suppressed before it).
+        max_size: maximum chunk length (forced cut).
+        window_size: number of trailing bytes the rolling hash covers.
+    """
+
+    def __init__(
+        self,
+        avg_size: int = 8 * 1024,
+        min_size: int | None = None,
+        max_size: int | None = None,
+        window_size: int = 48,
+    ) -> None:
+        if avg_size <= 0:
+            raise ValueError(f"avg_size must be positive, got {avg_size!r}")
+        if window_size <= 0:
+            raise ValueError(f"window_size must be positive, got {window_size!r}")
+        self.avg_size = avg_size
+        self.min_size = min_size if min_size is not None else max(avg_size // 4, window_size)
+        self.max_size = max_size if max_size is not None else avg_size * 4
+        if not 0 < self.min_size <= avg_size <= self.max_size:
+            raise ValueError(
+                f"need 0 < min_size <= avg_size <= max_size, got "
+                f"min={self.min_size}, avg={avg_size}, max={self.max_size}"
+            )
+        if self.min_size < window_size:
+            raise ValueError(
+                f"min_size ({self.min_size}) must be >= window_size ({window_size}) "
+                "so the window is full before any boundary test"
+            )
+        self.window_size = window_size
+        # Precomputed BASE^(window_size-1) for removing the outgoing byte.
+        self._out_factor = pow(_BASE, window_size - 1, _MOD)
+
+    def chunk(self, data: bytes) -> Iterator[Chunk]:
+        n = len(data)
+        start = 0
+        while start < n:
+            end = self._find_boundary(data, start, n)
+            yield Chunk(data=data[start:end], offset=start)
+            start = end
+
+    def _find_boundary(self, data: bytes, start: int, n: int) -> int:
+        limit = min(start + self.max_size, n)
+        pos = min(start + self.min_size, n)
+        if pos >= limit:
+            return limit
+        w = self.window_size
+        # Prime the window over the w bytes ending at pos.
+        h = 0
+        for i in range(pos - w, pos):
+            h = (h * _BASE + data[i]) % _MOD
+        divisor = self.avg_size
+        while pos < limit:
+            if h % divisor == divisor - 1:
+                return pos
+            h = (
+                (h - data[pos - w] * self._out_factor) * _BASE + data[pos]
+            ) % _MOD
+            pos += 1
+        return limit
+
+    def __repr__(self) -> str:
+        return (
+            f"RabinChunker(avg_size={self.avg_size}, min_size={self.min_size}, "
+            f"max_size={self.max_size}, window_size={self.window_size})"
+        )

@@ -1,0 +1,177 @@
+"""Command-line interface.
+
+Four subcommands cover the workflows a user runs repeatedly:
+
+- ``repro plan``      — plan D2-rings for a fleet and print the partition
+                        with its predicted costs;
+- ``repro estimate``  — run Algorithm 1 on sampled files and print the
+                        fitted chunk-pool model;
+- ``repro simulate``  — a Fig. 7-style algorithm comparison at scale;
+- ``repro figures``   — regenerate the paper's figures (any subset).
+
+All output is plain text on stdout; exit code 0 on success. Invoke as
+``python -m repro <subcommand>`` (or ``repro`` once installed with an
+entry point).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import experiments as _exp
+from repro.analysis.workloads import DATASETS, build_workloads, make_problem
+from repro.core.estimation import CharacteristicEstimator, observe_combinations
+from repro.core.partitioning import (
+    DedupOnlyPartitioner,
+    NetworkOnlyPartitioner,
+    SmartPartitioner,
+)
+from repro.chunking.fixed import FixedSizeChunker
+from repro.datasets.accelerometer import AccelerometerSource
+from repro.network.topology import build_testbed
+
+_FIGURES = {
+    "fig2": lambda: _exp.fig2_estimation_accuracy(n_files=4),
+    "fig3": lambda: _exp.fig3_estimation_over_time(n_steps=3, n_files=3),
+    "fig5a": lambda: _exp.fig5a_throughput_vs_nodes(files_per_node=1),
+    "fig5b": lambda: _exp.fig5b_throughput_vs_latency(files_per_node=1),
+    "fig5c": lambda: _exp.fig5c_ratio_vs_rings(files_per_node=1),
+    "fig6a": lambda: _exp.fig6a_cost_vs_rings(files_per_node=1),
+    "fig6b": lambda: _exp.fig6b_throughput_vs_ring_size(files_per_node=1),
+    "fig6c": lambda: _exp.fig6c_tradeoff_comparison(files_per_node=1),
+    "fig7a": lambda: _exp.fig7a_cost_vs_scale(node_counts=(50, 100, 200)),
+    "fig7b": lambda: _exp.fig7b_cost_vs_alpha(n_nodes=100),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EF-dedup reproduction: plan, estimate, simulate, reproduce figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="plan D2-rings for a synthetic fleet")
+    plan.add_argument("--nodes", type=int, default=20, help="edge nodes (default 20)")
+    plan.add_argument("--clouds", type=int, default=10, help="edge clouds (default 10)")
+    plan.add_argument("--rings", type=int, default=5, help="D2-rings M (default 5)")
+    plan.add_argument("--alpha", type=float, default=0.1, help="tradeoff factor (default 0.1)")
+    plan.add_argument("--gamma", type=int, default=2, help="replication factor (default 2)")
+    plan.add_argument(
+        "--dataset", choices=DATASETS, default="accelerometer", help="workload shape"
+    )
+
+    estimate = sub.add_parser("estimate", help="fit the chunk-pool model (Algorithm 1)")
+    estimate.add_argument("--files", type=int, default=4, help="samples per source (default 4)")
+    estimate.add_argument("--pools", type=int, default=3, help="K pools to fit (default 3)")
+    estimate.add_argument("--seed", type=int, default=7)
+
+    simulate = sub.add_parser("simulate", help="Fig. 7-style algorithm comparison")
+    simulate.add_argument("--nodes", type=int, default=200)
+    simulate.add_argument("--rings", type=int, default=20)
+    simulate.add_argument("--alpha", type=float, default=0.001)
+    simulate.add_argument("--seed", type=int, default=11)
+
+    figures = sub.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument(
+        "names",
+        nargs="*",
+        metavar="FIGURE",
+        help=f"figures to run: {', '.join(sorted(_FIGURES))} (default: all)",
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# subcommands
+# ---------------------------------------------------------------------- #
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    topology = build_testbed(n_nodes=args.nodes, n_edge_clouds=args.clouds)
+    bundle = build_workloads(topology, dataset=args.dataset, files_per_node=1)
+    problem = make_problem(
+        topology, bundle, chunk_size=4096, alpha=args.alpha, gamma=args.gamma
+    )
+    partition = SmartPartitioner(args.rings).partition_checked(problem)
+    ids = topology.node_ids
+    print(f"SMART plan for {args.nodes} nodes / {args.clouds} edge clouds "
+          f"(alpha={args.alpha:g}, gamma={args.gamma}):")
+    for i, ring in enumerate(partition):
+        members = ", ".join(ids[v] for v in ring)
+        print(f"  ring-{i} ({len(ring)} nodes): {members}")
+    b = problem.cost_breakdown(partition)
+    print(f"predicted: storage={b['storage']:.0f} chunks  "
+          f"network={b['network']:.0f} chunk-eq  aggregate={b['aggregate']:.0f}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    sources = [
+        AccelerometerSource(participant=p, size_jitter=0.4) for p in (0, 1)
+    ]
+    files_by_source = [[f.data for f in src.files(args.files)] for src in sources]
+    observations = observe_combinations(
+        files_by_source, chunker=FixedSizeChunker(4096)
+    )
+    estimator = CharacteristicEstimator(
+        n_sources=2, n_pools=args.pools, error_threshold=0.3, seed=args.seed
+    )
+    fit = estimator.fit(observations)
+    print(f"fitted K={fit.n_pools} pools over {len(observations)} observations")
+    print(f"pool sizes: {tuple(round(s, 1) for s in fit.pool_sizes)}")
+    for i, vec in enumerate(fit.vectors):
+        print(f"source {i} vector: {tuple(round(p, 3) for p in vec)}")
+    print(f"mse={fit.mse:.4f}  mean_rel_error={fit.mean_relative_error * 100:.2f}%  "
+          f"converged={fit.converged}  ({fit.fit_seconds:.1f}s)")
+    return 0 if fit.converged else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    problem = _exp._simulation_problem(args.nodes, alpha=args.alpha, seed=args.seed)
+    algorithms = {
+        "SMART": SmartPartitioner(args.rings),
+        "Network-Only": NetworkOnlyPartitioner(args.rings),
+        "Dedup-Only": DedupOnlyPartitioner(args.rings),
+    }
+    print(f"{args.nodes} nodes, {args.rings} rings, alpha={args.alpha:g}")
+    print(f"{'algorithm':<14} {'storage':>10} {'network':>12} {'aggregate':>11}")
+    for name, algo in algorithms.items():
+        b = problem.cost_breakdown(algo.partition_checked(problem))
+        print(f"{name:<14} {b['storage']:>10.0f} {b['network']:>12.0f} {b['aggregate']:>11.0f}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    names = args.names or sorted(_FIGURES)
+    unknown = [n for n in names if n not in _FIGURES]
+    if unknown:
+        print(
+            f"unknown figure(s) {', '.join(unknown)}; choose from "
+            f"{', '.join(sorted(_FIGURES))}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        result = _FIGURES[name]()
+        print(result.to_text())
+        print()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "plan": _cmd_plan,
+        "estimate": _cmd_estimate,
+        "simulate": _cmd_simulate,
+        "figures": _cmd_figures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

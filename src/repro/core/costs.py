@@ -1,0 +1,149 @@
+"""The SNOD2 cost model (Sec. II, Eqs. 1–3 / 6–7).
+
+For a D2-ring P over an interval of T seconds:
+
+- storage cost  U(P) = Σ_k s_k (1 − Π_{i∈P} g_ik)          [chunks]
+  (equivalently Σ_{i∈P} R_i·T / Ω(P), by Theorem 1);
+- network cost  V(P) = Σ_{i∈P} Σ_{j≠i∈P} ν_ij · R_i·T · (1 − γ/|P|) / (|P|−1)
+  — each of node i's R_i·T lookups is non-local with probability 1 − γ/|P|
+  and then lands on each peer j with probability 1/(|P|−1);
+- SNOD2 objective: Σ_rings U + α · Σ_rings V.
+
+Singleton rings have V = 0, and rings with |P| ≤ γ have all hashes local,
+so (1 − γ/|P|) clamps at 0.
+
+Units note: U is in chunks and ν is the caller's choice of per-lookup cost
+(we use RTT seconds from :mod:`repro.network.costmatrix`); α carries the
+conversion "one unit of network cost is worth α⁻¹... " — i.e. exactly the
+paper's tradeoff factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.dedup_ratio import expected_unique_chunks
+from repro.core.model import ChunkPoolModel
+
+Partition = list[list[int]]
+
+
+def validate_partition(partition: Sequence[Sequence[int]], n_sources: int) -> None:
+    """Check that ``partition`` is a disjoint cover of 0..n_sources−1.
+
+    Empty rings are permitted (Algorithm 2 starts from M empty rings).
+    """
+    seen: set[int] = set()
+    for ring in partition:
+        for i in ring:
+            if not 0 <= i < n_sources:
+                raise ValueError(f"source index {i!r} out of range [0, {n_sources})")
+            if i in seen:
+                raise ValueError(f"source {i!r} appears in more than one ring")
+            seen.add(i)
+    if len(seen) != n_sources:
+        missing = sorted(set(range(n_sources)) - seen)
+        raise ValueError(f"partition does not cover sources {missing!r}")
+
+
+@dataclass
+class SNOD2Problem:
+    """A complete SNOD2 instance.
+
+    Attributes:
+        model: chunk pools + sources (rates and characteristic vectors).
+        nu: N×N symmetric non-local-lookup cost matrix (ν_ij), zero diagonal.
+        duration: T — the accounting interval in seconds.
+        gamma: γ — chunk-hash replication factor within a ring.
+        alpha: α — network-vs-storage tradeoff factor.
+    """
+
+    model: ChunkPoolModel
+    nu: np.ndarray
+    duration: float = 1.0
+    gamma: int = 2
+    alpha: float = 0.1
+    _nu: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        n = self.model.n_sources
+        nu = np.asarray(self.nu, dtype=float)
+        if nu.shape != (n, n):
+            raise ValueError(
+                f"nu must be {n}×{n} to match the model's sources, got {nu.shape!r}"
+            )
+        if np.any(nu < 0):
+            raise ValueError("nu has negative entries")
+        if np.any(np.diag(nu) != 0):
+            raise ValueError("nu must have a zero diagonal")
+        if not np.allclose(nu, nu.T):
+            raise ValueError("nu must be symmetric")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration!r}")
+        if self.gamma < 1:
+            raise ValueError(f"gamma must be >= 1, got {self.gamma!r}")
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha!r}")
+        self._nu = nu
+
+    @property
+    def n_sources(self) -> int:
+        return self.model.n_sources
+
+    # ------------------------------------------------------------------ #
+    # per-ring costs
+    # ------------------------------------------------------------------ #
+
+    def storage_cost(self, members: Sequence[int]) -> float:
+        """U(P): expected post-dedup chunks of the ring over T (Eq. 6)."""
+        return expected_unique_chunks(self.model, members, self.duration)
+
+    def network_cost(self, members: Sequence[int]) -> float:
+        """V(P): expected non-local lookup cost of the ring over T (Eq. 7)."""
+        size = len(members)
+        if size <= 1:
+            return 0.0
+        nonlocal_fraction = max(0.0, 1.0 - self.gamma / size)
+        if nonlocal_fraction == 0.0:
+            return 0.0
+        total = 0.0
+        for i in members:
+            lookups = self.model.rate(i) * self.duration
+            peer_cost = sum(self._nu[i, j] for j in members if j != i)
+            total += lookups * nonlocal_fraction * peer_cost / (size - 1)
+        return total
+
+    def ring_cost(self, members: Sequence[int]) -> float:
+        """U(P) + α·V(P) — the quantity Algorithm 2 greedily grows."""
+        return self.storage_cost(members) + self.alpha * self.network_cost(members)
+
+    # ------------------------------------------------------------------ #
+    # whole-partition costs
+    # ------------------------------------------------------------------ #
+
+    def total_storage(self, partition: Sequence[Sequence[int]]) -> float:
+        validate_partition(partition, self.n_sources)
+        return sum(self.storage_cost(ring) for ring in partition)
+
+    def total_network(self, partition: Sequence[Sequence[int]]) -> float:
+        validate_partition(partition, self.n_sources)
+        return sum(self.network_cost(ring) for ring in partition)
+
+    def total_cost(self, partition: Sequence[Sequence[int]]) -> float:
+        """The SNOD2 objective Σ U + α Σ V (Eq. 3)."""
+        validate_partition(partition, self.n_sources)
+        return sum(self.ring_cost(ring) for ring in partition)
+
+    def cost_breakdown(self, partition: Sequence[Sequence[int]]) -> dict[str, float]:
+        """Storage, network, and aggregate cost of ``partition`` (one pass)."""
+        validate_partition(partition, self.n_sources)
+        storage = sum(self.storage_cost(ring) for ring in partition)
+        network = sum(self.network_cost(ring) for ring in partition)
+        return {
+            "storage": storage,
+            "network": network,
+            "aggregate": storage + self.alpha * network,
+        }

@@ -1,0 +1,124 @@
+"""Incremental, vectorized cost evaluation for the greedy partitioners.
+
+The greedy of Algorithm 2 evaluates U(P ∪ {v}) + α·V(P ∪ {v}) for every
+remaining node v and every ring P at every step — O(N²·M) evaluations. Done
+naively each evaluation costs O(|P|·K + |P|²); this module maintains per-ring
+sufficient statistics so that *all* candidate increments for one ring come
+from a single numpy pass:
+
+- storage: the ring keeps L_k = Σ_{i∈P} log g_ik; the candidate matrix of
+  new joint log-g values is L + log_g[cands], so U(P∪{v}) for all v is one
+  ``exp`` + one matvec with the pool sizes;
+- network: V(P) = T·(1 − γ/p)/(p − 1) · W(P) with
+  W(P) = Σ_{i∈P} R_i Σ_{j∈P, j≠i} ν_ij; the ring keeps W and the vector
+  Σ_{i∈P} R_i·ν_i· so W(P∪{v}) for all v is two vector reads.
+
+The 500-node Fig. 7 simulations run in seconds with this path; the tests
+verify it agrees with the direct formulas in :mod:`repro.core.costs` to
+floating-point accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.costs import SNOD2Problem
+
+
+class RingState:
+    """Sufficient statistics of one ring under construction."""
+
+    __slots__ = ("members", "joint_log_g", "w", "weighted_nu_to", "nu_to", "storage", "network")
+
+    def __init__(self, n_pools: int, n_sources: int) -> None:
+        self.members: list[int] = []
+        self.joint_log_g = np.zeros(n_pools)  # Σ_i log g_ik
+        self.w = 0.0  # W(P) = Σ_i rT_i Σ_{j≠i} ν_ij
+        self.weighted_nu_to = np.zeros(n_sources)  # Σ_{i∈P} rT_i ν_i,·
+        self.nu_to = np.zeros(n_sources)  # Σ_{j∈P} ν_·,j
+        self.storage = 0.0  # current U(P)
+        self.network = 0.0  # current V(P)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+class IncrementalCostEvaluator:
+    """Vectorized Δcost evaluation for greedy ring construction.
+
+    One evaluator serves one run of a greedy partitioner over one problem.
+    """
+
+    def __init__(self, problem: SNOD2Problem) -> None:
+        self.problem = problem
+        self.sizes = np.asarray(problem.model.pool_sizes)
+        self.log_g = problem.model.log_g_matrix(problem.duration)  # N×K
+        self.rates_t = problem.model.rates * problem.duration  # rT_i
+        self.nu = np.asarray(problem.nu, dtype=float)
+        self.gamma = problem.gamma
+        self.alpha = problem.alpha
+
+    def new_ring(self) -> RingState:
+        return RingState(self.problem.model.n_pools, self.problem.n_sources)
+
+    # ------------------------------------------------------------------ #
+
+    def _network_factor(self, size: int) -> float:
+        """T-folded prefactor (1 − γ/p)/(p − 1); zero for p ≤ max(1, γ)."""
+        if size <= 1:
+            return 0.0
+        return max(0.0, 1.0 - self.gamma / size) / (size - 1)
+
+    def candidate_costs(
+        self, ring: RingState, candidates: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """U and V of ``ring ∪ {v}`` for every candidate v (vectorized).
+
+        Returns:
+            (storage_new, network_new) — arrays aligned with ``candidates``.
+        """
+        cands = np.asarray(candidates, dtype=int)
+        # storage: joint log-g with each candidate appended
+        new_log = ring.joint_log_g[None, :] + self.log_g[cands, :]
+        storage_new = ((1.0 - np.exp(new_log)) * self.sizes[None, :]).sum(axis=1)
+        # network: W(P ∪ {v}) = W + rT_v·Σ_{j∈P} ν_vj + Σ_{i∈P} rT_i ν_iv
+        w_new = ring.w + self.rates_t[cands] * ring.nu_to[cands] + ring.weighted_nu_to[cands]
+        network_new = self._network_factor(ring.size + 1) * w_new
+        return storage_new, network_new
+
+    def candidate_deltas(self, ring: RingState, candidates: np.ndarray) -> np.ndarray:
+        """Δ(U + αV) of adding each candidate to ``ring``."""
+        storage_new, network_new = self.candidate_costs(ring, candidates)
+        base = ring.storage + self.alpha * ring.network
+        return storage_new + self.alpha * network_new - base
+
+    def add(self, ring: RingState, node: int) -> None:
+        """Commit ``node`` into ``ring``, updating all sufficient statistics."""
+        if node in ring.members:
+            raise ValueError(f"node {node!r} is already in this ring")
+        w_new = ring.w + self.rates_t[node] * ring.nu_to[node] + ring.weighted_nu_to[node]
+        ring.members.append(node)
+        ring.joint_log_g = ring.joint_log_g + self.log_g[node]
+        ring.w = w_new
+        ring.weighted_nu_to = ring.weighted_nu_to + self.rates_t[node] * self.nu[node]
+        ring.nu_to = ring.nu_to + self.nu[:, node]
+        ring.storage = float(
+            ((1.0 - np.exp(ring.joint_log_g)) * self.sizes).sum()
+        )
+        ring.network = self._network_factor(ring.size) * ring.w
+
+    def ring_cost(self, ring: RingState) -> float:
+        return ring.storage + self.alpha * ring.network
+
+    def rebuild(self, members: list[int]) -> RingState:
+        """Fresh ring state for an explicit member list.
+
+        Used when a node leaves a ring: joint log-g values cannot be
+        subtracted safely (−∞ entries from fully-covered pools), so removal
+        reconstructs the state instead.
+        """
+        ring = self.new_ring()
+        for node in members:
+            self.add(ring, node)
+        return ring

@@ -1,0 +1,177 @@
+"""The chunk-pool statistical model of data sources (Sec. II).
+
+Each source i generates equal-size chunks at rate R_i chunks/second. Every
+chunk is drawn independently: first a pool k is selected with probability
+p_ik, then a chunk uniformly from pool C_k (the K pools are disjoint and
+pool k holds s_k distinct chunks). The vector P_i = [p_i1..p_iK] is the
+source's *characteristic vector*; sources with equal vectors are maximally
+correlated.
+
+This module holds the model data types and the per-source "never drawn"
+probability g_ik(T) = (1 - p_ik/s_k)^(R_i·T) that Theorem 1 builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_PROB_ATOL = 1e-6
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """One data source in the model.
+
+    Attributes:
+        index: stable integer id (position in the problem's source list).
+        rate: R_i — chunks generated per second.
+        vector: the characteristic vector [p_i1..p_iK]; non-negative,
+            sums to 1.
+    """
+
+    index: int
+    rate: float
+    vector: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"source {self.index}: rate must be positive, got {self.rate!r}")
+        if not self.vector:
+            raise ValueError(f"source {self.index}: empty characteristic vector")
+        if any(p < -_PROB_ATOL for p in self.vector):
+            raise ValueError(
+                f"source {self.index}: negative probabilities in {self.vector!r}"
+            )
+        total = sum(self.vector)
+        if not math.isclose(total, 1.0, abs_tol=1e-4):
+            raise ValueError(
+                f"source {self.index}: characteristic vector sums to {total!r}, not 1"
+            )
+
+
+class ChunkPoolModel:
+    """K disjoint chunk pools plus the sources drawing from them.
+
+    Args:
+        pool_sizes: [s_1..s_K], all positive.
+        sources: the sources; every vector must have length K and source
+            indexes must be 0..N-1 in order (they are positional ids used by
+            the partitioning algorithms and the ν matrix).
+    """
+
+    def __init__(self, pool_sizes: Sequence[float], sources: Iterable[SourceSpec]) -> None:
+        sizes = tuple(float(s) for s in pool_sizes)
+        if not sizes:
+            raise ValueError("model needs at least one chunk pool")
+        if any(s <= 0 for s in sizes):
+            raise ValueError(f"pool sizes must be positive: {sizes!r}")
+        self.pool_sizes = sizes
+        self.sources = list(sources)
+        if not self.sources:
+            raise ValueError("model needs at least one source")
+        for pos, src in enumerate(self.sources):
+            if src.index != pos:
+                raise ValueError(
+                    f"source at position {pos} has index {src.index}; indexes must "
+                    "be consecutive from 0"
+                )
+            if len(src.vector) != len(sizes):
+                raise ValueError(
+                    f"source {src.index}: vector has {len(src.vector)} entries "
+                    f"but there are {len(sizes)} pools"
+                )
+        # Precompute log(1 - p_ik/s_k) for the g_ik fast path; -inf encodes
+        # p_ik >= s_k (the source covers the pool — g is 0 for any T > 0).
+        n, k = len(self.sources), len(sizes)
+        self._log1m = np.full((n, k), 0.0)
+        for i, src in enumerate(self.sources):
+            for j in range(k):
+                frac = src.vector[j] / sizes[j]
+                if frac >= 1.0:
+                    self._log1m[i, j] = -np.inf
+                elif frac > 0.0:
+                    self._log1m[i, j] = math.log1p(-frac)
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.sources)
+
+    @property
+    def n_pools(self) -> int:
+        return len(self.pool_sizes)
+
+    def rate(self, i: int) -> float:
+        return self.sources[i].rate
+
+    @property
+    def rates(self) -> np.ndarray:
+        return np.array([s.rate for s in self.sources])
+
+    def g(self, i: int, k: int, duration: float) -> float:
+        """g_ik(T): probability a given chunk of pool k is never drawn by
+        source i over ``duration`` seconds."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration!r}")
+        exponent = self.sources[i].rate * duration * self._log1m[i, k]
+        return float(np.exp(exponent))
+
+    def log_g_matrix(self, duration: float) -> np.ndarray:
+        """N×K matrix of log g_ik(T) (−inf where a pool is fully covered)."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration!r}")
+        rates = self.rates[:, None]
+        return rates * duration * self._log1m
+
+    def _check_members(self, members: Sequence[int]) -> None:
+        for i in members:
+            if not 0 <= i < self.n_sources:
+                raise ValueError(
+                    f"source index {i!r} out of range [0, {self.n_sources})"
+                )
+        if len(set(members)) != len(members):
+            raise ValueError(f"duplicate source indexes in {list(members)!r}")
+
+
+def uniform_sources(
+    n_sources: int,
+    n_pools: int,
+    rate: float = 100.0,
+) -> list[SourceSpec]:
+    """Sources that draw uniformly from every pool (maximum mutual overlap)."""
+    if n_pools <= 0:
+        raise ValueError(f"n_pools must be positive, got {n_pools!r}")
+    vec = tuple(1.0 / n_pools for _ in range(n_pools))
+    return [SourceSpec(index=i, rate=rate, vector=vec) for i in range(n_sources)]
+
+
+def grouped_sources(
+    group_of_source: Sequence[int],
+    group_vectors: Sequence[Sequence[float]],
+    rates: Sequence[float] | float = 100.0,
+) -> list[SourceSpec]:
+    """Sources whose vectors are shared within groups.
+
+    Mirrors the paper's correlated-flow setting: sources in one group have
+    identical characteristic vectors (e.g. cameras at one intersection).
+    """
+    n = len(group_of_source)
+    if isinstance(rates, (int, float)):
+        rate_list = [float(rates)] * n
+    else:
+        rate_list = [float(r) for r in rates]
+        if len(rate_list) != n:
+            raise ValueError(
+                f"rates has {len(rate_list)} entries for {n} sources"
+            )
+    specs = []
+    for i, g in enumerate(group_of_source):
+        if not 0 <= g < len(group_vectors):
+            raise ValueError(f"source {i}: group {g!r} out of range")
+        specs.append(
+            SourceSpec(index=i, rate=rate_list[i], vector=tuple(group_vectors[g]))
+        )
+    return specs

@@ -1,0 +1,166 @@
+"""Theorem 2: the minimum-k-cut → SNOD2 reduction, as executable code.
+
+The proof constructs, from a weighted graph G = (V, E), a SNOD2 instance
+with zero network cost whose objective equals (constant + cut weight) for
+every partition of V. We implement that construction so tests can verify the
+identity numerically — the strongest possible check that our cost code
+matches the paper's Eq. 6.
+
+One repair to the paper's construction: it sets p_{v,k} = 1/d(v) and
+R_v = log(c)/(T·log(1 − p_v/s_k)), but with per-edge pool sizes s_k the
+exponent cannot make g_{v,k} = c for *all* edges incident to v at once.
+We instead pick p_{v,e} = x_v·s_e with x_v = 1/Σ_{e∋v} s_e (so the vector
+still sums to 1) and R_v = log(c)/(T·log(1 − x_v)), which yields exactly
+g_{v,e} = (1 − x_v)^{R_v·T} = c for every incident edge — the identity the
+proof needs. Weights are pre-scaled so x_v < 1 strictly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.core.costs import SNOD2Problem, validate_partition
+from repro.core.model import ChunkPoolModel, SourceSpec
+
+
+@dataclass(frozen=True)
+class ReductionArtifacts:
+    """Bookkeeping that ties the SNOD2 instance back to the graph."""
+
+    vertices: tuple[int, ...]  # graph vertex per source index
+    edges: tuple[tuple[int, int], ...]  # graph edge per pool index
+    pool_sizes: tuple[float, ...]
+    c: float
+    weight_scale: float
+    constant_term: float  # Σ_k s_k (1 − c²)
+
+    def predicted_objective(self, graph: nx.Graph, partition: list[list[int]]) -> float:
+        """constant + Σ_{cut edges} scaled weight — what SNOD2 must equal."""
+        vertex_block: dict[int, int] = {}
+        for block_id, block in enumerate(partition):
+            for source_idx in block:
+                vertex_block[self.vertices[source_idx]] = block_id
+        cut = 0.0
+        for u, v in self.edges:
+            if vertex_block[u] != vertex_block[v]:
+                cut += graph.edges[u, v]["weight"] * self.weight_scale
+        return self.constant_term + cut
+
+
+def mincut_to_snod2(
+    graph: nx.Graph,
+    c: float = 0.5,
+    duration: float = 1.0,
+) -> tuple[SNOD2Problem, ReductionArtifacts]:
+    """Build the SNOD2 instance of Theorem 2 from a weighted graph.
+
+    Args:
+        graph: undirected graph; every edge needs a positive ``weight``
+            attribute and every vertex at least one edge.
+        c: the proof's constant, strictly in (0, 1).
+        duration: the T of the instance (any positive value works).
+
+    Returns:
+        The SNOD2 problem (zero ν matrix) and the reduction bookkeeping.
+    """
+    if not 0.0 < c < 1.0:
+        raise ValueError(f"c must be strictly in (0, 1), got {c!r}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration!r}")
+    if graph.number_of_edges() == 0:
+        raise ValueError("graph must have at least one edge")
+    for v in graph.nodes:
+        if graph.degree(v) == 0:
+            raise ValueError(f"vertex {v!r} is isolated; the reduction needs degree >= 1")
+    for u, v, data in graph.edges(data=True):
+        w = data.get("weight")
+        if w is None or w <= 0:
+            raise ValueError(f"edge ({u!r}, {v!r}) needs a positive weight, got {w!r}")
+
+    vertices = tuple(sorted(graph.nodes))
+    edges = tuple(tuple(sorted(e)) for e in sorted(tuple(sorted(e)) for e in graph.edges))
+    base_sizes = [graph.edges[e]["weight"] / (1.0 - c) ** 2 for e in edges]
+
+    # Scale weights so every vertex's incident pool mass strictly exceeds 1
+    # (needed for 0 < x_v < 1 and hence a finite positive R_v).
+    incident_mass = {
+        v: sum(base_sizes[k] for k, e in enumerate(edges) if v in e) for v in vertices
+    }
+    min_mass = min(incident_mass.values())
+    weight_scale = 1.0 if min_mass > 1.0 else 2.0 / min_mass
+    pool_sizes = tuple(s * weight_scale for s in base_sizes)
+
+    sources: list[SourceSpec] = []
+    for idx, v in enumerate(vertices):
+        mass = incident_mass[v] * weight_scale
+        x_v = 1.0 / mass
+        vector = tuple(
+            pool_sizes[k] * x_v if v in edges[k] else 0.0 for k in range(len(edges))
+        )
+        rate = math.log(c) / (duration * math.log1p(-x_v))
+        sources.append(SourceSpec(index=idx, rate=rate, vector=vector))
+
+    model = ChunkPoolModel(pool_sizes=pool_sizes, sources=sources)
+    problem = SNOD2Problem(
+        model=model,
+        nu=np.zeros((len(vertices), len(vertices))),
+        duration=duration,
+        gamma=1,
+        alpha=0.0,
+    )
+    constant = sum(s * (1.0 - c * c) for s in pool_sizes)
+    artifacts = ReductionArtifacts(
+        vertices=vertices,
+        edges=edges,
+        pool_sizes=pool_sizes,
+        c=c,
+        weight_scale=weight_scale,
+        constant_term=constant,
+    )
+    return problem, artifacts
+
+
+def brute_force_min_k_cut(graph: nx.Graph, k: int) -> tuple[float, list[list[int]]]:
+    """Exact minimum k-cut by enumeration (test oracle for tiny graphs).
+
+    Returns (cut weight, partition of vertices into exactly k non-empty
+    blocks).
+    """
+    vertices = sorted(graph.nodes)
+    n = len(vertices)
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= |V|={n}, got k={k!r}")
+    best_cut = float("inf")
+    best_partition: list[list[int]] | None = None
+    for assignment in itertools.product(range(k), repeat=n):
+        if len(set(assignment)) != k:
+            continue
+        cut = 0.0
+        for u, v, data in graph.edges(data=True):
+            if assignment[vertices.index(u)] != assignment[vertices.index(v)]:
+                cut += data["weight"]
+        if cut < best_cut:
+            best_cut = cut
+            blocks: dict[int, list[int]] = {}
+            for vert, block in zip(vertices, assignment):
+                blocks.setdefault(block, []).append(vert)
+            best_partition = [blocks[b] for b in sorted(blocks)]
+    assert best_partition is not None
+    return best_cut, best_partition
+
+
+def snod2_objective_for_vertex_partition(
+    problem: SNOD2Problem,
+    artifacts: ReductionArtifacts,
+    vertex_partition: list[list[int]],
+) -> float:
+    """SNOD2 objective of a partition given in *graph-vertex* labels."""
+    index_of = {v: i for i, v in enumerate(artifacts.vertices)}
+    partition = [[index_of[v] for v in block] for block in vertex_partition]
+    validate_partition(partition, problem.n_sources)
+    return problem.total_cost(partition)

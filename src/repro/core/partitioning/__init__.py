@@ -1,0 +1,33 @@
+"""Partitioning algorithms: SMART (Algorithm 2), its matching-accelerated and
+equal-size variants, the paper's baselines, and a brute-force oracle."""
+
+from repro.core.partitioning.base import Partitioner, canonical_form, strip_empty_rings
+from repro.core.partitioning.baselines import (
+    DedupOnlyPartitioner,
+    NetworkOnlyPartitioner,
+    PerEdgeCloudPartitioner,
+    RandomPartitioner,
+    SingleRingPartitioner,
+    SingletonPartitioner,
+)
+from repro.core.partitioning.equal_size import EqualSizePartitioner
+from repro.core.partitioning.exhaustive import ExhaustivePartitioner, iter_set_partitions
+from repro.core.partitioning.matching import MatchingPartitioner
+from repro.core.partitioning.smart import SmartPartitioner
+
+__all__ = [
+    "DedupOnlyPartitioner",
+    "EqualSizePartitioner",
+    "ExhaustivePartitioner",
+    "MatchingPartitioner",
+    "NetworkOnlyPartitioner",
+    "Partitioner",
+    "PerEdgeCloudPartitioner",
+    "RandomPartitioner",
+    "SingleRingPartitioner",
+    "SingletonPartitioner",
+    "SmartPartitioner",
+    "canonical_form",
+    "iter_set_partitions",
+    "strip_empty_rings",
+]

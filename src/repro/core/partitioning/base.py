@@ -1,0 +1,42 @@
+"""Partitioner interface.
+
+A partitioner consumes a :class:`~repro.core.costs.SNOD2Problem` and emits a
+disjoint partition of the source indexes into D2-rings. All implementations
+drop empty rings from their output (a ring with no members deploys nothing)
+and satisfy :func:`~repro.core.costs.validate_partition`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.costs import Partition, SNOD2Problem, validate_partition
+
+
+class Partitioner(ABC):
+    """Produces D2-ring partitions for SNOD2 instances."""
+
+    #: Human-readable algorithm name, used by experiment reports.
+    name: str = "partitioner"
+
+    @abstractmethod
+    def partition(self, problem: SNOD2Problem) -> Partition:
+        """Partition the problem's sources into D2-rings."""
+
+    def partition_checked(self, problem: SNOD2Problem) -> Partition:
+        """Run :meth:`partition` and validate the result before returning it."""
+        result = self.partition(problem)
+        validate_partition(result, problem.n_sources)
+        if any(len(ring) == 0 for ring in result):
+            raise ValueError(f"{self.name}: produced an empty ring")
+        return result
+
+
+def strip_empty_rings(partition: Partition) -> Partition:
+    """Remove empty rings (greedy algorithms may leave some unused)."""
+    return [ring for ring in partition if ring]
+
+
+def canonical_form(partition: Partition) -> tuple[tuple[int, ...], ...]:
+    """Order-independent canonical form (for comparing partitions in tests)."""
+    return tuple(sorted(tuple(sorted(ring)) for ring in partition if ring))

@@ -1,0 +1,146 @@
+"""Baseline partitioners the paper compares against.
+
+- **Network-Only** (Fig. 6c): Algorithm 2 with the storage term U dropped —
+  greedily minimizes α·V increments only, so it clusters purely by network
+  proximity.
+- **Dedup-Only** (Fig. 6c): Algorithm 2 with the network term dropped —
+  greedily minimizes U increments only, chasing similarity across any link.
+- **Random**: uniform random assignment to M rings (sanity floor).
+- **PerEdgeCloud**: one ring per edge cloud (the "deduplicate each edge
+  cloud separately" strawman of Fig. 1 — minimum network cost).
+- **SingleRing**: all nodes in one ring (maximum dedup ratio, the storage
+  upper bound that cloud-based dedup achieves).
+- **Singletons**: every node alone (no collaboration at all).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.costs import Partition, SNOD2Problem
+from repro.core.incremental import IncrementalCostEvaluator
+from repro.core.partitioning.base import Partitioner
+from repro.sim.rng import SeedLike, make_rng
+
+
+class _SingleObjectiveGreedy(Partitioner):
+    """Joint greedy over one cost term only (shared by the two flavors)."""
+
+    def __init__(self, n_rings: int, use_storage: bool, use_network: bool, name: str) -> None:
+        if n_rings < 1:
+            raise ValueError(f"n_rings must be >= 1, got {n_rings!r}")
+        if not (use_storage or use_network):
+            raise ValueError("at least one cost term must be enabled")
+        self.n_rings = n_rings
+        self.use_storage = use_storage
+        self.use_network = use_network
+        self.name = name
+
+    def partition(self, problem: SNOD2Problem) -> Partition:
+        evaluator = IncrementalCostEvaluator(problem)
+        n = problem.n_sources
+        rings = [evaluator.new_ring() for _ in range(min(self.n_rings, n))]
+        remaining = list(range(n))
+        while remaining:
+            cands = np.asarray(remaining)
+            best_delta = np.inf
+            best_node = -1
+            best_ring = -1
+            for s, ring in enumerate(rings):
+                storage_new, network_new = evaluator.candidate_costs(ring, cands)
+                deltas = np.zeros(len(cands))
+                if self.use_storage:
+                    deltas += storage_new - ring.storage
+                if self.use_network:
+                    deltas += problem.alpha * (network_new - ring.network)
+                idx = int(np.argmin(deltas))
+                if deltas[idx] < best_delta:
+                    best_delta = float(deltas[idx])
+                    best_node = int(cands[idx])
+                    best_ring = s
+            evaluator.add(rings[best_ring], best_node)
+            remaining.remove(best_node)
+        return [list(r.members) for r in rings if r.members]
+
+
+class NetworkOnlyPartitioner(_SingleObjectiveGreedy):
+    """Ignores storage: clusters by network proximity alone (Fig. 6c)."""
+
+    def __init__(self, n_rings: int) -> None:
+        super().__init__(
+            n_rings, use_storage=False, use_network=True, name=f"network-only[M={n_rings}]"
+        )
+
+
+class DedupOnlyPartitioner(_SingleObjectiveGreedy):
+    """Ignores network: clusters by data similarity alone (Fig. 6c)."""
+
+    def __init__(self, n_rings: int) -> None:
+        super().__init__(
+            n_rings, use_storage=True, use_network=False, name=f"dedup-only[M={n_rings}]"
+        )
+
+
+class RandomPartitioner(Partitioner):
+    """Uniform random assignment of nodes to M rings."""
+
+    def __init__(self, n_rings: int, seed: SeedLike = None) -> None:
+        if n_rings < 1:
+            raise ValueError(f"n_rings must be >= 1, got {n_rings!r}")
+        self.n_rings = n_rings
+        self._rng = make_rng(seed)
+        self.name = f"random[M={n_rings}]"
+
+    def partition(self, problem: SNOD2Problem) -> Partition:
+        n = problem.n_sources
+        m = min(self.n_rings, n)
+        rings: Partition = [[] for _ in range(m)]
+        order = list(self._rng.permutation(n))
+        # First M nodes seed the rings so none comes back empty; the rest go
+        # to uniformly random rings.
+        for s in range(m):
+            rings[s].append(int(order[s]))
+        for v in order[m:]:
+            rings[int(self._rng.integers(0, m))].append(int(v))
+        return rings
+
+
+class PerEdgeCloudPartitioner(Partitioner):
+    """One D2-ring per edge cloud: the minimum-network-cost strawman."""
+
+    def __init__(self, cloud_of_source: Sequence[str]) -> None:
+        if not cloud_of_source:
+            raise ValueError("cloud_of_source must be non-empty")
+        self.cloud_of_source = list(cloud_of_source)
+        self.name = "per-edge-cloud"
+
+    def partition(self, problem: SNOD2Problem) -> Partition:
+        if len(self.cloud_of_source) != problem.n_sources:
+            raise ValueError(
+                f"cloud_of_source has {len(self.cloud_of_source)} entries for "
+                f"{problem.n_sources} sources"
+            )
+        by_cloud: dict[str, list[int]] = {}
+        for i, cloud in enumerate(self.cloud_of_source):
+            by_cloud.setdefault(cloud, []).append(i)
+        return list(by_cloud.values())
+
+
+class SingleRingPartitioner(Partitioner):
+    """All nodes in one ring: the maximum-dedup-ratio extreme."""
+
+    name = "single-ring"
+
+    def partition(self, problem: SNOD2Problem) -> Partition:
+        return [list(range(problem.n_sources))]
+
+
+class SingletonPartitioner(Partitioner):
+    """Every node its own ring: no collaboration (dedup is per-node only)."""
+
+    name = "singletons"
+
+    def partition(self, problem: SNOD2Problem) -> Partition:
+        return [[i] for i in range(problem.n_sources)]

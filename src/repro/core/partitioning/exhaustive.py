@@ -1,0 +1,85 @@
+"""Exhaustive (optimal) partitioning for small instances.
+
+Enumerates every set partition of the sources (optionally capped at M
+blocks) via restricted-growth strings and returns the SNOD2 optimum. The
+Bell numbers explode (B(12) ≈ 4.2M), so this is a test oracle for N ≲ 10 —
+used to measure how far SMART's greedy lands from optimal and to validate
+the NP-hardness reduction on toy graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.costs import Partition, SNOD2Problem
+from repro.core.partitioning.base import Partitioner
+
+_MAX_EXHAUSTIVE_SOURCES = 12
+
+
+def iter_set_partitions(n: int, max_blocks: int | None = None) -> Iterator[Partition]:
+    """Yield every partition of {0..n−1} (with at most ``max_blocks`` blocks).
+
+    Uses restricted-growth strings: a[i] ≤ 1 + max(a[0..i−1]), so each
+    partition is produced exactly once.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n!r}")
+    if max_blocks is not None and max_blocks < 1:
+        raise ValueError(f"max_blocks must be >= 1, got {max_blocks!r}")
+
+    assignment = [0] * n
+
+    def emit() -> Partition:
+        blocks: dict[int, list[int]] = {}
+        for idx, block in enumerate(assignment):
+            blocks.setdefault(block, []).append(idx)
+        return [blocks[b] for b in sorted(blocks)]
+
+    def recurse(i: int, max_used: int) -> Iterator[Partition]:
+        if i == n:
+            yield emit()
+            return
+        limit = max_used + 1
+        if max_blocks is not None:
+            limit = min(limit, max_blocks - 1)
+        for block in range(limit + 1):
+            assignment[i] = block
+            yield from recurse(i + 1, max(max_used, block))
+
+    yield from recurse(1, 0) if n > 1 else iter([emit()])
+
+
+class ExhaustivePartitioner(Partitioner):
+    """Brute-force SNOD2 optimum (test oracle; N ≤ 12).
+
+    Args:
+        max_rings: optional cap on the number of rings (None = unrestricted).
+    """
+
+    def __init__(self, max_rings: int | None = None) -> None:
+        if max_rings is not None and max_rings < 1:
+            raise ValueError(f"max_rings must be >= 1, got {max_rings!r}")
+        self.max_rings = max_rings
+        self.name = f"exhaustive[M<={max_rings}]" if max_rings else "exhaustive"
+
+    def partition(self, problem: SNOD2Problem) -> Partition:
+        n = problem.n_sources
+        if n > _MAX_EXHAUSTIVE_SOURCES:
+            raise ValueError(
+                f"exhaustive search over {n} sources would enumerate more than "
+                f"B({_MAX_EXHAUSTIVE_SOURCES}) partitions; use SMART instead"
+            )
+        best_partition: Partition | None = None
+        best_cost = float("inf")
+        for candidate in iter_set_partitions(n, self.max_rings):
+            cost = problem.total_cost(candidate)
+            if cost < best_cost:
+                best_cost = cost
+                best_partition = candidate
+        assert best_partition is not None
+        return best_partition
+
+    def optimal_cost(self, problem: SNOD2Problem) -> float:
+        """Convenience: the optimum objective value."""
+        return problem.total_cost(self.partition(problem))

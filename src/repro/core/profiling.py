@@ -1,0 +1,200 @@
+"""Chunk-pool profiling: a reusable library of common pools (Sec. VII).
+
+The paper's future work proposes "a library of common chunk pools by
+profiling publicly available datasets", so a new source can be matched
+against known pools instead of fitted from scratch. This module provides:
+
+- :class:`PoolProfile` — a named pool: its observed fingerprint population
+  and a MinHash sketch for cheap matching;
+- :class:`PoolLibrary` — build profiles from reference datasets, then
+  :meth:`match` a new source's sample against them: the overlap estimates
+  give the source's characteristic vector over the library's pools (plus a
+  residual "private" pool), exactly the inputs SNOD2 needs;
+- :func:`profile_sources` — one-call profiling of a set of sources.
+
+Matching a source costs one chunking pass + sketch comparisons — no
+pairwise dedup measurement, and the library itself is shareable metadata
+(fingerprints, not data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.chunking.base import Chunker
+from repro.chunking.fixed import FixedSizeChunker
+from repro.chunking.hashing import Fingerprinter, default_fingerprint
+from repro.core.model import ChunkPoolModel, SourceSpec
+
+
+@dataclass(frozen=True)
+class PoolProfile:
+    """A profiled chunk pool: label + fingerprint population."""
+
+    name: str
+    fingerprints: frozenset[str]
+
+    @property
+    def size(self) -> int:
+        return len(self.fingerprints)
+
+
+@dataclass(frozen=True)
+class SourceMatch:
+    """Outcome of matching one source against a library.
+
+    Attributes:
+        weights: fraction of the source's chunk *draws* attributed to each
+            library pool, in library order; the residual (unmatched)
+            fraction is ``private_weight``.
+        private_unique: distinct unmatched fingerprints (the private pool's
+            observed size).
+        draws: total chunks the sample contained.
+    """
+
+    weights: tuple[float, ...]
+    private_weight: float
+    private_unique: int
+    draws: int
+
+    def characteristic_vector(self) -> tuple[float, ...]:
+        """The vector [p_1..p_K, p_private] for SNOD2 (sums to 1)."""
+        return (*self.weights, self.private_weight)
+
+
+class PoolLibrary:
+    """A library of profiled chunk pools with sketch-free exact matching.
+
+    Profiles store full fingerprint sets (hex strings — tens of bytes per
+    distinct chunk), so matching is exact set membership; for very large
+    corpora the MinHash machinery in :mod:`repro.core.similarity` can
+    pre-screen which profiles to match against.
+    """
+
+    def __init__(
+        self,
+        chunker: Optional[Chunker] = None,
+        fingerprint: Fingerprinter = default_fingerprint,
+    ) -> None:
+        self.chunker = chunker if chunker is not None else FixedSizeChunker(4096)
+        self.fingerprint = fingerprint
+        self._profiles: list[PoolProfile] = []
+
+    # ------------------------------------------------------------------ #
+    # building
+    # ------------------------------------------------------------------ #
+
+    def _fingerprints_of(self, files: Iterable[bytes]) -> list[str]:
+        fps: list[str] = []
+        for data in files:
+            fps.extend(self.fingerprint(c.data) for c in self.chunker.chunk(data))
+        return fps
+
+    def add_profile(self, name: str, files: Iterable[bytes]) -> PoolProfile:
+        """Profile a reference dataset into a named pool.
+
+        Fingerprints already claimed by earlier profiles are excluded, so
+        the library's pools stay disjoint — the model's core assumption.
+        """
+        if any(p.name == name for p in self._profiles):
+            raise ValueError(f"profile {name!r} already in the library")
+        fps = set(self._fingerprints_of(files))
+        if not fps:
+            raise ValueError(f"profile {name!r} has no chunks")
+        for existing in self._profiles:
+            fps -= existing.fingerprints
+        profile = PoolProfile(name=name, fingerprints=frozenset(fps))
+        self._profiles.append(profile)
+        return profile
+
+    @property
+    def profiles(self) -> list[PoolProfile]:
+        return list(self._profiles)
+
+    @property
+    def pool_names(self) -> list[str]:
+        return [p.name for p in self._profiles]
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    # ------------------------------------------------------------------ #
+    # matching
+    # ------------------------------------------------------------------ #
+
+    def match(self, files: Iterable[bytes]) -> SourceMatch:
+        """Attribute a source sample's chunk draws to the library's pools."""
+        if not self._profiles:
+            raise ValueError("library has no profiles to match against")
+        fps = self._fingerprints_of(files)
+        if not fps:
+            raise ValueError("source sample has no chunks")
+        counts = [0] * len(self._profiles)
+        private = 0
+        private_set: set[str] = set()
+        for fp in fps:
+            for idx, profile in enumerate(self._profiles):
+                if fp in profile.fingerprints:
+                    counts[idx] += 1
+                    break
+            else:
+                private += 1
+                private_set.add(fp)
+        total = len(fps)
+        return SourceMatch(
+            weights=tuple(c / total for c in counts),
+            private_weight=private / total,
+            private_unique=len(private_set),
+            draws=total,
+        )
+
+    def build_model(
+        self,
+        matches: Sequence[SourceMatch],
+        rates: Sequence[float] | float,
+    ) -> ChunkPoolModel:
+        """Assemble a SNOD2-ready model from per-source matches.
+
+        Pools: the library's K profiles (shared across sources) plus one
+        private pool per source sized at its observed unmatched uniques.
+        """
+        if not matches:
+            raise ValueError("need at least one matched source")
+        n = len(matches)
+        if isinstance(rates, (int, float)):
+            rate_list = [float(rates)] * n
+        else:
+            rate_list = [float(r) for r in rates]
+            if len(rate_list) != n:
+                raise ValueError(f"{len(rate_list)} rates for {n} sources")
+        k = len(self._profiles)
+        pool_sizes = [float(p.size) for p in self._profiles]
+        pool_sizes += [float(max(1, m.private_unique)) for m in matches]
+        sources = []
+        for i, m in enumerate(matches):
+            if len(m.weights) != k:
+                raise ValueError(
+                    f"match {i} has {len(m.weights)} weights for {k} library pools"
+                )
+            vec = [0.0] * (k + n)
+            for j, w in enumerate(m.weights):
+                vec[j] = w
+            vec[k + i] = m.private_weight
+            total = sum(vec)
+            if total <= 0:
+                raise ValueError(f"match {i} has zero total weight")
+            vec = [v / total for v in vec]
+            sources.append(SourceSpec(index=i, rate=rate_list[i], vector=tuple(vec)))
+        return ChunkPoolModel(pool_sizes=pool_sizes, sources=sources)
+
+
+def profile_sources(
+    reference_sets: dict[str, Iterable[bytes]],
+    chunker: Optional[Chunker] = None,
+) -> PoolLibrary:
+    """Build a library from named reference datasets in one call."""
+    library = PoolLibrary(chunker=chunker)
+    for name, files in reference_sets.items():
+        library.add_profile(name, files)
+    return library

@@ -1,0 +1,201 @@
+"""MinHash / LSH similarity estimation (future work, Sec. VII).
+
+The paper's Algorithm 1 measures ground-truth dedup ratios by actually
+deduplicating every sampled subset — O(pairs × bytes). Its future work
+suggests locality-sensitive hashing to speed this up. This module provides:
+
+- :class:`MinHashSignature` — a fixed-size sketch of a file's chunk
+  fingerprint set; the fraction of colliding sketch slots is an unbiased
+  estimate of the Jaccard similarity of the underlying chunk sets;
+- :func:`estimate_pair_ratio` — converts an estimated Jaccard similarity
+  into an estimated *pairwise dedup ratio* via the inclusion–exclusion
+  identity |A ∪ B| = (|A| + |B|) / (1 + J);
+- :class:`LSHIndex` — banding-based candidate-pair search, so an operator
+  can find which of N sources are worth co-ringing without measuring all
+  N² pairs.
+
+Sketches are tiny (``n_hashes`` 8-byte values per file instead of the
+file's bytes), so cross-node similarity probing costs KBs of network, not
+the data itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.chunking.base import Chunker
+from repro.chunking.fixed import FixedSizeChunker
+from repro.chunking.hashing import Fingerprinter, default_fingerprint
+
+@dataclass(frozen=True)
+class MinHashSignature:
+    """A MinHash sketch of a set of chunk fingerprints."""
+
+    values: tuple[int, ...]
+    set_size: int  # |A|: number of distinct fingerprints sketched
+
+    def jaccard(self, other: "MinHashSignature") -> float:
+        """Estimated Jaccard similarity with ``other``."""
+        if len(self.values) != len(other.values):
+            raise ValueError(
+                f"signature widths differ: {len(self.values)} vs {len(other.values)}"
+            )
+        matches = sum(1 for a, b in zip(self.values, other.values) if a == b)
+        return matches / len(self.values)
+
+
+class MinHasher:
+    """Produces MinHash signatures with a shared hash-function family.
+
+    Signatures are only comparable when produced by the same (seeded)
+    hasher — the permutation family must match.
+    """
+
+    def __init__(self, n_hashes: int = 128, seed: int = 1, chunker: Optional[Chunker] = None,
+                 fingerprint: Fingerprinter = default_fingerprint) -> None:
+        if n_hashes < 1:
+            raise ValueError(f"n_hashes must be >= 1, got {n_hashes!r}")
+        self.n_hashes = n_hashes
+        rng = np.random.default_rng(seed)
+        # One xor-seed per hash function; the permutation family is
+        # splitmix64(x ^ seed_i), computed in wrapping uint64 arithmetic.
+        self._seeds = rng.integers(0, 2**63 - 1, size=n_hashes, dtype=np.int64).astype(
+            np.uint64
+        )
+        self.chunker = chunker if chunker is not None else FixedSizeChunker(4096)
+        self.fingerprint = fingerprint
+
+    @staticmethod
+    def _splitmix64(x: np.ndarray) -> np.ndarray:
+        """Vectorized splitmix64 finalizer (uint64, wrapping by design)."""
+        with np.errstate(over="ignore"):
+            z = (x + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
+            z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+            z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+            return z ^ (z >> np.uint64(31))
+
+    def sketch_fingerprints(self, fingerprints: Iterable[str]) -> MinHashSignature:
+        """Sketch an explicit set of chunk fingerprints (any strings)."""
+        unique = {fp for fp in fingerprints}
+        if not unique:
+            raise ValueError("cannot sketch an empty fingerprint set")
+        xs = np.array(
+            [
+                int.from_bytes(hashlib.blake2b(fp.encode(), digest_size=8).digest(), "big")
+                for fp in unique
+            ],
+            dtype=np.uint64,
+        )
+        mins = np.full(self.n_hashes, np.iinfo(np.uint64).max, dtype=np.uint64)
+        for x in xs:
+            hashed = self._splitmix64(x ^ self._seeds)
+            np.minimum(mins, hashed, out=mins)
+        return MinHashSignature(values=tuple(int(v) for v in mins), set_size=len(unique))
+
+    def sketch_bytes(self, data: bytes) -> MinHashSignature:
+        """Chunk ``data`` and sketch its fingerprint set."""
+        fps = [self.fingerprint(c.data) for c in self.chunker.chunk(data)]
+        return self.sketch_fingerprints(fps)
+
+    def sketch_files(self, files: Iterable[bytes]) -> MinHashSignature:
+        """Sketch the union fingerprint set of several files (one source)."""
+        fps: list[str] = []
+        for data in files:
+            fps.extend(self.fingerprint(c.data) for c in self.chunker.chunk(data))
+        return self.sketch_fingerprints(fps)
+
+
+def estimate_union_size(a: MinHashSignature, b: MinHashSignature) -> float:
+    """Estimated |A ∪ B| from the sketches: (|A| + |B|) / (1 + J)."""
+    j = a.jaccard(b)
+    return (a.set_size + b.set_size) / (1.0 + j)
+
+
+def estimate_pair_ratio(
+    a: MinHashSignature,
+    b: MinHashSignature,
+    draws_a: float,
+    draws_b: float,
+) -> float:
+    """Estimated pairwise dedup ratio: total chunks / estimated unique.
+
+    Args:
+        draws_a / draws_b: raw chunk counts of the two inputs (the sketch
+            only knows distinct counts).
+    """
+    if draws_a < a.set_size or draws_b < b.set_size:
+        raise ValueError("draw counts cannot be below the distinct counts")
+    unique = estimate_union_size(a, b)
+    return (draws_a + draws_b) / unique
+
+
+def similarity_matrix(signatures: Sequence[MinHashSignature]) -> np.ndarray:
+    """Pairwise estimated Jaccard matrix (diagonal = 1)."""
+    n = len(signatures)
+    out = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            out[i, j] = out[j, i] = signatures[i].jaccard(signatures[j])
+    return out
+
+
+class LSHIndex:
+    """Banding LSH over MinHash signatures: near-duplicate source discovery.
+
+    A signature of width n is cut into ``bands`` bands of n/bands rows; two
+    sources collide when any band matches exactly. With similarity s the
+    collision probability is 1 − (1 − s^rows)^bands — an S-curve whose
+    threshold is tuned by the band shape.
+    """
+
+    def __init__(self, bands: int = 16) -> None:
+        if bands < 1:
+            raise ValueError(f"bands must be >= 1, got {bands!r}")
+        self.bands = bands
+        self._buckets: list[dict[tuple[int, ...], list[str]]] = [
+            defaultdict(list) for _ in range(bands)
+        ]
+        self._signatures: dict[str, MinHashSignature] = {}
+
+    def _band_keys(self, signature: MinHashSignature) -> list[tuple[int, ...]]:
+        n = len(signature.values)
+        if n % self.bands != 0:
+            raise ValueError(
+                f"signature width {n} is not divisible into {self.bands} bands"
+            )
+        rows = n // self.bands
+        return [
+            tuple(signature.values[b * rows : (b + 1) * rows]) for b in range(self.bands)
+        ]
+
+    def add(self, source_id: str, signature: MinHashSignature) -> None:
+        if source_id in self._signatures:
+            raise ValueError(f"source {source_id!r} already indexed")
+        self._signatures[source_id] = signature
+        for band, key in enumerate(self._band_keys(signature)):
+            self._buckets[band][key].append(source_id)
+
+    def candidates(self, signature: MinHashSignature) -> set[str]:
+        """Source ids sharing at least one LSH band with ``signature``."""
+        found: set[str] = set()
+        for band, key in enumerate(self._band_keys(signature)):
+            found.update(self._buckets[band].get(key, ()))
+        return found
+
+    def candidate_pairs(self) -> set[tuple[str, str]]:
+        """All indexed pairs that collide in some band (ordered tuples)."""
+        pairs: set[tuple[str, str]] = set()
+        for band_buckets in self._buckets:
+            for members in band_buckets.values():
+                for i in range(len(members)):
+                    for j in range(i + 1, len(members)):
+                        pairs.add(tuple(sorted((members[i], members[j]))))  # type: ignore[arg-type]
+        return pairs
+
+    def __len__(self) -> int:
+        return len(self._signatures)

@@ -1,0 +1,37 @@
+"""Dataset substrate: synthetic IoT accelerometer traces, traffic-video
+frames, and chunk-pool model flows (see DESIGN.md for substitutions)."""
+
+from repro.datasets.accelerometer import (
+    SEGMENT_BYTES,
+    WALKING_FREQ_RANGE_HZ,
+    AccelerometerSource,
+    build_participants,
+)
+from repro.datasets.base import DataSource, SourceFile
+from repro.datasets.chunkpool_flows import (
+    DEFAULT_CHUNK_BYTES,
+    ChunkPoolSource,
+    make_correlated_sources,
+    pool_chunk_bytes,
+)
+from repro.datasets.trafficvideo import BLOCK_BYTES, TrafficVideoSource, build_cameras
+from repro.datasets.vmimages import OS_FAMILIES, VMImageSource, build_vm_fleet
+
+__all__ = [
+    "AccelerometerSource",
+    "BLOCK_BYTES",
+    "ChunkPoolSource",
+    "DEFAULT_CHUNK_BYTES",
+    "DataSource",
+    "SEGMENT_BYTES",
+    "SourceFile",
+    "OS_FAMILIES",
+    "TrafficVideoSource",
+    "VMImageSource",
+    "WALKING_FREQ_RANGE_HZ",
+    "build_cameras",
+    "build_participants",
+    "build_vm_fleet",
+    "make_correlated_sources",
+    "pool_chunk_bytes",
+]

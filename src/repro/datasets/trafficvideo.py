@@ -1,0 +1,142 @@
+"""Synthetic traffic-video dataset (paper dataset 2).
+
+The paper's second dataset is a series of frames extracted from traffic
+video recorded by *stationary* cameras. Frames from a fixed camera are
+dominated by the static background, so consecutive frames share most of
+their pixel blocks — prior work the paper cites measured 76–84% space
+savings on such IoT imagery.
+
+We synthesize frames as a grid of fixed-size blocks:
+
+- background blocks are deterministic per (camera, position) — identical in
+  every frame, the dedup goldmine;
+- a time-varying subset of positions is covered by *vehicles*: blocks drawn
+  from a per-camera vehicle bank (the same car seen again produces the same
+  block — vehicles recur);
+- a small fraction is transient noise (unique blocks: lighting changes,
+  compression artifacts) that never dedupes.
+
+Cameras at nearby intersections can share a vehicle bank (``fleet_seed``),
+giving the cross-source correlation that makes ring partitioning matter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import DataSource, SourceFile
+from repro.sim.rng import stable_hash_seed
+
+BLOCK_BYTES = 4096
+
+
+def _render_block(seed: int) -> bytes:
+    """Deterministic incompressible block (models a compressed pixel tile)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=BLOCK_BYTES, dtype=np.uint8).tobytes()
+
+
+class TrafficVideoSource(DataSource):
+    """One stationary camera's frame stream.
+
+    Args:
+        camera: camera index.
+        blocks_per_frame: tiles per frame (frame size = this × 4 KiB).
+        vehicle_bank_size: distinct recurring vehicles this camera sees.
+        vehicle_fraction: fraction of tiles covered by vehicles per frame.
+        noise_fraction: fraction of tiles that are unique noise per frame.
+        fleet_seed: cameras constructed with the same fleet_seed share the
+            vehicle bank (same traffic passes both) — cross-camera redundancy.
+        dataset_seed: salts background content per camera.
+    """
+
+    def __init__(
+        self,
+        camera: int,
+        blocks_per_frame: int = 64,
+        vehicle_bank_size: int = 32,
+        vehicle_fraction: float = 0.25,
+        noise_fraction: float = 0.05,
+        fleet_seed: int = 7,
+        dataset_seed: int = 2019,
+    ) -> None:
+        super().__init__(source_id=f"camera-{camera}")
+        if camera < 0:
+            raise ValueError(f"camera must be non-negative, got {camera!r}")
+        if blocks_per_frame <= 0:
+            raise ValueError(f"blocks_per_frame must be positive, got {blocks_per_frame!r}")
+        if vehicle_bank_size <= 0:
+            raise ValueError(f"vehicle_bank_size must be positive, got {vehicle_bank_size!r}")
+        if not 0.0 <= vehicle_fraction <= 1.0:
+            raise ValueError(f"vehicle_fraction must be in [0,1], got {vehicle_fraction!r}")
+        if not 0.0 <= noise_fraction <= 1.0:
+            raise ValueError(f"noise_fraction must be in [0,1], got {noise_fraction!r}")
+        if vehicle_fraction + noise_fraction > 1.0:
+            raise ValueError(
+                "vehicle_fraction + noise_fraction must be <= 1, got "
+                f"{vehicle_fraction + noise_fraction!r}"
+            )
+        self.camera = camera
+        self.blocks_per_frame = blocks_per_frame
+        self.vehicle_bank_size = vehicle_bank_size
+        self.vehicle_fraction = vehicle_fraction
+        self.noise_fraction = noise_fraction
+        self.fleet_seed = fleet_seed
+        self.dataset_seed = dataset_seed
+
+    def _background_block(self, position: int) -> bytes:
+        seed = stable_hash_seed(
+            "background", self.camera, position, salt=self.dataset_seed
+        )
+        return _render_block(seed)
+
+    def _vehicle_block(self, vehicle: int) -> bytes:
+        # Keyed by fleet, not camera: two cameras with one fleet_seed see
+        # identical vehicle blocks.
+        seed = stable_hash_seed("vehicle", self.fleet_seed, vehicle, salt=self.dataset_seed)
+        return _render_block(seed)
+
+    def _noise_block(self, frame: int, position: int) -> bytes:
+        seed = stable_hash_seed(
+            "noise", self.camera, frame, position, salt=self.dataset_seed
+        )
+        return _render_block(seed)
+
+    def generate_file(self, index: int) -> SourceFile:
+        """Frame ``index``: background grid with vehicles and noise overlaid."""
+        rng = np.random.default_rng(
+            stable_hash_seed("frame", self.camera, index, salt=self.dataset_seed)
+        )
+        parts: list[bytes] = []
+        for position in range(self.blocks_per_frame):
+            roll = rng.uniform()
+            if roll < self.vehicle_fraction:
+                parts.append(self._vehicle_block(int(rng.integers(0, self.vehicle_bank_size))))
+            elif roll < self.vehicle_fraction + self.noise_fraction:
+                parts.append(self._noise_block(index, position))
+            else:
+                parts.append(self._background_block(position))
+        return SourceFile(name=f"{self.source_id}-frame{index:05d}.tile", data=b"".join(parts))
+
+
+def build_cameras(
+    n_cameras: int = 4,
+    n_fleets: int = 2,
+    dataset_seed: int = 2019,
+    **kwargs: object,
+) -> list[TrafficVideoSource]:
+    """A set of cameras split round-robin across ``n_fleets`` intersections;
+    cameras in one fleet see the same recurring vehicles."""
+    if n_cameras <= 0:
+        raise ValueError(f"n_cameras must be positive, got {n_cameras!r}")
+    if not 0 < n_fleets <= n_cameras:
+        raise ValueError(f"need 0 < n_fleets <= n_cameras, got {n_fleets!r}")
+    return [
+        TrafficVideoSource(
+            camera=c,
+            fleet_seed=c % n_fleets,
+            dataset_seed=dataset_seed,
+            **kwargs,  # type: ignore[arg-type]
+        )
+        for c in range(n_cameras)
+    ]

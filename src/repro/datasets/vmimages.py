@@ -1,0 +1,186 @@
+"""Synthetic VM/system-image dataset (the paper's Sec. II example).
+
+The paper motivates chunk pools with exactly this workload: "C1 represents
+chunks typical for Windows OS, C2 for Linux, and C3 for chunks shared by
+the two systems due to common applications", and cites VM images as a
+classic dedup target alongside the IoT data.
+
+A :class:`VMImageSource` emits periodic backup images of one virtual
+machine. An image is a block sequence drawn from:
+
+- the machine's **OS base** (a per-family block bank shared by every VM of
+  that family — the C1/C2 pools);
+- a **common application** bank shared across families (the C3 pool);
+- the machine's own **user data**, which grows and churns between backups
+  (per-VM pool, partially new every backup);
+- a small **unique** residue (logs, temp files) that never dedupes.
+
+Cross-VM redundancy therefore follows OS family, which is what makes ring
+partitioning by family the right answer — and what the pool-library
+workflow (profile the OS bases once, match new VMs against them) exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import DataSource, SourceFile
+from repro.sim.rng import stable_hash_seed
+
+BLOCK_BYTES = 4096
+OS_FAMILIES = ("windows", "linux")
+
+
+def _render_block(seed: int) -> bytes:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=BLOCK_BYTES, dtype=np.uint8).tobytes()
+
+
+class VMImageSource(DataSource):
+    """Periodic backup images of one VM.
+
+    Args:
+        vm: VM index (also salts its private user data).
+        os_family: "windows" or "linux" — selects the OS base bank.
+        blocks_per_image: image size in 4 KiB blocks.
+        os_fraction: fraction of blocks drawn from the OS base.
+        common_fraction: fraction from the cross-family application bank.
+        user_fraction: fraction from the VM's user-data bank; the remainder
+            is unique residue.
+        os_bank / common_bank / user_bank: bank sizes in blocks.
+        user_churn: fraction of the user bank that is replaced between
+            backups (models edits/new files; higher churn = lower
+            backup-to-backup dedup).
+        dataset_seed: salts all content.
+    """
+
+    def __init__(
+        self,
+        vm: int,
+        os_family: str = "linux",
+        blocks_per_image: int = 96,
+        os_fraction: float = 0.5,
+        common_fraction: float = 0.15,
+        user_fraction: float = 0.3,
+        os_bank: int = 48,
+        common_bank: int = 24,
+        user_bank: int = 40,
+        user_churn: float = 0.1,
+        dataset_seed: int = 2019,
+    ) -> None:
+        super().__init__(source_id=f"vm-{vm}")
+        if vm < 0:
+            raise ValueError(f"vm must be non-negative, got {vm!r}")
+        if os_family not in OS_FAMILIES:
+            raise ValueError(f"os_family must be one of {OS_FAMILIES}, got {os_family!r}")
+        if blocks_per_image <= 0:
+            raise ValueError(f"blocks_per_image must be positive, got {blocks_per_image!r}")
+        fractions = (os_fraction, common_fraction, user_fraction)
+        if any(f < 0 for f in fractions) or sum(fractions) > 1.0 + 1e-9:
+            raise ValueError(
+                f"os/common/user fractions must be non-negative and sum to <= 1, "
+                f"got {fractions!r}"
+            )
+        if min(os_bank, common_bank, user_bank) <= 0:
+            raise ValueError("bank sizes must be positive")
+        if not 0.0 <= user_churn <= 1.0:
+            raise ValueError(f"user_churn must be in [0, 1], got {user_churn!r}")
+        self.vm = vm
+        self.os_family = os_family
+        self.blocks_per_image = blocks_per_image
+        self.os_fraction = os_fraction
+        self.common_fraction = common_fraction
+        self.user_fraction = user_fraction
+        self.os_bank = os_bank
+        self.common_bank = common_bank
+        self.user_bank = user_bank
+        self.user_churn = user_churn
+        self.dataset_seed = dataset_seed
+
+    # -- block banks ----------------------------------------------------- #
+
+    def _os_block(self, slot: int) -> bytes:
+        return _render_block(
+            stable_hash_seed("os", self.os_family, slot, salt=self.dataset_seed)
+        )
+
+    def _common_block(self, slot: int) -> bytes:
+        return _render_block(stable_hash_seed("common-app", slot, salt=self.dataset_seed))
+
+    def _user_block(self, slot: int, backup_index: int) -> bytes:
+        """User block ``slot`` as of backup ``backup_index``.
+
+        Each backup re-rolls a ``user_churn`` fraction of slots: a slot's
+        content version is the number of churn events that hit it so far,
+        so un-churned slots stay byte-identical across backups.
+        """
+        version = 0
+        for b in range(1, backup_index + 1):
+            churn_rng = np.random.default_rng(
+                stable_hash_seed("churn", self.vm, b, slot, salt=self.dataset_seed)
+            )
+            if churn_rng.uniform() < self.user_churn:
+                version += 1
+        return _render_block(
+            stable_hash_seed("user", self.vm, slot, version, salt=self.dataset_seed)
+        )
+
+    # -- images ----------------------------------------------------------- #
+
+    def generate_file(self, index: int) -> SourceFile:
+        """Backup image ``index`` (deterministic per (vm, index))."""
+        rng = np.random.default_rng(
+            stable_hash_seed("image", self.vm, index, salt=self.dataset_seed)
+        )
+        parts: list[bytes] = []
+        for block_no in range(self.blocks_per_image):
+            roll = rng.uniform()
+            if roll < self.os_fraction:
+                parts.append(self._os_block(int(rng.integers(0, self.os_bank))))
+            elif roll < self.os_fraction + self.common_fraction:
+                parts.append(self._common_block(int(rng.integers(0, self.common_bank))))
+            elif roll < self.os_fraction + self.common_fraction + self.user_fraction:
+                parts.append(self._user_block(int(rng.integers(0, self.user_bank)), index))
+            else:
+                parts.append(
+                    _render_block(
+                        stable_hash_seed(
+                            "residue", self.vm, index, block_no, salt=self.dataset_seed
+                        )
+                    )
+                )
+        return SourceFile(
+            name=f"{self.source_id}-backup{index:03d}.img", data=b"".join(parts)
+        )
+
+    def os_base_files(self, n_blocks: int | None = None) -> list[bytes]:
+        """The OS family's base image — reference input for pool profiling
+        (one contiguous file covering the whole OS bank)."""
+        count = n_blocks if n_blocks is not None else self.os_bank
+        if not 0 < count <= self.os_bank:
+            raise ValueError(f"n_blocks must be in (0, {self.os_bank}], got {n_blocks!r}")
+        return [b"".join(self._os_block(slot) for slot in range(count))]
+
+
+def build_vm_fleet(
+    n_vms: int = 8,
+    windows_fraction: float = 0.5,
+    dataset_seed: int = 2019,
+    **kwargs: object,
+) -> list[VMImageSource]:
+    """A mixed fleet: the first ``windows_fraction`` of VMs run Windows,
+    the rest Linux (deterministic split, so tests can rely on it)."""
+    if n_vms <= 0:
+        raise ValueError(f"n_vms must be positive, got {n_vms!r}")
+    if not 0.0 <= windows_fraction <= 1.0:
+        raise ValueError(f"windows_fraction must be in [0,1], got {windows_fraction!r}")
+    n_windows = round(n_vms * windows_fraction)
+    return [
+        VMImageSource(
+            vm=i,
+            os_family="windows" if i < n_windows else "linux",
+            dataset_seed=dataset_seed,
+            **kwargs,  # type: ignore[arg-type]
+        )
+        for i in range(n_vms)
+    ]

@@ -1,0 +1,32 @@
+"""Deduplication engine substrate: index, pipeline, and accounting."""
+
+from repro.dedup.cache import CacheStats, LRUCacheIndex, ModelGuidedCacheIndex
+from repro.dedup.engine import DedupEngine, DedupResult, measure_dedup_ratio
+from repro.dedup.index import DedupIndex, InMemoryIndex
+from repro.dedup.recipes import (
+    FileRecipe,
+    RecipeEntry,
+    RecipeError,
+    RecipeStore,
+    make_recipe,
+    restore_file,
+)
+from repro.dedup.stats import DedupStats
+
+__all__ = [
+    "CacheStats",
+    "DedupEngine",
+    "DedupIndex",
+    "DedupResult",
+    "DedupStats",
+    "FileRecipe",
+    "InMemoryIndex",
+    "LRUCacheIndex",
+    "RecipeEntry",
+    "RecipeError",
+    "RecipeStore",
+    "ModelGuidedCacheIndex",
+    "make_recipe",
+    "measure_dedup_ratio",
+    "restore_file",
+]

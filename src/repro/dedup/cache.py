@@ -1,0 +1,145 @@
+"""Dedup index caches.
+
+Sec. III-A suggests the fitted chunk-pool model "can help guide ... what
+should be maintained in the deduplication cache (e.g., to maintain the
+chunks that appear with higher probability in the chunk pools)". A cache in
+front of a D2-ring's distributed index turns remote hits into local ones
+for the hottest hashes — a pure latency win (false negatives only cause a
+redundant remote lookup, never corruption, because the cache is only
+consulted for *presence*).
+
+Two policies:
+
+- :class:`LRUCacheIndex` — classic recency cache;
+- :class:`ModelGuidedCacheIndex` — admits a fingerprint only with the
+  model-derived probability that its chunk recurs, so one-hit wonders
+  (chunks from huge pools) don't evict hot entries.
+
+Both wrap any :class:`~repro.dedup.index.DedupIndex` and preserve its
+semantics exactly; they only change *where* positive lookups are answered.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterator, Optional
+
+from repro.dedup.index import DedupIndex
+
+# Maps a fingerprint to the probability its chunk recurs soon (model-derived).
+RecurrenceScorer = Callable[[str], float]
+
+
+class CacheStats:
+    """Hit/miss accounting for a cache layer."""
+
+    __slots__ = ("hits", "misses", "admissions", "rejections", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.admissions = 0
+        self.rejections = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCacheIndex(DedupIndex):
+    """An LRU presence cache in front of a backing dedup index.
+
+    A positive cache hit answers the lookup locally; a miss falls through to
+    the backing index (the remote D2-ring store) and the result is cached.
+    """
+
+    def __init__(self, backing: DedupIndex, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.backing = backing
+        self.capacity = capacity
+        self._cache: OrderedDict[str, None] = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- cache mechanics ------------------------------------------------ #
+
+    def _cache_hit(self, fingerprint: str) -> bool:
+        if fingerprint in self._cache:
+            self._cache.move_to_end(fingerprint)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def _admit(self, fingerprint: str) -> None:
+        self._cache[fingerprint] = None
+        self._cache.move_to_end(fingerprint)
+        self.stats.admissions += 1
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- DedupIndex API --------------------------------------------------#
+
+    def contains(self, fingerprint: str) -> bool:
+        if self._cache_hit(fingerprint):
+            return True
+        present = self.backing.contains(fingerprint)
+        if present:
+            self._admit(fingerprint)
+        return present
+
+    def insert(self, fingerprint: str, metadata: Optional[str] = None) -> bool:
+        is_new = self.backing.insert(fingerprint, metadata)
+        self._admit(fingerprint)
+        return is_new
+
+    def lookup_and_insert(self, fingerprint: str, metadata: Optional[str] = None) -> bool:
+        if self._cache_hit(fingerprint):
+            return False  # cached presence: definitely a duplicate
+        is_new = self.backing.lookup_and_insert(fingerprint, metadata)
+        self._admit(fingerprint)
+        return is_new
+
+    def __len__(self) -> int:
+        return len(self.backing)
+
+    def fingerprints(self) -> Iterator[str]:
+        return self.backing.fingerprints()
+
+    @property
+    def cached_entries(self) -> int:
+        return len(self._cache)
+
+
+class ModelGuidedCacheIndex(LRUCacheIndex):
+    """LRU cache with model-guided admission.
+
+    A fingerprint is admitted only when ``scorer(fingerprint)`` — e.g. the
+    fitted model's probability that the chunk's pool is hot — clears
+    ``admit_threshold``. Everything else behaves like the LRU cache, and
+    the same stats distinguish admissions from rejections.
+    """
+
+    def __init__(
+        self,
+        backing: DedupIndex,
+        scorer: RecurrenceScorer,
+        capacity: int = 4096,
+        admit_threshold: float = 0.5,
+    ) -> None:
+        super().__init__(backing, capacity)
+        if not 0.0 <= admit_threshold <= 1.0:
+            raise ValueError(
+                f"admit_threshold must be in [0, 1], got {admit_threshold!r}"
+            )
+        self.scorer = scorer
+        self.admit_threshold = admit_threshold
+
+    def _admit(self, fingerprint: str) -> None:
+        if self.scorer(fingerprint) < self.admit_threshold:
+            self.stats.rejections += 1
+            return
+        super()._admit(fingerprint)

@@ -1,0 +1,83 @@
+"""Deduplication index abstraction.
+
+The index answers one question: "has this fingerprint been seen before, and
+if not, remember it". EF-dedup's key design decision is *where* this index
+lives — in-memory on one node, in the central cloud, or spread across a
+D2-ring in a distributed KV store — so the engine is written against this
+small interface and the deployment strategies plug in different backends.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional
+
+
+class DedupIndex(ABC):
+    """Set-like index of chunk fingerprints with optional per-key metadata."""
+
+    @abstractmethod
+    def contains(self, fingerprint: str) -> bool:
+        """True if ``fingerprint`` is already indexed."""
+
+    @abstractmethod
+    def insert(self, fingerprint: str, metadata: Optional[str] = None) -> bool:
+        """Index ``fingerprint``.
+
+        Returns:
+            True if the fingerprint was new (inserted), False if it was
+            already present (a duplicate).
+        """
+
+    @abstractmethod
+    def lookup_and_insert(self, fingerprint: str, metadata: Optional[str] = None) -> bool:
+        """Atomic check-and-insert.
+
+        Returns:
+            True if the fingerprint was new. This is the hot-path operation:
+            one round trip instead of a contains() + insert() pair.
+        """
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of unique fingerprints indexed."""
+
+    @abstractmethod
+    def fingerprints(self) -> Iterator[str]:
+        """Iterate over all indexed fingerprints (order unspecified)."""
+
+
+class InMemoryIndex(DedupIndex):
+    """Single-node in-memory index backed by a dict.
+
+    Used by the Cloud-only baseline (index lives wholly in the cloud) and as
+    the reference implementation in tests.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, Optional[str]] = {}
+
+    def contains(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def insert(self, fingerprint: str, metadata: Optional[str] = None) -> bool:
+        if fingerprint in self._entries:
+            return False
+        self._entries[fingerprint] = metadata
+        return True
+
+    def lookup_and_insert(self, fingerprint: str, metadata: Optional[str] = None) -> bool:
+        return self.insert(fingerprint, metadata)
+
+    def get_metadata(self, fingerprint: str) -> Optional[str]:
+        """Metadata stored with ``fingerprint`` (None if absent or unset)."""
+        return self._entries.get(fingerprint)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def fingerprints(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,61 @@
+"""Distributed key-value store substrate (Cassandra replacement).
+
+Consistent-hash ring with virtual nodes, MD5 random partitioner, γ-way
+replication, tunable consistency, failure injection, and hinted handoff —
+the index backbone of each D2-ring.
+"""
+
+from repro.kvstore.consistency import ConsistencyLevel
+from repro.kvstore.errors import (
+    KVStoreError,
+    NoSuchNodeError,
+    NodeDownError,
+    ReplicationError,
+    RingEmptyError,
+    UnavailableError,
+)
+from repro.kvstore.gossip import HeartbeatMonitor, PhiAccrualDetector
+from repro.kvstore.hashring import ConsistentHashRing
+from repro.kvstore.hints import Hint, HintBuffer
+from repro.kvstore.node import StorageNode, VersionedValue
+from repro.kvstore.repair import (
+    MerkleTree,
+    RepairStats,
+    ReplicaRepairer,
+    build_merkle_tree,
+    differing_buckets,
+)
+from repro.kvstore.replication import SimpleReplicationStrategy
+from repro.kvstore.store import DistributedKVStore, StoreStats
+from repro.kvstore.topology_strategy import CloudAwareReplicationStrategy
+from repro.kvstore.tokens import TOKEN_SPACE, key_token, node_token, token_distance
+
+__all__ = [
+    "CloudAwareReplicationStrategy",
+    "ConsistencyLevel",
+    "ConsistentHashRing",
+    "DistributedKVStore",
+    "HeartbeatMonitor",
+    "Hint",
+    "HintBuffer",
+    "KVStoreError",
+    "MerkleTree",
+    "NoSuchNodeError",
+    "NodeDownError",
+    "PhiAccrualDetector",
+    "RepairStats",
+    "ReplicaRepairer",
+    "ReplicationError",
+    "RingEmptyError",
+    "SimpleReplicationStrategy",
+    "StorageNode",
+    "StoreStats",
+    "TOKEN_SPACE",
+    "UnavailableError",
+    "VersionedValue",
+    "build_merkle_tree",
+    "differing_buckets",
+    "key_token",
+    "node_token",
+    "token_distance",
+]

@@ -1,0 +1,32 @@
+"""Tunable consistency levels.
+
+As in Cassandra, reads and writes specify how many replicas must respond
+before the coordinator acknowledges. EF-dedup's index tolerates relaxed
+consistency — a missed duplicate only costs one redundant upload, never
+corrupts data — so the prototype runs at ONE; the ablation benchmark
+measures what QUORUM costs in lookup latency.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ConsistencyLevel(enum.Enum):
+    """How many replicas must acknowledge an operation."""
+
+    ONE = "one"
+    QUORUM = "quorum"
+    ALL = "all"
+
+    def required_acks(self, replication_factor: int) -> int:
+        """Number of replica acknowledgements needed at this level."""
+        if replication_factor < 1:
+            raise ValueError(
+                f"replication factor must be >= 1, got {replication_factor!r}"
+            )
+        if self is ConsistencyLevel.ONE:
+            return 1
+        if self is ConsistencyLevel.QUORUM:
+            return replication_factor // 2 + 1
+        return replication_factor

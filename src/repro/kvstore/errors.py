@@ -1,0 +1,40 @@
+"""Typed exceptions for the distributed key-value store."""
+
+from __future__ import annotations
+
+
+class KVStoreError(Exception):
+    """Base class for all KV-store errors."""
+
+
+class NoSuchNodeError(KVStoreError):
+    """An operation referenced a node id not in the cluster."""
+
+
+class NodeDownError(KVStoreError):
+    """A request was routed to a node that is marked down."""
+
+
+class UnavailableError(KVStoreError):
+    """Too few replicas are alive to satisfy the requested consistency level.
+
+    Mirrors Cassandra's ``UnavailableException``: the coordinator refuses the
+    operation up-front instead of timing out.
+    """
+
+    def __init__(self, required: int, alive: int, key: str) -> None:
+        super().__init__(
+            f"consistency requires {required} replicas but only {alive} are "
+            f"alive for key {key!r}"
+        )
+        self.required = required
+        self.alive = alive
+        self.key = key
+
+
+class RingEmptyError(KVStoreError):
+    """The consistent-hash ring has no nodes."""
+
+
+class ReplicationError(KVStoreError):
+    """Invalid replication configuration (e.g. factor < 1)."""

@@ -1,0 +1,58 @@
+"""Hinted handoff.
+
+When a replica is down at write time, the coordinator stores a *hint* — the
+write destined for that replica — and replays it when the replica returns.
+This is how Cassandra keeps replica sets convergent through transient
+failures, and it is what lets a D2-ring keep deduplicating while a member
+node is offline without permanently losing index entries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Hint:
+    """A write (or tombstone) buffered for a currently-down replica."""
+
+    target_node: str
+    key: str
+    value: str
+    timestamp: int
+    tombstone: bool = False
+
+
+class HintBuffer:
+    """Coordinator-side store of pending hints, grouped by target node."""
+
+    def __init__(self, max_hints_per_node: int = 100_000) -> None:
+        if max_hints_per_node <= 0:
+            raise ValueError(
+                f"max_hints_per_node must be positive, got {max_hints_per_node!r}"
+            )
+        self.max_hints_per_node = max_hints_per_node
+        self._hints: dict[str, list[Hint]] = defaultdict(list)
+        self.dropped = 0
+
+    def add(self, hint: Hint) -> bool:
+        """Buffer ``hint``. Returns False (and counts a drop) if the target's
+        buffer is full — mirroring Cassandra's bounded hint windows."""
+        bucket = self._hints[hint.target_node]
+        if len(bucket) >= self.max_hints_per_node:
+            self.dropped += 1
+            return False
+        bucket.append(hint)
+        return True
+
+    def pending_for(self, node_id: str) -> int:
+        return len(self._hints.get(node_id, ()))
+
+    @property
+    def total_pending(self) -> int:
+        return sum(len(b) for b in self._hints.values())
+
+    def take_for(self, node_id: str) -> list[Hint]:
+        """Remove and return all hints buffered for ``node_id``."""
+        return self._hints.pop(node_id, [])

@@ -1,0 +1,97 @@
+"""A single storage node of the distributed KV store.
+
+Each node holds its local shard of the key space in memory and has an
+up/down flag driven by failure injection. Values carry a logical timestamp
+so replicas can reconcile with last-write-wins, Cassandra-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.kvstore.errors import NodeDownError
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """A stored value plus its last-write-wins timestamp.
+
+    A *tombstone* records a deletion: it participates in last-write-wins
+    reconciliation like any write (so a delete beats older writes even when
+    it reaches a replica late, via hints or anti-entropy) but reads treat
+    it as absence.
+    """
+
+    value: str
+    timestamp: int
+    tombstone: bool = False
+
+    def newer_than(self, other: Optional["VersionedValue"]) -> bool:
+        return other is None or self.timestamp > other.timestamp
+
+
+class StorageNode:
+    """One member of a KV cluster: a local store with an availability flag."""
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self._data: dict[str, VersionedValue] = {}
+        self._up = True
+
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    def mark_down(self) -> None:
+        """Simulate a crash or partition: the node stops serving requests."""
+        self._up = False
+
+    def mark_up(self) -> None:
+        """Bring the node back; its local data is intact (crash, not wipe)."""
+        self._up = True
+
+    def _check_up(self) -> None:
+        if not self._up:
+            raise NodeDownError(f"node {self.node_id!r} is down")
+
+    def local_put(
+        self, key: str, value: str, timestamp: int, tombstone: bool = False
+    ) -> None:
+        """Store ``key`` locally, keeping the newest write per key
+        (tombstones included — a newer delete must shadow older writes)."""
+        self._check_up()
+        existing = self._data.get(key)
+        incoming = VersionedValue(value=value, timestamp=timestamp, tombstone=tombstone)
+        if incoming.newer_than(existing):
+            self._data[key] = incoming
+
+    def local_get(self, key: str) -> Optional[VersionedValue]:
+        """Read ``key`` from the local shard (None if absent)."""
+        self._check_up()
+        return self._data.get(key)
+
+    def local_contains(self, key: str) -> bool:
+        """True when a live (non-tombstone) value is stored locally."""
+        self._check_up()
+        stored = self._data.get(key)
+        return stored is not None and not stored.tombstone
+
+    def local_delete(self, key: str) -> bool:
+        """Delete ``key`` locally. Returns True if it was present."""
+        self._check_up()
+        return self._data.pop(key, None) is not None
+
+    def local_keys(self) -> Iterator[str]:
+        """Iterate keys in the local shard (node must be up)."""
+        self._check_up()
+        return iter(list(self._data))
+
+    def key_count(self) -> int:
+        """Number of keys stored locally (allowed even while down — this is
+        an operator-view metric, not a client request)."""
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        state = "up" if self._up else "down"
+        return f"StorageNode({self.node_id!r}, {state}, keys={len(self._data)})"

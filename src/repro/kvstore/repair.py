@@ -1,0 +1,193 @@
+"""Replica repair: read repair and Merkle-tree anti-entropy.
+
+Hinted handoff (``repro.kvstore.hints``) covers failures the coordinator
+*sees*; entropy still creeps in when hints overflow or a node misses writes
+silently. Cassandra closes the gap with two mechanisms reproduced here:
+
+- **read repair** — after a read consults multiple replicas, stale replicas
+  are updated with the newest value in the background;
+- **anti-entropy repair** — replicas exchange Merkle trees over their key
+  ranges and stream only the keys under mismatching subtrees, instead of
+  diffing entire datasets.
+
+A D2-ring that has been through failures runs ``repair_all`` to restore the
+γ-copies invariant before, e.g., decommissioning a node.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.kvstore.node import StorageNode, VersionedValue
+from repro.kvstore.store import DistributedKVStore
+
+
+@dataclass(frozen=True)
+class MerkleTree:
+    """A fixed-depth hash tree over a node's key range.
+
+    Keys are bucketed by the leading bits of their MD5 token; leaf hashes
+    cover the sorted (key, value, timestamp, tombstone) tuples in the bucket
+    and internal hashes combine children, so equal subtrees guarantee equal
+    bucket contents.
+    """
+
+    depth: int
+    leaves: tuple[str, ...]  # 2**depth leaf hashes
+    root: str
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.leaves)
+
+
+_EMPTY_LEAF = hashlib.sha256(b"empty").hexdigest()
+
+
+def _bucket_of(key: str, depth: int) -> int:
+    digest = hashlib.md5(key.encode("utf-8")).digest()
+    prefix = int.from_bytes(digest[:4], "big")
+    return prefix >> (32 - depth)
+
+
+def build_merkle_tree(node: StorageNode, depth: int = 6) -> MerkleTree:
+    """Build the Merkle tree of ``node``'s local data (node must be up)."""
+    if not 1 <= depth <= 16:
+        raise ValueError(f"depth must be in [1, 16], got {depth!r}")
+    buckets: list[list[tuple[str, str, int, bool]]] = [[] for _ in range(2**depth)]
+    for key in node.local_keys():
+        stored = node.local_get(key)
+        assert stored is not None
+        buckets[_bucket_of(key, depth)].append(
+            (key, stored.value, stored.timestamp, stored.tombstone)
+        )
+    leaves = []
+    for bucket in buckets:
+        if not bucket:
+            leaves.append(_EMPTY_LEAF)
+            continue
+        h = hashlib.sha256()
+        for key, value, ts, tombstone in sorted(bucket):
+            h.update(f"{key}\x00{value}\x00{ts}\x00{int(tombstone)}\x01".encode("utf-8"))
+        leaves.append(h.hexdigest())
+    level = leaves
+    while len(level) > 1:
+        level = [
+            hashlib.sha256((level[i] + level[i + 1]).encode()).hexdigest()
+            for i in range(0, len(level), 2)
+        ]
+    return MerkleTree(depth=depth, leaves=tuple(leaves), root=level[0])
+
+
+def differing_buckets(a: MerkleTree, b: MerkleTree) -> list[int]:
+    """Bucket indexes whose contents differ between two trees."""
+    if a.depth != b.depth:
+        raise ValueError(f"tree depths differ: {a.depth} vs {b.depth}")
+    if a.root == b.root:
+        return []
+    return [i for i, (la, lb) in enumerate(zip(a.leaves, b.leaves)) if la != lb]
+
+
+@dataclass
+class RepairStats:
+    """Outcome accounting for repair operations."""
+
+    read_repairs: int = 0
+    synced_keys: int = 0
+    buckets_compared: int = 0
+    buckets_streamed: int = 0
+    pairs_checked: int = 0
+    per_key_details: dict[str, int] = field(default_factory=dict)
+
+
+class ReplicaRepairer:
+    """Read repair and Merkle anti-entropy over a :class:`DistributedKVStore`."""
+
+    def __init__(self, store: DistributedKVStore, merkle_depth: int = 6) -> None:
+        self.store = store
+        self.merkle_depth = merkle_depth
+        self.stats = RepairStats()
+
+    # ------------------------------------------------------------------ #
+    # read repair
+    # ------------------------------------------------------------------ #
+
+    def read_with_repair(self, key: str, coordinator: Optional[str] = None) -> Optional[str]:
+        """Read ``key`` from all alive replicas, repair stale ones, return
+        the newest value."""
+        replicas = [
+            r for r in self.store.replicas_for(key) if self.store.nodes[r].is_up
+        ]
+        newest: Optional[VersionedValue] = None
+        holders: dict[str, Optional[VersionedValue]] = {}
+        for replica in replicas:
+            found = self.store.nodes[replica].local_get(key)
+            holders[replica] = found
+            if found is not None and found.newer_than(newest):
+                newest = found
+        if newest is None:
+            return None
+        for replica, found in holders.items():
+            if found is None or newest.newer_than(found):
+                self.store.nodes[replica].local_put(
+                    key, newest.value, newest.timestamp, tombstone=newest.tombstone
+                )
+                self.stats.read_repairs += 1
+        return None if newest.tombstone else newest.value
+
+    # ------------------------------------------------------------------ #
+    # anti-entropy
+    # ------------------------------------------------------------------ #
+
+    def _sync_pair(self, a: StorageNode, b: StorageNode) -> None:
+        """Merkle-diff two replicas and exchange keys in differing buckets."""
+        tree_a = build_merkle_tree(a, self.merkle_depth)
+        tree_b = build_merkle_tree(b, self.merkle_depth)
+        self.stats.pairs_checked += 1
+        self.stats.buckets_compared += tree_a.n_buckets
+        dirty = set(differing_buckets(tree_a, tree_b))
+        if not dirty:
+            return
+        self.stats.buckets_streamed += len(dirty)
+        for src, dst in ((a, b), (b, a)):
+            for key in list(src.local_keys()):
+                if _bucket_of(key, self.merkle_depth) not in dirty:
+                    continue
+                stored = src.local_get(key)
+                assert stored is not None
+                existing = dst.local_get(key)
+                if stored.newer_than(existing):
+                    # Only stream keys this replica is actually responsible for.
+                    if dst.node_id in self.store.replicas_for(key):
+                        dst.local_put(
+                            key, stored.value, stored.timestamp, tombstone=stored.tombstone
+                        )
+                        self.stats.synced_keys += 1
+
+    def repair_all(self) -> RepairStats:
+        """Run anti-entropy between every pair of alive replicas that share
+        responsibility for some range (all-pairs is exact and fine at ring
+        sizes here)."""
+        alive = [self.store.nodes[nid] for nid in self.store.alive_nodes()]
+        for i in range(len(alive)):
+            for j in range(i + 1, len(alive)):
+                self._sync_pair(alive[i], alive[j])
+        return self.stats
+
+    def verify_replication(self) -> list[str]:
+        """Keys currently under-replicated on alive nodes (diagnostic)."""
+        missing: list[str] = []
+        for key in self.store.unique_keys():
+            alive_replicas = [
+                r
+                for r in self.store.replicas_for(key)
+                if self.store.nodes[r].is_up
+            ]
+            holders = [
+                r for r in alive_replicas if self.store.nodes[r].local_contains(key)
+            ]
+            if len(holders) < len(alive_replicas):
+                missing.append(key)
+        return missing

@@ -1,0 +1,330 @@
+"""The distributed KV store coordinator.
+
+Ties together the ring, replica placement, consistency levels, node-local
+stores, and hinted handoff into the client-facing API. Any cluster member
+can coordinate any request (as in Cassandra); the EF-dedup agent on node X
+always coordinates from X, which is what makes the local/remote lookup split
+of Eq. 2 observable.
+
+Failure semantics:
+- A write succeeds if at least ``consistency.required_acks(rf)`` replicas
+  are alive; down replicas receive hints, replayed when they recover.
+- A read succeeds under the same aliveness rule and returns the
+  newest-timestamp value among the replicas consulted (last-write-wins).
+- If too few replicas are alive, :class:`UnavailableError` is raised —
+  callers see an explicit failure, never silent data loss.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.kvstore.consistency import ConsistencyLevel
+from repro.kvstore.errors import NoSuchNodeError, UnavailableError
+from repro.kvstore.hashring import ConsistentHashRing
+from repro.kvstore.hints import Hint, HintBuffer
+from repro.kvstore.node import StorageNode, VersionedValue
+from repro.kvstore.replication import SimpleReplicationStrategy
+
+
+@dataclass
+class StoreStats:
+    """Operation counters, split by whether the coordinator held a replica."""
+
+    reads: int = 0
+    writes: int = 0
+    local_reads: int = 0
+    remote_reads: int = 0
+    hints_stored: int = 0
+    hints_replayed: int = 0
+    unavailable_errors: int = 0
+    remote_contacts: int = 0
+    per_pair_contacts: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def record_contact(self, coordinator: str, replica: str) -> None:
+        """Count one coordinator→replica message (for network-cost accounting)."""
+        if coordinator == replica:
+            return
+        self.remote_contacts += 1
+        pair = (coordinator, replica)
+        self.per_pair_contacts[pair] = self.per_pair_contacts.get(pair, 0) + 1
+
+
+class DistributedKVStore:
+    """A replicated, partitioned key-value store over in-process nodes.
+
+    Args:
+        node_ids: cluster members; order is irrelevant (placement comes from
+            token hashing, so the same ids always give the same layout).
+        replication_factor: γ — copies of each key.
+        vnodes: virtual nodes per member (load-smoothing).
+        default_consistency: level used when an operation does not specify one.
+        strategy: replica-placement override (e.g.
+            :class:`~repro.kvstore.topology_strategy.CloudAwareReplicationStrategy`);
+            defaults to SimpleStrategy at ``replication_factor``.
+    """
+
+    def __init__(
+        self,
+        node_ids: Iterable[str],
+        replication_factor: int = 2,
+        vnodes: int = 16,
+        default_consistency: ConsistencyLevel = ConsistencyLevel.ONE,
+        strategy=None,
+    ) -> None:
+        ids = list(node_ids)
+        if not ids:
+            raise ValueError("a KV store needs at least one node")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate node ids in {ids!r}")
+        self.ring = ConsistentHashRing(vnodes=vnodes)
+        self.strategy = (
+            strategy if strategy is not None else SimpleReplicationStrategy(replication_factor)
+        )
+        self.default_consistency = default_consistency
+        self.nodes: dict[str, StorageNode] = {}
+        for node_id in ids:
+            self.ring.add_node(node_id)
+            self.nodes[node_id] = StorageNode(node_id)
+        self.hints = HintBuffer()
+        self.stats = StoreStats()
+        self._timestamps = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # membership and failure injection
+    # ------------------------------------------------------------------ #
+
+    def _node(self, node_id: str) -> StorageNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise NoSuchNodeError(f"node {node_id!r} is not in the cluster") from None
+
+    def mark_down(self, node_id: str) -> None:
+        """Fail ``node_id``; subsequent writes to it become hints."""
+        self._node(node_id).mark_down()
+
+    def mark_up(self, node_id: str) -> None:
+        """Recover ``node_id`` and replay any hints buffered for it."""
+        node = self._node(node_id)
+        node.mark_up()
+        for hint in self.hints.take_for(node_id):
+            node.local_put(hint.key, hint.value, hint.timestamp, tombstone=hint.tombstone)
+            self.stats.hints_replayed += 1
+
+    def alive_nodes(self) -> list[str]:
+        return [nid for nid, node in self.nodes.items() if node.is_up]
+
+    def add_node(self, node_id: str) -> None:
+        """Grow the cluster by one member.
+
+        Keys whose replica set changes are re-streamed to the new owner so
+        reads keep finding them (Cassandra's bootstrap streaming).
+        """
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id!r} already in the cluster")
+        self.ring.add_node(node_id)
+        newcomer = StorageNode(node_id)
+        self.nodes[node_id] = newcomer
+        for other in self.nodes.values():
+            if other is newcomer or not other.is_up:
+                continue
+            for key in other.local_keys():
+                if node_id in self.replicas_for(key):
+                    stored = other.local_get(key)
+                    if stored is not None:
+                        newcomer.local_put(
+                            key, stored.value, stored.timestamp, tombstone=stored.tombstone
+                        )
+
+    def remove_node(self, node_id: str) -> None:
+        """Decommission ``node_id``, streaming its keys to their new replicas."""
+        departing = self._node(node_id)
+        keys: list[tuple[str, VersionedValue]] = []
+        if departing.is_up:
+            keys = [
+                (k, v)
+                for k in departing.local_keys()
+                if (v := departing.local_get(k)) is not None
+            ]
+        self.ring.remove_node(node_id)
+        del self.nodes[node_id]
+        for key, stored in keys:
+            for replica in self.replicas_for(key):
+                node = self.nodes[replica]
+                if node.is_up:
+                    node.local_put(
+                        key, stored.value, stored.timestamp, tombstone=stored.tombstone
+                    )
+
+    # ------------------------------------------------------------------ #
+    # placement queries
+    # ------------------------------------------------------------------ #
+
+    def replicas_for(self, key: str) -> list[str]:
+        """Ordered replica list for ``key`` (primary first)."""
+        return self.strategy.replicas_for_key(self.ring, key)
+
+    def is_local(self, key: str, node_id: str) -> bool:
+        """True when ``node_id`` holds a replica of ``key`` — i.e. a lookup
+        coordinated from that node needs no network hop."""
+        return node_id in self.replicas_for(key)
+
+    # ------------------------------------------------------------------ #
+    # client operations
+    # ------------------------------------------------------------------ #
+
+    def _required_acks(self, consistency: Optional[ConsistencyLevel]) -> int:
+        level = consistency if consistency is not None else self.default_consistency
+        return level.required_acks(self.strategy.effective_factor(self.ring))
+
+    def put(
+        self,
+        key: str,
+        value: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+    ) -> None:
+        """Write ``key`` to its replica set.
+
+        Raises:
+            UnavailableError: if fewer alive replicas than the level requires.
+        """
+        replicas = self.replicas_for(key)
+        required = self._required_acks(consistency)
+        alive = [r for r in replicas if self.nodes[r].is_up]
+        if len(alive) < required:
+            self.stats.unavailable_errors += 1
+            raise UnavailableError(required=required, alive=len(alive), key=key)
+        ts = next(self._timestamps)
+        self.stats.writes += 1
+        for replica in replicas:
+            node = self.nodes[replica]
+            if node.is_up:
+                node.local_put(key, value, ts)
+                if coordinator is not None:
+                    self.stats.record_contact(coordinator, replica)
+            else:
+                if self.hints.add(Hint(target_node=replica, key=key, value=value, timestamp=ts)):
+                    self.stats.hints_stored += 1
+
+    def get(
+        self,
+        key: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+    ) -> Optional[str]:
+        """Read ``key``; returns the newest value or None if unset.
+
+        At level ONE with a coordinator that holds a replica, the read is
+        served locally (this is the γ/|P| fast path of Eq. 2).
+        """
+        replicas = self.replicas_for(key)
+        required = self._required_acks(consistency)
+        alive = [r for r in replicas if self.nodes[r].is_up]
+        if len(alive) < required:
+            self.stats.unavailable_errors += 1
+            raise UnavailableError(required=required, alive=len(alive), key=key)
+        # Prefer the coordinator's own replica, then ring order.
+        ordered = alive
+        if coordinator is not None and coordinator in alive:
+            ordered = [coordinator] + [r for r in alive if r != coordinator]
+        consulted = ordered[:required]
+        self.stats.reads += 1
+        if coordinator is not None:
+            if coordinator in consulted:
+                self.stats.local_reads += 1
+            else:
+                self.stats.remote_reads += 1
+            for replica in consulted:
+                self.stats.record_contact(coordinator, replica)
+        best: Optional[VersionedValue] = None
+        for replica in consulted:
+            found = self.nodes[replica].local_get(key)
+            if found is not None and found.newer_than(best):
+                best = found
+        if best is None or best.tombstone:
+            return None
+        return best.value
+
+    def contains(
+        self,
+        key: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+    ) -> bool:
+        """Membership test (a get that discards the value)."""
+        return self.get(key, consistency=consistency, coordinator=coordinator) is not None
+
+    def put_if_absent(
+        self,
+        key: str,
+        value: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+    ) -> bool:
+        """Insert ``key`` unless present; returns True if it was new.
+
+        This is the dedup hot path: one logical round covers the lookup and
+        (when new) the insert.
+        """
+        if self.get(key, consistency=consistency, coordinator=coordinator) is not None:
+            return False
+        self.put(key, value, consistency=consistency, coordinator=coordinator)
+        return True
+
+    def delete(
+        self,
+        key: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+    ) -> bool:
+        """Delete ``key`` by writing a tombstone to its replica set.
+
+        The tombstone's timestamp supersedes earlier writes everywhere —
+        including replicas that are down right now, which receive the
+        tombstone as a hint — so a delete can never be undone by a stale
+        hint replay or anti-entropy sync. Returns True if the key was live
+        before the delete.
+        """
+        was_live = self.get(key, consistency=consistency, coordinator=coordinator) is not None
+        replicas = self.replicas_for(key)
+        required = self._required_acks(consistency)
+        alive = [r for r in replicas if self.nodes[r].is_up]
+        if len(alive) < required:
+            self.stats.unavailable_errors += 1
+            raise UnavailableError(required=required, alive=len(alive), key=key)
+        ts = next(self._timestamps)
+        for replica in replicas:
+            node = self.nodes[replica]
+            if node.is_up:
+                node.local_put(key, "", ts, tombstone=True)
+            else:
+                if self.hints.add(
+                    Hint(target_node=replica, key=key, value="", timestamp=ts, tombstone=True)
+                ):
+                    self.stats.hints_stored += 1
+        return was_live
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def unique_keys(self) -> set[str]:
+        """The logical (live) key set: keys whose newest version across all
+        nodes — up or down; this is an operator view — is not a tombstone."""
+        newest: dict[str, VersionedValue] = {}
+        for node in self.nodes.values():
+            for key, stored in node._data.items():
+                if stored.newer_than(newest.get(key)):
+                    newest[key] = stored
+        return {key for key, stored in newest.items() if not stored.tombstone}
+
+    def total_stored_entries(self) -> int:
+        """Sum of per-node entry counts (≈ unique_keys · γ when healthy)."""
+        return sum(node.key_count() for node in self.nodes.values())
+
+    def __len__(self) -> int:
+        return len(self.unique_keys())

@@ -1,0 +1,80 @@
+"""Network-cost matrices (the ν_ij of Eq. 2).
+
+The paper measures the cost of a non-local hash lookup from node i to node j
+"by the necessary bandwidth or network delay". We provide the conventions:
+
+- latency cost: ν_ij = RTT(i, j) in seconds — what the testbed experiments
+  effectively pay per remote lookup;
+- bandwidth cost: ν_ij = bytes a lookup occupies on the i↔j path divided by
+  the path's capacity — the "necessary bandwidth" reading;
+- normalized cost: ν_ij scaled so the maximum pair costs 1 — convenient for
+  choosing the tradeoff factor α on a unitless scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.topology import Topology
+
+
+def latency_cost_matrix(topology: Topology) -> np.ndarray:
+    """ν matrix with ν_ij = RTT between nodes i and j in seconds.
+
+    Order follows ``topology.nodes``; the diagonal is zero (a local lookup
+    costs no network).
+    """
+    ids = topology.node_ids
+    n = len(ids)
+    nu = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            rtt = topology.rtt_s(ids[i], ids[j])
+            nu[i, j] = rtt
+            nu[j, i] = rtt
+    return nu
+
+
+def bandwidth_cost_matrix(topology: Topology, lookup_bytes: int = 512) -> np.ndarray:
+    """ν matrix under the "necessary bandwidth" reading: seconds of the
+    i↔j path a ``lookup_bytes``-sized request/response pair occupies.
+
+    All edge paths share the measured edge bandwidth in this topology
+    model, so this matrix is uniform off-diagonal; it becomes interesting
+    when combined with latency (hybrid α-weighting) or with per-pair
+    latency overrides that proxy congested paths.
+    """
+    if lookup_bytes <= 0:
+        raise ValueError(f"lookup_bytes must be positive, got {lookup_bytes!r}")
+    ids = topology.node_ids
+    n = len(ids)
+    per_lookup = 2.0 * lookup_bytes / topology.edge_bandwidth_bytes_per_s
+    nu = np.full((n, n), per_lookup)
+    np.fill_diagonal(nu, 0.0)
+    return nu
+
+
+def normalized_cost_matrix(topology: Topology) -> np.ndarray:
+    """Latency cost matrix rescaled so max ν_ij = 1 (all-zero stays all-zero)."""
+    nu = latency_cost_matrix(topology)
+    peak = nu.max()
+    if peak > 0:
+        nu = nu / peak
+    return nu
+
+
+def validate_cost_matrix(nu: np.ndarray) -> None:
+    """Check the structural requirements of a ν matrix.
+
+    Raises:
+        ValueError: if ``nu`` is not square, symmetric, non-negative, with a
+            zero diagonal.
+    """
+    if nu.ndim != 2 or nu.shape[0] != nu.shape[1]:
+        raise ValueError(f"cost matrix must be square, got shape {nu.shape!r}")
+    if np.any(nu < 0):
+        raise ValueError("cost matrix has negative entries")
+    if np.any(np.diag(nu) != 0):
+        raise ValueError("cost matrix diagonal must be zero")
+    if not np.allclose(nu, nu.T):
+        raise ValueError("cost matrix must be symmetric")

@@ -1,0 +1,118 @@
+"""Latency models and NetEm-style injection.
+
+The paper shapes traffic with NetEm: added delay between edge clouds and
+between edge and central cloud. :class:`LatencyModel` wraps a topology with
+optional jitter; :class:`NetEmInjector` applies/removes delay rules the way
+the evaluation's sweeps do (Fig. 5b latency sweep, Fig. 6 inter-cloud sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.topology import Topology
+from repro.sim.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class DelayRule:
+    """A NetEm-style delay rule applied to one class of traffic."""
+
+    scope: str  # "inter-cloud" | "wan" | "pair"
+    delay_s: float
+    pair: frozenset[str] | None = None
+
+    def __post_init__(self) -> None:
+        if self.scope not in ("inter-cloud", "wan", "pair"):
+            raise ValueError(f"unknown delay rule scope {self.scope!r}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {self.delay_s!r}")
+        if self.scope == "pair" and (self.pair is None or len(self.pair) != 2):
+            raise ValueError("pair rules need a frozenset of exactly two node ids")
+
+
+class NetEmInjector:
+    """Applies delay rules to a topology, like `tc qdisc add ... netem delay`.
+
+    Rules are applied in-place to the topology's latency parameters, and the
+    pre-injection values are remembered so :meth:`clear` restores them.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._baseline_inter_cloud = topology.inter_cloud_latency_s
+        self._baseline_wan = topology.wan_latency_s
+        self._baseline_pairs = dict(topology.pair_latency_overrides)
+        self.rules: list[DelayRule] = []
+
+    def add_rule(self, rule: DelayRule) -> None:
+        """Apply ``rule`` on top of the current settings."""
+        if rule.scope == "inter-cloud":
+            self.topology.set_inter_cloud_latency(
+                self.topology.inter_cloud_latency_s + rule.delay_s
+            )
+        elif rule.scope == "wan":
+            self.topology.set_wan_latency(self.topology.wan_latency_s + rule.delay_s)
+        else:
+            assert rule.pair is not None
+            current = self.topology.pair_latency_overrides.get(rule.pair)
+            if current is None:
+                a, b = sorted(rule.pair)
+                current = self.topology.latency_s(a, b)
+            self.topology.pair_latency_overrides[rule.pair] = current + rule.delay_s
+        self.rules.append(rule)
+
+    def set_inter_cloud_delay(self, delay_s: float) -> None:
+        """Set (not add) the inter-edge-cloud latency — the Fig. 6 sweep knob."""
+        self.topology.set_inter_cloud_latency(delay_s)
+        self.rules.append(DelayRule(scope="inter-cloud", delay_s=delay_s))
+
+    def set_wan_delay(self, delay_s: float) -> None:
+        """Set the edge↔cloud latency — the Fig. 5(b) sweep knob."""
+        self.topology.set_wan_latency(delay_s)
+        self.rules.append(DelayRule(scope="wan", delay_s=delay_s))
+
+    def clear(self) -> None:
+        """Remove all rules, restoring the pre-injection topology."""
+        self.topology.set_inter_cloud_latency(self._baseline_inter_cloud)
+        self.topology.set_wan_latency(self._baseline_wan)
+        self.topology.pair_latency_overrides.clear()
+        self.topology.pair_latency_overrides.update(self._baseline_pairs)
+        self.rules.clear()
+
+
+class LatencyModel:
+    """Per-message latency sampling over a topology.
+
+    Deterministic by default (returns the topology's configured latency);
+    with ``jitter_fraction > 0`` each sample is multiplied by a lognormal
+    factor, matching the heavy-ish right tail of real RTT distributions.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        jitter_fraction: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        if jitter_fraction < 0:
+            raise ValueError(f"jitter_fraction must be >= 0, got {jitter_fraction!r}")
+        self.topology = topology
+        self.jitter_fraction = jitter_fraction
+        self._rng = make_rng(seed)
+
+    def _jitter(self) -> float:
+        if self.jitter_fraction == 0.0:
+            return 1.0
+        sigma = self.jitter_fraction
+        return float(np.exp(self._rng.normal(-sigma * sigma / 2.0, sigma)))
+
+    def sample_edge_rtt(self, a: str, b: str) -> float:
+        """RTT sample between two edge nodes, in seconds."""
+        return self.topology.rtt_s(a, b) * self._jitter()
+
+    def sample_wan_rtt(self) -> float:
+        """RTT sample from an edge node to the central cloud, in seconds."""
+        return self.topology.wan_rtt_s() * self._jitter()

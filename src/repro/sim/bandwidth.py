@@ -1,0 +1,137 @@
+"""Shared-link bandwidth model.
+
+Models a link of fixed capacity shared by concurrent flows using processor
+sharing: when ``n`` transfers are active, each proceeds at ``capacity / n``.
+This is the standard fluid approximation for TCP fair sharing and is what
+makes the Cloud-only baseline bottleneck on the WAN uplink, as in the paper.
+
+The model is analytic rather than event-driven per-packet: callers ask "if I
+start a transfer of B bytes now, when does it finish?" and the link replans
+the completion times of all in-flight transfers. This gives exact
+processor-sharing semantics at O(active transfers) cost per operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class _Transfer:
+    """An in-flight transfer on a shared link."""
+
+    transfer_id: int
+    remaining_bytes: float
+    start_time: float
+    finish_time: float = 0.0
+
+
+@dataclass
+class SharedLink:
+    """A capacity-limited link shared by concurrent transfers.
+
+    Attributes:
+        name: human-readable link name (e.g. "wan-uplink").
+        capacity_bytes_per_s: total link capacity in bytes/second.
+    """
+
+    name: str
+    capacity_bytes_per_s: float
+    _active: dict[int, _Transfer] = field(default_factory=dict, repr=False)
+    _next_id: int = field(default=0, repr=False)
+    _last_update: float = field(default=0.0, repr=False)
+    _bytes_carried: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes_per_s <= 0:
+            raise ValueError(
+                f"link {self.name!r} capacity must be positive, "
+                f"got {self.capacity_bytes_per_s!r}"
+            )
+
+    @property
+    def active_transfers(self) -> int:
+        return len(self._active)
+
+    @property
+    def bytes_carried(self) -> float:
+        """Total bytes delivered by completed and partially-completed transfers."""
+        return self._bytes_carried
+
+    def _drain(self, now: float) -> None:
+        """Advance all in-flight transfers to time ``now`` at the fair rate."""
+        if now < self._last_update:
+            raise ValueError(
+                f"link {self.name!r} time went backwards: "
+                f"{self._last_update!r} -> {now!r}"
+            )
+        elapsed = now - self._last_update
+        if elapsed > 0 and self._active:
+            rate = self.capacity_bytes_per_s / len(self._active)
+            done: list[int] = []
+            for tid, tr in self._active.items():
+                sent = min(tr.remaining_bytes, rate * elapsed)
+                tr.remaining_bytes -= sent
+                self._bytes_carried += sent
+                if tr.remaining_bytes <= 1e-9:
+                    done.append(tid)
+            for tid in done:
+                del self._active[tid]
+        self._last_update = now
+
+    def start_transfer(self, now: float, nbytes: float) -> int:
+        """Register a transfer of ``nbytes`` starting at time ``now``.
+
+        Returns a transfer id usable with :meth:`remaining` / :meth:`finish_time`.
+        """
+        if nbytes < 0:
+            raise ValueError(f"transfer size must be non-negative, got {nbytes!r}")
+        self._drain(now)
+        tid = self._next_id
+        self._next_id += 1
+        self._active[tid] = _Transfer(transfer_id=tid, remaining_bytes=float(nbytes), start_time=now)
+        return tid
+
+    def remaining(self, now: float, transfer_id: int) -> float:
+        """Bytes still unsent for ``transfer_id`` as of ``now`` (0 if done)."""
+        self._drain(now)
+        tr = self._active.get(transfer_id)
+        return tr.remaining_bytes if tr is not None else 0.0
+
+    def is_done(self, now: float, transfer_id: int) -> bool:
+        return self.remaining(now, transfer_id) <= 0.0
+
+    def estimate_finish_time(self, now: float) -> Optional[float]:
+        """Earliest time any in-flight transfer completes, assuming no new
+        transfers start. ``None`` when the link is idle.
+
+        The event-driven throughput simulator uses this to schedule its next
+        wake-up; starting a new transfer before then simply causes a re-plan.
+        """
+        self._drain(now)
+        if not self._active:
+            return None
+        rate = self.capacity_bytes_per_s / len(self._active)
+        smallest = min(tr.remaining_bytes for tr in self._active.values())
+        return now + smallest / rate
+
+    def serial_transfer_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` over an otherwise idle link (convenience)."""
+        if nbytes < 0:
+            raise ValueError(f"transfer size must be non-negative, got {nbytes!r}")
+        return nbytes / self.capacity_bytes_per_s
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bytes/second (as in the paper's 1.726 Gbps)."""
+    if value < 0:
+        raise ValueError(f"bandwidth must be non-negative, got {value!r}")
+    return value * 1e9 / 8.0
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to bytes/second."""
+    if value < 0:
+        raise ValueError(f"bandwidth must be non-negative, got {value!r}")
+    return value * 1e6 / 8.0

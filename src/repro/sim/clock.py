@@ -1,0 +1,57 @@
+"""Simulated clock for discrete-event simulation.
+
+The clock is a monotonically non-decreasing float measured in seconds. All
+simulation components share a single :class:`SimClock` instance so that the
+notion of "now" is globally consistent within one simulation run.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock.
+
+    The clock only moves forward via :meth:`advance_to` (typically called by
+    the event engine when it dequeues the next event). Attempting to move the
+    clock backwards raises ``ValueError`` — that always indicates a bug in
+    the caller, never a legitimate simulation state.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t`` (seconds).
+
+        Raises:
+            ValueError: if ``t`` is earlier than the current time.
+        """
+        if t < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now!r}, requested={t!r}"
+            )
+        self._now = float(t)
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds (``dt`` must be >= 0)."""
+        if dt < 0:
+            raise ValueError(f"cannot advance by negative duration {dt!r}")
+        self._now += float(dt)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock to ``start`` (for reusing a clock across runs)."""
+        if start < 0:
+            raise ValueError(f"clock cannot reset to negative time {start!r}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

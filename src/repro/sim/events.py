@@ -1,0 +1,148 @@
+"""Discrete-event engine.
+
+A minimal but complete discrete-event simulation core: events are callbacks
+scheduled at absolute simulated times and executed in time order. Ties are
+broken by insertion order (FIFO), which keeps runs deterministic for a fixed
+seed and schedule.
+
+Example:
+    >>> engine = EventEngine()
+    >>> seen = []
+    >>> engine.schedule_at(2.0, lambda: seen.append("b"))
+    >>> engine.schedule_at(1.0, lambda: seen.append("a"))
+    >>> engine.run()
+    >>> seen
+    ['a', 'b']
+    >>> engine.clock.now
+    2.0
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.clock import SimClock
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry: ordered by (time, sequence number)."""
+
+    time: float
+    seq: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by ``schedule_*``; allows cancelling a pending event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute simulated time this event fires at."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event; a cancelled event is skipped by the engine."""
+        self._event.cancelled = True
+
+
+class EventEngine:
+    """Priority-queue based discrete-event simulation engine."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._executed = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def executed(self) -> int:
+        """Number of events executed so far."""
+        return self._executed
+
+    def schedule_at(self, t: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``t`` (must not be in the past)."""
+        if t < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event in the past: now={self.clock.now!r}, t={t!r}"
+            )
+        event = _ScheduledEvent(time=float(t), seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_in(self, dt: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` ``dt`` seconds from now (``dt`` >= 0)."""
+        if dt < 0:
+            raise ValueError(f"cannot schedule event with negative delay {dt!r}")
+        return self.schedule_at(self.clock.now + dt, callback)
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns:
+            True if an event was executed, False if the queue was empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            self._executed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        Events scheduled exactly at ``until`` still execute; the first event
+        strictly after ``until`` stays queued and the clock is advanced to
+        ``until``.
+
+        Returns:
+            Number of events executed by this call.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                self.clock.advance_to(until)
+                break
+            if self.step():
+                executed += 1
+        else:
+            if until is not None and until > self.clock.now:
+                self.clock.advance_to(until)
+        return executed
+
+    def reset(self) -> None:
+        """Drop all pending events and reset the clock to zero."""
+        self._heap.clear()
+        self._executed = 0
+        self.clock.reset()

@@ -1,0 +1,184 @@
+"""Metrics primitives for simulations and experiments.
+
+Provides counters, gauges, and streaming summaries (mean/percentiles) that
+experiment drivers use to report throughput, latency, and cost series. All
+types are plain in-memory objects — there is no global registry, so tests can
+instantiate them freely without cross-talk.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+class Counter:
+    """A monotonically increasing counter (e.g. chunks processed, bytes sent)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount!r})")
+        self._value += amount
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self._value!r})"
+
+
+class Gauge:
+    """A value that can move up and down (e.g. queue depth, stored bytes)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str, initial: float = 0.0) -> None:
+        self.name = name
+        self._value = float(initial)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        self._value += delta
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self._value!r})"
+
+
+class Summary:
+    """Streaming summary of observed samples: count, mean, min/max, percentiles.
+
+    Samples are retained (the experiments here observe at most a few million
+    values), so percentiles are exact rather than approximate sketches.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: list[float] = []
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        if math.isnan(value):
+            raise ValueError(f"summary {self.name!r} observed NaN")
+        self._samples.append(float(value))
+        self._sum += value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError(f"summary {self.name!r} has no samples")
+        return self._sum / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        if not self._samples:
+            raise ValueError(f"summary {self.name!r} has no samples")
+        return min(self._samples)
+
+    @property
+    def maximum(self) -> float:
+        if not self._samples:
+            raise ValueError(f"summary {self.name!r} has no samples")
+        return max(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (q in [0, 100]) using linear interpolation."""
+        if not self._samples:
+            raise ValueError(f"summary {self.name!r} has no samples")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._sum = 0.0
+
+    def __repr__(self) -> str:
+        return f"Summary({self.name!r}, count={self.count})"
+
+
+@dataclass
+class MetricsRegistry:
+    """A named bundle of metrics owned by one simulation component.
+
+    Components create their own registry; experiment drivers collect them at
+    the end of a run. Creating a metric with an existing name returns the
+    existing instance so call sites don't need to thread references around.
+    """
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    summaries: dict[str, Summary] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def summary(self, name: str) -> Summary:
+        if name not in self.summaries:
+            self.summaries[name] = Summary(name)
+        return self.summaries[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat dict of counter/gauge values and summary means (if nonempty)."""
+        out: dict[str, float] = {}
+        for name, c in self.counters.items():
+            out[f"counter.{name}"] = c.value
+        for name, g in self.gauges.items():
+            out[f"gauge.{name}"] = g.value
+        for name, s in self.summaries.items():
+            if s.count:
+                out[f"summary.{name}.mean"] = s.mean
+                out[f"summary.{name}.count"] = float(s.count)
+        return out
+
+
+def throughput_mb_per_s(total_bytes: float, elapsed_seconds: float) -> float:
+    """Throughput in MB/s (MB = 1e6 bytes, matching the paper's MB/s units)."""
+    if elapsed_seconds <= 0:
+        raise ValueError(f"elapsed time must be positive, got {elapsed_seconds!r}")
+    return total_bytes / 1e6 / elapsed_seconds
+

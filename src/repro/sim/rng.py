@@ -1,0 +1,59 @@
+"""Seeded random-number utilities.
+
+Every stochastic component in the reproduction accepts either an integer seed
+or a ``numpy.random.Generator``. Centralizing the coercion here keeps runs
+reproducible: the same top-level seed always produces the same simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``.
+
+    Passing an existing generator returns it unchanged (shared stream);
+    passing an int derives a fresh independent generator; passing ``None``
+    produces an OS-entropy-seeded generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, streams: int) -> list[np.random.Generator]:
+    """Derive ``streams`` independent child generators from ``rng``.
+
+    Used to give each simulated edge node its own stream so that adding a
+    node does not perturb the chunk sequences of existing nodes.
+    """
+    if streams < 0:
+        raise ValueError(f"streams must be non-negative, got {streams!r}")
+    seeds = rng.integers(0, 2**63 - 1, size=streams, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a single integer seed from ``rng`` (for handing to subsystems)."""
+    return int(rng.integers(0, 2**63 - 1, dtype=np.int64))
+
+
+def stable_hash_seed(*parts: object, salt: int = 0) -> int:
+    """Deterministic seed derived from ``parts`` (stable across processes).
+
+    Python's builtin ``hash`` is randomized per-process for strings; this
+    helper uses a simple FNV-1a over the repr instead so that e.g. a node
+    named "edge-3" always contributes the same sub-seed.
+    """
+    acc = 0xCBF29CE484222325 ^ (salt & 0xFFFFFFFFFFFFFFFF)
+    for part in parts:
+        for byte in repr(part).encode("utf-8"):
+            acc ^= byte
+            acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc
+

@@ -1,0 +1,159 @@
+"""The Dedup Agent (Sec. IV).
+
+Each edge node runs a Dedup Agent: it splits incoming files into chunks,
+fingerprints them, consults the D2-ring's distributed index (check-and-set),
+and forwards only unique chunks to the central cloud. The paper built this
+by patching duperemove to talk to Cassandra; here the agent composes our
+:class:`~repro.dedup.engine.DedupEngine` with a
+:class:`RingIndex` adapter over the ring's
+:class:`~repro.kvstore.store.DistributedKVStore`.
+
+The adapter also records, per lookup, whether the coordinator held a replica
+(local, the γ/|P| case of Eq. 2) or had to contact a peer (remote, with the
+peer's identity) — the raw material for network-cost accounting and the
+throughput simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.chunking.base import Chunker
+from repro.chunking.fixed import FixedSizeChunker
+from repro.dedup.engine import DedupEngine, DedupResult, UniqueChunkSink
+from repro.dedup.index import DedupIndex
+from repro.kvstore.consistency import ConsistencyLevel
+from repro.kvstore.store import DistributedKVStore
+from repro.system.config import EFDedupConfig
+
+
+@dataclass
+class LookupRecord:
+    """Counters for one agent's index traffic."""
+
+    local_lookups: int = 0
+    remote_lookups: int = 0
+    remote_by_peer: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_lookups(self) -> int:
+        return self.local_lookups + self.remote_lookups
+
+    @property
+    def remote_fraction(self) -> float:
+        total = self.total_lookups
+        return self.remote_lookups / total if total else 0.0
+
+    def record(self, local: bool, peer: Optional[str] = None) -> None:
+        if local:
+            self.local_lookups += 1
+        else:
+            self.remote_lookups += 1
+            if peer is not None:
+                self.remote_by_peer[peer] = self.remote_by_peer.get(peer, 0) + 1
+
+
+class RingIndex(DedupIndex):
+    """DedupIndex backed by a D2-ring's distributed KV store.
+
+    All operations coordinate from ``local_node`` (the agent's own node), so
+    locality statistics reflect that agent's position on the index ring.
+    """
+
+    def __init__(
+        self,
+        store: DistributedKVStore,
+        local_node: str,
+        consistency: ConsistencyLevel = ConsistencyLevel.ONE,
+    ) -> None:
+        if local_node not in store.nodes:
+            raise ValueError(f"{local_node!r} is not a member of this ring's store")
+        self.store = store
+        self.local_node = local_node
+        self.consistency = consistency
+        self.lookups = LookupRecord()
+
+    def _record(self, fingerprint: str) -> None:
+        replicas = self.store.replicas_for(fingerprint)
+        if self.local_node in replicas:
+            self.lookups.record(local=True)
+        else:
+            self.lookups.record(local=False, peer=replicas[0])
+
+    def contains(self, fingerprint: str) -> bool:
+        self._record(fingerprint)
+        return self.store.contains(
+            fingerprint, consistency=self.consistency, coordinator=self.local_node
+        )
+
+    def insert(self, fingerprint: str, metadata: Optional[str] = None) -> bool:
+        return self.store.put_if_absent(
+            fingerprint,
+            metadata if metadata is not None else "",
+            consistency=self.consistency,
+            coordinator=self.local_node,
+        )
+
+    def lookup_and_insert(self, fingerprint: str, metadata: Optional[str] = None) -> bool:
+        self._record(fingerprint)
+        return self.store.put_if_absent(
+            fingerprint,
+            metadata if metadata is not None else "",
+            consistency=self.consistency,
+            coordinator=self.local_node,
+        )
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def fingerprints(self):
+        return iter(self.store.unique_keys())
+
+
+class DedupAgent:
+    """The per-node dedup pipeline of the EF-dedup prototype.
+
+    Args:
+        node_id: the edge node this agent runs on.
+        index: the ring's index (a :class:`RingIndex`, or any DedupIndex for
+            the cloud-based strategies).
+        config: system tunables (chunk size etc.).
+        unique_sink: invoked with each unique chunk — wired to the central
+            cloud's ``receive_chunk`` by the deployment strategies.
+        chunker: override the chunker (defaults to fixed-size at
+            ``config.chunk_size``).
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        index: DedupIndex,
+        config: Optional[EFDedupConfig] = None,
+        unique_sink: Optional[UniqueChunkSink] = None,
+        chunker: Optional[Chunker] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config if config is not None else EFDedupConfig()
+        self.engine = DedupEngine(
+            index=index,
+            chunker=chunker if chunker is not None else FixedSizeChunker(self.config.chunk_size),
+            unique_sink=unique_sink,
+        )
+
+    @property
+    def index(self) -> DedupIndex:
+        return self.engine.index
+
+    @property
+    def stats(self):
+        """Cumulative dedup accounting for this agent."""
+        return self.engine.stats
+
+    def ingest(self, data: bytes, label: Optional[str] = None) -> DedupResult:
+        """Deduplicate one file's bytes (unique chunks flow to the sink)."""
+        return self.engine.dedup_bytes(data, source=label if label is not None else self.node_id)
+
+    def ingest_files(self, files: Iterable[bytes]) -> list[DedupResult]:
+        """Deduplicate a sequence of files, in order."""
+        return [self.ingest(data) for data in files]

@@ -1,0 +1,164 @@
+"""EFDedupCluster: the public facade tying everything together.
+
+The end-to-end workflow of the paper in one object:
+
+1. describe the edge fleet (a :class:`~repro.network.topology.Topology`) and
+   each node's data statistics (a :class:`~repro.core.model.ChunkPoolModel`,
+   typically fitted with :class:`~repro.core.estimation.CharacteristicEstimator`);
+2. :meth:`plan` — solve SNOD2 with a chosen partitioner to get the D2-rings;
+3. :meth:`deploy` — instantiate a distributed index per ring and a Dedup
+   Agent per node, all forwarding unique chunks to one central cloud store;
+4. ingest data at the edge nodes; read the dedup/cost outcome.
+
+Example:
+    >>> cluster = EFDedupCluster(topology, problem)
+    >>> cluster.plan(SmartPartitioner(n_rings=5))
+    >>> cluster.deploy()
+    >>> cluster.ingest("edge-0", payload)
+    >>> cluster.report()["dedup_ratio"]  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.costs import Partition, SNOD2Problem
+from repro.core.partitioning.base import Partitioner
+from repro.dedup.engine import DedupResult
+from repro.dedup.stats import DedupStats
+from repro.network.topology import Topology
+from repro.system.cloud import CentralCloudStore
+from repro.system.config import EFDedupConfig
+from repro.system.ring import D2Ring
+
+
+class EFDedupCluster:
+    """A planned-and-deployed EF-dedup system over an edge topology.
+
+    Args:
+        topology: the edge fleet; node order must match the problem's source
+            indexes (source i ↔ ``topology.nodes[i]``).
+        problem: the SNOD2 instance describing data statistics and costs.
+        config: system tunables.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        problem: SNOD2Problem,
+        config: Optional[EFDedupConfig] = None,
+    ) -> None:
+        if problem.n_sources != len(topology.nodes):
+            raise ValueError(
+                f"problem has {problem.n_sources} sources but topology has "
+                f"{len(topology.nodes)} nodes"
+            )
+        self.topology = topology
+        self.problem = problem
+        self.config = config if config is not None else EFDedupConfig()
+        self.cloud = CentralCloudStore()
+        self.partition: Optional[Partition] = None
+        self.rings: list[D2Ring] = []
+        self._ring_of: dict[str, D2Ring] = {}
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+
+    def plan(self, partitioner: Partitioner) -> Partition:
+        """Solve SNOD2 and remember the resulting D2-ring partition."""
+        self.partition = partitioner.partition_checked(self.problem)
+        return self.partition
+
+    def planned_cost(self) -> dict[str, float]:
+        """Model-predicted storage/network/aggregate cost of the plan."""
+        if self.partition is None:
+            raise RuntimeError("call plan() before planned_cost()")
+        return self.problem.cost_breakdown(self.partition)
+
+    def node_rings(self) -> list[list[str]]:
+        """The plan expressed in topology node ids."""
+        if self.partition is None:
+            raise RuntimeError("call plan() before node_rings()")
+        ids = self.topology.node_ids
+        return [[ids[i] for i in ring] for ring in self.partition]
+
+    # ------------------------------------------------------------------ #
+    # deployment and ingestion
+    # ------------------------------------------------------------------ #
+
+    def deploy(self) -> None:
+        """Instantiate the planned rings (index stores + agents)."""
+        if self.partition is None:
+            raise RuntimeError("call plan() before deploy()")
+        self.rings = [
+            D2Ring(
+                ring_id=f"ring-{i}",
+                members=members,
+                cloud=self.cloud,
+                config=self.config,
+            )
+            for i, members in enumerate(self.node_rings())
+        ]
+        self._ring_of = {nid: ring for ring in self.rings for nid in ring.members}
+
+    def ring_for(self, node_id: str) -> D2Ring:
+        try:
+            return self._ring_of[node_id]
+        except KeyError:
+            raise KeyError(
+                f"node {node_id!r} has no deployed ring — was deploy() called?"
+            ) from None
+
+    def ingest(self, node_id: str, data: bytes) -> DedupResult:
+        """Deduplicate ``data`` arriving at ``node_id``."""
+        return self.ring_for(node_id).ingest(node_id, data)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def combined_stats(self) -> DedupStats:
+        total = DedupStats()
+        for ring in self.rings:
+            total = total.merge(ring.combined_stats())
+        return total
+
+    def report(self) -> dict[str, float]:
+        """System-wide outcome: dedup ratio, WAN traffic, cloud storage."""
+        stats = self.combined_stats()
+        return {
+            "dedup_ratio": stats.dedup_ratio,
+            "raw_mb": stats.raw_bytes / 1e6,
+            "wan_mb": self.cloud.received_bytes / 1e6,
+            "cloud_stored_mb": self.cloud.stored_bytes / 1e6,
+            "n_rings": float(len(self.rings)),
+        }
+
+
+class RestorableEFDedupCluster(EFDedupCluster):
+    """An EF-dedup cluster whose cloud keeps chunk payloads, so every
+    ingested file is restorable (the read path).
+
+    Same planning/deployment API as :class:`EFDedupCluster`; ingest with
+    :meth:`ingest_file` (which records the file's recipe) and read back
+    with :meth:`restore_file`. The memory cost is the deduplicated data
+    itself, so use the plain cluster for large throughput sweeps.
+    """
+
+    def __init__(self, topology, problem, config=None) -> None:
+        super().__init__(topology, problem, config=config)
+        self.cloud = CentralCloudStore(keep_payloads=True)
+
+    def ingest_file(self, node_id: str, file_id: str, data: bytes):
+        """Deduplicate ``data`` at ``node_id`` and record its recipe."""
+        return self.ring_for(node_id).ingest_file(node_id, file_id, data)
+
+    def restore_file(self, file_id: str) -> bytes:
+        """Reassemble a file from any ring's recipe catalog."""
+        from repro.dedup.recipes import RecipeError
+
+        for ring in self.rings:
+            if file_id in ring.recipes:
+                return ring.restore_file(file_id)
+        raise RecipeError(f"no recipe for {file_id!r} in any deployed ring")

@@ -1,0 +1,210 @@
+"""Discrete-event cross-validation of the throughput model.
+
+The harness in :mod:`repro.system.throughput` charges per-operation times
+analytically and treats unique-chunk uploads as fixed-latency synchronous
+PUTs. That is accurate while the WAN uplink is uncontended — but when many
+nodes upload simultaneously, real transfers slow each other down.
+
+This module re-runs the EF-dedup strategy as a true discrete-event
+simulation: each node is a sequential process on the shared
+:class:`~repro.sim.events.EventEngine`, and uploads move actual bytes
+through a processor-shared :class:`~repro.sim.bandwidth.SharedLink`. Where
+the analytic model and the DES agree, the figures' conclusions don't hinge
+on the simplification; where they diverge (saturated uplink), the DES is
+the reference. The ablation benchmark quantifies both regimes.
+
+Determinism: identical inputs produce identical event schedules, so results
+are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.chunking.base import Chunk
+from repro.chunking.fixed import FixedSizeChunker
+from repro.chunking.hashing import default_fingerprint
+from repro.dedup.stats import DedupStats
+from repro.network.topology import Topology
+from repro.sim.bandwidth import SharedLink
+from repro.sim.events import EventEngine
+from repro.system.cloud import CentralCloudStore
+from repro.system.config import EFDedupConfig
+from repro.system.ring import D2Ring
+from repro.system.throughput import Workloads
+
+
+@dataclass
+class DESNodeResult:
+    """Per-node outcome of the event-driven run."""
+
+    node_id: str
+    raw_bytes: int = 0
+    chunks: int = 0
+    uploaded_bytes: int = 0
+    finish_time_s: float = 0.0
+
+    @property
+    def throughput_mb_s(self) -> float:
+        if self.finish_time_s <= 0:
+            return 0.0
+        return self.raw_bytes / 1e6 / self.finish_time_s
+
+
+@dataclass
+class DESReport:
+    """Outcome of one event-driven EF-dedup run."""
+
+    per_node: dict[str, DESNodeResult]
+    dedup_stats: DedupStats
+    makespan_s: float
+    wan_bytes: int
+    events_executed: int
+
+    @property
+    def aggregate_throughput_mb_s(self) -> float:
+        total = sum(r.raw_bytes for r in self.per_node.values())
+        if self.makespan_s <= 0:
+            return 0.0
+        return total / 1e6 / self.makespan_s
+
+
+class _NodeProcess:
+    """One edge node as a sequential simulation process.
+
+    Per chunk: hashing CPU, an index lookup (local service time or a remote
+    RTT / pipelining depth), and — for unique chunks — a synchronous upload
+    whose handshake costs RTTs and whose bytes move through the shared WAN
+    link at whatever rate contention leaves.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        chunks: Iterator[Chunk],
+        ring: D2Ring,
+        cloud: CentralCloudStore,
+        topology: Topology,
+        config: EFDedupConfig,
+        engine: EventEngine,
+        wan: SharedLink,
+        stats: DedupStats,
+        result: DESNodeResult,
+    ) -> None:
+        self.node_id = node_id
+        self.chunks = chunks
+        self.ring = ring
+        self.cloud = cloud
+        self.topology = topology
+        self.config = config
+        self.engine = engine
+        self.wan = wan
+        self.stats = stats
+        self.result = result
+
+    def start(self) -> None:
+        self.engine.schedule_in(0.0, self._next_chunk)
+
+    # -- pipeline stages ------------------------------------------------ #
+
+    def _next_chunk(self) -> None:
+        chunk = next(self.chunks, None)
+        if chunk is None:
+            self.result.finish_time_s = self.engine.clock.now
+            return
+        delay = self.config.hash_time_s(chunk.length) + self._lookup_delay(chunk)
+        self.engine.schedule_in(delay, lambda: self._after_lookup(chunk))
+
+    def _lookup_delay(self, chunk: Chunk) -> float:
+        fp = default_fingerprint(chunk.data)
+        replicas = self.ring.store.replicas_for(fp)
+        if self.node_id in replicas:
+            return self.config.lookup_service_s
+        rtt = self.topology.rtt_s(self.node_id, replicas[0])
+        return self.config.lookup_service_s + rtt / self.config.lookup_batch
+
+    def _after_lookup(self, chunk: Chunk) -> None:
+        fp = default_fingerprint(chunk.data)
+        is_new = self.ring.store.put_if_absent(fp, self.node_id, coordinator=self.node_id)
+        self.stats.record_chunk(chunk.length, is_new)
+        self.result.chunks += 1
+        if not is_new:
+            self._next_chunk()
+            return
+        self.cloud.receive_chunk(chunk, fp)
+        self.result.uploaded_bytes += chunk.length
+        handshake = self.config.upload_rtts * self.topology.wan_rtt_s() / self.config.lookup_batch
+        transfer_id = self.wan.start_transfer(self.engine.clock.now, float(chunk.length))
+        self.engine.schedule_in(handshake, lambda: self._poll_upload(transfer_id))
+
+    def _poll_upload(self, transfer_id: int) -> None:
+        now = self.engine.clock.now
+        if self.wan.is_done(now, transfer_id):
+            self._next_chunk()
+            return
+        # Re-check when the link expects its next completion (a new transfer
+        # starting earlier just triggers another poll — still exact).
+        eta = self.wan.estimate_finish_time(now)
+        wait = max(1e-9, (eta - now) if eta is not None else 1e-9)
+        self.engine.schedule_in(wait, lambda: self._poll_upload(transfer_id))
+
+
+def run_edge_rings_des(
+    topology: Topology,
+    partition: Sequence[Sequence[str]],
+    workloads: Workloads,
+    config: Optional[EFDedupConfig] = None,
+) -> DESReport:
+    """Event-driven counterpart of
+    :func:`repro.system.throughput.run_edge_rings` (EF-dedup strategy only).
+    """
+    config = config if config is not None else EFDedupConfig()
+    engine = EventEngine()
+    wan = SharedLink(name="wan-uplink", capacity_bytes_per_s=topology.wan_bandwidth_bytes_per_s)
+    cloud = CentralCloudStore()
+    stats = DedupStats()
+
+    rings = [
+        D2Ring(ring_id=f"ring-{i}", members=list(members), cloud=cloud, config=config)
+        for i, members in enumerate(partition)
+        if members
+    ]
+    ring_of = {nid: ring for ring in rings for nid in ring.members}
+    missing = set(workloads) - set(ring_of)
+    if missing:
+        raise ValueError(f"nodes {sorted(missing)!r} have workloads but no ring")
+
+    results: dict[str, DESNodeResult] = {}
+    chunker = FixedSizeChunker(config.chunk_size)
+    for nid, files in workloads.items():
+        result = DESNodeResult(node_id=nid, raw_bytes=sum(len(d) for d in files))
+
+        def chunk_iter(files=files):
+            for data in files:
+                yield from chunker.chunk(data)
+
+        process = _NodeProcess(
+            node_id=nid,
+            chunks=chunk_iter(),
+            ring=ring_of[nid],
+            cloud=cloud,
+            topology=topology,
+            config=config,
+            engine=engine,
+            wan=wan,
+            stats=stats,
+            result=result,
+        )
+        results[nid] = result
+        process.start()
+
+    engine.run()
+    makespan = max((r.finish_time_s for r in results.values()), default=0.0)
+    return DESReport(
+        per_node=results,
+        dedup_stats=stats,
+        makespan_s=makespan,
+        wan_bytes=int(sum(r.uploaded_bytes for r in results.values())),
+        events_executed=engine.executed,
+    )

@@ -1,0 +1,166 @@
+"""Plan migration analysis: what changing D2-rings actually costs.
+
+:class:`~repro.system.replanner.RingReplanner` gates re-ringing on a
+migration cost. This module computes that cost from the plans themselves
+instead of a hand-picked constant:
+
+- :func:`diff_plans` aligns old and new rings (maximum-overlap matching)
+  and reports which nodes actually move;
+- :func:`estimate_migration_cost` prices the move in the same
+  chunk-equivalent units as the SNOD2 objective: every moved node leaves a
+  ring whose index must re-shard (its share of hashes re-streams to the
+  remaining members) and joins a ring that must bootstrap it (its share of
+  the destination index streams in).
+
+The estimate uses the model's expected unique-chunk counts (Theorem 1), so
+it needs no deployed system — it prices a *planned* migration, which is
+exactly when the replanner asks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import Partition, SNOD2Problem, validate_partition
+from repro.core.dedup_ratio import expected_unique_chunks
+
+
+@dataclass(frozen=True)
+class PlanDiff:
+    """The structural difference between two D2-ring plans.
+
+    Attributes:
+        moved_nodes: nodes whose ring assignment changes.
+        stable_nodes: nodes that stay with (the bulk of) their old ring.
+        ring_pairs: (old ring index, new ring index) alignment used; new
+            rings with no aligned old ring map from -1 and vice versa.
+    """
+
+    moved_nodes: tuple[int, ...]
+    stable_nodes: tuple[int, ...]
+    ring_pairs: tuple[tuple[int, int], ...]
+
+    @property
+    def n_moved(self) -> int:
+        return len(self.moved_nodes)
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.moved_nodes
+
+
+def diff_plans(old: Partition, new: Partition, n_sources: int) -> PlanDiff:
+    """Align ``new`` rings to ``old`` rings by maximum member overlap and
+    report which nodes must move.
+
+    Greedy alignment (largest overlap first) is exact enough here: the
+    purpose is a cost estimate, and ties only shuffle which identical-cost
+    assignment is reported.
+    """
+    validate_partition(old, n_sources)
+    validate_partition(new, n_sources)
+    old_sets = [set(r) for r in old]
+    new_sets = [set(r) for r in new]
+    overlaps = [
+        (len(old_sets[i] & new_sets[j]), i, j)
+        for i in range(len(old_sets))
+        for j in range(len(new_sets))
+    ]
+    overlaps.sort(reverse=True)
+    used_old: set[int] = set()
+    used_new: set[int] = set()
+    pairs: list[tuple[int, int]] = []
+    for overlap, i, j in overlaps:
+        if overlap == 0 or i in used_old or j in used_new:
+            continue
+        pairs.append((i, j))
+        used_old.add(i)
+        used_new.add(j)
+    for j in range(len(new_sets)):
+        if j not in used_new:
+            pairs.append((-1, j))
+    for i in range(len(old_sets)):
+        if i not in used_old:
+            pairs.append((i, -1))
+
+    aligned_new_of_old = {i: j for i, j in pairs if i >= 0 and j >= 0}
+    moved: list[int] = []
+    stable: list[int] = []
+    node_old_ring = {v: i for i, ring in enumerate(old) for v in ring}
+    node_new_ring = {v: j for j, ring in enumerate(new) for v in ring}
+    for v in range(n_sources):
+        i = node_old_ring[v]
+        j = node_new_ring[v]
+        if aligned_new_of_old.get(i) == j:
+            stable.append(v)
+        else:
+            moved.append(v)
+    return PlanDiff(
+        moved_nodes=tuple(moved),
+        stable_nodes=tuple(stable),
+        ring_pairs=tuple(pairs),
+    )
+
+
+def estimate_migration_cost(
+    problem: SNOD2Problem,
+    old: Partition,
+    new: Partition,
+    gamma: int | None = None,
+) -> float:
+    """Chunk-equivalents of index data a migration re-streams.
+
+    For each moved node: leaving a ring re-streams its stored share of the
+    old ring's index (γ·U_old / |old ring| entries) to the survivors, and
+    joining bootstraps its share of the new ring's index (γ·U_new / |new
+    ring|). Both are one-time transfers priced in chunks, the same unit as
+    the SNOD2 storage term, so the result plugs directly into
+    :class:`~repro.system.replanner.RingReplanner`'s ``migration_cost``.
+    """
+    diff = diff_plans(old, new, problem.n_sources)
+    if diff.is_noop:
+        return 0.0
+    g = gamma if gamma is not None else problem.gamma
+    node_old_ring = {v: ring for ring in old for v in ring}
+    node_new_ring = {v: ring for ring in new for v in ring}
+    old_unique = {
+        id(ring): expected_unique_chunks(problem.model, ring, problem.duration)
+        for ring in old
+    }
+    new_unique = {
+        id(ring): expected_unique_chunks(problem.model, ring, problem.duration)
+        for ring in new
+    }
+    total = 0.0
+    for v in diff.moved_nodes:
+        src = node_old_ring[v]
+        dst = node_new_ring[v]
+        total += g * old_unique[id(src)] / len(src)
+        total += g * new_unique[id(dst)] / len(dst)
+    return total
+
+
+def auto_migration_replanner(
+    partitioner,
+    horizon_intervals: float = 10.0,
+):
+    """A :class:`RingReplanner` whose migration bar is computed per decision
+    from the actual plan diff rather than a constant.
+
+    Returns a replanner subclass instance; everything else behaves like
+    :class:`~repro.system.replanner.RingReplanner`.
+    """
+    from repro.system.replanner import ReplanDecision, RingReplanner
+
+    class _AutoCostReplanner(RingReplanner):
+        def observe(self, problem: SNOD2Problem) -> ReplanDecision:
+            if self.current_partition is not None and self._partition_still_valid(problem):
+                candidate = self.partitioner.partition_checked(problem)
+                self.migration_cost = estimate_migration_cost(
+                    problem, self.current_partition, candidate
+                )
+            return super().observe(problem)
+
+    return _AutoCostReplanner(
+        partitioner, migration_cost=0.0, horizon_intervals=horizon_intervals
+    )

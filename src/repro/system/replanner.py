@@ -1,0 +1,166 @@
+"""Adaptive re-planning for time-varying sources.
+
+The paper's estimation model is explicitly time-varying (Algorithm 1 tracks
+characteristic vectors across time slots), but its prototype plans rings
+once. A deployed system needs the loop closed: when the data statistics
+drift, the old partition's cost creeps up, and at some point re-ringing
+pays for the migration. :class:`RingReplanner` implements that policy:
+
+- :meth:`observe` a new fitted model per time slot;
+- the replanner evaluates the *current* partition under the *new* model,
+  re-runs the partitioner, and compares;
+- when the predicted per-interval saving exceeds ``migration_cost`` (the
+  one-off cost of rebuilding ring indexes, in the same cost units)
+  amortized over ``horizon_intervals``, it recommends the new plan.
+
+Pure planning logic — deployment of an accepted plan stays with the caller
+(e.g. :class:`~repro.system.cluster.EFDedupCluster`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.costs import Partition, SNOD2Problem
+from repro.core.model import ChunkPoolModel
+from repro.core.partitioning.base import Partitioner
+
+
+@dataclass(frozen=True)
+class ReplanDecision:
+    """Outcome of one re-planning evaluation."""
+
+    replan: bool
+    current_cost: float
+    candidate_cost: float
+    candidate_partition: Partition
+    saving_per_interval: float
+    reason: str
+
+
+class RingReplanner:
+    """Decides when drifted statistics justify re-ringing.
+
+    Args:
+        partitioner: the planning algorithm (typically SMART).
+        migration_cost: one-off cost of moving to a new partition, in the
+            same units as the SNOD2 objective (index rebuild + re-streaming).
+        horizon_intervals: intervals the new plan is expected to stay valid;
+            the migration cost is amortized over this horizon.
+    """
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        migration_cost: float = 0.0,
+        horizon_intervals: float = 10.0,
+    ) -> None:
+        if migration_cost < 0:
+            raise ValueError(f"migration_cost must be >= 0, got {migration_cost!r}")
+        if horizon_intervals <= 0:
+            raise ValueError(
+                f"horizon_intervals must be positive, got {horizon_intervals!r}"
+            )
+        self.partitioner = partitioner
+        self.migration_cost = migration_cost
+        self.horizon_intervals = horizon_intervals
+        self.current_partition: Optional[Partition] = None
+        self.history: list[ReplanDecision] = []
+
+    def observe(self, problem: SNOD2Problem) -> ReplanDecision:
+        """Evaluate the current plan under this slot's (re-fitted) problem.
+
+        Returns the decision; when ``decision.replan`` is True the caller
+        should deploy ``decision.candidate_partition`` (and the replanner
+        adopts it as current).
+        """
+        candidate = self.partitioner.partition_checked(problem)
+        candidate_cost = problem.total_cost(candidate)
+        if self.current_partition is None:
+            decision = ReplanDecision(
+                replan=True,
+                current_cost=float("inf"),
+                candidate_cost=candidate_cost,
+                candidate_partition=candidate,
+                saving_per_interval=float("inf"),
+                reason="initial plan",
+            )
+            self.current_partition = candidate
+            self.history.append(decision)
+            return decision
+        if not self._partition_still_valid(problem):
+            # Node count changed: the old plan cannot even be evaluated.
+            decision = ReplanDecision(
+                replan=True,
+                current_cost=float("inf"),
+                candidate_cost=candidate_cost,
+                candidate_partition=candidate,
+                saving_per_interval=float("inf"),
+                reason="fleet membership changed",
+            )
+            self.current_partition = candidate
+            self.history.append(decision)
+            return decision
+        current_cost = problem.total_cost(self.current_partition)
+        saving = current_cost - candidate_cost
+        amortized_bar = self.migration_cost / self.horizon_intervals
+        if saving > amortized_bar:
+            decision = ReplanDecision(
+                replan=True,
+                current_cost=current_cost,
+                candidate_cost=candidate_cost,
+                candidate_partition=candidate,
+                saving_per_interval=saving,
+                reason=(
+                    f"saving {saving:.1f}/interval exceeds amortized migration "
+                    f"cost {amortized_bar:.1f}"
+                ),
+            )
+            self.current_partition = candidate
+        else:
+            decision = ReplanDecision(
+                replan=False,
+                current_cost=current_cost,
+                candidate_cost=candidate_cost,
+                candidate_partition=candidate,
+                saving_per_interval=saving,
+                reason=(
+                    f"saving {saving:.1f}/interval below amortized migration "
+                    f"cost {amortized_bar:.1f}"
+                ),
+            )
+        self.history.append(decision)
+        return decision
+
+    def _partition_still_valid(self, problem: SNOD2Problem) -> bool:
+        assert self.current_partition is not None
+        members = sorted(i for ring in self.current_partition for i in ring)
+        return members == list(range(problem.n_sources))
+
+
+def drift_model(
+    model: ChunkPoolModel,
+    drift: float,
+    seed: int = 0,
+) -> ChunkPoolModel:
+    """Perturb a model's characteristic vectors by ``drift`` (test/demo aid).
+
+    Each vector moves a ``drift`` fraction of its mass toward a random
+    re-normalized direction — a simple stand-in for sources whose content
+    mix changes between time slots.
+    """
+    if not 0.0 <= drift <= 1.0:
+        raise ValueError(f"drift must be in [0, 1], got {drift!r}")
+    rng = np.random.default_rng(seed)
+    sources = []
+    for src in model.sources:
+        noise = rng.dirichlet(np.ones(len(src.vector)))
+        mixed = (1.0 - drift) * np.asarray(src.vector) + drift * noise
+        mixed = mixed / mixed.sum()
+        sources.append(
+            type(src)(index=src.index, rate=src.rate, vector=tuple(float(p) for p in mixed))
+        )
+    return ChunkPoolModel(pool_sizes=model.pool_sizes, sources=sources)

@@ -1,0 +1,199 @@
+"""D2-rings: a partition cell with its distributed index and agents.
+
+A :class:`D2Ring` owns one :class:`~repro.kvstore.store.DistributedKVStore`
+spanning its member nodes (one Cassandra cluster per ring in the paper) and
+one :class:`~repro.system.agent.DedupAgent` per member. Unique chunks flow
+to the shared central cloud store.
+
+Failure behaviour mirrors Sec. IV: with replication factor γ ≥ 2 a ring
+keeps deduplicating while a member is down (writes to the down replica turn
+into hints), and the member catches up on recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.dedup.recipes import RecipeStore, make_recipe, restore_file
+from repro.dedup.stats import DedupStats
+from repro.kvstore.store import DistributedKVStore
+from repro.system.agent import DedupAgent, RingIndex
+from repro.system.cloud import CentralCloudStore
+from repro.system.config import EFDedupConfig
+
+
+class D2Ring:
+    """One deduplication ring: members + index store + agents.
+
+    Args:
+        ring_id: label (e.g. "ring-0").
+        members: the edge-node ids in this ring.
+        cloud: the central cloud store unique chunks are forwarded to.
+        config: system tunables.
+        cloud_of_member: optional node → edge-cloud mapping; when given, the
+            ring's index uses cloud-aware placement (γ replicas in distinct
+            edge clouds where possible) instead of plain ring order.
+    """
+
+    def __init__(
+        self,
+        ring_id: str,
+        members: Sequence[str],
+        cloud: Optional[CentralCloudStore] = None,
+        config: Optional[EFDedupConfig] = None,
+        cloud_of_member: Optional[dict[str, str]] = None,
+    ) -> None:
+        if not members:
+            raise ValueError(f"ring {ring_id!r} needs at least one member")
+        self.ring_id = ring_id
+        self.members = list(members)
+        self.cloud = cloud if cloud is not None else CentralCloudStore()
+        self.config = config if config is not None else EFDedupConfig()
+        strategy = None
+        if cloud_of_member is not None:
+            from repro.kvstore.topology_strategy import CloudAwareReplicationStrategy
+
+            strategy = CloudAwareReplicationStrategy(
+                self.config.replication_factor, cloud_of_member
+            )
+        self.store = DistributedKVStore(
+            node_ids=self.members,
+            replication_factor=self.config.replication_factor,
+            vnodes=self.config.vnodes,
+            default_consistency=self.config.consistency,
+            strategy=strategy,
+        )
+        self.recipes = RecipeStore()
+        self.agents: dict[str, DedupAgent] = {}
+        for node_id in self.members:
+            self._make_agent(node_id)
+
+    def _make_agent(self, node_id: str) -> None:
+        index = RingIndex(
+            self.store, local_node=node_id, consistency=self.config.consistency
+        )
+        self.agents[node_id] = DedupAgent(
+            node_id=node_id,
+            index=index,
+            config=self.config,
+            unique_sink=self.cloud.receive_chunk,
+        )
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def agent(self, node_id: str) -> DedupAgent:
+        try:
+            return self.agents[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id!r} is not in ring {self.ring_id!r}") from None
+
+    def ingest(self, node_id: str, data: bytes):
+        """Deduplicate ``data`` at ``node_id`` against the ring's index."""
+        return self.agent(node_id).ingest(data)
+
+    def ingest_file(self, node_id: str, file_id: str, data: bytes):
+        """Deduplicate ``data`` and record its recipe for later restore.
+
+        Requires the ring's cloud to keep payloads
+        (``CentralCloudStore(keep_payloads=True)``) — otherwise the recipe
+        would point at chunks whose bytes were dropped.
+        """
+        if not self.cloud.keep_payloads:
+            raise RuntimeError(
+                "restore needs CentralCloudStore(keep_payloads=True); this "
+                "ring's cloud only keeps accounting"
+            )
+        recipe = make_recipe(
+            file_id, data, chunker=self.agent(node_id).engine.chunker
+        )
+        self.recipes.put(recipe)
+        return self.agent(node_id).ingest(data, label=file_id)
+
+    def restore_file(self, file_id: str) -> bytes:
+        """Reassemble a previously-ingested file from the cloud's chunks."""
+        return restore_file(self.recipes.get(file_id), self.cloud.get_chunk)
+
+    def ingest_workloads(self, workloads: dict[str, Iterable[bytes]]) -> None:
+        """Feed per-node file streams through the ring, interleaved round-
+        robin so the shared index sees the same arrival mix a live ring
+        would (file order across nodes is otherwise irrelevant to totals)."""
+        iters = {nid: iter(files) for nid, files in workloads.items() if nid in self.agents}
+        while iters:
+            finished = []
+            for nid, it in iters.items():
+                data = next(it, None)
+                if data is None:
+                    finished.append(nid)
+                else:
+                    self.agent(nid).ingest(data)
+            for nid in finished:
+                del iters[nid]
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def combined_stats(self) -> DedupStats:
+        """Ring-wide dedup accounting (agents share one index, so additive)."""
+        total = DedupStats()
+        for agent in self.agents.values():
+            total = total.merge(agent.stats)
+        return total
+
+    @property
+    def dedup_ratio(self) -> float:
+        return self.combined_stats().dedup_ratio
+
+    def local_lookup_fraction(self) -> float:
+        """Observed fraction of lookups served locally — compare with the
+        model's γ/|P| (Eq. 2)."""
+        local = sum(
+            a.engine.index.lookups.local_lookups  # type: ignore[union-attr]
+            for a in self.agents.values()
+        )
+        total = sum(
+            a.engine.index.lookups.total_lookups  # type: ignore[union-attr]
+            for a in self.agents.values()
+        )
+        return local / total if total else 0.0
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+
+    def add_member(self, node_id: str) -> None:
+        """Grow the ring by one edge node.
+
+        The index store re-streams affected key ranges to the newcomer
+        (Cassandra-style bootstrap), and a fresh agent starts on the node.
+        """
+        if node_id in self.agents:
+            raise ValueError(f"node {node_id!r} is already in ring {self.ring_id!r}")
+        self.store.add_node(node_id)
+        self.members.append(node_id)
+        self._make_agent(node_id)
+
+    def remove_member(self, node_id: str) -> None:
+        """Decommission a member; its index shard streams to the remaining
+        replicas before it leaves. At least one member must remain."""
+        if node_id not in self.agents:
+            raise KeyError(f"node {node_id!r} is not in ring {self.ring_id!r}")
+        if len(self.members) == 1:
+            raise ValueError(f"cannot remove the last member of ring {self.ring_id!r}")
+        self.store.remove_node(node_id)
+        self.members.remove(node_id)
+        del self.agents[node_id]
+
+    # ------------------------------------------------------------------ #
+    # failure injection
+    # ------------------------------------------------------------------ #
+
+    def fail_node(self, node_id: str) -> None:
+        """Take a member's index replica offline (the agent itself keeps
+        running — Sec. IV's resilience scenario)."""
+        self.store.mark_down(node_id)
+
+    def recover_node(self, node_id: str) -> None:
+        """Bring a member back; buffered hints replay automatically."""
+        self.store.mark_up(node_id)

@@ -1,0 +1,54 @@
+"""Named deployment strategies and a common dispatch.
+
+The paper compares three deployments (Sec. V-A): EF-dedup's edge D2-rings,
+the Cloud-assisted index-in-the-cloud baseline, and the Cloud-only raw
+forwarding baseline. This module gives them stable names for experiment
+tables and a single entry point used by the analysis runners.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from repro.network.topology import Topology
+from repro.system.config import EFDedupConfig
+from repro.system.throughput import (
+    ThroughputReport,
+    Workloads,
+    run_cloud_assisted,
+    run_cloud_only,
+    run_edge_rings,
+)
+
+
+class Strategy(enum.Enum):
+    """The three deployments the paper evaluates."""
+
+    EF_DEDUP = "ef-dedup"
+    CLOUD_ASSISTED = "cloud-assisted"
+    CLOUD_ONLY = "cloud-only"
+
+
+def run_strategy(
+    strategy: Strategy,
+    topology: Topology,
+    workloads: Workloads,
+    partition: Optional[Sequence[Sequence[str]]] = None,
+    config: Optional[EFDedupConfig] = None,
+) -> ThroughputReport:
+    """Run one deployment strategy over ``workloads``.
+
+    Args:
+        partition: required for :attr:`Strategy.EF_DEDUP` (the D2-rings);
+            must be omitted for the cloud baselines.
+    """
+    if strategy is Strategy.EF_DEDUP:
+        if partition is None:
+            raise ValueError("EF-dedup needs a partition of the edge nodes")
+        return run_edge_rings(topology, partition, workloads, config)
+    if partition is not None:
+        raise ValueError(f"{strategy.value} does not take a partition")
+    if strategy is Strategy.CLOUD_ASSISTED:
+        return run_cloud_assisted(topology, workloads, config)
+    return run_cloud_only(topology, workloads, config)

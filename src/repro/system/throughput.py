@@ -1,0 +1,370 @@
+"""Throughput experiments: the measurement harness behind Figs. 5 and 6.
+
+Runs real data through the real components — chunkers, fingerprints, the
+ring's distributed KV index or the cloud index — while *charging* simulated
+time for each operation from the topology's latencies and bandwidths. The
+byte- and chunk-level accounting is therefore exact (it is the actual dedup
+outcome on the actual data); only the clock is modeled.
+
+Timing model (per edge node), mirroring the prototype's data path:
+
+- chunk + fingerprint CPU: bytes / ``hash_mb_per_s``;
+- index lookup: local replicas cost only the service time; a remote lookup
+  costs an RTT to the primary replica, amortized by the agent's pipelining
+  depth ``lookup_batch`` (Cloud-assisted pays the WAN RTT instead);
+- unique-chunk upload: a synchronous small-object PUT over the WAN —
+  ``upload_rtts`` round trips, likewise amortized by ``lookup_batch``. This
+  is what makes higher dedup ratios buy throughput (fewer uploads), the
+  effect behind Fig. 6(b)'s ring-size sweet spot;
+- Cloud-only forwards raw bytes: each node streams at its TCP-window-limited
+  per-stream rate (``tcp_window_bytes`` / WAN RTT, capped by the link rate),
+  and all streams share the uplink capacity — the paper's bottleneck.
+
+A node's completion is its pipeline time (uploads are synchronous, so they
+are already inside it); for Cloud-only it is the larger of its own stream
+time and the shared-uplink drain. Aggregate throughput = total raw bytes /
+makespan, the paper's "data processed per second" metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.chunking.fixed import FixedSizeChunker
+from repro.chunking.hashing import default_fingerprint
+from repro.dedup.stats import DedupStats
+from repro.network.topology import Topology
+from repro.sim.metrics import Summary
+from repro.system.cloud import CentralCloudStore, CloudDedupService
+from repro.system.config import EFDedupConfig
+from repro.system.ring import D2Ring
+
+Workloads = dict[str, list[bytes]]
+
+
+@dataclass
+class NodeTiming:
+    """Per-node outcome of a throughput run."""
+
+    node_id: str
+    raw_bytes: int = 0
+    chunks: int = 0
+    cpu_s: float = 0.0
+    lookup_s: float = 0.0
+    upload_s: float = 0.0
+    local_lookups: int = 0
+    remote_lookups: int = 0
+    uploaded_bytes: int = 0
+    completion_s: float = 0.0
+
+    @property
+    def pipeline_s(self) -> float:
+        return self.cpu_s + self.lookup_s + self.upload_s
+
+    @property
+    def throughput_mb_s(self) -> float:
+        if self.completion_s <= 0:
+            return 0.0
+        return self.raw_bytes / 1e6 / self.completion_s
+
+
+@dataclass
+class ThroughputReport:
+    """Outcome of one strategy run."""
+
+    strategy: str
+    per_node: dict[str, NodeTiming]
+    dedup_stats: DedupStats
+    wan_bytes: int
+    wan_drain_s: float
+    makespan_s: float
+    network_cost_s: float  # Σ RTT over remote index lookups (empirical V)
+    lookup_latency: Summary = field(default_factory=lambda: Summary("lookup_latency_s"))
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def aggregate_throughput_mb_s(self) -> float:
+        """Total raw bytes / makespan — the Fig. 5(a) series."""
+        total = sum(t.raw_bytes for t in self.per_node.values())
+        if self.makespan_s <= 0:
+            return 0.0
+        return total / 1e6 / self.makespan_s
+
+    @property
+    def mean_node_throughput_mb_s(self) -> float:
+        timings = list(self.per_node.values())
+        if not timings:
+            return 0.0
+        return sum(t.throughput_mb_s for t in timings) / len(timings)
+
+    @property
+    def dedup_ratio(self) -> float:
+        return self.dedup_stats.dedup_ratio
+
+    def summary(self) -> dict[str, float]:
+        out = {
+            "aggregate_throughput_mb_s": self.aggregate_throughput_mb_s,
+            "mean_node_throughput_mb_s": self.mean_node_throughput_mb_s,
+            "dedup_ratio": self.dedup_ratio,
+            "wan_mb": self.wan_bytes / 1e6,
+            "makespan_s": self.makespan_s,
+            "network_cost_s": self.network_cost_s,
+        }
+        if self.lookup_latency.count:
+            out["lookup_p50_us"] = self.lookup_latency.percentile(50) * 1e6
+            out["lookup_p99_us"] = self.lookup_latency.percentile(99) * 1e6
+        return out
+
+
+def _validate_workloads(topology: Topology, workloads: Workloads) -> None:
+    for node_id in workloads:
+        topology.node(node_id)  # raises on unknown node
+    if not workloads:
+        raise ValueError("workloads must cover at least one node")
+
+
+def _report(
+    topology: Topology,
+    strategy: str,
+    timings: dict[str, NodeTiming],
+    stats: DedupStats,
+    wan_bytes: int,
+    network_cost_s: float,
+    lookup_latency: Optional[Summary] = None,
+    extras: Optional[dict[str, float]] = None,
+) -> ThroughputReport:
+    wan_drain = wan_bytes / topology.wan_bandwidth_bytes_per_s
+    makespan = max((t.completion_s for t in timings.values()), default=0.0)
+    return ThroughputReport(
+        strategy=strategy,
+        per_node=timings,
+        dedup_stats=stats,
+        wan_bytes=wan_bytes,
+        wan_drain_s=wan_drain,
+        makespan_s=makespan,
+        network_cost_s=network_cost_s,
+        lookup_latency=lookup_latency if lookup_latency is not None else Summary("lookup_latency_s"),
+        extras=extras or {},
+    )
+
+
+def _upload_time_s(topology: Topology, config: EFDedupConfig) -> float:
+    """Pipeline time charged per unique-chunk synchronous WAN upload."""
+    serialization = config.chunk_size / topology.wan_bandwidth_bytes_per_s
+    return (config.upload_rtts * topology.wan_rtt_s() + serialization) / config.lookup_batch
+
+
+def _chunk_stream(chunker, files, timing: NodeTiming, config: EFDedupConfig):
+    """Yield a node's chunks across all its files, accounting raw bytes and
+    hashing CPU as each file enters the pipeline."""
+    for data in files:
+        timing.raw_bytes += len(data)
+        timing.cpu_s += config.hash_time_s(len(data))
+        yield from chunker.chunk(data)
+
+
+# ---------------------------------------------------------------------- #
+# EF-dedup (edge D2-rings)
+# ---------------------------------------------------------------------- #
+
+
+def run_edge_rings(
+    topology: Topology,
+    partition: Sequence[Sequence[str]],
+    workloads: Workloads,
+    config: Optional[EFDedupConfig] = None,
+) -> ThroughputReport:
+    """Run the EF-dedup strategy: one D2-ring (with its own distributed
+    index) per partition cell; lookups stay within the ring.
+
+    Args:
+        partition: node-id rings (e.g. from a partitioner's output mapped
+            through ``topology.node_ids``).
+        workloads: per-node list of file payloads.
+    """
+    config = config if config is not None else EFDedupConfig()
+    _validate_workloads(topology, workloads)
+    covered = [nid for ring in partition for nid in ring]
+    if len(set(covered)) != len(covered):
+        raise ValueError("partition assigns a node to more than one ring")
+    missing = set(workloads) - set(covered)
+    if missing:
+        raise ValueError(f"nodes {sorted(missing)!r} have workloads but no ring")
+
+    cloud = CentralCloudStore()
+    rings = [
+        D2Ring(ring_id=f"ring-{i}", members=list(members), cloud=cloud, config=config)
+        for i, members in enumerate(partition)
+        if members
+    ]
+    ring_of: dict[str, D2Ring] = {}
+    for ring in rings:
+        for nid in ring.members:
+            ring_of[nid] = ring
+
+    timings = {nid: NodeTiming(node_id=nid) for nid in workloads}
+    stats = DedupStats()
+    network_cost = 0.0
+    wan_bytes = 0
+    upload_time = _upload_time_s(topology, config)
+    lookup_latency = Summary("lookup_latency_s")
+
+    # Nodes deduplicate in parallel in the real system, so chunks are
+    # processed round-robin across nodes: without interleaving, the first
+    # node of a ring would absorb every upload and the later members none,
+    # which no live deployment exhibits.
+    streams = {
+        nid: _chunk_stream(ring_of[nid].agent(nid).engine.chunker, files, timings[nid], config)
+        for nid, files in workloads.items()
+    }
+    while streams:
+        exhausted = []
+        for nid, stream in streams.items():
+            chunk = next(stream, None)
+            if chunk is None:
+                exhausted.append(nid)
+                continue
+            ring = ring_of[nid]
+            timing = timings[nid]
+            fp = default_fingerprint(chunk.data)
+            replicas = ring.store.replicas_for(fp)
+            if nid in replicas:
+                timing.local_lookups += 1
+                timing.lookup_s += config.lookup_service_s
+                lookup_latency.observe(config.lookup_service_s)
+            else:
+                timing.remote_lookups += 1
+                rtt = topology.rtt_s(nid, replicas[0])
+                timing.lookup_s += config.lookup_service_s + rtt / config.lookup_batch
+                lookup_latency.observe(config.lookup_service_s + rtt)
+                network_cost += rtt
+            is_new = ring.store.put_if_absent(fp, nid, coordinator=nid)
+            stats.record_chunk(chunk.length, is_new)
+            timing.chunks += 1
+            if is_new:
+                cloud.receive_chunk(chunk, fp)
+                timing.uploaded_bytes += chunk.length
+                timing.upload_s += upload_time
+                wan_bytes += chunk.length
+        for nid in exhausted:
+            del streams[nid]
+    for timing in timings.values():
+        timing.completion_s = timing.pipeline_s
+
+    extras = {
+        "n_rings": float(len(rings)),
+        "stored_index_entries": float(sum(r.store.total_stored_entries() for r in rings)),
+    }
+    return _report(
+        topology, "ef-dedup", timings, stats, wan_bytes, network_cost,
+        lookup_latency=lookup_latency, extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Cloud-assisted (index in the cloud, lookups over the WAN)
+# ---------------------------------------------------------------------- #
+
+
+def run_cloud_assisted(
+    topology: Topology,
+    workloads: Workloads,
+    config: Optional[EFDedupConfig] = None,
+) -> ThroughputReport:
+    """Cloud-assisted baseline: edges chunk and hash locally but every index
+    lookup crosses the WAN to the central cloud; only unique chunks upload."""
+    config = config if config is not None else EFDedupConfig()
+    _validate_workloads(topology, workloads)
+    service = CloudDedupService()
+    chunker = FixedSizeChunker(config.chunk_size)
+    timings = {nid: NodeTiming(node_id=nid) for nid in workloads}
+    stats = DedupStats()
+    network_cost = 0.0
+    wan_bytes = 0
+    wan_rtt = topology.wan_rtt_s()
+    upload_time = _upload_time_s(topology, config)
+    lookup_latency = Summary("lookup_latency_s")
+
+    streams = {
+        nid: _chunk_stream(chunker, files, timings[nid], config)
+        for nid, files in workloads.items()
+    }
+    while streams:
+        exhausted = []
+        for nid, stream in streams.items():
+            chunk = next(stream, None)
+            if chunk is None:
+                exhausted.append(nid)
+                continue
+            timing = timings[nid]
+            fp = default_fingerprint(chunk.data)
+            timing.remote_lookups += 1
+            timing.lookup_s += config.lookup_service_s + wan_rtt / config.lookup_batch
+            lookup_latency.observe(config.lookup_service_s + wan_rtt)
+            network_cost += wan_rtt
+            present = service.lookup(fp)
+            timing.chunks += 1
+            stats.record_chunk(chunk.length, not present)
+            if not present:
+                service.ingest_unique_chunk(chunk, fp)
+                timing.uploaded_bytes += chunk.length
+                timing.upload_s += upload_time
+                wan_bytes += chunk.length
+        for nid in exhausted:
+            del streams[nid]
+    for timing in timings.values():
+        timing.completion_s = timing.pipeline_s
+
+    return _report(
+        topology, "cloud-assisted", timings, stats, wan_bytes, network_cost,
+        lookup_latency=lookup_latency,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Cloud-only (raw forwarding, dedup happens in the cloud)
+# ---------------------------------------------------------------------- #
+
+
+def run_cloud_only(
+    topology: Topology,
+    workloads: Workloads,
+    config: Optional[EFDedupConfig] = None,
+) -> ThroughputReport:
+    """Cloud-only baseline: edges forward raw data; the cloud dedups on
+    arrival.
+
+    Each node's stream is limited by its TCP window over the WAN RTT
+    (``config.tcp_window_bytes``) and by the link rate; the streams together
+    cannot exceed the uplink capacity — the paper's bottleneck.
+    """
+    config = config if config is not None else EFDedupConfig()
+    _validate_workloads(topology, workloads)
+    service = CloudDedupService()
+    chunker = FixedSizeChunker(config.chunk_size)
+    timings = {nid: NodeTiming(node_id=nid) for nid in workloads}
+    wan_bytes = 0
+
+    stream_rate = min(
+        topology.wan_bandwidth_bytes_per_s,
+        config.tcp_window_bytes / max(topology.wan_rtt_s(), 1e-9),
+    )
+    for nid, files in workloads.items():
+        timing = timings[nid]
+        for data in files:
+            timing.raw_bytes += len(data)
+            timing.uploaded_bytes += len(data)
+            wan_bytes += len(data)
+            for chunk in chunker.chunk(data):
+                fp = default_fingerprint(chunk.data)
+                service.ingest_raw_chunk(chunk, fp)
+                timing.chunks += 1
+
+    link_drain = wan_bytes / topology.wan_bandwidth_bytes_per_s
+    for timing in timings.values():
+        timing.upload_s = timing.raw_bytes / stream_rate
+        timing.completion_s = max(timing.upload_s, link_drain)
+
+    # The cloud's post-arrival dedup outcome is the reported ratio.
+    return _report(topology, "cloud-only", timings, service.stats, wan_bytes, 0.0)

@@ -1,0 +1,209 @@
+"""Tests for the analysis layer: reports, workloads, surrogates, and the
+figure experiments' qualitative shapes (small parameterizations)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    experiment_config,
+    fig5a_throughput_vs_nodes,
+    fig5c_ratio_vs_rings,
+    fig6b_throughput_vs_ring_size,
+    fig6c_tradeoff_comparison,
+    fig7a_cost_vs_scale,
+    fig7b_cost_vs_alpha,
+)
+from repro.analysis.report import FigureResult, improvement_pct, reduction_pct
+from repro.analysis.workloads import (
+    accelerometer_surrogate,
+    build_workloads,
+    chunk_equivalent_nu,
+    make_problem,
+    trafficvideo_surrogate,
+)
+from repro.chunking.fixed import FixedSizeChunker
+from repro.core.dedup_ratio import expected_ratio_for_draws
+from repro.dedup.engine import DedupEngine
+from repro.network.topology import build_testbed
+
+
+class TestReport:
+    def test_series_length_checked(self):
+        fig = FigureResult(
+            figure="F", title="t", x_label="x", y_label="y", x=(1.0, 2.0)
+        )
+        with pytest.raises(ValueError):
+            fig.add_series("bad", [1.0])
+
+    def test_get_series(self):
+        fig = FigureResult(figure="F", title="t", x_label="x", y_label="y", x=(1.0,))
+        fig.add_series("a", [3.0])
+        assert fig.get("a") == (3.0,)
+        with pytest.raises(KeyError):
+            fig.get("missing")
+
+    def test_to_text_contains_values(self):
+        fig = FigureResult(figure="F", title="t", x_label="x", y_label="y", x=(1.0, 2.0))
+        fig.add_series("series", [1.5, 2.5])
+        fig.notes["k"] = 1.0
+        text = fig.to_text()
+        assert "series" in text and "1.50" in text and "2.50" in text and "k=1" in text
+
+    def test_improvement_pct(self):
+        assert improvement_pct(150.0, 100.0) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            improvement_pct(1.0, 0.0)
+
+    def test_reduction_pct(self):
+        assert reduction_pct(50.0, 100.0) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            reduction_pct(1.0, 0.0)
+
+
+class TestWorkloads:
+    def test_build_validates_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            build_workloads(build_testbed(4, 2), dataset="bogus")
+
+    def test_build_validates_files(self):
+        with pytest.raises(ValueError):
+            build_workloads(build_testbed(4, 2), files_per_node=0)
+
+    def test_every_node_gets_files(self):
+        topology = build_testbed(6, 3)
+        bundle = build_workloads(topology, files_per_node=2, n_groups=3)
+        assert set(bundle.workloads) == set(topology.node_ids)
+        assert all(len(files) == 2 for files in bundle.workloads.values())
+
+    def test_same_group_nodes_get_distinct_files(self):
+        topology = build_testbed(6, 3)
+        bundle = build_workloads(topology, files_per_node=1, n_groups=3)
+        # Nodes 0 and 3 share group 0 but must not hold identical bytes.
+        assert bundle.workloads["edge-0"][0] != bundle.workloads["edge-3"][0]
+
+    def test_model_matches_node_count(self):
+        topology = build_testbed(6, 3)
+        bundle = build_workloads(topology, files_per_node=1, n_groups=3)
+        assert bundle.model.n_sources == 6
+
+    def test_chunk_equivalent_nu_units(self):
+        topology = build_testbed(4, 2)
+        nu = chunk_equivalent_nu(topology, 4096)
+        upload_time = 4096 / topology.wan_bandwidth_bytes_per_s
+        assert nu[0, 1] == pytest.approx(topology.rtt_s("edge-0", "edge-1") / upload_time)
+
+    def test_make_problem_wiring(self):
+        topology = build_testbed(4, 2)
+        bundle = build_workloads(topology, files_per_node=1, n_groups=2)
+        problem = make_problem(topology, bundle, chunk_size=4096, alpha=0.3, gamma=3)
+        assert problem.alpha == 0.3
+        assert problem.gamma == 3
+        assert problem.n_sources == 4
+
+
+class TestSurrogates:
+    def test_accel_surrogate_predicts_measured_ratio(self):
+        """The surrogate model is the dataset's true generative model, so
+        Theorem 1 on the surrogate matches the measured ratio."""
+        topology = build_testbed(4, 2)
+        bundle = build_workloads(topology, files_per_node=2, n_groups=2)
+        engine = DedupEngine(chunker=FixedSizeChunker(4096))
+        for files in bundle.workloads.values():
+            for data in files:
+                engine.dedup_bytes(data)
+        measured = engine.stats.dedup_ratio
+        predicted = expected_ratio_for_draws(
+            bundle.model.pool_sizes,
+            [s.vector for s in bundle.model.sources],
+            [s.rate for s in bundle.model.sources],
+        )
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+    def test_accel_surrogate_structure(self):
+        model = accelerometer_surrogate([0, 1, 0], chunks_per_node=100)
+        assert model.n_pools == 3  # shared + 2 groups
+        assert model.sources[0].vector[0] == pytest.approx(0.3)
+        assert model.sources[0].vector[1] == pytest.approx(0.7)
+        assert model.sources[1].vector[2] == pytest.approx(0.7)
+
+    def test_video_surrogate_structure(self):
+        model = trafficvideo_surrogate([0, 0, 1], chunks_per_node=64)
+        # 2 fleets + 3 backgrounds + 3 noise pools.
+        assert model.n_pools == 8
+        vec = model.sources[0].vector
+        assert sum(vec) == pytest.approx(1.0)
+        assert vec[0] == pytest.approx(0.25)  # fleet pool
+
+
+class TestFigureShapes:
+    """Each figure's qualitative claim, on tiny parameterizations."""
+
+    def test_fig5a_ordering_and_growth(self):
+        fig = fig5a_throughput_vs_nodes(node_counts=(5, 10), files_per_node=1)
+        smart = fig.get("SMART")
+        assisted = fig.get("cloud-assisted")
+        only = fig.get("cloud-only")
+        assert all(s > a for s, a in zip(smart, assisted))
+        assert all(a > o for a, o in zip(assisted, only))
+        assert smart[1] > smart[0]  # parallelism grows throughput
+
+    def test_fig5c_ratio_decreases_with_rings(self):
+        fig = fig5c_ratio_vs_rings(ring_counts=(1, 5, 10), files_per_node=1)
+        measured = fig.get("SMART (measured)")
+        assert measured[0] >= measured[1] >= measured[2] - 1e-9
+        upper = fig.get("cloud (upper bound)")
+        assert all(m <= u + 1e-9 for m, u in zip(measured, upper))
+
+    def test_fig5c_model_tracks_measured(self):
+        fig = fig5c_ratio_vs_rings(ring_counts=(1, 5), files_per_node=1)
+        measured = fig.get("SMART (measured)")
+        model = fig.get("SMART (model)")
+        for m, p in zip(measured, model):
+            assert m == pytest.approx(p, rel=0.15)
+
+    def test_fig6b_crossover(self):
+        """Larger rings help at low inter-cloud latency and hurt at high."""
+        fig = fig6b_throughput_vs_ring_size(
+            ring_sizes=(2, 20), inter_cloud_latencies_ms=(5.0, 30.0), files_per_node=1
+        )
+        low = fig.get("5 ms")
+        high = fig.get("30 ms")
+        assert low[1] > low[0]  # 5 ms: ring of 20 beats ring of 2
+        assert high[1] < high[0]  # 30 ms: ring of 20 loses
+
+    def test_fig6c_smart_wins_aggregate(self):
+        fig = fig6c_tradeoff_comparison(files_per_node=1)
+        aggregate = fig.get("aggregate cost")
+        assert aggregate[0] <= aggregate[1] + 1e-9  # vs Network-Only
+        assert aggregate[0] <= aggregate[2] + 1e-9  # vs Dedup-Only
+
+    def test_fig7a_smart_wins(self):
+        fig = fig7a_cost_vs_scale(node_counts=(40, 120), alpha=0.001)
+        smart = fig.get("SMART")
+        net_only = fig.get("Network-Only")
+        dedup_only = fig.get("Dedup-Only")
+        assert all(s <= n * 1.01 for s, n in zip(smart, net_only))
+        assert all(s <= d * 1.01 for s, d in zip(smart, dedup_only))
+        # Costs scale with the fleet.
+        assert smart[1] > smart[0]
+
+    def test_fig7b_alpha_tradeoff(self):
+        fig = fig7b_cost_vs_alpha(alphas=(1e-4, 1e-1), n_nodes=60, n_rings=10)
+        alphas = fig.x
+        network = fig.get("SMART network")
+        aggregate = fig.get("SMART aggregate")
+        # The weighted network term α·V and the aggregate rise with α (the
+        # paper plots the weighted costs in Fig. 7b).
+        weighted = [a * v for a, v in zip(alphas, network)]
+        assert weighted[1] > weighted[0]
+        assert aggregate[1] > aggregate[0]
+        # SMART stays at or below both single-objective variants per α
+        # (small tolerance: all three are greedy heuristics).
+        for label in ("Network-Only aggregate", "Dedup-Only aggregate"):
+            baseline = fig.get(label)
+            assert all(s <= b * 1.05 for s, b in zip(aggregate, baseline))
+
+    def test_experiment_config_overrides(self):
+        config = experiment_config(lookup_batch=4)
+        assert config.lookup_batch == 4
+        assert config.chunk_size == 4096

@@ -1,0 +1,133 @@
+"""Tests for content-defined chunking (Gear and Rabin)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking.base import validate_chunking
+from repro.chunking.gear import GearChunker
+from repro.chunking.rabin import RabinChunker
+
+
+def _random_bytes(n: int, seed: int = 0) -> bytes:
+    return np.random.default_rng(seed).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+CDC_CLASSES = [
+    pytest.param(lambda: GearChunker(avg_size=256), id="gear"),
+    pytest.param(lambda: RabinChunker(avg_size=256), id="rabin"),
+]
+
+
+@pytest.mark.parametrize("make_chunker", CDC_CLASSES)
+class TestCDCCommon:
+    def test_reconstruction(self, make_chunker):
+        data = _random_bytes(8192)
+        chunks = list(make_chunker().chunk(data))
+        validate_chunking(data, chunks)
+
+    def test_deterministic(self, make_chunker):
+        data = _random_bytes(8192, seed=1)
+        a = [c.data for c in make_chunker().chunk(data)]
+        b = [c.data for c in make_chunker().chunk(data)]
+        assert a == b
+
+    def test_empty_input(self, make_chunker):
+        assert list(make_chunker().chunk(b"")) == []
+
+    def test_min_max_bounds(self, make_chunker):
+        chunker = make_chunker()
+        data = _random_bytes(20000, seed=2)
+        chunks = list(chunker.chunk(data))
+        # All but the final chunk respect the min; all respect the max.
+        for c in chunks[:-1]:
+            assert chunker.min_size <= c.length <= chunker.max_size
+        assert chunks[-1].length <= chunker.max_size
+
+    def test_average_size_roughly_respected(self, make_chunker):
+        chunker = make_chunker()
+        data = _random_bytes(200_000, seed=3)
+        lengths = [c.length for c in chunker.chunk(data)]
+        mean = sum(lengths) / len(lengths)
+        # CDC averages land within a factor ~2 of the target on random data.
+        assert chunker.avg_size / 2 <= mean <= chunker.avg_size * 2.5
+
+    def test_boundary_shift_resistance(self, make_chunker):
+        """Inserting a byte near the front must not re-chunk the whole file —
+        the CDC property that fixed-size chunking lacks."""
+        chunker = make_chunker()
+        data = _random_bytes(50_000, seed=4)
+        shifted = data[:10] + b"X" + data[10:]
+        original = {c.data for c in chunker.chunk(data)}
+        after = [c.data for c in chunker.chunk(shifted)]
+        shared = sum(1 for c in after if c in original)
+        assert shared / len(after) > 0.5
+
+
+class TestGearSpecific:
+    def test_avg_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            GearChunker(avg_size=1000)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            GearChunker(avg_size=256, min_size=512)
+        with pytest.raises(ValueError):
+            GearChunker(avg_size=256, max_size=128)
+
+    def test_defaults_derived_from_avg(self):
+        chunker = GearChunker(avg_size=1024)
+        assert chunker.min_size == 256
+        assert chunker.max_size == 4096
+
+    @given(data=st.binary(max_size=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_property(self, data: bytes):
+        validate_chunking(data, list(GearChunker(avg_size=128).chunk(data)))
+
+
+class TestRabinSpecific:
+    def test_min_size_must_cover_window(self):
+        with pytest.raises(ValueError, match="window"):
+            RabinChunker(avg_size=256, min_size=16, window_size=48)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            RabinChunker(avg_size=256, window_size=0)
+
+    def test_window_locality(self):
+        """The same window_size bytes before a cut produce the same cut:
+        chunks found mid-file reappear when the file is re-chunked from a
+        different prefix."""
+        chunker = RabinChunker(avg_size=128, window_size=16, min_size=32)
+        tail = _random_bytes(30_000, seed=5)
+        a = {c.data for c in chunker.chunk(_random_bytes(1000, seed=6) + tail)}
+        b = {c.data for c in chunker.chunk(_random_bytes(1000, seed=7) + tail)}
+        assert len(a & b) >= 3
+
+    @given(data=st.binary(max_size=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_property(self, data: bytes):
+        chunker = RabinChunker(avg_size=128, window_size=16, min_size=32)
+        validate_chunking(data, list(chunker.chunk(data)))
+
+
+class TestValidateChunking:
+    def test_detects_gap(self):
+        from repro.chunking.base import Chunk
+
+        with pytest.raises(ValueError, match="offset"):
+            validate_chunking(b"abcd", [Chunk(b"ab", 0), Chunk(b"d", 3)])
+
+    def test_detects_wrong_content(self):
+        from repro.chunking.base import Chunk
+
+        with pytest.raises(ValueError):
+            validate_chunking(b"abcd", [Chunk(b"ab", 0), Chunk(b"xy", 2)])
+
+    def test_detects_missing_tail(self):
+        from repro.chunking.base import Chunk
+
+        with pytest.raises(ValueError, match="cover"):
+            validate_chunking(b"abcd", [Chunk(b"ab", 0)])

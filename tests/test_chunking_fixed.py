@@ -1,0 +1,70 @@
+"""Tests for fixed-size chunking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking.base import validate_chunking
+from repro.chunking.fixed import DEFAULT_CHUNK_SIZE, FixedSizeChunker
+
+
+class TestFixedSizeChunker:
+    def test_default_is_duperemove_block(self):
+        assert DEFAULT_CHUNK_SIZE == 128 * 1024
+
+    def test_exact_multiple(self):
+        chunks = list(FixedSizeChunker(4).chunk(b"abcdefgh"))
+        assert [c.data for c in chunks] == [b"abcd", b"efgh"]
+        assert [c.offset for c in chunks] == [0, 4]
+
+    def test_trailing_partial_chunk(self):
+        chunks = list(FixedSizeChunker(4).chunk(b"abcdef"))
+        assert [c.data for c in chunks] == [b"abcd", b"ef"]
+
+    def test_empty_input(self):
+        assert list(FixedSizeChunker(4).chunk(b"")) == []
+
+    def test_input_smaller_than_chunk(self):
+        chunks = list(FixedSizeChunker(100).chunk(b"xy"))
+        assert len(chunks) == 1
+        assert chunks[0].data == b"xy"
+
+    def test_pad_last(self):
+        chunks = list(FixedSizeChunker(4, pad_last=True).chunk(b"abcdef"))
+        assert chunks[-1].data == b"ef\x00\x00"
+        assert chunks[-1].length == 4
+
+    def test_pad_last_offset_preserved(self):
+        chunks = list(FixedSizeChunker(4, pad_last=True).chunk(b"abcdef"))
+        assert chunks[-1].offset == 4
+
+    def test_zero_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            FixedSizeChunker(0)
+
+    def test_identical_inputs_identical_chunks(self):
+        data = bytes(range(256)) * 10
+        a = [c.data for c in FixedSizeChunker(64).chunk(data)]
+        b = [c.data for c in FixedSizeChunker(64).chunk(data)]
+        assert a == b
+
+    def test_chunk_lengths_helper(self):
+        assert FixedSizeChunker(4).chunk_lengths(b"abcdefghij") == [4, 4, 2]
+
+    def test_chunk_stream_equals_chunk(self):
+        chunker = FixedSizeChunker(8)
+        data = b"0123456789abcdef!!"
+        streamed = [c.data for c in chunker.chunk_stream([data[:5], data[5:]])]
+        direct = [c.data for c in chunker.chunk(data)]
+        assert streamed == direct
+
+    @given(data=st.binary(max_size=2000), size=st.integers(min_value=1, max_value=300))
+    @settings(max_examples=60, deadline=None)
+    def test_chunking_invariants(self, data: bytes, size: int):
+        chunks = list(FixedSizeChunker(size).chunk(data))
+        validate_chunking(data, chunks)
+
+    @given(data=st.binary(min_size=1, max_size=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_all_chunks_at_most_chunk_size(self, data: bytes):
+        assert all(len(c) <= 16 for c in FixedSizeChunker(16).chunk(data))

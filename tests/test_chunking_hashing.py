@@ -1,0 +1,73 @@
+"""Tests for chunk fingerprinting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking.hashing import (
+    blake2b_fingerprint,
+    default_fingerprint,
+    get_fingerprinter,
+    sha1_fingerprint,
+    sha256_fingerprint,
+)
+
+
+class TestFingerprints:
+    def test_sha256_deterministic(self):
+        assert sha256_fingerprint(b"hello") == sha256_fingerprint(b"hello")
+
+    def test_sha256_distinct_inputs(self):
+        assert sha256_fingerprint(b"a") != sha256_fingerprint(b"b")
+
+    def test_sha256_truncation_length(self):
+        assert len(sha256_fingerprint(b"x", digest_bytes=16)) == 32
+        assert len(sha256_fingerprint(b"x", digest_bytes=8)) == 16
+
+    def test_sha256_digest_bytes_bounds(self):
+        with pytest.raises(ValueError):
+            sha256_fingerprint(b"x", digest_bytes=0)
+        with pytest.raises(ValueError):
+            sha256_fingerprint(b"x", digest_bytes=33)
+
+    def test_sha256_prefix_property(self):
+        long = sha256_fingerprint(b"data", digest_bytes=32)
+        short = sha256_fingerprint(b"data", digest_bytes=8)
+        assert long.startswith(short)
+
+    def test_sha1_is_40_hex_chars(self):
+        fp = sha1_fingerprint(b"hello")
+        assert len(fp) == 40
+        int(fp, 16)  # valid hex
+
+    def test_blake2b_length(self):
+        assert len(blake2b_fingerprint(b"x", digest_bytes=16)) == 32
+
+    def test_blake2b_bounds(self):
+        with pytest.raises(ValueError):
+            blake2b_fingerprint(b"x", digest_bytes=65)
+
+    def test_default_is_sha256(self):
+        assert default_fingerprint(b"abc") == sha256_fingerprint(b"abc")
+
+    def test_empty_input_ok(self):
+        assert len(default_fingerprint(b"")) == 32
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["sha256", "sha1", "blake2b"])
+    def test_known_names(self, name):
+        fp = get_fingerprinter(name)
+        assert isinstance(fp(b"test"), str)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown fingerprinter"):
+            get_fingerprinter("md5")
+
+
+class TestCollisionFreedom:
+    @given(st.sets(st.binary(min_size=1, max_size=64), min_size=2, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_inputs_distinct_fingerprints(self, inputs):
+        fps = {default_fingerprint(b) for b in inputs}
+        assert len(fps) == len(inputs)

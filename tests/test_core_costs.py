@@ -1,0 +1,164 @@
+"""Tests for the SNOD2 cost model (Eqs. 1-3 / 6-7) and partition validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import SNOD2Problem, validate_partition
+from repro.core.dedup_ratio import expected_unique_chunks, raw_chunks
+from repro.core.model import ChunkPoolModel, uniform_sources
+
+
+class TestValidatePartition:
+    def test_valid_partition(self):
+        validate_partition([[0, 2], [1], [3]], 4)
+
+    def test_empty_rings_allowed(self):
+        validate_partition([[0, 1], []], 2)
+
+    def test_missing_source(self):
+        with pytest.raises(ValueError, match="does not cover"):
+            validate_partition([[0, 1]], 3)
+
+    def test_duplicate_source(self):
+        with pytest.raises(ValueError, match="more than one"):
+            validate_partition([[0, 1], [1, 2]], 3)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            validate_partition([[0, 5]], 2)
+
+
+class TestProblemConstruction:
+    def test_nu_shape_checked(self, two_pool_model):
+        with pytest.raises(ValueError, match="4×4|4x4"):
+            SNOD2Problem(model=two_pool_model, nu=np.zeros((3, 3)))
+
+    def test_nu_symmetry_checked(self, two_pool_model):
+        nu = np.zeros((4, 4))
+        nu[0, 1] = 1.0
+        with pytest.raises(ValueError, match="symmetric"):
+            SNOD2Problem(model=two_pool_model, nu=nu)
+
+    def test_nu_diagonal_checked(self, two_pool_model):
+        nu = np.eye(4)
+        with pytest.raises(ValueError, match="diagonal"):
+            SNOD2Problem(model=two_pool_model, nu=nu)
+
+    def test_negative_nu_rejected(self, two_pool_model):
+        nu = np.zeros((4, 4))
+        nu[0, 1] = nu[1, 0] = -1.0
+        with pytest.raises(ValueError, match="negative"):
+            SNOD2Problem(model=two_pool_model, nu=nu)
+
+    def test_invalid_params(self, two_pool_model):
+        nu = np.zeros((4, 4))
+        with pytest.raises(ValueError):
+            SNOD2Problem(model=two_pool_model, nu=nu, duration=0.0)
+        with pytest.raises(ValueError):
+            SNOD2Problem(model=two_pool_model, nu=nu, gamma=0)
+        with pytest.raises(ValueError):
+            SNOD2Problem(model=two_pool_model, nu=nu, alpha=-0.1)
+
+
+class TestStorageCost:
+    def test_matches_theorem1(self, small_problem):
+        members = [0, 1, 2]
+        assert small_problem.storage_cost(members) == pytest.approx(
+            expected_unique_chunks(small_problem.model, members, small_problem.duration)
+        )
+
+    def test_equals_raw_over_ratio(self, small_problem):
+        """Eq. 1: U(P) = Σ R_i T / Ω(P)."""
+        from repro.core.dedup_ratio import dedup_ratio
+
+        members = [0, 1]
+        u = small_problem.storage_cost(members)
+        raw = raw_chunks(small_problem.model, members, small_problem.duration)
+        omega = dedup_ratio(small_problem.model, members, small_problem.duration)
+        assert u == pytest.approx(raw / omega)
+
+
+class TestNetworkCost:
+    def test_singleton_ring_is_free(self, small_problem):
+        assert small_problem.network_cost([0]) == 0.0
+
+    def test_ring_of_gamma_is_free(self, small_problem):
+        # γ=2: in a two-node ring every hash is local to both replicas.
+        assert small_problem.network_cost([0, 1]) == 0.0
+
+    def test_matches_eq2_by_hand(self, two_pool_model):
+        nu = np.zeros((4, 4))
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    nu[i, j] = 1.0  # unit cost everywhere
+        problem = SNOD2Problem(model=two_pool_model, nu=nu, duration=2.0, gamma=1, alpha=1.0)
+        members = [0, 1, 2]
+        # Each source: R*T = 200 lookups, non-local fraction (1 - 1/3),
+        # spread over 2 peers at unit cost each, /(|P|-1)=2.
+        per_source = 200.0 * (1 - 1 / 3) * (1.0 + 1.0) / 2.0
+        assert problem.network_cost(members) == pytest.approx(3 * per_source)
+
+    def test_gamma_larger_than_ring_clamps_to_zero(self, two_pool_model):
+        nu = np.ones((4, 4)) - np.eye(4)
+        problem = SNOD2Problem(model=two_pool_model, nu=nu, duration=1.0, gamma=3, alpha=1.0)
+        assert problem.network_cost([0, 1]) == 0.0
+        assert problem.network_cost([0, 1, 2]) == 0.0
+        assert problem.network_cost([0, 1, 2, 3]) > 0.0
+
+    def test_higher_gamma_lowers_network_cost(self, two_pool_model):
+        nu = np.ones((4, 4)) - np.eye(4)
+        costs = []
+        for gamma in (1, 2, 3):
+            problem = SNOD2Problem(
+                model=two_pool_model, nu=nu, duration=1.0, gamma=gamma, alpha=1.0
+            )
+            costs.append(problem.network_cost([0, 1, 2, 3]))
+        assert costs[0] > costs[1] > costs[2]
+
+    def test_scales_with_nu(self, two_pool_model):
+        nu1 = np.ones((4, 4)) - np.eye(4)
+        p1 = SNOD2Problem(model=two_pool_model, nu=nu1, duration=1.0, gamma=1)
+        p2 = SNOD2Problem(model=two_pool_model, nu=3 * nu1, duration=1.0, gamma=1)
+        assert p2.network_cost([0, 1, 2]) == pytest.approx(3 * p1.network_cost([0, 1, 2]))
+
+
+class TestAggregateCost:
+    def test_total_cost_sums_rings(self, small_problem):
+        partition = [[0, 1], [2, 3]]
+        expected = small_problem.ring_cost([0, 1]) + small_problem.ring_cost([2, 3])
+        assert small_problem.total_cost(partition) == pytest.approx(expected)
+
+    def test_alpha_weights_network(self, two_pool_model):
+        nu = np.ones((4, 4)) - np.eye(4)
+        low = SNOD2Problem(model=two_pool_model, nu=nu, duration=1.0, gamma=1, alpha=0.1)
+        high = SNOD2Problem(model=two_pool_model, nu=nu, duration=1.0, gamma=1, alpha=10.0)
+        members = [0, 1, 2, 3]
+        u = low.storage_cost(members)
+        v = low.network_cost(members)
+        assert low.ring_cost(members) == pytest.approx(u + 0.1 * v)
+        assert high.ring_cost(members) == pytest.approx(u + 10.0 * v)
+
+    def test_cost_breakdown_consistent(self, small_problem):
+        partition = [[0, 1], [2], [3]]
+        breakdown = small_problem.cost_breakdown(partition)
+        assert breakdown["aggregate"] == pytest.approx(
+            breakdown["storage"] + small_problem.alpha * breakdown["network"]
+        )
+        assert breakdown["storage"] == pytest.approx(small_problem.total_storage(partition))
+        assert breakdown["network"] == pytest.approx(small_problem.total_network(partition))
+
+    def test_total_cost_validates_partition(self, small_problem):
+        with pytest.raises(ValueError):
+            small_problem.total_cost([[0, 1]])
+
+    def test_single_ring_minimizes_storage(self, small_problem):
+        """The all-in-one partition has the smallest storage (paper's Fig. 5c
+        upper bound) even if its network cost is largest."""
+        single = small_problem.total_storage([[0, 1, 2, 3]])
+        for partition in ([[0], [1], [2], [3]], [[0, 1], [2, 3]], [[0, 2], [1, 3]]):
+            assert single <= small_problem.total_storage(partition) + 1e-9
+
+    def test_singletons_minimize_network(self, small_problem):
+        singleton_net = small_problem.total_network([[0], [1], [2], [3]])
+        assert singleton_net == 0.0

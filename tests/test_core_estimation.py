@@ -1,0 +1,221 @@
+"""Tests for Algorithm 1: characteristic-vector estimation."""
+
+import pytest
+
+from repro.chunking.fixed import FixedSizeChunker
+from repro.core.estimation import (
+    CharacteristicEstimator,
+    EstimationResult,
+    SubsetObservation,
+    observe_combinations,
+)
+from repro.core.dedup_ratio import expected_ratio_for_draws
+from repro.datasets.chunkpool_flows import make_correlated_sources
+
+
+def model_observations(pool_sizes, vectors, draw_counts) -> list[SubsetObservation]:
+    """Noise-free observations straight from Theorem 1 (for exact-recovery
+    tests: the estimator must fit these with ~zero error)."""
+    n = len(vectors)
+    obs = []
+    for i in range(n):
+        draws = [0.0] * n
+        draws[i] = draw_counts[i]
+        obs.append(
+            SubsetObservation(
+                draws=tuple(draws),
+                measured_ratio=expected_ratio_for_draws(pool_sizes, vectors, draws),
+            )
+        )
+    for i in range(n):
+        for j in range(i + 1, n):
+            draws = [0.0] * n
+            draws[i], draws[j] = draw_counts[i], draw_counts[j]
+            obs.append(
+                SubsetObservation(
+                    draws=tuple(draws),
+                    measured_ratio=expected_ratio_for_draws(pool_sizes, vectors, draws),
+                )
+            )
+    return obs
+
+
+class TestSubsetObservation:
+    def test_ratio_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            SubsetObservation(draws=(10.0,), measured_ratio=0.9)
+
+    def test_all_zero_draws_rejected(self):
+        with pytest.raises(ValueError):
+            SubsetObservation(draws=(0.0, 0.0), measured_ratio=1.5)
+
+    def test_negative_draws_rejected(self):
+        with pytest.raises(ValueError):
+            SubsetObservation(draws=(-1.0, 5.0), measured_ratio=1.5)
+
+
+class TestObserveCombinations:
+    def test_counts(self):
+        files = [[b"a" * 64, b"b" * 64], [b"c" * 64]]
+        obs = observe_combinations(files, chunker=FixedSizeChunker(16))
+        # 3 singles + 2x1 cross pairs.
+        assert len(obs) == 5
+
+    def test_without_singles(self):
+        files = [[b"a" * 64], [b"b" * 64]]
+        obs = observe_combinations(files, chunker=FixedSizeChunker(16), include_singles=False)
+        assert len(obs) == 1
+        assert all(d > 0 for d in obs[0].draws)
+
+    def test_draws_reflect_chunk_counts(self):
+        files = [[b"a" * 64], [b"b" * 32]]
+        obs = observe_combinations(files, chunker=FixedSizeChunker(16), include_singles=False)
+        assert obs[0].draws == (4.0, 2.0)
+
+    def test_identical_files_measured_ratio(self):
+        data = bytes(range(256))
+        obs = observe_combinations(
+            [[data], [data]], chunker=FixedSizeChunker(16), include_singles=False
+        )
+        assert obs[0].measured_ratio == pytest.approx(2.0)
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ValueError):
+            observe_combinations([])
+
+
+class TestEstimatorValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            CharacteristicEstimator(n_sources=0)
+        with pytest.raises(ValueError):
+            CharacteristicEstimator(n_sources=1, n_pools=0)
+        with pytest.raises(ValueError):
+            CharacteristicEstimator(n_sources=1, error_threshold=0.0)
+        with pytest.raises(ValueError):
+            CharacteristicEstimator(n_sources=1, restarts=0)
+
+    def test_fit_requires_observations(self):
+        with pytest.raises(ValueError):
+            CharacteristicEstimator(n_sources=1).fit([])
+
+    def test_fit_checks_draw_length(self):
+        est = CharacteristicEstimator(n_sources=2)
+        with pytest.raises(ValueError, match="draw entries"):
+            est.fit([SubsetObservation(draws=(5.0,), measured_ratio=1.2)])
+
+
+class TestFitOnModelData:
+    def test_recovers_noise_free_ratios(self):
+        """Fitting noise-free Theorem-1 observations must reach near-zero
+        MSE (the model family contains the truth)."""
+        pool_sizes = [100.0, 300.0]
+        vectors = [[0.7, 0.3], [0.2, 0.8]]
+        obs = model_observations(pool_sizes, vectors, [150.0, 150.0])
+        est = CharacteristicEstimator(
+            n_sources=2, n_pools=2, error_threshold=1e-4, restarts=6, seed=0
+        )
+        fit = est.fit(obs)
+        assert fit.mse < 1e-3
+        assert fit.mean_relative_error < 0.02
+
+    def test_predictions_interpolate(self):
+        pool_sizes = [200.0]
+        vectors = [[1.0], [1.0]]
+        obs = model_observations(pool_sizes, vectors, [100.0, 100.0])
+        est = CharacteristicEstimator(n_sources=2, n_pools=1, restarts=4, seed=1)
+        fit = est.fit(obs)
+        truth = expected_ratio_for_draws(pool_sizes, vectors, [80.0, 80.0])
+        assert fit.predicted_ratio([80.0, 80.0]) == pytest.approx(truth, rel=0.1)
+
+    def test_result_shapes(self):
+        obs = model_observations([100.0, 100.0], [[0.5, 0.5], [0.5, 0.5]], [50.0, 50.0])
+        fit = CharacteristicEstimator(n_sources=2, n_pools=2, seed=2).fit(obs)
+        assert fit.n_pools == 2
+        assert len(fit.vectors) == 2
+        assert all(len(v) == 2 for v in fit.vectors)
+        for v in fit.vectors:
+            assert sum(v) == pytest.approx(1.0, abs=1e-6)
+        assert all(s >= 1.0 for s in fit.pool_sizes)
+
+    def test_warm_start_speeds_convergence(self):
+        pool_sizes = [150.0, 250.0]
+        vectors = [[0.6, 0.4], [0.3, 0.7]]
+        obs = model_observations(pool_sizes, vectors, [120.0, 120.0])
+        est = CharacteristicEstimator(
+            n_sources=2, n_pools=2, error_threshold=0.05, restarts=4, seed=3
+        )
+        cold = est.fit(obs)
+        warm = est.fit(obs, warm_start=cold)
+        assert warm.mse <= cold.mse * 1.5
+        assert warm.fit_seconds <= cold.fit_seconds
+
+    def test_fit_over_time_warm_starts(self):
+        pool_sizes = [150.0]
+        vectors = [[1.0], [1.0]]
+        batches = [
+            model_observations(pool_sizes, vectors, [d, d]) for d in (80.0, 100.0, 120.0)
+        ]
+        est = CharacteristicEstimator(
+            n_sources=2, n_pools=1, error_threshold=0.01, restarts=3, seed=4
+        )
+        fits = est.fit_over_time(batches)
+        assert len(fits) == 3
+        assert fits[-1].mse < 0.5
+
+    def test_warm_start_shape_mismatch_rejected(self):
+        est = CharacteristicEstimator(n_sources=2, n_pools=2, seed=0)
+        bad = EstimationResult(
+            pool_sizes=(10.0,),
+            vectors=((1.0,), (1.0,)),
+            mse=0.0,
+            mean_relative_error=0.0,
+            converged=True,
+            fit_seconds=0.0,
+        )
+        obs = model_observations([100.0, 100.0], [[0.5, 0.5], [0.5, 0.5]], [50.0, 50.0])
+        with pytest.raises(ValueError, match="warm start"):
+            est.fit(obs, warm_start=bad)
+
+
+class TestGridFit:
+    def test_grid_recovers_coarse_truth(self):
+        """The paper's literal grid search, on a grid containing the truth."""
+        pool_sizes = [100.0]
+        vectors = [[1.0], [1.0]]
+        obs = model_observations(pool_sizes, vectors, [60.0, 60.0])
+        est = CharacteristicEstimator(n_sources=2, n_pools=1, error_threshold=0.01)
+        fit = est.grid_fit(obs, size_grid=[50.0, 100.0, 200.0], probability_grid=[1.0])
+        assert fit.pool_sizes == (100.0,)
+        assert fit.converged
+
+    def test_grid_rejects_impossible_probability_grid(self):
+        est = CharacteristicEstimator(n_sources=1, n_pools=2)
+        obs = [SubsetObservation(draws=(10.0,), measured_ratio=1.5)]
+        with pytest.raises(ValueError, match="summing to 1"):
+            est.grid_fit(obs, size_grid=[10.0], probability_grid=[0.3])
+
+    def test_grid_requires_observations(self):
+        est = CharacteristicEstimator(n_sources=1, n_pools=1)
+        with pytest.raises(ValueError):
+            est.grid_fit([], size_grid=[10.0], probability_grid=[1.0])
+
+
+class TestEndToEndOnGeneratedFlows:
+    def test_paper_protocol_under_4_percent(self):
+        """Fig. 2's claim on model-generated flows: fit from measured
+        subsets, mean relative error < 4%."""
+        pool_sizes = [120, 240]
+        vectors = [[0.75, 0.25], [0.25, 0.75]]
+        sources = make_correlated_sources(
+            2, pool_sizes, vectors, [0, 1], chunks_per_file=150, chunk_bytes=256, seed=5
+        )
+        files_by_source = [
+            [src.generate_file(i).data for i in range(3)] for src in sources
+        ]
+        obs = observe_combinations(files_by_source, chunker=FixedSizeChunker(256))
+        est = CharacteristicEstimator(
+            n_sources=2, n_pools=2, error_threshold=0.3, restarts=4, seed=6
+        )
+        fit = est.fit(obs)
+        assert fit.mean_relative_error < 0.04

@@ -1,0 +1,96 @@
+"""Tests that the vectorized incremental evaluator agrees with the direct
+cost formulas — the correctness backbone of the fast greedy partitioners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import SNOD2Problem
+from repro.core.incremental import IncrementalCostEvaluator
+from repro.core.model import ChunkPoolModel, SourceSpec
+
+
+def random_problem(seed: int, n: int = 8, k: int = 3, gamma: int = 2, alpha: float = 5.0):
+    rng = np.random.default_rng(seed)
+    vectors = rng.dirichlet(np.ones(k), size=n)
+    sources = [
+        SourceSpec(index=i, rate=float(rng.uniform(10, 200)), vector=tuple(vectors[i]))
+        for i in range(n)
+    ]
+    model = ChunkPoolModel(list(rng.uniform(50, 500, size=k)), sources)
+    lat = rng.uniform(0, 0.2, size=(n, n))
+    nu = np.triu(lat, 1)
+    nu = nu + nu.T
+    return SNOD2Problem(model=model, nu=nu, duration=float(rng.uniform(0.5, 5)), gamma=gamma, alpha=alpha)
+
+
+class TestAgreementWithDirect:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_candidate_costs_match_direct(self, seed):
+        problem = random_problem(seed)
+        evaluator = IncrementalCostEvaluator(problem)
+        ring = evaluator.new_ring()
+        members: list[int] = []
+        order = np.random.default_rng(seed).permutation(problem.n_sources)
+        for v in order:
+            remaining = [x for x in range(problem.n_sources) if x not in members]
+            storage_new, network_new = evaluator.candidate_costs(ring, np.array(remaining))
+            for idx, cand in enumerate(remaining):
+                assert storage_new[idx] == pytest.approx(
+                    problem.storage_cost(members + [cand]), rel=1e-9, abs=1e-9
+                )
+                assert network_new[idx] == pytest.approx(
+                    problem.network_cost(members + [cand]), rel=1e-9, abs=1e-9
+                )
+            evaluator.add(ring, int(v))
+            members.append(int(v))
+
+    @pytest.mark.parametrize("gamma", [1, 2, 4])
+    def test_ring_state_costs_after_adds(self, gamma):
+        problem = random_problem(11, gamma=gamma)
+        evaluator = IncrementalCostEvaluator(problem)
+        ring = evaluator.new_ring()
+        for v in (2, 5, 0, 7):
+            evaluator.add(ring, v)
+        assert ring.storage == pytest.approx(problem.storage_cost(ring.members), rel=1e-9)
+        assert ring.network == pytest.approx(problem.network_cost(ring.members), rel=1e-9)
+        assert evaluator.ring_cost(ring) == pytest.approx(
+            problem.ring_cost(ring.members), rel=1e-9
+        )
+
+    def test_candidate_deltas_match_direct(self):
+        problem = random_problem(3)
+        evaluator = IncrementalCostEvaluator(problem)
+        ring = evaluator.new_ring()
+        for v in (1, 4):
+            evaluator.add(ring, v)
+        base = problem.ring_cost([1, 4])
+        cands = np.array([0, 2, 3])
+        deltas = evaluator.candidate_deltas(ring, cands)
+        for idx, cand in enumerate(cands):
+            direct = problem.ring_cost([1, 4, int(cand)]) - base
+            assert deltas[idx] == pytest.approx(direct, rel=1e-9, abs=1e-9)
+
+    def test_duplicate_add_rejected(self):
+        problem = random_problem(0)
+        evaluator = IncrementalCostEvaluator(problem)
+        ring = evaluator.new_ring()
+        evaluator.add(ring, 1)
+        with pytest.raises(ValueError, match="already"):
+            evaluator.add(ring, 1)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_agreement_property(self, seed):
+        problem = random_problem(seed, n=5, k=2)
+        evaluator = IncrementalCostEvaluator(problem)
+        ring = evaluator.new_ring()
+        rng = np.random.default_rng(seed)
+        members: list[int] = []
+        for v in rng.permutation(5)[:3]:
+            evaluator.add(ring, int(v))
+            members.append(int(v))
+        assert evaluator.ring_cost(ring) == pytest.approx(
+            problem.ring_cost(members), rel=1e-8, abs=1e-8
+        )

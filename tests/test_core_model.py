@@ -1,0 +1,229 @@
+"""Tests for the chunk-pool model and Theorem 1 dedup ratios."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking.fixed import FixedSizeChunker
+from repro.core.dedup_ratio import (
+    dedup_ratio,
+    expected_ratio_for_draws,
+    expected_unique_chunks,
+    raw_chunks,
+)
+from repro.core.model import ChunkPoolModel, SourceSpec, grouped_sources, uniform_sources
+from repro.datasets.chunkpool_flows import make_correlated_sources
+from repro.dedup.engine import DedupEngine
+
+
+class TestSourceSpec:
+    def test_valid(self):
+        SourceSpec(index=0, rate=10.0, vector=(0.5, 0.5))
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SourceSpec(index=0, rate=0.0, vector=(1.0,))
+
+    def test_vector_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sums to"):
+            SourceSpec(index=0, rate=1.0, vector=(0.5, 0.4))
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            SourceSpec(index=0, rate=1.0, vector=(1.5, -0.5))
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(ValueError):
+            SourceSpec(index=0, rate=1.0, vector=())
+
+
+class TestChunkPoolModel:
+    def test_dimensions(self, two_pool_model):
+        assert two_pool_model.n_sources == 4
+        assert two_pool_model.n_pools == 2
+
+    def test_indexes_must_be_consecutive(self):
+        with pytest.raises(ValueError, match="consecutive"):
+            ChunkPoolModel(
+                [10.0],
+                [SourceSpec(index=1, rate=1.0, vector=(1.0,))],
+            )
+
+    def test_vector_length_must_match_pools(self):
+        with pytest.raises(ValueError, match="pools"):
+            ChunkPoolModel(
+                [10.0, 20.0],
+                [SourceSpec(index=0, rate=1.0, vector=(1.0,))],
+            )
+
+    def test_pool_sizes_positive(self):
+        with pytest.raises(ValueError):
+            ChunkPoolModel([0.0], uniform_sources(1, 1))
+
+    def test_needs_sources_and_pools(self):
+        with pytest.raises(ValueError):
+            ChunkPoolModel([], [])
+        with pytest.raises(ValueError):
+            ChunkPoolModel([10.0], [])
+
+    def test_g_matches_formula(self, two_pool_model):
+        # g_ik = (1 - p_ik/s_k)^(R_i T)
+        g = two_pool_model.g(0, 0, duration=2.0)
+        expected = (1 - 0.8 / 300.0) ** (100.0 * 2.0)
+        assert g == pytest.approx(expected, rel=1e-12)
+
+    def test_g_at_zero_duration_is_one(self, two_pool_model):
+        assert two_pool_model.g(0, 0, 0.0) == 1.0
+
+    def test_g_decreases_with_duration(self, two_pool_model):
+        assert two_pool_model.g(0, 0, 5.0) < two_pool_model.g(0, 0, 1.0)
+
+    def test_g_is_zero_when_pool_fully_covered(self):
+        model = ChunkPoolModel(
+            [1.0, 1.0],
+            [SourceSpec(index=0, rate=10.0, vector=(1.0, 0.0))],
+        )
+        assert model.g(0, 0, 1.0) == 0.0
+        assert model.g(0, 1, 1.0) == 1.0  # never drawn pool
+
+    def test_log_g_matrix_shape(self, two_pool_model):
+        assert two_pool_model.log_g_matrix(1.0).shape == (4, 2)
+
+    def test_member_validation(self, two_pool_model):
+        with pytest.raises(ValueError, match="out of range"):
+            two_pool_model._check_members([0, 9])
+        with pytest.raises(ValueError, match="duplicate"):
+            two_pool_model._check_members([0, 0])
+
+    def test_uniform_sources(self):
+        specs = uniform_sources(3, 4, rate=7.0)
+        assert len(specs) == 3
+        assert all(s.rate == 7.0 for s in specs)
+        assert all(p == pytest.approx(0.25) for p in specs[0].vector)
+
+    def test_grouped_sources_rate_list(self):
+        specs = grouped_sources([0, 1], [[1.0], [1.0]], rates=[5.0, 6.0])
+        assert specs[0].rate == 5.0
+        assert specs[1].rate == 6.0
+
+    def test_grouped_sources_rate_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_sources([0, 1], [[1.0]], rates=[5.0])
+
+
+class TestTheorem1:
+    def test_empty_ring_zero_storage(self, two_pool_model):
+        assert expected_unique_chunks(two_pool_model, [], 1.0) == 0.0
+
+    def test_zero_duration(self, two_pool_model):
+        assert expected_unique_chunks(two_pool_model, [0, 1], 0.0) == 0.0
+        assert dedup_ratio(two_pool_model, [0, 1], 0.0) == 1.0
+
+    def test_raw_chunks(self, two_pool_model):
+        assert raw_chunks(two_pool_model, [0, 1], 2.0) == pytest.approx(400.0)
+
+    def test_ratio_at_least_one(self, two_pool_model):
+        for members in ([0], [0, 1], [0, 1, 2, 3]):
+            assert dedup_ratio(two_pool_model, members, 5.0) >= 1.0
+
+    def test_unique_chunks_bounded_by_pool_mass(self, two_pool_model):
+        unique = expected_unique_chunks(two_pool_model, [0, 1, 2, 3], 1000.0)
+        assert unique <= sum(two_pool_model.pool_sizes) + 1e-9
+
+    def test_unique_chunks_bounded_by_raw(self, two_pool_model):
+        for t in (0.1, 1.0, 10.0):
+            unique = expected_unique_chunks(two_pool_model, [0, 1], t)
+            assert unique <= raw_chunks(two_pool_model, [0, 1], t) + 1e-9
+
+    def test_merging_correlated_sources_improves_ratio(self, two_pool_model):
+        # Sources 0 and 2 share a vector: joint ratio beats solo ratio.
+        solo = dedup_ratio(two_pool_model, [0], 5.0)
+        joint = dedup_ratio(two_pool_model, [0, 2], 5.0)
+        assert joint > solo
+
+    def test_superadditivity_of_dedup(self, two_pool_model):
+        """Unique chunks of a merged ring <= sum of the parts' uniques."""
+        parts = expected_unique_chunks(two_pool_model, [0, 2], 5.0) + expected_unique_chunks(
+            two_pool_model, [1, 3], 5.0
+        )
+        merged = expected_unique_chunks(two_pool_model, [0, 1, 2, 3], 5.0)
+        assert merged <= parts + 1e-9
+
+    def test_ratio_monotone_in_duration(self, two_pool_model):
+        """Longer windows draw more repeats from finite pools."""
+        r1 = dedup_ratio(two_pool_model, [0, 1], 1.0)
+        r2 = dedup_ratio(two_pool_model, [0, 1], 10.0)
+        assert r2 > r1
+
+    def test_expected_ratio_for_draws_matches_model(self, two_pool_model):
+        t = 3.0
+        via_model = dedup_ratio(two_pool_model, [0, 1], t)
+        via_draws = expected_ratio_for_draws(
+            two_pool_model.pool_sizes,
+            [two_pool_model.sources[0].vector, two_pool_model.sources[1].vector],
+            [100.0 * t, 100.0 * t],
+        )
+        assert via_draws == pytest.approx(via_model, rel=1e-10)
+
+    def test_draws_validation(self):
+        with pytest.raises(ValueError):
+            expected_ratio_for_draws([10.0], [[1.0]], [50.0, 50.0])
+        with pytest.raises(ValueError):
+            expected_ratio_for_draws([10.0], [[1.0]], [-1.0])
+        with pytest.raises(ValueError):
+            expected_ratio_for_draws([-10.0], [[1.0]], [1.0])
+
+    def test_zero_draws_ratio_one(self):
+        assert expected_ratio_for_draws([10.0], [[1.0]], [0.0]) == 1.0
+
+    @given(
+        # R·T >= 1 per source: the regime where the expected-distinct bound
+        # (and hence ratio >= 1) provably holds — see dedup_ratio docstring.
+        duration=st.floats(min_value=1.0, max_value=50.0),
+        rate=st.floats(min_value=1.0, max_value=500.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ratio_well_defined_property(self, duration, rate):
+        model = ChunkPoolModel(
+            [100.0, 250.0],
+            [
+                SourceSpec(index=0, rate=rate, vector=(0.6, 0.4)),
+                SourceSpec(index=1, rate=rate, vector=(0.3, 0.7)),
+            ],
+        )
+        ratio = dedup_ratio(model, [0, 1], duration)
+        assert np.isfinite(ratio)
+        assert ratio >= 1.0
+
+
+class TestTheorem1AgainstRealDedup:
+    """The strongest validation: the analytical ratio matches the measured
+    ratio when the real engine deduplicates model-generated flows."""
+
+    @pytest.mark.parametrize(
+        "pool_sizes,vectors,draws",
+        [
+            ([200, 200], [[0.8, 0.2], [0.2, 0.8]], 400),
+            ([50], [[1.0], [1.0]], 300),
+            ([500, 100, 300], [[0.5, 0.3, 0.2], [0.2, 0.3, 0.5]], 500),
+        ],
+    )
+    def test_model_vs_measured(self, pool_sizes, vectors, draws):
+        sources = make_correlated_sources(
+            n_sources=len(vectors),
+            pool_sizes=pool_sizes,
+            group_vectors=vectors,
+            group_of_source=list(range(len(vectors))),
+            chunks_per_file=draws,
+            chunk_bytes=512,
+            seed=1234,
+        )
+        engine = DedupEngine(chunker=FixedSizeChunker(512))
+        for src in sources:
+            engine.dedup_bytes(src.generate_file(0).data)
+        measured = engine.stats.dedup_ratio
+        predicted = expected_ratio_for_draws(
+            pool_sizes, vectors, [draws] * len(vectors)
+        )
+        assert measured == pytest.approx(predicted, rel=0.08)

@@ -1,0 +1,154 @@
+"""Tests for the Theorem 2 reduction: minimum k-cut → SNOD2."""
+
+import networkx as nx
+import pytest
+
+from repro.core.nphard import (
+    brute_force_min_k_cut,
+    mincut_to_snod2,
+    snod2_objective_for_vertex_partition,
+)
+from repro.core.partitioning.exhaustive import iter_set_partitions
+
+
+def triangle_plus_tail() -> nx.Graph:
+    g = nx.Graph()
+    g.add_edge(0, 1, weight=3.0)
+    g.add_edge(1, 2, weight=1.0)
+    g.add_edge(0, 2, weight=2.0)
+    g.add_edge(2, 3, weight=5.0)
+    return g
+
+
+class TestConstruction:
+    def test_one_pool_per_edge(self):
+        g = triangle_plus_tail()
+        problem, artifacts = mincut_to_snod2(g)
+        assert problem.model.n_pools == g.number_of_edges()
+        assert len(artifacts.edges) == g.number_of_edges()
+
+    def test_one_source_per_vertex(self):
+        g = triangle_plus_tail()
+        problem, _ = mincut_to_snod2(g)
+        assert problem.n_sources == g.number_of_nodes()
+
+    def test_network_cost_is_zero(self):
+        problem, _ = mincut_to_snod2(triangle_plus_tail())
+        assert problem.total_network([[0, 1], [2, 3]]) == 0.0
+
+    def test_vectors_sum_to_one(self):
+        problem, _ = mincut_to_snod2(triangle_plus_tail())
+        for src in problem.model.sources:
+            assert sum(src.vector) == pytest.approx(1.0)
+
+    def test_g_equals_c_on_incident_edges(self):
+        """The repaired construction achieves g_{v,e} = c exactly."""
+        c = 0.37
+        g = triangle_plus_tail()
+        problem, artifacts = mincut_to_snod2(g, c=c)
+        for i, vertex in enumerate(artifacts.vertices):
+            for k, edge in enumerate(artifacts.edges):
+                g_ik = problem.model.g(i, k, problem.duration)
+                if vertex in edge:
+                    assert g_ik == pytest.approx(c, rel=1e-9)
+                else:
+                    assert g_ik == 1.0
+
+    def test_invalid_c_rejected(self):
+        with pytest.raises(ValueError):
+            mincut_to_snod2(triangle_plus_tail(), c=0.0)
+        with pytest.raises(ValueError):
+            mincut_to_snod2(triangle_plus_tail(), c=1.0)
+
+    def test_isolated_vertex_rejected(self):
+        g = triangle_plus_tail()
+        g.add_node(9)
+        with pytest.raises(ValueError, match="isolated"):
+            mincut_to_snod2(g)
+
+    def test_missing_weight_rejected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError, match="weight"):
+            mincut_to_snod2(g)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            mincut_to_snod2(nx.Graph())
+
+
+class TestObjectiveIdentity:
+    """SNOD2 objective == constant + scaled cut weight, for every partition."""
+
+    @pytest.mark.parametrize("c", [0.2, 0.5, 0.8])
+    def test_identity_all_partitions_of_triangle_tail(self, c):
+        g = triangle_plus_tail()
+        problem, artifacts = mincut_to_snod2(g, c=c)
+        for partition in iter_set_partitions(4):
+            obj = problem.total_cost(partition)
+            predicted = artifacts.predicted_objective(g, partition)
+            assert obj == pytest.approx(predicted, rel=1e-9), partition
+
+    def test_identity_on_random_graph(self):
+        g = nx.gnm_random_graph(5, 8, seed=4)
+        for u, v in g.edges:
+            g.edges[u, v]["weight"] = float((u + v) % 4 + 1)
+        if any(g.degree(v) == 0 for v in g.nodes):
+            pytest.skip("random graph drew an isolated vertex")
+        problem, artifacts = mincut_to_snod2(g, c=0.6)
+        for partition in iter_set_partitions(5, max_blocks=3):
+            assert problem.total_cost(partition) == pytest.approx(
+                artifacts.predicted_objective(g, partition), rel=1e-9
+            )
+
+
+class TestMinKCutEquivalence:
+    def test_snod2_optimum_is_min_k_cut(self):
+        """Minimizing the reduced SNOD2 over k-block partitions solves
+        minimum k-cut — the content of Theorem 2."""
+        g = triangle_plus_tail()
+        problem, artifacts = mincut_to_snod2(g, c=0.5)
+        k = 2
+        cut_value, cut_partition = brute_force_min_k_cut(g, k)
+        best_obj = float("inf")
+        best_partition = None
+        for partition in iter_set_partitions(4, max_blocks=k):
+            if len([b for b in partition if b]) != k:
+                continue
+            obj = problem.total_cost(partition)
+            if obj < best_obj:
+                best_obj = obj
+                best_partition = partition
+        # The SNOD2-optimal partition achieves exactly the min-cut weight.
+        achieved_cut = (best_obj - artifacts.constant_term) / artifacts.weight_scale
+        assert achieved_cut == pytest.approx(cut_value, rel=1e-9)
+        # And the argmin is a minimum k-cut (weights may tie, so compare values).
+        vertex_partition = [
+            [artifacts.vertices[i] for i in block] for block in best_partition
+        ]
+        cut_of_argmin = sum(
+            g.edges[u, v]["weight"]
+            for u, v in g.edges
+            if not any(u in blk and v in blk for blk in vertex_partition)
+        )
+        assert cut_of_argmin == pytest.approx(cut_value, rel=1e-9)
+
+    def test_brute_force_min_k_cut_known_answer(self):
+        g = triangle_plus_tail()
+        # k=2: cheapest separation cuts edge (1,2) + (0,1)=4? Enumerate by hand:
+        # isolating vertex 1 cuts (0,1)+(1,2) = 4; isolating 3 cuts (2,3) = 5;
+        # isolating 0 cuts 3+2 = 5; {0,1} vs {2,3} cuts (1,2)+(0,2) = 3.
+        value, _ = brute_force_min_k_cut(g, 2)
+        assert value == pytest.approx(3.0)
+
+    def test_brute_force_k_bounds(self):
+        with pytest.raises(ValueError):
+            brute_force_min_k_cut(triangle_plus_tail(), 0)
+        with pytest.raises(ValueError):
+            brute_force_min_k_cut(triangle_plus_tail(), 5)
+
+    def test_vertex_partition_helper(self):
+        g = triangle_plus_tail()
+        problem, artifacts = mincut_to_snod2(g)
+        obj = snod2_objective_for_vertex_partition(problem, artifacts, [[0, 1], [2, 3]])
+        assert obj == pytest.approx(problem.total_cost([[0, 1], [2, 3]]))

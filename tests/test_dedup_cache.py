@@ -1,0 +1,127 @@
+"""Tests for the dedup cache layers (LRU and model-guided admission)."""
+
+import pytest
+
+from repro.dedup.cache import LRUCacheIndex, ModelGuidedCacheIndex
+from repro.dedup.index import InMemoryIndex
+
+
+class TestLRUCacheIndex:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCacheIndex(InMemoryIndex(), capacity=0)
+
+    def test_semantics_match_backing(self):
+        """The cache never changes dedup answers, only where they come from."""
+        plain = InMemoryIndex()
+        cached = LRUCacheIndex(InMemoryIndex(), capacity=8)
+        sequence = ["a", "b", "a", "c", "a", "b", "d", "d", "e", "a"]
+        for fp in sequence:
+            assert plain.lookup_and_insert(fp) == cached.lookup_and_insert(fp)
+        assert len(plain) == len(cached)
+
+    def test_hit_counts(self):
+        cache = LRUCacheIndex(InMemoryIndex(), capacity=8)
+        cache.lookup_and_insert("x")  # miss, admitted
+        cache.lookup_and_insert("x")  # hit
+        cache.lookup_and_insert("x")  # hit
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_eviction_at_capacity(self):
+        cache = LRUCacheIndex(InMemoryIndex(), capacity=2)
+        for fp in ("a", "b", "c"):
+            cache.lookup_and_insert(fp)
+        assert cache.cached_entries == 2
+        assert cache.stats.evictions == 1
+
+    def test_lru_order(self):
+        cache = LRUCacheIndex(InMemoryIndex(), capacity=2)
+        cache.lookup_and_insert("a")
+        cache.lookup_and_insert("b")
+        cache.lookup_and_insert("a")  # refresh a
+        cache.lookup_and_insert("c")  # evicts b, not a
+        cache.stats.hits = cache.stats.misses = 0
+        cache.lookup_and_insert("a")
+        assert cache.stats.hits == 1  # a stayed cached
+        cache.lookup_and_insert("b")
+        assert cache.stats.misses == 1  # b was evicted (but still a dup!)
+
+    def test_evicted_entry_still_duplicate_via_backing(self):
+        cache = LRUCacheIndex(InMemoryIndex(), capacity=1)
+        cache.lookup_and_insert("a")
+        cache.lookup_and_insert("b")  # evicts a from cache
+        assert cache.lookup_and_insert("a") is False  # backing remembers
+
+    def test_contains_populates_cache(self):
+        backing = InMemoryIndex()
+        backing.insert("warm")
+        cache = LRUCacheIndex(backing, capacity=4)
+        assert cache.contains("warm")  # miss -> backing -> admitted
+        assert cache.contains("warm")  # now a cache hit
+        assert cache.stats.hits == 1
+
+    def test_contains_absent_not_cached(self):
+        cache = LRUCacheIndex(InMemoryIndex(), capacity=4)
+        assert cache.contains("nope") is False
+        assert cache.cached_entries == 0
+
+    def test_insert_passthrough(self):
+        cache = LRUCacheIndex(InMemoryIndex(), capacity=4)
+        assert cache.insert("a") is True
+        assert cache.insert("a") is False
+
+    def test_len_and_fingerprints_from_backing(self):
+        cache = LRUCacheIndex(InMemoryIndex(), capacity=1)
+        for fp in ("a", "b", "c"):
+            cache.lookup_and_insert(fp)
+        assert len(cache) == 3
+        assert set(cache.fingerprints()) == {"a", "b", "c"}
+
+
+class TestModelGuidedCacheIndex:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ModelGuidedCacheIndex(InMemoryIndex(), scorer=lambda fp: 1.0, admit_threshold=2.0)
+
+    def test_low_score_rejected_from_cache(self):
+        cache = ModelGuidedCacheIndex(
+            InMemoryIndex(),
+            scorer=lambda fp: 0.9 if fp.startswith("hot") else 0.1,
+            capacity=8,
+            admit_threshold=0.5,
+        )
+        cache.lookup_and_insert("hot-1")
+        cache.lookup_and_insert("cold-1")
+        assert cache.cached_entries == 1
+        assert cache.stats.rejections == 1
+        # Cold entries still dedup correctly through the backing index.
+        assert cache.lookup_and_insert("cold-1") is False
+
+    def test_hot_entries_survive_cold_churn(self):
+        """Under one-hit-wonder churn the guided cache keeps its hot set;
+        a plain LRU of the same size would have evicted it."""
+        scorer = lambda fp: 1.0 if fp.startswith("hot") else 0.0
+        guided = ModelGuidedCacheIndex(
+            InMemoryIndex(), scorer=scorer, capacity=4, admit_threshold=0.5
+        )
+        lru = LRUCacheIndex(InMemoryIndex(), capacity=4)
+        for cache in (guided, lru):
+            for i in range(4):
+                cache.lookup_and_insert(f"hot-{i}")
+            for i in range(100):  # churn
+                cache.lookup_and_insert(f"cold-{i}")
+            cache.stats.hits = cache.stats.misses = 0
+            for i in range(4):
+                cache.lookup_and_insert(f"hot-{i}")
+        assert guided.stats.hits == 4  # all hot entries still cached
+        assert lru.stats.hits == 0  # churned out
+
+    def test_semantics_still_exact(self):
+        plain = InMemoryIndex()
+        guided = ModelGuidedCacheIndex(
+            InMemoryIndex(), scorer=lambda fp: 0.0, capacity=4
+        )
+        for fp in ["a", "b", "a", "c", "a"]:
+            assert plain.lookup_and_insert(fp) == guided.lookup_and_insert(fp)

@@ -1,0 +1,93 @@
+"""Tests for the paper's equal-size claims (Sec. III).
+
+The paper states the equal-size greedy "can be proven optimal when the
+number of disjoint chunk pools K = 2". We verify the claim empirically: on
+small K=2 instances, the equal-size greedy's cost matches the best
+*equal-size* partition found by exhaustive enumeration.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.costs import SNOD2Problem
+from repro.core.model import ChunkPoolModel, SourceSpec
+from repro.core.partitioning import EqualSizePartitioner
+from repro.network.costmatrix import latency_cost_matrix
+from repro.network.topology import build_testbed
+
+
+def equal_size_partitions(n: int, m: int):
+    """All partitions of 0..n-1 into m blocks with sizes differing <= 1."""
+    base = n // m
+    sizes = [base + (1 if i < n % m else 0) for i in range(m)]
+
+    def recurse(remaining: list[int], size_list: list[int]):
+        if not size_list:
+            yield []
+            return
+        size = size_list[0]
+        first = remaining[0]
+        for rest in itertools.combinations(remaining[1:], size - 1):
+            block = [first, *rest]
+            left = [x for x in remaining if x not in block]
+            for tail in recurse(left, size_list[1:]):
+                yield [block, *tail]
+
+    # Fix block sizes in descending order; anchoring the first element
+    # avoids emitting permutations of the same partition.
+    yield from recurse(list(range(n)), sorted(sizes, reverse=True))
+
+
+def k2_problem(seed: int, n: int, alpha: float) -> SNOD2Problem:
+    rng = np.random.default_rng(seed)
+    sources = []
+    for i in range(n):
+        p = float(rng.uniform(0.05, 0.95))
+        sources.append(
+            SourceSpec(index=i, rate=float(rng.uniform(30, 120)), vector=(p, 1 - p))
+        )
+    model = ChunkPoolModel(
+        [float(rng.uniform(60, 200)), float(rng.uniform(60, 200))], sources
+    )
+    topo = build_testbed(n, max(2, n // 2))
+    return SNOD2Problem(
+        model=model, nu=latency_cost_matrix(topo), duration=2.0, gamma=2, alpha=alpha
+    )
+
+
+class TestEqualSizeEnumeration:
+    def test_partition_count_6_choose_2(self):
+        # 6 nodes into 2 blocks of 3: C(5,2) = 10 distinct partitions.
+        assert sum(1 for _ in equal_size_partitions(6, 2)) == 10
+
+    def test_partitions_are_balanced(self):
+        for partition in equal_size_partitions(7, 3):
+            sizes = sorted(len(b) for b in partition)
+            assert sizes[-1] - sizes[0] <= 1
+
+
+class TestK2Optimality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equal_size_greedy_matches_equal_size_optimum(self, seed):
+        """The paper's K=2 optimality claim, checked by enumeration
+        (6 nodes, 2 rings of 3). The greedy is allowed a tiny tolerance for
+        numerically-tied optima."""
+        problem = k2_problem(seed, n=6, alpha=float(np.random.default_rng(seed).uniform(1, 40)))
+        greedy_cost = problem.total_cost(
+            EqualSizePartitioner(2).partition_checked(problem)
+        )
+        best = min(
+            problem.total_cost(p) for p in equal_size_partitions(6, 2)
+        )
+        assert greedy_cost <= best * 1.02 + 1e-9, seed
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_three_rings_of_two(self, seed):
+        problem = k2_problem(seed + 100, n=6, alpha=5.0)
+        greedy_cost = problem.total_cost(
+            EqualSizePartitioner(3).partition_checked(problem)
+        )
+        best = min(problem.total_cost(p) for p in equal_size_partitions(6, 3))
+        assert greedy_cost <= best * 1.05 + 1e-9, seed

@@ -1,0 +1,270 @@
+"""Tests for the erasure-coding package: GF(256), Reed-Solomon, and the
+zone-striped chunk store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.gf256 import (
+    EXP_TABLE,
+    gf_div,
+    gf_inv,
+    gf_mat_inv,
+    gf_matmul,
+    gf_mul,
+    gf_mul_vec,
+    gf_pow,
+)
+from repro.erasure.reedsolomon import ReedSolomonCode, Shard
+from repro.erasure.striped_store import ErasureCodedChunkStore, ZoneFailedError
+
+
+class TestGF256:
+    def test_mul_identity(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+            assert gf_mul(a, 0) == 0
+
+    def test_mul_commutative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            a, b = int(rng.integers(0, 256)), int(rng.integers(0, 256))
+            assert gf_mul(a, b) == gf_mul(b, a)
+
+    def test_mul_associative(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            a, b, c = (int(x) for x in rng.integers(0, 256, 3))
+            assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    def test_distributive_over_xor(self):
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            a, b, c = (int(x) for x in rng.integers(0, 256, 3))
+            assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_inverse_of_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_div_is_mul_by_inverse(self):
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            a = int(rng.integers(0, 256))
+            b = int(rng.integers(1, 256))
+            assert gf_div(a, b) == gf_mul(a, gf_inv(b))
+
+    def test_div_by_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_pow(self):
+        assert gf_pow(7, 0) == 1
+        assert gf_pow(7, 1) == 7
+        assert gf_pow(7, 2) == gf_mul(7, 7)
+        assert gf_pow(0, 5) == 0
+
+    def test_exp_table_periodic(self):
+        assert (EXP_TABLE[:255] == EXP_TABLE[255:510]).all()
+
+    def test_mul_vec_matches_scalar(self):
+        rng = np.random.default_rng(4)
+        vec = rng.integers(0, 256, size=64, dtype=np.uint8)
+        scalar = 37
+        out = gf_mul_vec(scalar, vec)
+        for i in range(64):
+            assert out[i] == gf_mul(scalar, int(vec[i]))
+
+    def test_mat_inv_roundtrip(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            while True:
+                m = rng.integers(0, 256, size=(4, 4)).astype(np.uint8)
+                try:
+                    inv = gf_mat_inv(m)
+                    break
+                except ValueError:
+                    continue
+            product = gf_matmul(m, inv)
+            assert np.array_equal(product, np.eye(4, dtype=np.uint8))
+
+    def test_singular_matrix_rejected(self):
+        singular = np.zeros((3, 3), dtype=np.uint8)
+        with pytest.raises(ValueError, match="singular"):
+            gf_mat_inv(singular)
+
+
+class TestReedSolomon:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(0, 2)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(2, -1)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(200, 60)
+
+    def test_systematic_data_shards_verbatim(self):
+        code = ReedSolomonCode(4, 2)
+        payload = bytes(range(200))
+        shards = code.encode(payload)
+        recovered = b"".join(s.data for s in shards[:4])[: len(payload)]
+        assert recovered == payload
+
+    def test_roundtrip_all_shards(self):
+        code = ReedSolomonCode(4, 2)
+        payload = np.random.default_rng(0).integers(0, 256, 999, dtype=np.uint8).tobytes()
+        assert code.decode(code.encode(payload), len(payload)) == payload
+
+    @pytest.mark.parametrize("lost", [(0,), (5,), (0, 1), (0, 5), (4, 5), (2, 3)])
+    def test_roundtrip_with_losses(self, lost):
+        code = ReedSolomonCode(4, 2)
+        payload = np.random.default_rng(1).integers(0, 256, 777, dtype=np.uint8).tobytes()
+        shards = [s for s in code.encode(payload) if s.index not in lost]
+        assert code.decode(shards, len(payload)) == payload
+
+    def test_too_many_losses_rejected(self):
+        code = ReedSolomonCode(4, 2)
+        payload = b"hello world" * 10
+        shards = code.encode(payload)[:3]
+        with pytest.raises(ValueError, match="at least k"):
+            code.decode(shards, len(payload))
+
+    def test_duplicate_shard_rejected(self):
+        code = ReedSolomonCode(2, 1)
+        shards = code.encode(b"data!")
+        with pytest.raises(ValueError, match="duplicate"):
+            code.decode([shards[0], shards[0]], 5)
+
+    def test_bad_index_rejected(self):
+        code = ReedSolomonCode(2, 1)
+        with pytest.raises(ValueError, match="out of range"):
+            code.decode([Shard(index=9, data=b"xx")], 2)
+
+    def test_inconsistent_lengths_rejected(self):
+        code = ReedSolomonCode(2, 1)
+        with pytest.raises(ValueError, match="lengths"):
+            code.decode([Shard(0, b"aa"), Shard(1, b"bbb")], 4)
+
+    def test_empty_payload(self):
+        code = ReedSolomonCode(3, 2)
+        shards = code.encode(b"")
+        assert code.decode(shards, 0) == b""
+
+    def test_reconstruct_shard(self):
+        code = ReedSolomonCode(4, 2)
+        payload = bytes(range(256)) * 3
+        shards = code.encode(payload)
+        survivors = [s for s in shards if s.index != 2]
+        rebuilt = code.reconstruct_shard(survivors, 2, len(payload))
+        assert rebuilt == shards[2]
+
+    def test_storage_overhead(self):
+        assert ReedSolomonCode(4, 2).storage_overhead == pytest.approx(1.5)
+        assert ReedSolomonCode(10, 4).storage_overhead == pytest.approx(1.4)
+
+    @given(
+        payload=st.binary(min_size=1, max_size=500),
+        k=st.integers(min_value=1, max_value=6),
+        m=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, payload, k, m):
+        code = ReedSolomonCode(k, m)
+        shards = code.encode(payload)
+        assert len(shards) == k + m
+        assert code.decode(shards, len(payload)) == payload
+
+    @given(payload=st.binary(min_size=1, max_size=300), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_any_k_of_n_decodes_property(self, payload, data):
+        code = ReedSolomonCode(3, 3)
+        shards = code.encode(payload)
+        chosen = data.draw(st.permutations(range(6)))[:3]
+        subset = [s for s in shards if s.index in chosen]
+        assert code.decode(subset, len(payload)) == payload
+
+
+class TestErasureCodedChunkStore:
+    def test_zone_count_validation(self):
+        with pytest.raises(ValueError):
+            ErasureCodedChunkStore(4, 2, n_zones=5)
+
+    def test_put_get_roundtrip(self):
+        store = ErasureCodedChunkStore(4, 2)
+        payload = bytes(range(256)) * 4
+        assert store.put_chunk("fp", payload) is True
+        assert store.get_chunk("fp") == payload
+
+    def test_dedup_on_fingerprint(self):
+        store = ErasureCodedChunkStore(2, 1)
+        store.put_chunk("fp", b"data")
+        assert store.put_chunk("fp", b"data") is False
+        assert store.stored_chunks == 1
+
+    def test_unknown_chunk(self):
+        with pytest.raises(KeyError):
+            ErasureCodedChunkStore(2, 1).get_chunk("ghost")
+
+    def test_survives_m_zone_failures(self):
+        store = ErasureCodedChunkStore(4, 2)
+        payload = b"x" * 10_000
+        store.put_chunk("fp", payload)
+        store.fail_zone(0)
+        store.fail_zone(3)
+        assert store.get_chunk("fp") == payload
+
+    def test_fails_beyond_m_losses(self):
+        store = ErasureCodedChunkStore(4, 2)
+        store.put_chunk("fp", b"y" * 1000)
+        for z in (0, 1, 2):
+            store.fail_zone(z)
+        with pytest.raises(ZoneFailedError):
+            store.get_chunk("fp")
+
+    def test_storage_overhead_matches_code(self):
+        store = ErasureCodedChunkStore(4, 2)
+        store.put_chunk("fp", b"z" * 4096)
+        assert store.storage_overhead == pytest.approx(1.5, rel=0.01)
+
+    def test_write_during_outage_still_durable(self):
+        store = ErasureCodedChunkStore(4, 2)
+        store.fail_zone(1)
+        payload = b"w" * 2048
+        store.put_chunk("fp", payload)
+        store.recover_zone(1)
+        # Chunk readable even though zone 1 never got its shard...
+        assert store.get_chunk("fp") == payload
+        # ...and losing one MORE zone still works (5 shards exist, k=4).
+        store.fail_zone(0)
+        assert store.get_chunk("fp") == payload
+
+    def test_write_rejected_when_too_few_zones(self):
+        store = ErasureCodedChunkStore(4, 2)
+        for z in (0, 1, 2):
+            store.fail_zone(z)
+        with pytest.raises(ZoneFailedError):
+            store.put_chunk("fp", b"data")
+        assert store.stored_chunks == 0
+        assert store.stored_shard_bytes == 0  # clean rollback
+
+    def test_repair_restores_redundancy(self):
+        store = ErasureCodedChunkStore(4, 2, n_zones=8)
+        payload = b"r" * 4096
+        store.put_chunk("fp", payload)
+        store.fail_zone(0)
+        rebuilt = store.repair_chunk("fp")
+        assert rebuilt >= 1
+        # After repair, even two further zone losses keep the data readable.
+        store.fail_zone(1)
+        store.fail_zone(2)
+        assert store.get_chunk("fp") == payload
+
+    def test_zone_bounds_checked(self):
+        store = ErasureCodedChunkStore(2, 1)
+        with pytest.raises(ValueError):
+            store.fail_zone(99)

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs end to end and prints what its
+docstring promises. Keeps the examples from rotting as the API evolves."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Planned D2-rings" in out
+        assert "Dedup ratio" in out
+
+    def test_smart_city_cameras(self):
+        out = run_example("smart_city_cameras.py")
+        assert "ef-dedup" in out and "cloud-only" in out
+        assert "recovered" in out  # failure-resilience section ran
+
+    def test_wearable_fleet(self):
+        out = run_example("wearable_fleet.py")
+        assert "Fitted K=" in out
+        assert "Collaboration saves" in out
+
+    def test_capacity_planning(self):
+        out = run_example("capacity_planning.py")
+        assert "Ring-count sweep" in out
+        assert "Recommended plan" in out
+
+    def test_durable_archive(self):
+        out = run_example("durable_archive.py")
+        assert "still readable: True" in out
+        assert "under-replicated keys after anti-entropy: 0" in out
+
+    def test_vm_backup_fleet(self):
+        out = run_example("vm_backup_fleet.py")
+        assert "Pool library" in out
+        assert "saves" in out

@@ -1,0 +1,226 @@
+"""Tests for replica repair (read repair + Merkle anti-entropy) and the
+phi-accrual failure detector."""
+
+import math
+
+import pytest
+
+from repro.kvstore.gossip import HeartbeatMonitor, PhiAccrualDetector
+from repro.kvstore.node import StorageNode
+from repro.kvstore.repair import (
+    ReplicaRepairer,
+    build_merkle_tree,
+    differing_buckets,
+)
+from repro.kvstore.store import DistributedKVStore
+
+
+def desynced_store(n=4, rf=2, lost_range=(0, 50)) -> tuple[DistributedKVStore, str]:
+    """A store where one node missed writes and its hints were lost."""
+    store = DistributedKVStore([f"n{i}" for i in range(n)], replication_factor=rf)
+    victim = "n1"
+    store.mark_down(victim)
+    for i in range(*lost_range):
+        store.put(f"k{i}", str(i))
+    store.hints.take_for(victim)  # hints lost (e.g. overflow / coordinator crash)
+    store.nodes[victim].mark_up()  # back up without replay
+    return store, victim
+
+
+class TestMerkleTree:
+    def test_equal_nodes_equal_roots(self):
+        a, b = StorageNode("a"), StorageNode("b")
+        for i in range(50):
+            a.local_put(f"k{i}", "v", i)
+            b.local_put(f"k{i}", "v", i)
+        assert build_merkle_tree(a).root == build_merkle_tree(b).root
+
+    def test_different_value_changes_root(self):
+        a, b = StorageNode("a"), StorageNode("b")
+        a.local_put("k", "v1", 1)
+        b.local_put("k", "v2", 1)
+        assert build_merkle_tree(a).root != build_merkle_tree(b).root
+
+    def test_different_timestamp_changes_root(self):
+        a, b = StorageNode("a"), StorageNode("b")
+        a.local_put("k", "v", 1)
+        b.local_put("k", "v", 2)
+        assert build_merkle_tree(a).root != build_merkle_tree(b).root
+
+    def test_differing_buckets_localize_change(self):
+        a, b = StorageNode("a"), StorageNode("b")
+        for i in range(200):
+            a.local_put(f"k{i}", "v", i)
+            b.local_put(f"k{i}", "v", i)
+        b.local_put("k7", "changed", 999)
+        dirty = differing_buckets(build_merkle_tree(a), build_merkle_tree(b))
+        assert len(dirty) == 1  # only the bucket containing k7
+
+    def test_empty_trees_equal(self):
+        assert (
+            build_merkle_tree(StorageNode("a")).root
+            == build_merkle_tree(StorageNode("b")).root
+        )
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            build_merkle_tree(StorageNode("a"), depth=0)
+
+    def test_mismatched_depths_rejected(self):
+        a = build_merkle_tree(StorageNode("a"), depth=4)
+        b = build_merkle_tree(StorageNode("b"), depth=5)
+        with pytest.raises(ValueError, match="depth"):
+            differing_buckets(a, b)
+
+    def test_leaf_count(self):
+        tree = build_merkle_tree(StorageNode("a"), depth=5)
+        assert tree.n_buckets == 32
+
+
+class TestReadRepair:
+    def test_stale_replica_fixed_by_read(self):
+        store, victim = desynced_store()
+        repairer = ReplicaRepairer(store)
+        # Find a key the victim should hold but missed.
+        missing_key = next(
+            k
+            for k in store.unique_keys()
+            if victim in store.replicas_for(k)
+            and not store.nodes[victim].local_contains(k)
+        )
+        value = repairer.read_with_repair(missing_key)
+        assert value is not None
+        assert store.nodes[victim].local_contains(missing_key)
+        assert repairer.stats.read_repairs >= 1
+
+    def test_read_missing_key_returns_none(self):
+        store = DistributedKVStore(["a", "b"], replication_factor=2)
+        assert ReplicaRepairer(store).read_with_repair("ghost") is None
+
+
+class TestAntiEntropy:
+    def test_repair_all_restores_replication(self):
+        store, _ = desynced_store()
+        repairer = ReplicaRepairer(store)
+        assert repairer.verify_replication()  # under-replicated before
+        repairer.repair_all()
+        assert repairer.verify_replication() == []
+
+    def test_repair_streams_only_dirty_buckets(self):
+        store, _ = desynced_store(lost_range=(0, 3))  # tiny divergence
+        repairer = ReplicaRepairer(store, merkle_depth=8)
+        stats = repairer.repair_all()
+        # Far fewer buckets streamed than compared.
+        assert stats.buckets_streamed < stats.buckets_compared / 4
+
+    def test_repair_is_idempotent(self):
+        store, _ = desynced_store()
+        repairer = ReplicaRepairer(store)
+        repairer.repair_all()
+        synced_first = repairer.stats.synced_keys
+        repairer.repair_all()
+        assert repairer.stats.synced_keys == synced_first  # nothing new moved
+
+    def test_repair_does_not_over_replicate(self):
+        """Anti-entropy must respect placement: keys only land on their
+        actual replicas, never on every node."""
+        store, _ = desynced_store()
+        ReplicaRepairer(store).repair_all()
+        for key in store.unique_keys():
+            holders = [
+                nid for nid, node in store.nodes.items() if node.local_contains(key)
+            ]
+            assert sorted(holders) == sorted(store.replicas_for(key))
+
+    def test_newest_value_wins_in_sync(self):
+        store = DistributedKVStore(["a", "b"], replication_factor=2)
+        store.put("k", "old")
+        # b diverges with a NEWER write a missed.
+        store.nodes["b"].local_put("k", "newer", timestamp=10_000)
+        ReplicaRepairer(store).repair_all()
+        assert store.nodes["a"].local_get("k").value == "newer"
+
+
+class TestPhiAccrual:
+    def test_unknown_peer_is_suspect(self):
+        det = PhiAccrualDetector()
+        assert det.phi("ghost", 0.0) == math.inf
+        assert not det.is_available("ghost", 0.0)
+
+    def test_fresh_heartbeat_low_phi(self):
+        det = PhiAccrualDetector()
+        for t in range(5):
+            det.heartbeat("p", float(t))
+        assert det.phi("p", 4.1) < 1.0
+        assert det.is_available("p", 4.1)
+
+    def test_silence_raises_phi(self):
+        det = PhiAccrualDetector(threshold=8)
+        for t in range(10):
+            det.heartbeat("p", float(t))
+        assert det.phi("p", 11.0) < det.phi("p", 20.0) < det.phi("p", 60.0)
+        assert not det.is_available("p", 60.0)
+
+    def test_slow_heartbeats_tolerated(self):
+        """A peer that always beats every 10 s isn't suspected at 12 s."""
+        det = PhiAccrualDetector(threshold=8)
+        for t in range(0, 100, 10):
+            det.heartbeat("slow", float(t))
+        assert det.is_available("slow", 102.0)
+
+    def test_backwards_heartbeat_rejected(self):
+        det = PhiAccrualDetector()
+        det.heartbeat("p", 5.0)
+        det.heartbeat("p", 6.0)
+        with pytest.raises(ValueError, match="backwards"):
+            det.heartbeat("p", 4.0)
+
+    def test_suspected_list(self):
+        det = PhiAccrualDetector(threshold=8)
+        for t in range(5):
+            det.heartbeat("alive", float(t))
+            det.heartbeat("dead", float(t))
+        det.heartbeat("alive", 100.0)
+        assert det.suspected(100.0) == ["dead"]
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            PhiAccrualDetector(threshold=0)
+        with pytest.raises(ValueError):
+            PhiAccrualDetector(default_interval_s=0)
+        with pytest.raises(ValueError):
+            PhiAccrualDetector(min_std_fraction=0)
+
+
+class TestHeartbeatMonitor:
+    def test_sweep_marks_silent_node_down(self):
+        store = DistributedKVStore(["a", "b", "c"], replication_factor=2)
+        monitor = HeartbeatMonitor(store, PhiAccrualDetector(threshold=8))
+        for t in range(10):
+            for nid in store.nodes:
+                monitor.observe(nid, float(t))
+        # "c" goes silent; others keep beating.
+        for t in range(10, 60):
+            monitor.observe("a", float(t))
+            monitor.observe("b", float(t))
+        monitor.sweep(60.0)
+        assert not store.nodes["c"].is_up
+        assert store.nodes["a"].is_up and store.nodes["b"].is_up
+        assert (60.0, "c", "down") in monitor.transitions
+
+    def test_sweep_recovers_returning_node(self):
+        store = DistributedKVStore(["a", "b"], replication_factor=2)
+        monitor = HeartbeatMonitor(store)
+        for t in range(5):
+            monitor.observe("a", float(t))
+            monitor.observe("b", float(t))
+        monitor.sweep(100.0)  # both silent -> both down
+        assert not store.nodes["a"].is_up
+        monitor.observe("a", 101.0)
+        monitor.sweep(101.5)
+        assert store.nodes["a"].is_up
+
+    def test_observe_unknown_node(self):
+        store = DistributedKVStore(["a"], replication_factor=1)
+        with pytest.raises(KeyError):
+            HeartbeatMonitor(store).observe("ghost", 0.0)

@@ -1,0 +1,169 @@
+"""Tests for tokens, the consistent-hash ring, and replica placement."""
+
+import pytest
+
+from repro.kvstore.errors import NoSuchNodeError, ReplicationError, RingEmptyError
+from repro.kvstore.hashring import ConsistentHashRing
+from repro.kvstore.replication import SimpleReplicationStrategy
+from repro.kvstore.tokens import TOKEN_SPACE, key_token, node_token, token_distance
+
+
+class TestTokens:
+    def test_key_token_deterministic(self):
+        assert key_token("abc") == key_token("abc")
+
+    def test_key_token_range(self):
+        for key in ("", "a", "some-long-key", "fp:deadbeef"):
+            assert 0 <= key_token(key) < TOKEN_SPACE
+
+    def test_different_keys_different_tokens(self):
+        assert key_token("a") != key_token("b")
+
+    def test_node_token_varies_with_vnode(self):
+        assert node_token("n1", 0) != node_token("n1", 1)
+
+    def test_node_token_negative_vnode_rejected(self):
+        with pytest.raises(ValueError):
+            node_token("n1", -1)
+
+    def test_token_distance_wraps(self):
+        assert token_distance(TOKEN_SPACE - 1, 0) == 1
+
+    def test_token_distance_zero(self):
+        assert token_distance(5, 5) == 0
+
+
+class TestConsistentHashRing:
+    def test_empty_ring_raises(self):
+        with pytest.raises(RingEmptyError):
+            ConsistentHashRing().primary_for_key("k")
+
+    def test_single_node_owns_everything(self):
+        ring = ConsistentHashRing()
+        ring.add_node("only")
+        for key in ("a", "b", "c"):
+            assert ring.primary_for_key(key) == "only"
+
+    def test_add_duplicate_rejected(self):
+        ring = ConsistentHashRing()
+        ring.add_node("n1")
+        with pytest.raises(ValueError, match="already"):
+            ring.add_node("n1")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(NoSuchNodeError):
+            ConsistentHashRing().remove_node("ghost")
+
+    def test_contains_and_len(self):
+        ring = ConsistentHashRing()
+        ring.add_node("a")
+        ring.add_node("b")
+        assert "a" in ring and "b" in ring and "c" not in ring
+        assert len(ring) == 2
+
+    def test_remove_node(self):
+        ring = ConsistentHashRing()
+        ring.add_node("a")
+        ring.add_node("b")
+        ring.remove_node("a")
+        assert ring.primary_for_key("anything") == "b"
+
+    def test_placement_stable_under_membership(self):
+        """Consistent hashing: removing one node only moves that node's keys."""
+        ring = ConsistentHashRing(vnodes=32)
+        for n in ("a", "b", "c", "d"):
+            ring.add_node(n)
+        keys = [f"key-{i}" for i in range(500)]
+        before = {k: ring.primary_for_key(k) for k in keys}
+        ring.remove_node("d")
+        for k in keys:
+            if before[k] != "d":
+                assert ring.primary_for_key(k) == before[k]
+
+    def test_vnodes_smooth_load(self):
+        ring = ConsistentHashRing(vnodes=64)
+        for i in range(5):
+            ring.add_node(f"n{i}")
+        counts = ring.load_distribution([f"key-{i}" for i in range(5000)])
+        expected = 1000
+        for node, count in counts.items():
+            assert 0.5 * expected < count < 1.7 * expected, (node, count)
+
+    def test_walk_yields_each_node_once(self):
+        ring = ConsistentHashRing()
+        for i in range(4):
+            ring.add_node(f"n{i}")
+        walked = list(ring.walk_from_key("some-key"))
+        assert sorted(walked) == [f"n{i}" for i in range(4)]
+
+    def test_walk_starts_with_primary(self):
+        ring = ConsistentHashRing()
+        for i in range(4):
+            ring.add_node(f"n{i}")
+        assert next(iter(ring.walk_from_key("k"))) == ring.primary_for_key("k")
+
+    def test_layout_deterministic_across_instances(self):
+        a = ConsistentHashRing()
+        b = ConsistentHashRing()
+        for n in ("x", "y", "z"):
+            a.add_node(n)
+            b.add_node(n)
+        for i in range(100):
+            assert a.primary_for_key(f"k{i}") == b.primary_for_key(f"k{i}")
+
+    def test_invalid_vnodes_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(vnodes=0)
+
+
+class TestReplication:
+    def _ring(self, n: int) -> ConsistentHashRing:
+        ring = ConsistentHashRing()
+        for i in range(n):
+            ring.add_node(f"n{i}")
+        return ring
+
+    def test_factor_must_be_positive(self):
+        with pytest.raises(ReplicationError):
+            SimpleReplicationStrategy(0)
+
+    def test_replica_count(self):
+        strategy = SimpleReplicationStrategy(3)
+        replicas = strategy.replicas_for_key(self._ring(5), "key")
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+
+    def test_fewer_nodes_than_factor(self):
+        strategy = SimpleReplicationStrategy(5)
+        replicas = strategy.replicas_for_key(self._ring(2), "key")
+        assert sorted(replicas) == ["n0", "n1"]
+
+    def test_primary_first(self):
+        ring = self._ring(5)
+        strategy = SimpleReplicationStrategy(2)
+        assert strategy.replicas_for_key(ring, "k")[0] == ring.primary_for_key("k")
+
+    def test_effective_factor(self):
+        strategy = SimpleReplicationStrategy(3)
+        assert strategy.effective_factor(self._ring(2)) == 2
+        assert strategy.effective_factor(self._ring(8)) == 3
+
+    def test_replicas_deterministic(self):
+        ring = self._ring(6)
+        strategy = SimpleReplicationStrategy(2)
+        assert strategy.replicas_for_key(ring, "k") == strategy.replicas_for_key(ring, "k")
+
+    def test_replica_spread_roughly_uniform(self):
+        """With γ=2 each node should hold ~2/N of all keys."""
+        ring = ConsistentHashRing(vnodes=64)
+        for i in range(4):
+            ring.add_node(f"n{i}")
+        strategy = SimpleReplicationStrategy(2)
+        holds = {f"n{i}": 0 for i in range(4)}
+        n_keys = 2000
+        for i in range(n_keys):
+            for node in strategy.replicas_for_key(ring, f"key-{i}"):
+                holds[node] += 1
+        expected = n_keys * 2 / 4
+        for node, count in holds.items():
+            assert 0.5 * expected < count < 1.6 * expected, (node, count)

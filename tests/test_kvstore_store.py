@@ -1,0 +1,346 @@
+"""Tests for the distributed KV store: reads/writes, consistency levels,
+failures, hinted handoff, and membership changes."""
+
+import pytest
+
+from repro.kvstore.consistency import ConsistencyLevel
+from repro.kvstore.errors import NodeDownError, NoSuchNodeError, UnavailableError
+from repro.kvstore.hints import Hint, HintBuffer
+from repro.kvstore.node import StorageNode, VersionedValue
+from repro.kvstore.store import DistributedKVStore
+
+
+def make_store(n: int = 5, rf: int = 2, **kwargs) -> DistributedKVStore:
+    return DistributedKVStore([f"n{i}" for i in range(n)], replication_factor=rf, **kwargs)
+
+
+class TestConsistencyLevels:
+    def test_one(self):
+        assert ConsistencyLevel.ONE.required_acks(3) == 1
+
+    def test_quorum(self):
+        assert ConsistencyLevel.QUORUM.required_acks(1) == 1
+        assert ConsistencyLevel.QUORUM.required_acks(2) == 2
+        assert ConsistencyLevel.QUORUM.required_acks(3) == 2
+        assert ConsistencyLevel.QUORUM.required_acks(5) == 3
+
+    def test_all(self):
+        assert ConsistencyLevel.ALL.required_acks(3) == 3
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            ConsistencyLevel.ONE.required_acks(0)
+
+
+class TestStorageNode:
+    def test_put_get_roundtrip(self):
+        node = StorageNode("n")
+        node.local_put("k", "v", timestamp=1)
+        stored = node.local_get("k")
+        assert stored == VersionedValue("v", 1)
+
+    def test_last_write_wins(self):
+        node = StorageNode("n")
+        node.local_put("k", "old", timestamp=2)
+        node.local_put("k", "stale", timestamp=1)  # older: ignored
+        node.local_put("k", "new", timestamp=3)
+        assert node.local_get("k").value == "new"
+
+    def test_down_node_rejects_requests(self):
+        node = StorageNode("n")
+        node.mark_down()
+        with pytest.raises(NodeDownError):
+            node.local_get("k")
+        with pytest.raises(NodeDownError):
+            node.local_put("k", "v", 1)
+
+    def test_recovery_preserves_data(self):
+        node = StorageNode("n")
+        node.local_put("k", "v", 1)
+        node.mark_down()
+        node.mark_up()
+        assert node.local_get("k").value == "v"
+
+    def test_delete(self):
+        node = StorageNode("n")
+        node.local_put("k", "v", 1)
+        assert node.local_delete("k") is True
+        assert node.local_delete("k") is False
+
+    def test_key_count_allowed_while_down(self):
+        node = StorageNode("n")
+        node.local_put("k", "v", 1)
+        node.mark_down()
+        assert node.key_count() == 1
+
+
+class TestBasicOps:
+    def test_put_get(self):
+        store = make_store()
+        store.put("k", "v")
+        assert store.get("k") == "v"
+
+    def test_get_missing_returns_none(self):
+        assert make_store().get("missing") is None
+
+    def test_contains(self):
+        store = make_store()
+        assert not store.contains("k")
+        store.put("k", "v")
+        assert store.contains("k")
+
+    def test_put_if_absent(self):
+        store = make_store()
+        assert store.put_if_absent("k", "v1") is True
+        assert store.put_if_absent("k", "v2") is False
+        assert store.get("k") == "v1"
+
+    def test_overwrite(self):
+        store = make_store()
+        store.put("k", "v1")
+        store.put("k", "v2")
+        assert store.get("k") == "v2"
+
+    def test_delete(self):
+        store = make_store()
+        store.put("k", "v")
+        assert store.delete("k") is True
+        assert store.get("k") is None
+        assert store.delete("k") is False
+
+    def test_replication_factor_copies(self):
+        store = make_store(n=5, rf=3)
+        for i in range(100):
+            store.put(f"k{i}", "v")
+        assert len(store) == 100
+        assert store.total_stored_entries() == 300
+
+    def test_unique_keys(self):
+        store = make_store()
+        store.put("a", "1")
+        store.put("b", "2")
+        assert store.unique_keys() == {"a", "b"}
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DistributedKVStore(["a", "a"])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedKVStore([])
+
+    def test_is_local_matches_replicas(self):
+        store = make_store()
+        for i in range(20):
+            key = f"k{i}"
+            replicas = store.replicas_for(key)
+            for nid in store.nodes:
+                assert store.is_local(key, nid) == (nid in replicas)
+
+
+class TestFailures:
+    def test_read_survives_one_replica_down(self):
+        store = make_store(n=5, rf=2)
+        store.put("k", "v")
+        store.mark_down(store.replicas_for("k")[0])
+        assert store.get("k", coordinator="n0") == "v"
+
+    def test_unavailable_when_all_replicas_down(self):
+        store = make_store(n=5, rf=2)
+        store.put("k", "v")
+        for replica in store.replicas_for("k"):
+            store.mark_down(replica)
+        with pytest.raises(UnavailableError):
+            store.get("k")
+        assert store.stats.unavailable_errors == 1
+
+    def test_quorum_write_fails_with_one_of_two_down(self):
+        store = make_store(n=5, rf=2)
+        down = store.replicas_for("k")[0]
+        store.mark_down(down)
+        with pytest.raises(UnavailableError):
+            store.put("k", "v", consistency=ConsistencyLevel.QUORUM)
+
+    def test_one_write_succeeds_with_one_of_two_down(self):
+        store = make_store(n=5, rf=2)
+        store.mark_down(store.replicas_for("k")[0])
+        store.put("k", "v", consistency=ConsistencyLevel.ONE)
+        assert store.get("k") == "v"
+
+    def test_mark_down_unknown_node(self):
+        with pytest.raises(NoSuchNodeError):
+            make_store().mark_down("ghost")
+
+    def test_hinted_handoff_replays_on_recovery(self):
+        store = make_store(n=5, rf=2)
+        down = store.replicas_for("k")[0]
+        store.mark_down(down)
+        store.put("k", "v")
+        assert store.hints.pending_for(down) == 1
+        store.mark_up(down)
+        assert store.hints.pending_for(down) == 0
+        assert store.nodes[down].local_get("k").value == "v"
+        assert store.stats.hints_replayed == 1
+
+    def test_full_replica_count_restored_after_recovery(self):
+        store = make_store(n=5, rf=2)
+        down = store.replicas_for("k")[0]
+        store.mark_down(down)
+        store.put("k", "v")
+        store.mark_up(down)
+        holders = [
+            nid for nid, node in store.nodes.items() if node.local_contains("k")
+        ]
+        assert sorted(holders) == sorted(store.replicas_for("k"))
+
+
+class TestCoordinatorAccounting:
+    def test_local_read_counted(self):
+        store = make_store(n=4, rf=2)
+        store.put("k", "v")
+        coordinator = store.replicas_for("k")[0]
+        store.get("k", coordinator=coordinator)
+        assert store.stats.local_reads == 1
+        assert store.stats.remote_reads == 0
+
+    def test_remote_read_counted(self):
+        store = make_store(n=4, rf=2)
+        store.put("k", "v")
+        replicas = store.replicas_for("k")
+        outsider = next(nid for nid in store.nodes if nid not in replicas)
+        store.get("k", coordinator=outsider)
+        assert store.stats.remote_reads == 1
+
+    def test_pair_contacts_recorded(self):
+        store = make_store(n=4, rf=1)
+        store.put("k", "v")
+        replica = store.replicas_for("k")[0]
+        outsider = next(nid for nid in store.nodes if nid != replica)
+        store.get("k", coordinator=outsider)
+        assert store.stats.per_pair_contacts.get((outsider, replica), 0) >= 1
+
+    def test_self_contact_not_counted_as_remote(self):
+        store = make_store(n=4, rf=2)
+        store.put("k", "v", coordinator=store.replicas_for("k")[0])
+        replicas = store.replicas_for("k")
+        pair = (replicas[0], replicas[0])
+        assert pair not in store.stats.per_pair_contacts
+
+
+class TestMembership:
+    def test_add_node_streams_keys(self):
+        store = make_store(n=3, rf=2)
+        for i in range(200):
+            store.put(f"k{i}", str(i))
+        store.add_node("n3")
+        # Every key readable, and the newcomer holds its share.
+        for i in range(200):
+            assert store.get(f"k{i}") == str(i)
+        assert store.nodes["n3"].key_count() > 0
+
+    def test_add_existing_node_rejected(self):
+        store = make_store(n=3)
+        with pytest.raises(ValueError):
+            store.add_node("n0")
+
+    def test_remove_node_preserves_data(self):
+        store = make_store(n=4, rf=2)
+        for i in range(200):
+            store.put(f"k{i}", str(i))
+        store.remove_node("n2")
+        for i in range(200):
+            assert store.get(f"k{i}") == str(i), f"k{i} lost after decommission"
+
+    def test_remove_unknown_node_rejected(self):
+        with pytest.raises(NoSuchNodeError):
+            make_store().remove_node("ghost")
+
+    def test_alive_nodes(self):
+        store = make_store(n=3)
+        store.mark_down("n1")
+        assert sorted(store.alive_nodes()) == ["n0", "n2"]
+
+
+class TestHintBuffer:
+    def test_add_and_take(self):
+        buf = HintBuffer()
+        buf.add(Hint("n1", "k", "v", 1))
+        assert buf.pending_for("n1") == 1
+        hints = buf.take_for("n1")
+        assert len(hints) == 1
+        assert buf.pending_for("n1") == 0
+
+    def test_overflow_drops(self):
+        buf = HintBuffer(max_hints_per_node=2)
+        assert buf.add(Hint("n1", "a", "v", 1))
+        assert buf.add(Hint("n1", "b", "v", 2))
+        assert not buf.add(Hint("n1", "c", "v", 3))
+        assert buf.dropped == 1
+
+    def test_total_pending(self):
+        buf = HintBuffer()
+        buf.add(Hint("n1", "a", "v", 1))
+        buf.add(Hint("n2", "b", "v", 2))
+        assert buf.total_pending == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            HintBuffer(max_hints_per_node=0)
+
+
+class TestTombstones:
+    """Deletion semantics under failures — regression tests for the
+    hint-resurrection bug the stateful suite originally caught: without
+    tombstones, a delete issued while a replica was down was undone when
+    that replica's pending write-hints replayed on recovery."""
+
+    def test_delete_survives_hint_replay(self):
+        store = make_store(n=4, rf=2)
+        victim = store.replicas_for("k")[0]
+        store.mark_down(victim)
+        store.put("k", "v")  # hint buffered for victim
+        store.delete("k")  # tombstone, also hinted
+        store.mark_up(victim)  # both hints replay, tombstone is newer
+        assert store.get("k") is None
+
+    def test_delete_survives_anti_entropy(self):
+        from repro.kvstore.repair import ReplicaRepairer
+
+        store = make_store(n=4, rf=2)
+        store.put("k", "v")
+        victim = store.replicas_for("k")[0]
+        store.mark_down(victim)  # victim still holds the live value locally
+        store.delete("k")
+        store.hints.take_for(victim)  # lose the tombstone hint
+        store.nodes[victim].mark_up()  # recover without replay
+        ReplicaRepairer(store).repair_all()  # tombstone wins the sync
+        assert store.get("k") is None
+
+    def test_deleted_key_leaves_unique_keys(self):
+        store = make_store()
+        store.put("a", "1")
+        store.put("b", "2")
+        store.delete("a")
+        assert store.unique_keys() == {"b"}
+
+    def test_rewrite_after_delete(self):
+        store = make_store()
+        store.put("k", "old")
+        store.delete("k")
+        store.put("k", "new")
+        assert store.get("k") == "new"
+        assert "k" in store.unique_keys()
+
+    def test_put_if_absent_after_delete_is_new(self):
+        store = make_store()
+        store.put("k", "old")
+        store.delete("k")
+        assert store.put_if_absent("k", "fresh") is True
+        assert store.get("k") == "fresh"
+
+    def test_delete_returns_liveness(self):
+        store = make_store()
+        assert store.delete("never-written") is False
+        store.put("k", "v")
+        assert store.delete("k") is True
+        assert store.delete("k") is False

@@ -1,0 +1,322 @@
+"""Tests for all partitioning algorithms (Algorithm 2 and variants,
+baselines, matching, exhaustive oracle)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.costs import SNOD2Problem, validate_partition
+from repro.core.model import ChunkPoolModel, grouped_sources
+from repro.core.partitioning import (
+    DedupOnlyPartitioner,
+    EqualSizePartitioner,
+    ExhaustivePartitioner,
+    MatchingPartitioner,
+    NetworkOnlyPartitioner,
+    PerEdgeCloudPartitioner,
+    RandomPartitioner,
+    SingleRingPartitioner,
+    SingletonPartitioner,
+    SmartPartitioner,
+    canonical_form,
+    iter_set_partitions,
+    strip_empty_rings,
+)
+from repro.network.costmatrix import latency_cost_matrix
+from repro.network.topology import build_testbed
+
+ALL_PARTITIONERS = [
+    pytest.param(lambda: SmartPartitioner(3), id="smart-joint"),
+    pytest.param(lambda: SmartPartitioner(3, discipline="sequential"), id="smart-seq"),
+    pytest.param(lambda: MatchingPartitioner(3), id="matching"),
+    pytest.param(lambda: EqualSizePartitioner(3), id="equal-size"),
+    pytest.param(lambda: NetworkOnlyPartitioner(3), id="network-only"),
+    pytest.param(lambda: DedupOnlyPartitioner(3), id="dedup-only"),
+    pytest.param(lambda: RandomPartitioner(3, seed=0), id="random"),
+    pytest.param(lambda: SingleRingPartitioner(), id="single-ring"),
+    pytest.param(lambda: SingletonPartitioner(), id="singletons"),
+    pytest.param(lambda: ExhaustivePartitioner(3), id="exhaustive"),
+]
+
+
+@pytest.mark.parametrize("make", ALL_PARTITIONERS)
+class TestAllPartitionersContract:
+    def test_produces_valid_partition(self, make, medium_problem):
+        partition = make().partition_checked(medium_problem)
+        validate_partition(partition, medium_problem.n_sources)
+
+    def test_no_empty_rings(self, make, medium_problem):
+        partition = make().partition_checked(medium_problem)
+        assert all(ring for ring in partition)
+
+    def test_cost_computable(self, make, medium_problem):
+        partition = make().partition_checked(medium_problem)
+        assert medium_problem.total_cost(partition) > 0.0
+
+
+class TestHelpers:
+    def test_strip_empty_rings(self):
+        assert strip_empty_rings([[1], [], [2, 3], []]) == [[1], [2, 3]]
+
+    def test_canonical_form_order_independent(self):
+        assert canonical_form([[2, 1], [3]]) == canonical_form([[3], [1, 2]])
+
+    def test_iter_set_partitions_bell_number(self):
+        # B(4) = 15 set partitions.
+        assert sum(1 for _ in iter_set_partitions(4)) == 15
+
+    def test_iter_set_partitions_max_blocks(self):
+        parts = list(iter_set_partitions(4, max_blocks=2))
+        # S(4,1) + S(4,2) = 1 + 7 = 8.
+        assert len(parts) == 8
+        assert all(len(p) <= 2 for p in parts)
+
+    def test_iter_set_partitions_unique(self):
+        seen = {canonical_form(p) for p in iter_set_partitions(5)}
+        assert len(seen) == 52  # B(5)
+
+    def test_iter_set_partitions_validation(self):
+        with pytest.raises(ValueError):
+            list(iter_set_partitions(0))
+        with pytest.raises(ValueError):
+            list(iter_set_partitions(3, max_blocks=0))
+
+
+class TestSmart:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SmartPartitioner(0)
+        with pytest.raises(ValueError):
+            SmartPartitioner(2, discipline="bogus")
+
+    def test_respects_ring_budget(self, medium_problem):
+        partition = SmartPartitioner(3).partition_checked(medium_problem)
+        assert len(partition) <= 3
+
+    def test_single_ring_budget(self, medium_problem):
+        partition = SmartPartitioner(1).partition_checked(medium_problem)
+        assert partition == [list(range(8))] or sorted(partition[0]) == list(range(8))
+
+    def test_more_rings_than_nodes(self, small_problem):
+        partition = SmartPartitioner(10).partition_checked(small_problem)
+        assert sum(len(r) for r in partition) == 4
+
+    def test_matches_exhaustive_on_small_instances(self):
+        """In the paper-like regime (γ=2, moderate α) the greedy lands on or
+        within 10% of the true optimum on 5-node instances. (Under
+        adversarially large α the myopic greedy can be several times worse —
+        it is a heuristic for an NP-hard problem, not an exact solver.)"""
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            n = 5
+            vectors = rng.dirichlet(np.ones(2) * 2, size=2)
+            model = ChunkPoolModel(
+                [float(rng.uniform(50, 200)), float(rng.uniform(50, 200))],
+                grouped_sources([i % 2 for i in range(n)], vectors.tolist(), 60.0),
+            )
+            topo = build_testbed(n, 2)
+            problem = SNOD2Problem(
+                model=model,
+                nu=latency_cost_matrix(topo),
+                duration=2.0,
+                gamma=2,
+                alpha=float(rng.uniform(1, 200)),
+            )
+            smart_cost = problem.total_cost(SmartPartitioner(3).partition_checked(problem))
+            best_cost = ExhaustivePartitioner(3).optimal_cost(problem)
+            assert smart_cost <= best_cost * 1.10 + 1e-9, seed
+
+    def test_joint_no_worse_than_sequential_usually(self, medium_problem):
+        joint = medium_problem.total_cost(
+            SmartPartitioner(3, discipline="joint").partition_checked(medium_problem)
+        )
+        seq = medium_problem.total_cost(
+            SmartPartitioner(3, discipline="sequential").partition_checked(medium_problem)
+        )
+        assert joint <= seq * 1.05
+
+    def test_deterministic(self, medium_problem):
+        a = SmartPartitioner(3).partition_checked(medium_problem)
+        b = SmartPartitioner(3).partition_checked(medium_problem)
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_groups_correlated_sources(self):
+        """With uniform unit ν and a small α, same-vector sources must pair
+        up: same-group rings have strictly lower storage, and two rings have
+        strictly lower network cost than one."""
+        model = ChunkPoolModel(
+            [50.0, 50.0],
+            grouped_sources([0, 1, 0, 1], [[1.0, 0.0], [0.0, 1.0]], 100.0),
+        )
+        nu = np.ones((4, 4)) - np.eye(4)
+        problem = SNOD2Problem(model=model, nu=nu, duration=2.0, gamma=1, alpha=0.01)
+        partition = SmartPartitioner(2).partition_checked(problem)
+        assert canonical_form(partition) == ((0, 2), (1, 3))
+
+
+class TestMatching:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MatchingPartitioner(0)
+        with pytest.raises(ValueError):
+            MatchingPartitioner(2, theta=0.0)
+        with pytest.raises(ValueError):
+            MatchingPartitioner(2, theta=1.1)
+
+    def test_reaches_target_ring_count(self, medium_problem):
+        partition = MatchingPartitioner(3).partition_checked(medium_problem)
+        assert len(partition) == 3
+
+    def test_quality_close_to_smart(self, medium_problem):
+        smart = medium_problem.total_cost(SmartPartitioner(3).partition_checked(medium_problem))
+        matched = medium_problem.total_cost(
+            MatchingPartitioner(3, theta=0.5).partition_checked(medium_problem)
+        )
+        assert matched <= smart * 1.5
+
+    def test_theta_one_converges(self, medium_problem):
+        partition = MatchingPartitioner(2, theta=1.0).partition_checked(medium_problem)
+        assert len(partition) == 2
+
+
+class TestEqualSize:
+    def test_sizes_differ_by_at_most_one(self, medium_problem):
+        partition = EqualSizePartitioner(3).partition_checked(medium_problem)
+        sizes = sorted(len(r) for r in partition)
+        assert sizes[-1] - sizes[0] <= 1
+
+    def test_exact_division(self):
+        model = ChunkPoolModel(
+            [100.0],
+            grouped_sources([0] * 6, [[1.0]], 50.0),
+        )
+        topo = build_testbed(6, 3)
+        problem = SNOD2Problem(model=model, nu=latency_cost_matrix(topo), duration=1.0)
+        partition = EqualSizePartitioner(3).partition_checked(problem)
+        assert sorted(len(r) for r in partition) == [2, 2, 2]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            EqualSizePartitioner(0)
+
+
+class TestBaselines:
+    def test_per_edge_cloud_groups_by_cloud(self, medium_problem):
+        clouds = ["c0", "c1", "c0", "c1", "c0", "c1", "c0", "c1"]
+        partition = PerEdgeCloudPartitioner(clouds).partition_checked(medium_problem)
+        assert canonical_form(partition) == (
+            (0, 2, 4, 6),
+            (1, 3, 5, 7),
+        )
+
+    def test_per_edge_cloud_length_mismatch(self, medium_problem):
+        with pytest.raises(ValueError):
+            PerEdgeCloudPartitioner(["c0"]).partition_checked(medium_problem)
+
+    def test_single_ring(self, medium_problem):
+        partition = SingleRingPartitioner().partition_checked(medium_problem)
+        assert len(partition) == 1
+        assert sorted(partition[0]) == list(range(8))
+
+    def test_singletons(self, medium_problem):
+        partition = SingletonPartitioner().partition_checked(medium_problem)
+        assert len(partition) == 8
+
+    def test_random_seeded_deterministic(self, medium_problem):
+        a = RandomPartitioner(3, seed=7).partition_checked(medium_problem)
+        b = RandomPartitioner(3, seed=7).partition_checked(medium_problem)
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_random_uses_requested_rings(self, medium_problem):
+        partition = RandomPartitioner(3, seed=1).partition_checked(medium_problem)
+        assert len(partition) == 3
+
+    def test_dedup_only_ignores_network(self):
+        """Dedup-Only achieves minimal storage while incurring network cost
+        a network-aware algorithm would have avoided."""
+        model = ChunkPoolModel(
+            [50.0, 50.0],
+            grouped_sources([0, 0, 1, 1], [[0.9, 0.1], [0.1, 0.9]], 100.0),
+        )
+        # Same-group nodes are hugely expensive to pair: Dedup-Only must not care.
+        nu = np.full((4, 4), 0.001)
+        np.fill_diagonal(nu, 0.0)
+        nu[0, 1] = nu[1, 0] = 1e6
+        nu[2, 3] = nu[3, 2] = 1e6
+        problem = SNOD2Problem(model=model, nu=nu, duration=2.0, gamma=1, alpha=1.0)
+        partition = DedupOnlyPartitioner(2).partition_checked(problem)
+        # Storage is the best achievable with 2 rings...
+        best_storage = min(
+            problem.total_storage(p)
+            for p in iter_set_partitions(4, max_blocks=2)
+        )
+        assert problem.total_storage(partition) == pytest.approx(best_storage, rel=1e-9)
+        # ...but it paid the enormous same-group latency SMART would avoid.
+        assert problem.total_network(partition) > 1e5
+
+    def test_network_only_ignores_similarity(self):
+        """Network-Only achieves minimal network cost at a storage premium."""
+        model = ChunkPoolModel(
+            [50.0, 50.0],
+            grouped_sources([0, 1, 0, 1], [[0.9, 0.1], [0.1, 0.9]], 100.0),
+        )
+        nu = np.full((4, 4), 100.0)
+        np.fill_diagonal(nu, 0.0)
+        nu[0, 1] = nu[1, 0] = 0.001  # 0-1 adjacent, 2-3 adjacent
+        nu[2, 3] = nu[3, 2] = 0.001
+        problem = SNOD2Problem(model=model, nu=nu, duration=2.0, gamma=1, alpha=1.0)
+        partition = NetworkOnlyPartitioner(2).partition_checked(problem)
+        # Relative to the similarity-aligned partition it trades the axes:
+        # lower network cost, higher storage.
+        similarity_partition = [[0, 2], [1, 3]]
+        assert problem.total_network(partition) < problem.total_network(similarity_partition)
+        assert problem.total_storage(partition) > problem.total_storage(similarity_partition)
+
+    def test_single_objective_requires_a_term(self):
+        from repro.core.partitioning.baselines import _SingleObjectiveGreedy
+
+        with pytest.raises(ValueError):
+            _SingleObjectiveGreedy(2, use_storage=False, use_network=False, name="x")
+
+
+class TestExhaustive:
+    def test_finds_true_optimum(self, small_problem):
+        best = ExhaustivePartitioner().partition_checked(small_problem)
+        best_cost = small_problem.total_cost(best)
+        for partition in iter_set_partitions(4):
+            assert best_cost <= small_problem.total_cost(partition) + 1e-9
+
+    def test_max_rings_respected(self, small_problem):
+        partition = ExhaustivePartitioner(max_rings=2).partition_checked(small_problem)
+        assert len(partition) <= 2
+
+    def test_too_many_sources_rejected(self):
+        model = ChunkPoolModel(
+            [10.0],
+            grouped_sources([0] * 14, [[1.0]], 10.0),
+        )
+        problem = SNOD2Problem(model=model, nu=np.zeros((14, 14)), duration=1.0)
+        with pytest.raises(ValueError, match="exhaustive"):
+            ExhaustivePartitioner().partition(problem)
+
+    def test_invalid_max_rings(self):
+        with pytest.raises(ValueError):
+            ExhaustivePartitioner(max_rings=0)
+
+
+class TestSmartScaling:
+    def test_handles_200_nodes_quickly(self):
+        rng = np.random.default_rng(0)
+        n, groups = 200, 8
+        vectors = rng.dirichlet(np.ones(4), size=groups)
+        model = ChunkPoolModel(
+            list(rng.uniform(500, 2000, 4)),
+            grouped_sources([i % groups for i in range(n)], vectors.tolist(), 100.0),
+        )
+        lat = rng.uniform(0, 0.1, size=(n, n))
+        nu = np.triu(lat, 1)
+        nu = nu + nu.T
+        problem = SNOD2Problem(model=model, nu=nu, duration=2.0, gamma=2, alpha=10.0)
+        partition = SmartPartitioner(20).partition_checked(problem)
+        assert sum(len(r) for r in partition) == n

@@ -1,0 +1,149 @@
+"""Tests for JSON persistence of models, fits, plans, and pool libraries."""
+
+import pytest
+
+from repro.analysis.persistence import (
+    PersistenceError,
+    dump_estimation,
+    dump_library,
+    dump_model,
+    dump_plan,
+    dumps,
+    load_estimation,
+    load_library,
+    load_model,
+    load_plan,
+    loads,
+)
+from repro.chunking.fixed import FixedSizeChunker
+from repro.core.estimation import EstimationResult
+from repro.core.model import ChunkPoolModel, grouped_sources
+from repro.core.profiling import PoolLibrary
+from repro.datasets.chunkpool_flows import pool_chunk_bytes
+
+
+def sample_model() -> ChunkPoolModel:
+    return ChunkPoolModel(
+        [120.0, 300.0],
+        grouped_sources([0, 1, 0], [[0.7, 0.3], [0.2, 0.8]], rates=[10.0, 20.0, 30.0]),
+    )
+
+
+class TestModelRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        model = sample_model()
+        restored = load_model(loads(dumps(dump_model(model))))
+        assert restored.pool_sizes == model.pool_sizes
+        for a, b in zip(model.sources, restored.sources):
+            assert (a.index, a.rate, a.vector) == (b.index, b.rate, b.vector)
+
+    def test_roundtrip_computes_same_ratios(self):
+        from repro.core.dedup_ratio import dedup_ratio
+
+        model = sample_model()
+        restored = load_model(dump_model(model))
+        assert dedup_ratio(restored, [0, 1, 2], 3.0) == pytest.approx(
+            dedup_ratio(model, [0, 1, 2], 3.0), rel=1e-12
+        )
+
+    def test_wrong_kind_rejected(self):
+        payload = dump_model(sample_model())
+        payload["kind"] = "something-else"
+        with pytest.raises(PersistenceError, match="kind"):
+            load_model(payload)
+
+    def test_wrong_version_rejected(self):
+        payload = dump_model(sample_model())
+        payload["version"] = 99
+        with pytest.raises(PersistenceError, match="version"):
+            load_model(payload)
+
+    def test_malformed_rejected(self):
+        payload = dump_model(sample_model())
+        del payload["sources"]
+        with pytest.raises(PersistenceError, match="malformed"):
+            load_model(payload)
+
+
+class TestEstimationRoundtrip:
+    def test_roundtrip(self):
+        fit = EstimationResult(
+            pool_sizes=(50.0, 80.0),
+            vectors=((0.4, 0.6), (0.9, 0.1)),
+            mse=0.003,
+            mean_relative_error=0.021,
+            converged=True,
+            fit_seconds=1.5,
+        )
+        restored = load_estimation(dump_estimation(fit))
+        assert restored == fit
+
+    def test_restored_fit_predicts(self):
+        fit = EstimationResult(
+            pool_sizes=(50.0,),
+            vectors=((1.0,), (1.0,)),
+            mse=0.0,
+            mean_relative_error=0.0,
+            converged=True,
+            fit_seconds=0.1,
+        )
+        restored = load_estimation(dump_estimation(fit))
+        assert restored.predicted_ratio([30.0, 30.0]) == pytest.approx(
+            fit.predicted_ratio([30.0, 30.0])
+        )
+
+
+class TestPlanRoundtrip:
+    def test_roundtrip(self):
+        plan = [[0, 2], [1, 3, 4]]
+        assert load_plan(dump_plan(plan, 5)) == plan
+
+    def test_dump_validates(self):
+        with pytest.raises(ValueError):
+            dump_plan([[0, 0]], 1)
+
+    def test_load_validates(self):
+        payload = dump_plan([[0], [1]], 2)
+        payload["rings"] = [[0], [0]]
+        with pytest.raises(PersistenceError):
+            load_plan(payload)
+
+
+class TestLibraryRoundtrip:
+    def test_roundtrip_matches_identically(self):
+        library = PoolLibrary(chunker=FixedSizeChunker(256))
+        files = [b"".join(pool_chunk_bytes(0, m, 256) for m in range(20))]
+        library.add_profile("win", files)
+        restored = load_library(loads(dumps(dump_library(library))))
+        assert restored.pool_names == ["win"]
+        # Matching a sample gives identical attribution.
+        sample = [b"".join(pool_chunk_bytes(0, m, 256) for m in range(10))]
+        # Restored library uses its default 4096 chunker; rebuild with same one.
+        restored.chunker = FixedSizeChunker(256)
+        a = library.match(sample)
+        b = restored.match(sample)
+        assert a.weights == b.weights
+        assert a.private_weight == b.private_weight
+
+    def test_empty_profile_rejected_on_load(self):
+        payload = {
+            "kind": "pool-library",
+            "version": 1,
+            "profiles": [{"name": "x", "fingerprints": []}],
+        }
+        with pytest.raises(PersistenceError):
+            load_library(payload)
+
+
+class TestStringLayer:
+    def test_loads_rejects_garbage(self):
+        with pytest.raises(PersistenceError, match="invalid"):
+            loads("{not json")
+
+    def test_loads_rejects_non_object(self):
+        with pytest.raises(PersistenceError, match="object"):
+            loads("[1, 2]")
+
+    def test_dumps_stable(self):
+        model = sample_model()
+        assert dumps(dump_model(model)) == dumps(dump_model(model))

@@ -1,0 +1,144 @@
+"""Tests for the chunk-pool library profiler (future work, Sec. VII)."""
+
+import pytest
+
+from repro.chunking.fixed import FixedSizeChunker
+from repro.core.dedup_ratio import dedup_ratio
+from repro.core.profiling import PoolLibrary, profile_sources
+from repro.datasets.chunkpool_flows import pool_chunk_bytes
+
+
+def pool_files(pool: int, members: range, chunk: int = 256) -> list[bytes]:
+    """Files whose chunks come verbatim from a synthetic pool."""
+    return [b"".join(pool_chunk_bytes(pool, m, chunk) for m in members)]
+
+
+def make_library() -> PoolLibrary:
+    library = PoolLibrary(chunker=FixedSizeChunker(256))
+    library.add_profile("windows", pool_files(0, range(40)))
+    library.add_profile("linux", pool_files(1, range(60)))
+    return library
+
+
+class TestLibraryBuilding:
+    def test_profiles_recorded(self):
+        library = make_library()
+        assert library.pool_names == ["windows", "linux"]
+        assert len(library) == 2
+
+    def test_profile_sizes(self):
+        library = make_library()
+        assert library.profiles[0].size == 40
+        assert library.profiles[1].size == 60
+
+    def test_duplicate_name_rejected(self):
+        library = make_library()
+        with pytest.raises(ValueError, match="already"):
+            library.add_profile("windows", pool_files(2, range(5)))
+
+    def test_empty_profile_rejected(self):
+        library = PoolLibrary(chunker=FixedSizeChunker(256))
+        with pytest.raises(ValueError, match="no chunks"):
+            library.add_profile("empty", [b""])
+
+    def test_profiles_kept_disjoint(self):
+        """A later profile overlapping an earlier one keeps only its own
+        novel fingerprints — the disjoint-pools model assumption."""
+        library = PoolLibrary(chunker=FixedSizeChunker(256))
+        library.add_profile("first", pool_files(0, range(40)))
+        overlap = library.add_profile(
+            "second", pool_files(0, range(30, 50)) + pool_files(1, range(10))
+        )
+        # 30-39 of pool 0 already claimed; only 40-49 + pool1's 10 are new.
+        assert overlap.size == 20
+
+    def test_profile_sources_helper(self):
+        library = profile_sources(
+            {"a": pool_files(0, range(10)), "b": pool_files(1, range(10))},
+            chunker=FixedSizeChunker(256),
+        )
+        assert library.pool_names == ["a", "b"]
+
+
+class TestMatching:
+    def test_pure_source_matches_its_pool(self):
+        library = make_library()
+        match = library.match(pool_files(0, range(20)))
+        assert match.weights[0] == pytest.approx(1.0)
+        assert match.weights[1] == 0.0
+        assert match.private_weight == 0.0
+
+    def test_mixed_source_split(self):
+        library = make_library()
+        sample = pool_files(0, range(10)) + pool_files(1, range(10))
+        match = library.match(sample)
+        assert match.weights[0] == pytest.approx(0.5)
+        assert match.weights[1] == pytest.approx(0.5)
+
+    def test_unknown_content_is_private(self):
+        library = make_library()
+        match = library.match(pool_files(9, range(10)))
+        assert match.private_weight == pytest.approx(1.0)
+        assert match.private_unique == 10
+
+    def test_characteristic_vector_sums_to_one(self):
+        library = make_library()
+        sample = pool_files(0, range(5)) + pool_files(9, range(5))
+        vec = library.match(sample).characteristic_vector()
+        assert sum(vec) == pytest.approx(1.0)
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError, match="no profiles"):
+            PoolLibrary().match([b"data"])
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="no chunks"):
+            make_library().match([b""])
+
+    def test_draws_counted(self):
+        library = make_library()
+        match = library.match(pool_files(0, range(15)))
+        assert match.draws == 15
+
+
+class TestBuildModel:
+    def test_model_structure(self):
+        library = make_library()
+        matches = [
+            library.match(pool_files(0, range(20))),
+            library.match(pool_files(1, range(20))),
+        ]
+        model = library.build_model(matches, rates=100.0)
+        # 2 library pools + 2 private pools.
+        assert model.n_pools == 4
+        assert model.n_sources == 2
+        assert model.sources[0].vector[0] == pytest.approx(1.0)
+        assert model.sources[1].vector[1] == pytest.approx(1.0)
+
+    def test_model_predicts_cross_source_dedup(self):
+        """Two sources matched to the same library pool are predicted to
+        dedupe well together; sources on different pools are not."""
+        library = make_library()
+        same_a = library.match(pool_files(0, range(25)))
+        same_b = library.match(pool_files(0, range(15, 40)))
+        diff = library.match(pool_files(1, range(25)))
+        model = library.build_model([same_a, same_b, diff], rates=25.0)
+        joint_same = dedup_ratio(model, [0, 1], 1.0)
+        joint_diff = dedup_ratio(model, [0, 2], 1.0)
+        assert joint_same > joint_diff
+
+    def test_rate_list(self):
+        library = make_library()
+        matches = [library.match(pool_files(0, range(10)))]
+        model = library.build_model(matches, rates=[55.0])
+        assert model.sources[0].rate == 55.0
+
+    def test_rate_mismatch_rejected(self):
+        library = make_library()
+        matches = [library.match(pool_files(0, range(10)))]
+        with pytest.raises(ValueError):
+            library.build_model(matches, rates=[1.0, 2.0])
+
+    def test_no_matches_rejected(self):
+        with pytest.raises(ValueError):
+            make_library().build_model([], rates=1.0)

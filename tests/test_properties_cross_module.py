@@ -1,0 +1,164 @@
+"""Cross-module property-based tests: invariants that tie the analytics,
+the cost model, and the system together."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import SNOD2Problem
+from repro.core.dedup_ratio import expected_unique_chunks
+from repro.core.model import ChunkPoolModel, SourceSpec
+from repro.core.partitioning import SmartPartitioner, canonical_form, iter_set_partitions
+
+
+def random_problem(seed: int, n: int, k: int, alpha: float, gamma: int) -> SNOD2Problem:
+    rng = np.random.default_rng(seed)
+    vectors = rng.dirichlet(np.ones(k), size=n)
+    sources = [
+        SourceSpec(index=i, rate=float(rng.uniform(20, 200)), vector=tuple(vectors[i]))
+        for i in range(n)
+    ]
+    model = ChunkPoolModel(list(rng.uniform(50, 400, size=k)), sources)
+    lat = rng.uniform(0, 0.2, size=(n, n))
+    nu = np.triu(lat, 1)
+    nu = nu + nu.T
+    return SNOD2Problem(
+        model=model, nu=nu, duration=float(rng.uniform(0.5, 4)), gamma=gamma, alpha=alpha
+    )
+
+
+problem_strategy = st.builds(
+    random_problem,
+    seed=st.integers(0, 10_000),
+    n=st.integers(3, 6),
+    k=st.integers(2, 4),
+    alpha=st.floats(0.0, 100.0),
+    gamma=st.integers(1, 3),
+)
+
+
+class TestCostInvariants:
+    @given(problem=problem_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_cost_invariant_under_ring_order(self, problem):
+        """Shuffling rings or members never changes the objective."""
+        n = problem.n_sources
+        partition = [[i for i in range(n) if i % 2 == 0], [i for i in range(n) if i % 2 == 1]]
+        partition = [r for r in partition if r]
+        shuffled = [list(reversed(r)) for r in reversed(partition)]
+        assert problem.total_cost(partition) == pytest.approx(
+            problem.total_cost(shuffled), rel=1e-12
+        )
+
+    @given(problem=problem_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_merging_rings_never_increases_storage(self, problem):
+        """U is subadditive under merges (more collaborators, more dedup)."""
+        n = problem.n_sources
+        a = list(range(n // 2))
+        b = list(range(n // 2, n))
+        if not a or not b:
+            return
+        merged = problem.total_storage([a + b])
+        split = problem.total_storage([a, b])
+        assert merged <= split + 1e-9
+
+    @given(problem=problem_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_singletons_have_zero_network_cost(self, problem):
+        partition = [[i] for i in range(problem.n_sources)]
+        assert problem.total_network(partition) == 0.0
+
+    @given(problem=problem_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_aggregate_decomposition(self, problem):
+        partition = [[i] for i in range(problem.n_sources)]
+        b = problem.cost_breakdown(partition)
+        assert b["aggregate"] == pytest.approx(
+            b["storage"] + problem.alpha * b["network"], rel=1e-12
+        )
+
+    @given(
+        seed=st.integers(0, 1000),
+        scale=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_network_cost_scales_linearly_in_nu(self, seed, scale):
+        base = random_problem(seed, n=5, k=2, alpha=1.0, gamma=1)
+        scaled = SNOD2Problem(
+            model=base.model,
+            nu=base.nu * scale,
+            duration=base.duration,
+            gamma=base.gamma,
+            alpha=base.alpha,
+        )
+        members = [0, 1, 2, 3, 4]
+        assert scaled.network_cost(members) == pytest.approx(
+            base.network_cost(members) * scale, rel=1e-9
+        )
+
+
+class TestModelInvariants:
+    @given(
+        seed=st.integers(0, 1000),
+        duration=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_unique_chunks_monotone_in_membership(self, seed, duration):
+        """Adding a source to a ring can only add distinct chunks."""
+        problem = random_problem(seed, n=5, k=3, alpha=1.0, gamma=1)
+        model = problem.model
+        for size in range(1, 5):
+            smaller = expected_unique_chunks(model, list(range(size)), duration)
+            larger = expected_unique_chunks(model, list(range(size + 1)), duration)
+            assert larger >= smaller - 1e-9
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_unique_chunks_monotone_in_duration(self, seed):
+        problem = random_problem(seed, n=4, k=2, alpha=1.0, gamma=1)
+        members = [0, 1]
+        values = [
+            expected_unique_chunks(problem.model, members, t) for t in (0.5, 1.0, 2.0, 4.0)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+
+class TestPartitionerInvariants:
+    @given(problem=problem_strategy, m=st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_smart_always_valid(self, problem, m):
+        partition = SmartPartitioner(m).partition_checked(problem)
+        covered = sorted(i for ring in partition for i in ring)
+        assert covered == list(range(problem.n_sources))
+        assert len(partition) <= m
+
+    @given(problem=problem_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_smart_never_worse_than_trivial_partitions(self, problem):
+        """SMART (with refinement) at M=N beats-or-ties both trivial
+        extremes, since both are in its search space."""
+        n = problem.n_sources
+        smart_cost = problem.total_cost(SmartPartitioner(n).partition_checked(problem))
+        singletons = problem.total_cost([[i] for i in range(n)])
+        one_ring = problem.total_cost([list(range(n))])
+        assert smart_cost <= min(singletons, one_ring) * 1.02 + 1e-9
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_smart_within_factor_of_optimum_small(self, seed):
+        problem = random_problem(seed, n=5, k=2, alpha=10.0, gamma=2)
+        from repro.core.partitioning import ExhaustivePartitioner
+
+        smart = problem.total_cost(SmartPartitioner(3).partition_checked(problem))
+        best = ExhaustivePartitioner(3).optimal_cost(problem)
+        assert smart <= best * 1.25 + 1e-9
+
+
+class TestCanonicalFormInvariants:
+    @given(st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_set_partitions_all_distinct_canonical(self, n):
+        forms = [canonical_form(p) for p in iter_set_partitions(n)]
+        assert len(forms) == len(set(forms))

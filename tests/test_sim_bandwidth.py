@@ -1,0 +1,105 @@
+"""Tests for repro.sim.bandwidth (processor-sharing link model)."""
+
+import pytest
+
+from repro.sim.bandwidth import SharedLink, gbps, mbps
+
+
+class TestConversions:
+    def test_gbps(self):
+        assert gbps(1.0) == pytest.approx(125e6)
+
+    def test_gbps_paper_value(self):
+        # The paper's 0.377 Gbps WAN uplink is ~47.1 MB/s.
+        assert gbps(0.377) == pytest.approx(47.125e6)
+
+    def test_mbps(self):
+        assert mbps(8.0) == pytest.approx(1e6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gbps(-1.0)
+        with pytest.raises(ValueError):
+            mbps(-1.0)
+
+
+class TestSharedLink:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SharedLink(name="l", capacity_bytes_per_s=0.0)
+
+    def test_single_transfer_full_rate(self):
+        link = SharedLink(name="l", capacity_bytes_per_s=100.0)
+        tid = link.start_transfer(0.0, 100.0)
+        assert link.remaining(0.5, tid) == pytest.approx(50.0)
+        assert link.is_done(1.0, tid)
+
+    def test_two_transfers_share_capacity(self):
+        link = SharedLink(name="l", capacity_bytes_per_s=100.0)
+        a = link.start_transfer(0.0, 100.0)
+        b = link.start_transfer(0.0, 100.0)
+        # Each gets 50 B/s: after 1s each has 50 bytes left.
+        assert link.remaining(1.0, a) == pytest.approx(50.0)
+        assert link.remaining(1.0, b) == pytest.approx(50.0)
+
+    def test_rate_recovers_when_transfer_completes(self):
+        link = SharedLink(name="l", capacity_bytes_per_s=100.0)
+        short = link.start_transfer(0.0, 50.0)
+        long = link.start_transfer(0.0, 150.0)
+        # Shared until t=1 (short done at 50 B/s); then long gets 100 B/s.
+        assert link.is_done(1.0, short)
+        assert link.remaining(1.0, long) == pytest.approx(100.0)
+        assert link.is_done(2.0, long)
+
+    def test_late_joiner_slows_existing_transfer(self):
+        link = SharedLink(name="l", capacity_bytes_per_s=100.0)
+        a = link.start_transfer(0.0, 100.0)
+        link.start_transfer(0.5, 100.0)
+        # a sent 50 alone, then shares: at t=1.0 a has 100-50-25=25 left.
+        assert link.remaining(1.0, a) == pytest.approx(25.0)
+
+    def test_estimate_finish_time_idle(self):
+        link = SharedLink(name="l", capacity_bytes_per_s=10.0)
+        assert link.estimate_finish_time(0.0) is None
+
+    def test_estimate_finish_time_single(self):
+        link = SharedLink(name="l", capacity_bytes_per_s=10.0)
+        link.start_transfer(0.0, 20.0)
+        assert link.estimate_finish_time(0.0) == pytest.approx(2.0)
+
+    def test_estimate_finish_time_picks_smallest(self):
+        link = SharedLink(name="l", capacity_bytes_per_s=10.0)
+        link.start_transfer(0.0, 20.0)
+        link.start_transfer(0.0, 5.0)
+        # Shared rate 5 B/s each; smaller finishes at t=1.
+        assert link.estimate_finish_time(0.0) == pytest.approx(1.0)
+
+    def test_bytes_carried_accumulates(self):
+        link = SharedLink(name="l", capacity_bytes_per_s=100.0)
+        tid = link.start_transfer(0.0, 60.0)
+        link.remaining(1.0, tid)
+        assert link.bytes_carried == pytest.approx(60.0)
+
+    def test_time_backwards_rejected(self):
+        link = SharedLink(name="l", capacity_bytes_per_s=10.0)
+        link.start_transfer(5.0, 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            link.start_transfer(4.0, 1.0)
+
+    def test_negative_size_rejected(self):
+        link = SharedLink(name="l", capacity_bytes_per_s=10.0)
+        with pytest.raises(ValueError):
+            link.start_transfer(0.0, -1.0)
+
+    def test_zero_byte_transfer_completes_immediately(self):
+        link = SharedLink(name="l", capacity_bytes_per_s=10.0)
+        tid = link.start_transfer(0.0, 0.0)
+        assert link.is_done(0.0, tid)
+
+    def test_serial_transfer_time(self):
+        link = SharedLink(name="l", capacity_bytes_per_s=50.0)
+        assert link.serial_transfer_time(100.0) == pytest.approx(2.0)
+
+    def test_unknown_transfer_is_done(self):
+        link = SharedLink(name="l", capacity_bytes_per_s=10.0)
+        assert link.remaining(0.0, 999) == 0.0

@@ -1,0 +1,67 @@
+"""Tests for repro.sim.clock."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=5.5).now == 5.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            SimClock(start=-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_same_time_is_ok(self):
+        clock = SimClock(start=2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(9.0)
+
+    def test_advance_by(self):
+        clock = SimClock(start=1.0)
+        clock.advance_by(2.5)
+        assert clock.now == 3.5
+
+    def test_advance_by_zero(self):
+        clock = SimClock(start=1.0)
+        clock.advance_by(0.0)
+        assert clock.now == 1.0
+
+    def test_advance_by_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError, match="negative"):
+            clock.advance_by(-0.1)
+
+    def test_reset(self):
+        clock = SimClock(start=7.0)
+        clock.advance_by(3.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_reset_to_custom_time(self):
+        clock = SimClock()
+        clock.advance_by(5.0)
+        clock.reset(start=2.0)
+        assert clock.now == 2.0
+
+    def test_reset_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().reset(start=-3.0)
+
+    def test_repr_contains_time(self):
+        clock = SimClock(start=1.25)
+        assert "1.25" in repr(clock)

@@ -1,0 +1,149 @@
+"""Tests for repro.sim.events."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule_at(3.0, lambda: seen.append("c"))
+        engine.schedule_at(1.0, lambda: seen.append("a"))
+        engine.schedule_at(2.0, lambda: seen.append("b"))
+        engine.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_broken_fifo(self):
+        engine = EventEngine()
+        seen = []
+        for tag in ("first", "second", "third"):
+            engine.schedule_at(1.0, lambda t=tag: seen.append(t))
+        engine.run()
+        assert seen == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = EventEngine()
+        engine.schedule_at(4.5, lambda: None)
+        engine.run()
+        assert engine.clock.now == 4.5
+
+    def test_schedule_in_is_relative(self):
+        engine = EventEngine(clock=SimClock(start=10.0))
+        times = []
+        engine.schedule_in(2.0, lambda: times.append(engine.clock.now))
+        engine.run()
+        assert times == [12.0]
+
+    def test_schedule_in_past_rejected(self):
+        engine = EventEngine(clock=SimClock(start=5.0))
+        with pytest.raises(ValueError, match="past"):
+            engine.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            EventEngine().schedule_in(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        engine = EventEngine()
+        seen = []
+
+        def first():
+            seen.append("first")
+            engine.schedule_in(1.0, lambda: seen.append("second"))
+
+        engine.schedule_at(1.0, first)
+        engine.run()
+        assert seen == ["first", "second"]
+        assert engine.clock.now == 2.0
+
+
+class TestRunControl:
+    def test_run_until_leaves_later_events_queued(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule_at(1.0, lambda: seen.append(1))
+        engine.schedule_at(5.0, lambda: seen.append(5))
+        executed = engine.run(until=2.0)
+        assert executed == 1
+        assert seen == [1]
+        assert engine.pending == 1
+        assert engine.clock.now == 2.0
+
+    def test_run_until_includes_boundary(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule_at(2.0, lambda: seen.append(2))
+        engine.run(until=2.0)
+        assert seen == [2]
+
+    def test_run_with_max_events(self):
+        engine = EventEngine()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t, lambda t=t: seen.append(t))
+        engine.run(max_events=2)
+        assert seen == [1.0, 2.0]
+
+    def test_run_empty_advances_to_until(self):
+        engine = EventEngine()
+        engine.run(until=10.0)
+        assert engine.clock.now == 10.0
+
+    def test_step_returns_false_when_empty(self):
+        assert EventEngine().step() is False
+
+    def test_step_executes_one_event(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule_at(1.0, lambda: seen.append(1))
+        engine.schedule_at(2.0, lambda: seen.append(2))
+        assert engine.step() is True
+        assert seen == [1]
+
+    def test_executed_counter(self):
+        engine = EventEngine()
+        for t in range(1, 4):
+            engine.schedule_at(float(t), lambda: None)
+        engine.run()
+        assert engine.executed == 3
+
+    def test_reset_clears_queue_and_clock(self):
+        engine = EventEngine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.reset()
+        assert engine.pending == 0
+        assert engine.clock.now == 0.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        engine = EventEngine()
+        seen = []
+        handle = engine.schedule_at(1.0, lambda: seen.append("x"))
+        handle.cancel()
+        engine.run()
+        assert seen == []
+
+    def test_cancelled_flag_visible(self):
+        engine = EventEngine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        assert handle.cancelled is False
+        handle.cancel()
+        assert handle.cancelled is True
+
+    def test_handle_reports_time(self):
+        engine = EventEngine()
+        handle = engine.schedule_at(3.5, lambda: None)
+        assert handle.time == 3.5
+
+    def test_cancel_does_not_affect_other_events(self):
+        engine = EventEngine()
+        seen = []
+        handle = engine.schedule_at(1.0, lambda: seen.append("cancelled"))
+        engine.schedule_at(1.0, lambda: seen.append("kept"))
+        handle.cancel()
+        engine.run()
+        assert seen == ["kept"]

@@ -1,0 +1,155 @@
+"""Tests for repro.sim.metrics."""
+
+import pytest
+
+from repro.sim.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Summary,
+    throughput_mb_per_s,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0.0
+
+    def test_inc_default(self):
+        c = Counter("c")
+        c.inc()
+        assert c.value == 1.0
+
+    def test_inc_amount(self):
+        c = Counter("c")
+        c.inc(2.5)
+        c.inc(0.5)
+        assert c.value == 3.0
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1.0)
+
+    def test_reset(self):
+        c = Counter("c")
+        c.inc(5)
+        c.reset()
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_initial_value(self):
+        assert Gauge("g", initial=3.0).value == 3.0
+
+    def test_set(self):
+        g = Gauge("g")
+        g.set(-2.5)
+        assert g.value == -2.5
+
+    def test_add_can_go_negative(self):
+        g = Gauge("g", initial=1.0)
+        g.add(-4.0)
+        assert g.value == -3.0
+
+
+class TestSummary:
+    def test_count_and_mean(self):
+        s = Summary("s")
+        s.observe_many([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == pytest.approx(2.0)
+
+    def test_min_max(self):
+        s = Summary("s")
+        s.observe_many([5.0, -1.0, 3.0])
+        assert s.minimum == -1.0
+        assert s.maximum == 5.0
+
+    def test_total(self):
+        s = Summary("s")
+        s.observe_many([1.0, 4.0])
+        assert s.total == 5.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Summary("s").observe(float("nan"))
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError, match="no samples"):
+            _ = Summary("s").mean
+
+    def test_percentile_median(self):
+        s = Summary("s")
+        s.observe_many([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.percentile(50) == pytest.approx(3.0)
+
+    def test_percentile_endpoints(self):
+        s = Summary("s")
+        s.observe_many([10.0, 20.0, 30.0])
+        assert s.percentile(0) == 10.0
+        assert s.percentile(100) == 30.0
+
+    def test_percentile_interpolates(self):
+        s = Summary("s")
+        s.observe_many([0.0, 10.0])
+        assert s.percentile(50) == pytest.approx(5.0)
+
+    def test_percentile_single_sample(self):
+        s = Summary("s")
+        s.observe(7.0)
+        assert s.percentile(37) == 7.0
+
+    def test_percentile_out_of_range(self):
+        s = Summary("s")
+        s.observe(1.0)
+        with pytest.raises(ValueError):
+            s.percentile(101)
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            Summary("s").percentile(50)
+
+    def test_reset(self):
+        s = Summary("s")
+        s.observe(1.0)
+        s.reset()
+        assert s.count == 0
+
+
+class TestMetricsRegistry:
+    def test_counter_reuse_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_gauge_reuse_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("x") is reg.gauge("x")
+
+    def test_summary_reuse_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.summary("x") is reg.summary("x")
+
+    def test_snapshot_includes_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("chunks").inc(3)
+        reg.gauge("depth").set(2.0)
+        reg.summary("latency").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counter.chunks"] == 3.0
+        assert snap["gauge.depth"] == 2.0
+        assert snap["summary.latency.mean"] == 0.5
+        assert snap["summary.latency.count"] == 1.0
+
+    def test_snapshot_skips_empty_summary(self):
+        reg = MetricsRegistry()
+        reg.summary("never")
+        assert "summary.never.mean" not in reg.snapshot()
+
+
+class TestThroughput:
+    def test_basic(self):
+        assert throughput_mb_per_s(2e6, 2.0) == pytest.approx(1.0)
+
+    def test_zero_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_mb_per_s(1e6, 0.0)

@@ -1,0 +1,75 @@
+"""Tests for repro.sim.rng."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import derive_seed, make_rng, spawn_rng, stable_hash_seed
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(42).integers(0, 1000, size=10)
+        b = make_rng(42).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 10**9)
+        b = make_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRng:
+    def test_spawn_count(self):
+        children = spawn_rng(make_rng(0), 5)
+        assert len(children) == 5
+
+    def test_spawn_zero(self):
+        assert spawn_rng(make_rng(0), 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(make_rng(0), -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rng(make_rng(0), 2)
+        a = children[0].integers(0, 10**9, size=8)
+        b = children[1].integers(0, 10**9, size=8)
+        assert not (a == b).all()
+
+    def test_spawn_deterministic_in_parent_seed(self):
+        a = spawn_rng(make_rng(7), 3)[1].integers(0, 10**9)
+        b = spawn_rng(make_rng(7), 3)[1].integers(0, 10**9)
+        assert a == b
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(make_rng(3)) == derive_seed(make_rng(3))
+
+    def test_non_negative(self):
+        assert derive_seed(make_rng(0)) >= 0
+
+
+class TestStableHashSeed:
+    def test_same_parts_same_seed(self):
+        assert stable_hash_seed("a", 1) == stable_hash_seed("a", 1)
+
+    def test_different_parts_different_seed(self):
+        assert stable_hash_seed("a", 1) != stable_hash_seed("a", 2)
+
+    def test_salt_changes_seed(self):
+        assert stable_hash_seed("a", salt=1) != stable_hash_seed("a", salt=2)
+
+    def test_order_matters(self):
+        assert stable_hash_seed("a", "b") != stable_hash_seed("b", "a")
+
+    def test_fits_in_uint64(self):
+        seed = stable_hash_seed("x" * 100, 12345, salt=99)
+        assert 0 <= seed < 2**64

@@ -1,0 +1,173 @@
+"""Tests for MinHash/LSH similarity estimation (the paper's future-work
+speedup for Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.chunking.fixed import FixedSizeChunker
+from repro.core.similarity import (
+    LSHIndex,
+    MinHasher,
+    estimate_pair_ratio,
+    estimate_union_size,
+    similarity_matrix,
+)
+from repro.datasets.accelerometer import AccelerometerSource
+from repro.dedup.engine import DedupEngine
+
+
+def fingerprint_set(prefix: str, n: int) -> list[str]:
+    return [f"{prefix}{i:08d}{'0' * 24}" for i in range(n)]
+
+
+class TestMinHasher:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MinHasher(n_hashes=0)
+        with pytest.raises(ValueError):
+            MinHasher().sketch_fingerprints([])
+
+    def test_identical_sets_jaccard_one(self):
+        hasher = MinHasher(n_hashes=64, seed=0)
+        fps = fingerprint_set("aa", 100)
+        a = hasher.sketch_fingerprints(fps)
+        b = hasher.sketch_fingerprints(list(reversed(fps)))
+        assert a.jaccard(b) == 1.0
+
+    def test_disjoint_sets_jaccard_near_zero(self):
+        hasher = MinHasher(n_hashes=128, seed=0)
+        a = hasher.sketch_fingerprints(fingerprint_set("aa", 200))
+        b = hasher.sketch_fingerprints(fingerprint_set("bb", 200))
+        assert a.jaccard(b) < 0.1
+
+    def test_jaccard_estimate_accuracy(self):
+        """50% overlap -> J = 1/3; the estimate lands within sketch noise."""
+        hasher = MinHasher(n_hashes=256, seed=1)
+        shared = fingerprint_set("cc", 200)
+        a = hasher.sketch_fingerprints(shared + fingerprint_set("aa", 200))
+        b = hasher.sketch_fingerprints(shared + fingerprint_set("bb", 200))
+        true_j = 200 / 600
+        assert a.jaccard(b) == pytest.approx(true_j, abs=0.08)
+
+    def test_set_size_recorded(self):
+        hasher = MinHasher(n_hashes=16, seed=0)
+        sig = hasher.sketch_fingerprints(fingerprint_set("aa", 50) * 2)  # dups collapse
+        assert sig.set_size == 50
+
+    def test_width_mismatch_rejected(self):
+        a = MinHasher(n_hashes=16, seed=0).sketch_fingerprints(fingerprint_set("a", 5))
+        b = MinHasher(n_hashes=32, seed=0).sketch_fingerprints(fingerprint_set("a", 5))
+        with pytest.raises(ValueError):
+            a.jaccard(b)
+
+    def test_sketch_bytes_uses_chunker(self):
+        hasher = MinHasher(n_hashes=64, seed=0, chunker=FixedSizeChunker(16))
+        data = bytes(range(256))
+        a = hasher.sketch_bytes(data)
+        b = hasher.sketch_bytes(data)
+        assert a.jaccard(b) == 1.0
+        assert a.set_size == 16
+
+    def test_union_size_estimate(self):
+        hasher = MinHasher(n_hashes=256, seed=2)
+        shared = fingerprint_set("cc", 100)
+        a = hasher.sketch_fingerprints(shared + fingerprint_set("aa", 100))
+        b = hasher.sketch_fingerprints(shared + fingerprint_set("bb", 100))
+        assert estimate_union_size(a, b) == pytest.approx(300, rel=0.15)
+
+
+class TestPairRatioEstimate:
+    def test_matches_true_ratio_on_synthetic_sets(self):
+        hasher = MinHasher(n_hashes=256, seed=3)
+        shared = fingerprint_set("cc", 150)
+        fps_a = shared + fingerprint_set("aa", 50)
+        fps_b = shared + fingerprint_set("bb", 50)
+        a = hasher.sketch_fingerprints(fps_a)
+        b = hasher.sketch_fingerprints(fps_b)
+        # Pretend each fingerprint was drawn once: raw = 400, unique = 250.
+        estimated = estimate_pair_ratio(a, b, draws_a=200, draws_b=200)
+        assert estimated == pytest.approx(400 / 250, rel=0.1)
+
+    def test_draw_count_validation(self):
+        hasher = MinHasher(n_hashes=16, seed=0)
+        a = hasher.sketch_fingerprints(fingerprint_set("a", 10))
+        with pytest.raises(ValueError):
+            estimate_pair_ratio(a, a, draws_a=5, draws_b=10)
+
+    def test_against_real_dedup_on_dataset(self):
+        """The LSH path estimates the measured pairwise dedup ratio of two
+        accelerometer files within ~10%."""
+        src0 = AccelerometerSource(participant=0)
+        src1 = AccelerometerSource(participant=1)
+        f0, f1 = src0.generate_file(0).data, src1.generate_file(0).data
+        chunker = FixedSizeChunker(4096)
+
+        engine = DedupEngine(chunker=chunker)
+        engine.dedup_bytes(f0)
+        engine.dedup_bytes(f1)
+        measured = engine.stats.dedup_ratio
+
+        hasher = MinHasher(n_hashes=256, seed=4, chunker=chunker)
+        a, b = hasher.sketch_bytes(f0), hasher.sketch_bytes(f1)
+        estimated = estimate_pair_ratio(
+            a, b, draws_a=len(f0) // 4096, draws_b=len(f1) // 4096
+        )
+        assert estimated == pytest.approx(measured, rel=0.12)
+
+
+class TestSimilarityMatrix:
+    def test_shape_and_diagonal(self):
+        hasher = MinHasher(n_hashes=32, seed=0)
+        sigs = [hasher.sketch_fingerprints(fingerprint_set(p, 20)) for p in "abc"]
+        mat = similarity_matrix(sigs)
+        assert mat.shape == (3, 3)
+        assert np.allclose(np.diag(mat), 1.0)
+        assert np.allclose(mat, mat.T)
+
+
+class TestLSHIndex:
+    def _sigs(self):
+        hasher = MinHasher(n_hashes=64, seed=5)
+        shared = fingerprint_set("ss", 180)
+        near_a = hasher.sketch_fingerprints(shared + fingerprint_set("a", 20))
+        near_b = hasher.sketch_fingerprints(shared + fingerprint_set("b", 20))
+        far = hasher.sketch_fingerprints(fingerprint_set("zz", 200))
+        return near_a, near_b, far
+
+    def test_similar_sources_collide(self):
+        near_a, near_b, far = self._sigs()
+        index = LSHIndex(bands=16)
+        index.add("a", near_a)
+        index.add("b", near_b)
+        index.add("z", far)
+        assert "b" in index.candidates(near_a)
+        assert ("a", "b") in index.candidate_pairs()
+
+    def test_dissimilar_sources_usually_do_not_collide(self):
+        near_a, _, far = self._sigs()
+        index = LSHIndex(bands=8)
+        index.add("a", near_a)
+        assert "a" not in index.candidates(far)
+
+    def test_duplicate_id_rejected(self):
+        near_a, _, _ = self._sigs()
+        index = LSHIndex(bands=16)
+        index.add("a", near_a)
+        with pytest.raises(ValueError):
+            index.add("a", near_a)
+
+    def test_band_divisibility_checked(self):
+        sig = MinHasher(n_hashes=30, seed=0).sketch_fingerprints(fingerprint_set("a", 5))
+        with pytest.raises(ValueError, match="divisible"):
+            LSHIndex(bands=16).add("a", sig)
+
+    def test_len(self):
+        near_a, near_b, _ = self._sigs()
+        index = LSHIndex(bands=16)
+        index.add("a", near_a)
+        index.add("b", near_b)
+        assert len(index) == 2
+
+    def test_bands_validation(self):
+        with pytest.raises(ValueError):
+            LSHIndex(bands=0)

@@ -1,0 +1,104 @@
+"""Assemble benchmarks/results/*.txt into a single RESULTS.md.
+
+Run the benchmarks first (``pytest benchmarks/ --benchmark-only``), then:
+
+    python tools/make_report.py
+
+The report groups the saved tables into the paper's figure order, followed
+by ablations and extensions, so the whole evaluation is reviewable in one
+file alongside EXPERIMENTS.md's paper-vs-measured commentary.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).parent.parent / "benchmarks" / "results"
+OUTPUT = Path(__file__).parent.parent / "RESULTS.md"
+
+SECTIONS = [
+    ("Estimation (Figs. 2-3)", ["fig2", "fig3"]),
+    (
+        "Throughput and ratio vs cloud baselines (Fig. 5)",
+        [
+            "fig5a_accelerometer",
+            "fig5a_trafficvideo",
+            "fig5b_accelerometer",
+            "fig5b_trafficvideo",
+            "fig5c_accelerometer",
+            "fig5c_trafficvideo",
+        ],
+    ),
+    (
+        "The network-storage tradeoff (Fig. 6)",
+        ["fig6a_accelerometer", "fig6a_trafficvideo", "fig6b_accelerometer",
+         "fig6b_trafficvideo", "fig6c"],
+    ),
+    ("Simulations at scale (Fig. 7)", ["fig7a", "fig7b"]),
+    (
+        "Ablations",
+        [
+            "ablation_partitioner_quality",
+            "ablation_partitioner_runtime_n100",
+            "ablation_partitioner_runtime_n300",
+            "ablation_gamma",
+            "ablation_chunking",
+            "ablation_consistency",
+            "ablation_warm_start",
+            "ablation_grid_search",
+            "ablation_des",
+        ],
+    ),
+    ("Future-work extensions", ["ext_lsh", "ext_cache", "ext_erasure"]),
+]
+
+
+def main() -> int:
+    if not RESULTS.is_dir():
+        print("no benchmarks/results/ — run: pytest benchmarks/ --benchmark-only",
+              file=sys.stderr)
+        return 1
+    lines = [
+        "# RESULTS — regenerated figure tables",
+        "",
+        "Produced by `python tools/make_report.py` from the tables the",
+        "benchmarks save under `benchmarks/results/`. See EXPERIMENTS.md for",
+        "the paper-vs-measured commentary on each figure.",
+        "",
+    ]
+    listed: set[str] = set()
+    for title, names in SECTIONS:
+        tables = []
+        for name in names:
+            path = RESULTS / f"{name}.txt"
+            if path.is_file():
+                tables.append(path.read_text().rstrip())
+                listed.add(name)
+        if not tables:
+            continue
+        lines.append(f"## {title}")
+        lines.append("")
+        for table in tables:
+            lines.append("```")
+            lines.append(table)
+            lines.append("```")
+            lines.append("")
+    stragglers = sorted(
+        p.stem for p in RESULTS.glob("*.txt") if p.stem not in listed
+    )
+    if stragglers:
+        lines.append("## Other saved tables")
+        lines.append("")
+        for name in stragglers:
+            lines.append("```")
+            lines.append((RESULTS / f"{name}.txt").read_text().rstrip())
+            lines.append("```")
+            lines.append("")
+    OUTPUT.write_text("\n".join(lines) + "\n")
+    print(f"wrote {OUTPUT} ({len(listed) + len(stragglers)} tables)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
