@@ -1,0 +1,160 @@
+"""Micro-benchmark: vectorized vs scalar CDC chunking backends.
+
+Two entry points:
+
+- under pytest (``pytest benchmarks/ --benchmark-only``) it times the
+  backends on a small buffer with pytest-benchmark and asserts the
+  boundaries agree — a smoke check that the speedup exists at all;
+- as a script (``python benchmarks/bench_micro_chunking.py``) it measures
+  both algorithms on large buffers, verifies byte-identical boundaries, and
+  writes ``BENCH_chunking.json`` at the repo root — the committed record of
+  the vectorization speedup (the acceptance bar is >= 10x for Gear on the
+  32 MiB buffer). ``--quick`` shrinks the buffers for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.chunking.gear import GearChunker
+from repro.chunking.rabin import RabinChunker
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+AVG_SIZE = 8 * 1024
+
+
+def _payload(n: int, seed: int = 0) -> bytes:
+    return np.random.default_rng(seed).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+def _make(algo: str, backend: str):
+    if algo == "gear":
+        return GearChunker(avg_size=AVG_SIZE, backend=backend)
+    return RabinChunker(avg_size=AVG_SIZE, backend=backend)
+
+
+def _boundaries(chunker, data: bytes) -> list[int]:
+    return [c.offset + c.length for c in chunker.chunk(data)]
+
+
+def _time_once(chunker, data: bytes) -> tuple[float, int]:
+    t0 = time.perf_counter()
+    count = sum(1 for _ in chunker.chunk(data))
+    return time.perf_counter() - t0, count
+
+
+def _best_of(chunker, data: bytes, repeats: int) -> tuple[float, int]:
+    best, count = _time_once(chunker, data)
+    for _ in range(repeats - 1):
+        t, c = _time_once(chunker, data)
+        assert c == count
+        best = min(best, t)
+    return best, count
+
+
+def run(sizes_mib: list[int], repeats: int) -> dict:
+    results = []
+    for algo in ("gear", "rabin"):
+        for size_mib in sizes_mib:
+            data = _payload(size_mib << 20, seed=size_mib)
+            scalar = _make(algo, "scalar")
+            vectorized = _make(algo, "vectorized")
+            boundaries_match = _boundaries(scalar, data) == _boundaries(vectorized, data)
+            # The scalar loop is slow; one timed pass is representative.
+            t_scalar, n_scalar = _best_of(scalar, data, repeats=1)
+            t_vec, n_vec = _best_of(vectorized, data, repeats=repeats)
+            entry = {
+                "algo": algo,
+                "buffer_mib": size_mib,
+                "avg_chunk_size": AVG_SIZE,
+                "chunks": n_vec,
+                "boundaries_match": boundaries_match,
+                "scalar_s": round(t_scalar, 4),
+                "vectorized_s": round(t_vec, 4),
+                "scalar_mb_s": round(size_mib * 1.048576 / t_scalar, 2),
+                "vectorized_mb_s": round(size_mib * 1.048576 / t_vec, 2),
+                "speedup": round(t_scalar / t_vec, 2),
+            }
+            assert n_scalar == n_vec
+            results.append(entry)
+            print(
+                f"{algo:5s} {size_mib:3d} MiB: scalar {entry['scalar_mb_s']:8.2f} MB/s, "
+                f"vectorized {entry['vectorized_mb_s']:8.2f} MB/s, "
+                f"speedup {entry['speedup']:.1f}x, match={boundaries_match}"
+            )
+    return {"avg_chunk_size": AVG_SIZE, "results": results}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small buffers, no JSON output unless --out is given (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help=f"output JSON path (default: {REPO_ROOT / 'BENCH_chunking.json'})",
+    )
+    args = parser.parse_args()
+    sizes = [1] if args.quick else [4, 32]
+    report = run(sizes, repeats=2 if args.quick else 3)
+
+    failures = [
+        r for r in report["results"]
+        if not r["boundaries_match"] or r["speedup"] <= 1.0
+    ]
+    if failures:
+        raise SystemExit(f"benchmark regression: {failures}")
+    gear_32 = [r for r in report["results"] if r["algo"] == "gear" and r["buffer_mib"] == 32]
+    if gear_32 and gear_32[0]["speedup"] < 10.0:
+        raise SystemExit(
+            f"gear speedup {gear_32[0]['speedup']}x below the 10x acceptance bar"
+        )
+
+    out = args.out
+    if out is None and not args.quick:
+        out = REPO_ROOT / "BENCH_chunking.json"
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}")
+
+
+# -- pytest-benchmark smoke (collected with the other micro benchmarks) -- #
+
+_SMOKE = _payload(2 << 20, seed=42)
+
+
+def test_micro_gear_scalar(benchmark):
+    chunker = _make("gear", "scalar")
+    count = benchmark.pedantic(
+        lambda: sum(1 for _ in chunker.chunk(_SMOKE)), rounds=1, iterations=1
+    )
+    assert count > 100
+
+
+def test_micro_gear_vectorized(benchmark):
+    chunker = _make("gear", "vectorized")
+    count = benchmark(lambda: sum(1 for _ in chunker.chunk(_SMOKE)))
+    assert count > 100
+
+
+def test_micro_rabin_vectorized(benchmark):
+    chunker = _make("rabin", "vectorized")
+    count = benchmark(lambda: sum(1 for _ in chunker.chunk(_SMOKE)))
+    assert count > 100
+
+
+def test_backends_agree_on_smoke_buffer():
+    for algo in ("gear", "rabin"):
+        assert _boundaries(_make(algo, "scalar"), _SMOKE) == _boundaries(
+            _make(algo, "vectorized"), _SMOKE
+        )
+
+
+if __name__ == "__main__":
+    main()

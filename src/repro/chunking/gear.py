@@ -14,6 +14,12 @@ table lookup per byte:
 A boundary is declared when ``h & mask == 0``, with the mask sized so the
 expected chunk length equals ``avg_size``. Minimum and maximum chunk sizes
 bound the distribution's tails.
+
+Two backends share this definition: a scalar per-byte loop (the reference
+oracle) and a numpy block scan that precomputes the windowed hash over the
+whole buffer and finds mask hits with one ``flatnonzero``
+(:mod:`repro.chunking.vectorized`). Both produce byte-identical boundaries;
+``backend="auto"`` picks the vectorized scan whenever numpy is available.
 """
 
 from __future__ import annotations
@@ -23,21 +29,32 @@ from typing import Iterator
 import numpy as np
 
 from repro.chunking.base import Chunk, Chunker
+from repro.chunking.vectorized import gear_boundary_candidates
 
 _MASK64 = (1 << 64) - 1
+
+# Buffers below this size are chunked scalar even under "auto": the numpy
+# scan's setup cost exceeds the loop for tiny inputs (boundaries are
+# identical either way, so the switch is invisible).
+_VECTOR_MIN_BYTES = 1024
+
+_BACKENDS = ("auto", "scalar", "vectorized")
 
 
 def _build_gear_table(seed: int = 0x9E3779B9) -> list[int]:
     """Deterministic 256-entry table of 64-bit random values.
 
     A fixed seed keeps chunking stable across processes and runs — two nodes
-    chunking the same data must find the same boundaries.
+    chunking the same data must find the same boundaries. Values are drawn
+    full-width (``[0, 2^64)``): the top hash bit is as random as the rest,
+    which matters once masks grow past a few bits.
     """
     rng = np.random.default_rng(seed)
-    return [int(x) for x in rng.integers(0, 2**63 - 1, size=256, dtype=np.int64)]
+    return [int(x) for x in rng.integers(0, 2**64, size=256, dtype=np.uint64)]
 
 
 _GEAR_TABLE = _build_gear_table()
+_GEAR_TABLE_U64 = np.array(_GEAR_TABLE, dtype=np.uint64)
 
 
 class GearChunker(Chunker):
@@ -48,6 +65,9 @@ class GearChunker(Chunker):
             for the boundary mask to hit the target expectation exactly).
         min_size: chunks are never shorter than this (except the stream tail).
         max_size: chunks are force-cut at this length.
+        backend: ``"scalar"`` for the per-byte reference loop,
+            ``"vectorized"`` for the numpy block scan, ``"auto"`` (default)
+            to use the vectorized scan on non-trivial buffers.
     """
 
     def __init__(
@@ -55,9 +75,12 @@ class GearChunker(Chunker):
         avg_size: int = 8 * 1024,
         min_size: int | None = None,
         max_size: int | None = None,
+        backend: str = "auto",
     ) -> None:
         if avg_size <= 0 or avg_size & (avg_size - 1) != 0:
             raise ValueError(f"avg_size must be a positive power of two, got {avg_size!r}")
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
         self.avg_size = avg_size
         self.min_size = min_size if min_size is not None else avg_size // 4
         self.max_size = max_size if max_size is not None else avg_size * 4
@@ -66,9 +89,23 @@ class GearChunker(Chunker):
                 f"need 0 < min_size <= avg_size <= max_size, got "
                 f"min={self.min_size}, avg={avg_size}, max={self.max_size}"
             )
+        self.backend = backend
         self._mask = avg_size - 1
+        # Bit width of the mask: the masked hash depends on exactly the last
+        # _mask_bits bytes, which is what makes the block scan possible.
+        self._mask_bits = avg_size.bit_length() - 1
 
     def chunk(self, data: bytes) -> Iterator[Chunk]:
+        if self.backend == "scalar" or (
+            self.backend == "auto" and len(data) < _VECTOR_MIN_BYTES
+        ):
+            yield from self._chunk_scalar(data)
+        else:
+            yield from self._chunk_vectorized(data)
+
+    # -- scalar reference backend ---------------------------------------- #
+
+    def _chunk_scalar(self, data: bytes) -> Iterator[Chunk]:
         n = len(data)
         start = 0
         while start < n:
@@ -94,8 +131,70 @@ class GearChunker(Chunker):
                 return pos
         return limit
 
+    # -- vectorized backend ---------------------------------------------- #
+
+    def _chunk_vectorized(self, data: bytes) -> Iterator[Chunk]:
+        n = len(data)
+        if n == 0:
+            return
+        window = max(self._mask_bits, 1)
+        buf = np.frombuffer(data, dtype=np.uint8)
+        # Chunk starts only move forward, so a single cursor over the sorted
+        # candidate list replaces a binary search per chunk.
+        cands = gear_boundary_candidates(
+            buf, _GEAR_TABLE_U64, self._mask, window
+        ).tolist()
+        ncand = len(cands)
+        idx = 0
+        start = 0
+        while start < n:
+            limit = min(start + self.max_size, n)
+            probe = min(start + self.min_size, n)
+            end = limit
+            if probe < limit:
+                first_end = probe + 1  # first end the scalar loop would test
+                # A candidate's window covers the chunk's own bytes only from
+                # start + _mask_bits onwards; for the (rare) configurations
+                # with min_size < _mask_bits - 1 the first few ends see a
+                # shorter, start-dependent hash and are checked by the
+                # reference loop.
+                gap_cut = None
+                window_valid_from = start + self._mask_bits
+                if first_end < window_valid_from:
+                    gap_cut = self._scan_gap_zone(
+                        data, start, probe, min(window_valid_from - 1, limit)
+                    )
+                    first_end = window_valid_from
+                if gap_cut is not None:
+                    end = gap_cut
+                else:
+                    while idx < ncand and cands[idx] < first_end:
+                        idx += 1
+                    if idx < ncand and cands[idx] <= limit:
+                        end = cands[idx]
+            yield Chunk(data=data[start:end], offset=start)
+            start = end
+
+    def _scan_gap_zone(
+        self, data: bytes, start: int, probe: int, gap_end: int
+    ) -> int | None:
+        """Reference-loop scan of ends whose window would reach before
+        ``start`` (only possible when min_size < _mask_bits - 1)."""
+        h = 0
+        table = _GEAR_TABLE
+        for i in range(start, probe):
+            h = ((h << 1) + table[data[i]]) & _MASK64
+        pos = probe
+        while pos < gap_end:
+            h = ((h << 1) + table[data[pos]]) & _MASK64
+            pos += 1
+            if h & self._mask == 0:
+                return pos
+        return None
+
     def __repr__(self) -> str:
         return (
             f"GearChunker(avg_size={self.avg_size}, "
-            f"min_size={self.min_size}, max_size={self.max_size})"
+            f"min_size={self.min_size}, max_size={self.max_size}, "
+            f"backend={self.backend!r})"
         )

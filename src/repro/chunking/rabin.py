@@ -7,16 +7,30 @@ a subtract of the outgoing byte's contribution) but the window property is
 stronger: the boundary decision depends on exactly the last ``window_size``
 bytes, independent of chunk start — useful as a correctness reference for the
 Gear chunker in tests.
+
+That window property also makes the hash trivially position-independent, so
+the vectorized backend evaluates it at every buffer position in O(log
+window) numpy passes (:func:`repro.chunking.vectorized.rabin_window_hashes`)
+and reduces each chunk's boundary search to a cursor walk over the sorted
+candidate list. Both backends produce byte-identical boundaries.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
+import numpy as np
+
 from repro.chunking.base import Chunk, Chunker
+from repro.chunking.vectorized import rabin_boundary_candidates
 
 _MOD = (1 << 61) - 1  # Mersenne prime: cheap modular reduction, no collisions in practice
 _BASE = 263
+
+# Same auto-backend crossover as the Gear chunker.
+_VECTOR_MIN_BYTES = 1024
+
+_BACKENDS = ("auto", "scalar", "vectorized")
 
 
 class RabinChunker(Chunker):
@@ -28,6 +42,9 @@ class RabinChunker(Chunker):
         min_size: minimum chunk length (boundary test suppressed before it).
         max_size: maximum chunk length (forced cut).
         window_size: number of trailing bytes the rolling hash covers.
+        backend: ``"scalar"`` for the per-byte reference loop,
+            ``"vectorized"`` for the numpy block scan, ``"auto"`` (default)
+            to use the vectorized scan on non-trivial buffers.
     """
 
     def __init__(
@@ -36,11 +53,14 @@ class RabinChunker(Chunker):
         min_size: int | None = None,
         max_size: int | None = None,
         window_size: int = 48,
+        backend: str = "auto",
     ) -> None:
         if avg_size <= 0:
             raise ValueError(f"avg_size must be positive, got {avg_size!r}")
         if window_size <= 0:
             raise ValueError(f"window_size must be positive, got {window_size!r}")
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
         self.avg_size = avg_size
         self.min_size = min_size if min_size is not None else max(avg_size // 4, window_size)
         self.max_size = max_size if max_size is not None else avg_size * 4
@@ -55,10 +75,21 @@ class RabinChunker(Chunker):
                 "so the window is full before any boundary test"
             )
         self.window_size = window_size
+        self.backend = backend
         # Precomputed BASE^(window_size-1) for removing the outgoing byte.
         self._out_factor = pow(_BASE, window_size - 1, _MOD)
 
     def chunk(self, data: bytes) -> Iterator[Chunk]:
+        if self.backend == "scalar" or (
+            self.backend == "auto" and len(data) < _VECTOR_MIN_BYTES
+        ):
+            yield from self._chunk_scalar(data)
+        else:
+            yield from self._chunk_vectorized(data)
+
+    # -- scalar reference backend ---------------------------------------- #
+
+    def _chunk_scalar(self, data: bytes) -> Iterator[Chunk]:
         n = len(data)
         start = 0
         while start < n:
@@ -86,8 +117,38 @@ class RabinChunker(Chunker):
             pos += 1
         return limit
 
+    # -- vectorized backend ---------------------------------------------- #
+
+    def _chunk_vectorized(self, data: bytes) -> Iterator[Chunk]:
+        n = len(data)
+        if n == 0:
+            return
+        buf = np.frombuffer(data, dtype=np.uint8)
+        # Chunk starts only move forward, so a single cursor over the sorted
+        # candidate list replaces a binary search per chunk.
+        cands = rabin_boundary_candidates(
+            buf, self.window_size, _BASE, self.avg_size
+        ).tolist()
+        ncand = len(cands)
+        idx = 0
+        start = 0
+        while start < n:
+            limit = min(start + self.max_size, n)
+            probe = min(start + self.min_size, n)
+            end = limit
+            if probe < limit:
+                # The scalar loop tests ends in [probe, limit); min_size >=
+                # window_size guarantees every tested window is full.
+                while idx < ncand and cands[idx] < probe:
+                    idx += 1
+                if idx < ncand and cands[idx] <= limit - 1:
+                    end = cands[idx]
+            yield Chunk(data=data[start:end], offset=start)
+            start = end
+
     def __repr__(self) -> str:
         return (
             f"RabinChunker(avg_size={self.avg_size}, min_size={self.min_size}, "
-            f"max_size={self.max_size}, window_size={self.window_size})"
+            f"max_size={self.max_size}, window_size={self.window_size}, "
+            f"backend={self.backend!r})"
         )

@@ -1,0 +1,314 @@
+"""Vectorized boundary scanning for content-defined chunking.
+
+The scalar Gear and Rabin chunkers walk the stream one byte at a time in
+pure Python — the dominant cost of the dedup hot path. This module computes
+the *windowed* rolling hash at every position of the buffer with numpy, so
+boundary candidates for the whole buffer fall out of one
+``np.flatnonzero`` and the per-chunk work shrinks to advancing a cursor
+over the sorted candidate list.
+
+Both kernels exploit the same property: the boundary predicate of a rolling
+hash depends on a bounded suffix of the stream, so it can be evaluated
+position-independently. Both build the window hash by **binary doubling** —
+``W_{p+q}[i] = shift(W_p[i-q], q) + W_q[i]`` — which needs O(log window)
+vector passes instead of O(window).
+
+- **Gear** (``h = (h << 1) + G[b]`` mod 2^64, boundary when
+  ``h & (2^L - 1) == 0``): a term ``G[b] << j`` contributes nothing to the
+  low ``L`` bits once ``j >= L``, so the masked hash depends on exactly the
+  last ``L`` bytes. Because only those low bits are ever consulted, the
+  whole computation runs in **uint32** whenever ``L <= 32`` (addition and
+  shifts mod 2^32 agree with mod 2^64 on the low 32 bits) — 32-bit SIMD
+  lanes are twice as wide as 64-bit ones.
+- **Rabin** (polynomial hash of the last ``w`` bytes mod ``2^61 - 1``,
+  boundary when ``h % D == D - 1``): already windowed by construction.
+  The Mersenne-prime modular multiply is done in 32-bit limbs with
+  shift-only reductions (2^61 ≡ 1, 2^64 ≡ 8 mod M61) so everything stays
+  inside uint64.
+
+Two implementation rules keep the kernels fast on large buffers:
+
+1. **No allocation in the hot loop.** Every pass writes into preallocated
+   scratch with ``out=`` — page-faulting a fresh tens-of-MB array per op
+   costs several times the arithmetic itself.
+2. **Blocked processing.** Buffers are scanned in ~1M-position blocks
+   (overlapping by ``window - 1`` bytes so every window is complete), which
+   keeps the working set cache-resident and bounds scratch memory
+   regardless of buffer size. Candidates are position-independent, so the
+   per-block hit lists concatenate exactly.
+
+Intermediate Rabin values are kept *semi-canonical* (``<= 2^61``, where
+``M61`` itself represents zero) and only canonicalized once at the end; the
+bounds noted beside each step show no intermediate can overflow uint64.
+
+The chunkers keep their scalar loops as the reference oracle; property
+tests assert byte-identical boundaries between the two backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_U32 = np.uint32
+_U64 = np.uint64
+_M61 = (1 << 61) - 1  # the Rabin modulus (Mersenne prime)
+_LOW32 = (1 << 32) - 1
+_LOW29 = (1 << 29) - 1
+
+# Positions scanned per block. 1M positions keeps the scratch working set
+# (a handful of 8 MB arrays) comfortably inside L3 on current hardware.
+_BLOCK = 1 << 20
+
+
+def _blocks(n: int, window: int):
+    """Yield ``(lo, s, e)``: scan positions ``[s, e)`` using bytes
+    ``[lo, e)`` so every window ending in the block is complete."""
+    pad = window - 1
+    for s in range(0, n, _BLOCK):
+        yield max(0, s - pad), s, min(s + _BLOCK, n)
+
+
+# ---------------------------------------------------------------------- #
+# Gear
+# ---------------------------------------------------------------------- #
+
+
+def _gear_doubling_into(
+    g: np.ndarray, window: int, acc: np.ndarray, tmp: np.ndarray
+) -> np.ndarray:
+    """Window hash ``W[i] = sum_{j<window} g[i-j] << j`` by binary doubling.
+
+    Works in ``g``'s own integer dtype; overflow wraps, which is exactly the
+    modular arithmetic both the uint32 and uint64 gear paths want. Entries
+    with ``i < window - 1`` are partial-window garbage. ``acc``/``tmp`` are
+    caller-provided scratch of ``g``'s length and dtype; returns ``acc``.
+    """
+    np.copyto(acc, g)
+    if window == 1 or len(g) == 0:
+        return acc
+    ty = g.dtype.type
+    width = 1
+    for bit in bin(window)[3:]:  # binary digits after the leading 1
+        q = width
+        if q < len(g):
+            # W_{2p}[i] = (W_p[i-p] << p) + W_p[i]
+            np.left_shift(acc[:-q], ty(q), out=tmp[q:])
+            np.add(acc[q:], tmp[q:], out=acc[q:])
+        width *= 2
+        if bit == "1":
+            if len(g) > 1:
+                # W_{p+1}[i] = (W_p[i-1] << 1) + W_1[i]
+                np.left_shift(acc[:-1], ty(1), out=tmp[1:])
+                np.add(tmp[1:], g[1:], out=acc[1:])
+            width += 1
+    return acc
+
+
+def gear_window_hashes(buf: np.ndarray, table: np.ndarray, window: int) -> np.ndarray:
+    """Gear hash of the ``window`` bytes ending at each position.
+
+    Args:
+        buf: uint8 view of the input.
+        table: 256-entry uint64 gear table.
+        window: window length in bytes (the mask's bit width).
+
+    Returns:
+        Array ``wh`` with ``wh[i]`` the gear hash of ``buf[i-window+1 : i+1]``
+        reduced mod 2^32 (uint32, when ``window <= 32``) or mod 2^64
+        (uint64) — either way exact on the low ``window`` bits, which are
+        the only ones the boundary mask reads. Entries with
+        ``i < window - 1`` are partial-window garbage and must not be
+        consulted.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window!r}")
+    tbl = table.astype(_U32) if window <= 32 else table
+    g = tbl[buf]
+    return _gear_doubling_into(g, window, np.empty_like(g), np.empty_like(g))
+
+
+def gear_boundary_candidates(
+    buf: np.ndarray, table: np.ndarray, mask: int, window: int
+) -> np.ndarray:
+    """Sorted end positions where the windowed gear hash matches the mask.
+
+    A returned position ``e`` means "the hash after consuming byte ``e-1``
+    has ``h & mask == 0``", valid for any chunk that started at least
+    ``window`` bytes before ``e``.
+    """
+    n = len(buf)
+    if n < window:
+        return np.empty(0, dtype=np.int64)
+    # Only the low `window` bits are consulted; uint32 wrapping preserves
+    # them and 32-bit lanes are twice as fast.
+    tbl = table.astype(_U32) if window <= 32 else table
+    ty = tbl.dtype.type
+    cap = min(n, _BLOCK + window - 1)
+    g = np.empty(cap, dtype=tbl.dtype)
+    acc = np.empty(cap, dtype=tbl.dtype)
+    tmp = np.empty(cap, dtype=tbl.dtype)
+    pred = np.empty(cap, dtype=bool)
+    parts: list[np.ndarray] = []
+    for lo, s, e in _blocks(n, window):
+        m = e - lo
+        np.take(tbl, buf[lo:e], out=g[:m])
+        wh = _gear_doubling_into(g[:m], window, acc[:m], tmp[:m])
+        np.bitwise_and(wh, ty(mask), out=wh)
+        np.equal(wh, ty(0), out=pred[:m])
+        hits = np.flatnonzero(pred[:m])
+        hits += lo
+        hits = hits[hits >= max(s, window - 1)]
+        parts.append(hits + 1)
+    return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+
+# ---------------------------------------------------------------------- #
+# Rabin (arithmetic mod 2^61 - 1 in uint64 limbs)
+# ---------------------------------------------------------------------- #
+
+
+class _M61Scratch:
+    """Preallocated uint64 work arrays for the in-place M61 kernel."""
+
+    def __init__(self, n: int) -> None:
+        self.hi = np.empty(n, dtype=_U64)
+        self.lo = np.empty(n, dtype=_U64)
+        self.t = np.empty(n, dtype=_U64)
+        self.u = np.empty(n, dtype=_U64)
+        self.acc = np.empty(n, dtype=_U64)
+
+
+def _compose_m61_inplace(
+    acc: np.ndarray, right: np.ndarray, q: int, c: int, s: _M61Scratch
+) -> None:
+    """``acc[i] <- acc[i-q] * c + right[i]  (mod M61)``, in place.
+
+    ``right`` may alias ``acc`` (the doubling step): ``acc`` is only read
+    into scratch up front and at the final fold, never partially written
+    before a read. Inputs are semi-canonical (``<= 2^61``, so the high limb
+    is at most 2^29); the output is too. ``acc[:q]`` is left stale — those
+    positions are partial-window garbage for the wider window anyway.
+    """
+    m = len(acc) - q
+    a = acc[:-q]
+    hi, lo, t, u = s.hi[:m], s.lo[:m], s.t[:m], s.u[:m]
+    c_hi, c_lo = _U64(c >> 32), _U64(c & _LOW32)
+    m61, low29 = _U64(_M61), _U64(_LOW29)
+
+    # 32x32 limb products of a * c.
+    np.right_shift(a, _U64(32), out=hi)
+    np.bitwise_and(a, _U64(_LOW32), out=lo)
+    np.multiply(lo, c_lo, out=t)  # ll < 2^64, weight 1
+    np.multiply(lo, c_hi, out=lo)  # a_lo*c_hi < 2^61
+    np.multiply(hi, c_lo, out=u)  # a_hi*c_lo < 2^61
+    np.add(lo, u, out=lo)  # mid < 2^62, weight 2^32
+    np.multiply(hi, c_hi, out=hi)  # hh < 2^58, weight 2^64 ≡ 8
+    np.left_shift(hi, _U64(3), out=hi)  # 8*hh < 2^61
+    # Fold mid below 2^61 + 1, then split at bit 29:
+    # mid * 2^32 ≡ (mid >> 29) + (mid & LOW29) << 32   (2^61 ≡ 1).
+    np.right_shift(lo, _U64(61), out=u)
+    np.bitwise_and(lo, m61, out=lo)
+    np.add(lo, u, out=lo)  # <= 2^61
+    np.right_shift(lo, _U64(29), out=u)  # <= 2^32
+    np.bitwise_and(lo, low29, out=lo)
+    np.left_shift(lo, _U64(32), out=lo)  # < 2^61
+    np.add(hi, lo, out=hi)  # < 2^62
+    np.add(hi, u, out=hi)  # < 2^62 + 2^32
+    # Fold ll and accumulate the three weights: total < 2^63.
+    np.right_shift(t, _U64(61), out=u)
+    np.bitwise_and(t, m61, out=t)
+    np.add(t, u, out=t)
+    np.add(t, hi, out=t)
+    # Add `right` before reducing (< 2^63 + 2^61, still no overflow), then
+    # two shift-folds bring the sum back <= 2^61 (semi-canonical).
+    np.add(t, right[q:], out=t)
+    np.right_shift(t, _U64(61), out=u)
+    np.bitwise_and(t, m61, out=t)
+    np.add(t, u, out=t)
+    np.right_shift(t, _U64(61), out=u)
+    np.bitwise_and(t, m61, out=acc[q:])
+    np.add(acc[q:], u, out=acc[q:])
+
+
+def _rabin_doubling(
+    b64: np.ndarray, window: int, base: int, s: _M61Scratch
+) -> np.ndarray:
+    """Window hash mod M61 at every position of ``b64`` by binary doubling.
+
+    Returns the ``s.acc`` scratch seeded from ``b64``; ``b64`` itself is
+    preserved (it is W_1, needed by the increment steps).
+    """
+    acc = s.acc[: len(b64)]
+    np.copyto(acc, b64)  # W_1: the byte value itself, already canonical
+    width = 1
+    for bit in bin(window)[3:]:
+        if width < len(b64):
+            _compose_m61_inplace(acc, acc, width, pow(base, width, _M61), s)
+        width *= 2
+        if bit == "1":
+            if len(b64) > 1:
+                _compose_m61_inplace(acc, b64, 1, base % _M61, s)
+            width += 1
+    # Full canonicalization (values were semi-canonical: M61 means zero).
+    u = s.u[: len(acc)]
+    np.right_shift(acc, _U64(61), out=u)
+    np.bitwise_and(acc, _U64(_M61), out=acc)
+    np.add(acc, u, out=acc)
+    acc[acc == _U64(_M61)] = _U64(0)
+    return acc
+
+
+def rabin_window_hashes(buf: np.ndarray, window: int, base: int) -> np.ndarray:
+    """Rabin hash of the ``window`` bytes ending at each position.
+
+    Returns:
+        uint64 array ``wh`` with ``wh[i] = sum_j buf[i-j] * base^j mod M61``
+        over ``j < window``; entries with ``i < window-1`` are garbage.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window!r}")
+    b64 = buf.astype(_U64)
+    return _rabin_doubling(b64, window, base, _M61Scratch(len(buf)))
+
+
+def rabin_boundary_candidates(
+    buf: np.ndarray, window: int, base: int, divisor: int
+) -> np.ndarray:
+    """Sorted end positions ``e`` where the hash of ``buf[e-window:e]``
+    satisfies ``h % divisor == divisor - 1`` (the Rabin cut predicate)."""
+    n = len(buf)
+    if n < window:
+        return np.empty(0, dtype=np.int64)
+    cap = min(n, _BLOCK + window - 1)
+    b64 = np.empty(cap, dtype=_U64)
+    scratch = _M61Scratch(cap)
+    pred = np.empty(cap, dtype=bool)
+    pow2 = divisor & (divisor - 1) == 0
+    parts: list[np.ndarray] = []
+    for lo, s, e in _blocks(n, window):
+        m = e - lo
+        b64[:m] = buf[lo:e]  # widening copy into scratch
+        wh = _rabin_doubling(b64[:m], window, base, scratch)
+        if pow2:  # h % 2^k via mask — uint64 division is the slowest pass
+            np.bitwise_and(wh, _U64(divisor - 1), out=wh)
+        else:
+            np.mod(wh, _U64(divisor), out=wh)
+        np.equal(wh, _U64(divisor - 1), out=pred[:m])
+        hits = np.flatnonzero(pred[:m])
+        hits += lo
+        hits = hits[hits >= max(s, window - 1)]
+        parts.append(hits + 1)
+    return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+
+# ---------------------------------------------------------------------- #
+# candidate walking
+# ---------------------------------------------------------------------- #
+
+
+def first_candidate_in(candidates: np.ndarray, lo: int, hi: int) -> int | None:
+    """Smallest candidate ``e`` with ``lo <= e <= hi``, or None."""
+    idx = int(np.searchsorted(candidates, lo))
+    if idx < len(candidates) and int(candidates[idx]) <= hi:
+        return int(candidates[idx])
+    return None

@@ -21,6 +21,11 @@ from repro.dedup.stats import DedupStats
 # Called for every unique chunk, e.g. to upload it to the central cloud.
 UniqueChunkSink = Callable[[Chunk, str], None]
 
+# Fingerprints accumulated before one batched index round trip. Against an
+# in-memory index batching only changes call granularity; against a remote
+# (ring or cloud) index it amortizes the round trip over the whole batch.
+DEFAULT_BATCH_SIZE = 64
+
 
 @dataclass(frozen=True)
 class DedupResult:
@@ -45,6 +50,13 @@ class DedupEngine:
         fingerprint: chunk fingerprint function.
         unique_sink: optional callback invoked with every unique chunk (used
             by agents to forward unique data to the central cloud).
+        batch_size: fingerprints per batched index round trip. ``1`` keeps
+            the legacy one-lookup-per-chunk behavior (each chunk goes
+            through :meth:`DedupIndex.lookup_and_insert` individually);
+            larger values accumulate chunks and call
+            :meth:`DedupIndex.lookup_and_insert_many` — the results are
+            identical, only the index call granularity (and, for remote
+            indexes, the round-trip count) changes.
     """
 
     def __init__(
@@ -53,11 +65,15 @@ class DedupEngine:
         chunker: Optional[Chunker] = None,
         fingerprint: Fingerprinter = default_fingerprint,
         unique_sink: Optional[UniqueChunkSink] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
         self.index = index if index is not None else InMemoryIndex()
         self.chunker = chunker if chunker is not None else FixedSizeChunker()
         self.fingerprint = fingerprint
         self.unique_sink = unique_sink
+        self.batch_size = batch_size
         self.stats = DedupStats()
 
     def dedup_bytes(self, data: bytes, source: Optional[str] = None) -> DedupResult:
@@ -70,33 +86,61 @@ class DedupEngine:
         Returns:
             Per-call result; cumulative accounting is on :attr:`stats`.
         """
-        call_stats = DedupStats()
-        unique: list[str] = []
-        for chunk in self.chunker.chunk(data):
-            fp = self.fingerprint(chunk.data)
-            is_new = self.index.lookup_and_insert(fp, metadata=source)
-            call_stats.record_chunk(chunk.length, is_new)
-            self.stats.record_chunk(chunk.length, is_new)
-            if is_new:
-                unique.append(fp)
-                if self.unique_sink is not None:
-                    self.unique_sink(chunk, fp)
-        return DedupResult(stats=call_stats, unique_fingerprints=tuple(unique))
+        return self._run(self.chunker.chunk(data), source)
 
     def dedup_stream(self, blocks: Iterable[bytes], source: Optional[str] = None) -> DedupResult:
         """Deduplicate an input supplied as an iterable of byte blocks."""
+        return self._run(self.chunker.chunk_stream(blocks), source)
+
+    # The single chunk → fingerprint → lookup pipeline behind both entry
+    # points.
+
+    def _run(self, chunks: Iterable[Chunk], source: Optional[str]) -> DedupResult:
         call_stats = DedupStats()
         unique: list[str] = []
-        for chunk in self.chunker.chunk_stream(blocks):
-            fp = self.fingerprint(chunk.data)
-            is_new = self.index.lookup_and_insert(fp, metadata=source)
-            call_stats.record_chunk(chunk.length, is_new)
-            self.stats.record_chunk(chunk.length, is_new)
-            if is_new:
-                unique.append(fp)
-                if self.unique_sink is not None:
-                    self.unique_sink(chunk, fp)
+        if self.batch_size == 1:
+            for chunk in chunks:
+                fp = self.fingerprint(chunk.data)
+                is_new = self.index.lookup_and_insert(fp, metadata=source)
+                self._account(chunk, fp, is_new, call_stats, unique)
+        else:
+            pending: list[tuple[Chunk, str]] = []
+            for chunk in chunks:
+                pending.append((chunk, self.fingerprint(chunk.data)))
+                if len(pending) >= self.batch_size:
+                    self._flush(pending, source, call_stats, unique)
+                    pending.clear()
+            if pending:
+                self._flush(pending, source, call_stats, unique)
         return DedupResult(stats=call_stats, unique_fingerprints=tuple(unique))
+
+    def _flush(
+        self,
+        pending: list[tuple[Chunk, str]],
+        source: Optional[str],
+        call_stats: DedupStats,
+        unique: list[str],
+    ) -> None:
+        results = self.index.lookup_and_insert_many(
+            [fp for _, fp in pending], metadata=source
+        )
+        for (chunk, fp), is_new in zip(pending, results):
+            self._account(chunk, fp, is_new, call_stats, unique)
+
+    def _account(
+        self,
+        chunk: Chunk,
+        fp: str,
+        is_new: bool,
+        call_stats: DedupStats,
+        unique: list[str],
+    ) -> None:
+        call_stats.record_chunk(chunk.length, is_new)
+        self.stats.record_chunk(chunk.length, is_new)
+        if is_new:
+            unique.append(fp)
+            if self.unique_sink is not None:
+                self.unique_sink(chunk, fp)
 
     def reset_stats(self) -> None:
         """Zero the cumulative stats without touching the index."""

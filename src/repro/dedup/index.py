@@ -10,7 +10,7 @@ small interface and the deployment strategies plug in different backends.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 
 class DedupIndex(ABC):
@@ -37,6 +37,24 @@ class DedupIndex(ABC):
             True if the fingerprint was new. This is the hot-path operation:
             one round trip instead of a contains() + insert() pair.
         """
+
+    def lookup_and_insert_many(
+        self, fingerprints: Iterable[str], metadata: Optional[str] = None
+    ) -> list[bool]:
+        """Batched :meth:`lookup_and_insert`.
+
+        Semantically identical to calling ``lookup_and_insert`` once per
+        fingerprint in order (so a fingerprint repeated within one batch is
+        new the first time and a duplicate after), but backends may serve
+        the whole batch with far fewer round trips — the distributed ring
+        index groups keys by replica node and pays one network round trip
+        per contacted node instead of one per key.
+
+        Returns:
+            One ``True`` (new) / ``False`` (duplicate) per fingerprint, in
+            input order.
+        """
+        return [self.lookup_and_insert(fp, metadata=metadata) for fp in fingerprints]
 
     @abstractmethod
     def __len__(self) -> int:
@@ -68,6 +86,21 @@ class InMemoryIndex(DedupIndex):
 
     def lookup_and_insert(self, fingerprint: str, metadata: Optional[str] = None) -> bool:
         return self.insert(fingerprint, metadata)
+
+    def lookup_and_insert_many(
+        self, fingerprints: Iterable[str], metadata: Optional[str] = None
+    ) -> list[bool]:
+        # Same loop the base class would run, inlined against the dict to
+        # skip the per-key double dispatch on the hot path.
+        entries = self._entries
+        results: list[bool] = []
+        for fp in fingerprints:
+            if fp in entries:
+                results.append(False)
+            else:
+                entries[fp] = metadata
+                results.append(True)
+        return results
 
     def get_metadata(self, fingerprint: str) -> Optional[str]:
         """Metadata stored with ``fingerprint`` (None if absent or unset)."""

@@ -41,6 +41,7 @@ class StoreStats:
     hints_replayed: int = 0
     unavailable_errors: int = 0
     remote_contacts: int = 0
+    batch_rounds: int = 0
     per_pair_contacts: dict[tuple[str, str], int] = field(default_factory=dict)
 
     def record_contact(self, coordinator: str, replica: str) -> None:
@@ -186,8 +187,13 @@ class DistributedKVStore:
         value: str,
         consistency: Optional[ConsistencyLevel] = None,
         coordinator: Optional[str] = None,
+        _contacts: Optional[set[tuple[str, str]]] = None,
     ) -> None:
         """Write ``key`` to its replica set.
+
+        ``_contacts`` is the internal batching hook: when given, coordinator
+        contacts are collected into it (to be recorded once per batch)
+        instead of counted immediately.
 
         Raises:
             UnavailableError: if fewer alive replicas than the level requires.
@@ -205,7 +211,10 @@ class DistributedKVStore:
             if node.is_up:
                 node.local_put(key, value, ts)
                 if coordinator is not None:
-                    self.stats.record_contact(coordinator, replica)
+                    if _contacts is not None:
+                        _contacts.add((coordinator, replica))
+                    else:
+                        self.stats.record_contact(coordinator, replica)
             else:
                 if self.hints.add(Hint(target_node=replica, key=key, value=value, timestamp=ts)):
                     self.stats.hints_stored += 1
@@ -215,11 +224,15 @@ class DistributedKVStore:
         key: str,
         consistency: Optional[ConsistencyLevel] = None,
         coordinator: Optional[str] = None,
+        _contacts: Optional[set[tuple[str, str]]] = None,
     ) -> Optional[str]:
         """Read ``key``; returns the newest value or None if unset.
 
         At level ONE with a coordinator that holds a replica, the read is
         served locally (this is the γ/|P| fast path of Eq. 2).
+        ``_contacts`` is the internal batching hook: when given, coordinator
+        contacts are collected into it (to be recorded once per batch)
+        instead of counted immediately.
         """
         replicas = self.replicas_for(key)
         required = self._required_acks(consistency)
@@ -239,7 +252,10 @@ class DistributedKVStore:
             else:
                 self.stats.remote_reads += 1
             for replica in consulted:
-                self.stats.record_contact(coordinator, replica)
+                if _contacts is not None:
+                    _contacts.add((coordinator, replica))
+                else:
+                    self.stats.record_contact(coordinator, replica)
         best: Optional[VersionedValue] = None
         for replica in consulted:
             found = self.nodes[replica].local_get(key)
@@ -274,6 +290,55 @@ class DistributedKVStore:
             return False
         self.put(key, value, consistency=consistency, coordinator=coordinator)
         return True
+
+    def put_if_absent_many(
+        self,
+        keys: Iterable[str],
+        value: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+    ) -> list[bool]:
+        """Batched :meth:`put_if_absent`: one scatter-gather round trip.
+
+        Key-level semantics are identical to calling ``put_if_absent`` once
+        per key in order (per-key read/write counters included), but the
+        *network* accounting is per round trip, not per key: the coordinator
+        groups the batch's keys by replica node and sends each contacted
+        node one message, so ``remote_contacts``/``per_pair_contacts`` grow
+        by the number of distinct coordinator→replica pairs in the batch —
+        not by the number of keys. ``batch_rounds`` counts these calls.
+
+        Returns:
+            One ``True`` (inserted) / ``False`` (already present) per key,
+            in input order.
+        """
+        contacts: set[tuple[str, str]] = set()
+        results: list[bool] = []
+        for key in keys:
+            present = (
+                self.get(
+                    key,
+                    consistency=consistency,
+                    coordinator=coordinator,
+                    _contacts=contacts,
+                )
+                is not None
+            )
+            if present:
+                results.append(False)
+            else:
+                self.put(
+                    key,
+                    value,
+                    consistency=consistency,
+                    coordinator=coordinator,
+                    _contacts=contacts,
+                )
+                results.append(True)
+        for pair_coordinator, replica in sorted(contacts):
+            self.stats.record_contact(pair_coordinator, replica)
+        self.stats.batch_rounds += 1
+        return results
 
     def delete(
         self,

@@ -30,10 +30,17 @@ from repro.system.config import EFDedupConfig
 
 @dataclass
 class LookupRecord:
-    """Counters for one agent's index traffic."""
+    """Counters for one agent's index traffic.
+
+    ``local_lookups``/``remote_lookups`` count *keys* (so per-chunk
+    invariants like "lookups == chunks" hold regardless of batching);
+    ``batch_rounds`` counts batched index calls — the unit the network
+    actually charges when lookups are pipelined.
+    """
 
     local_lookups: int = 0
     remote_lookups: int = 0
+    batch_rounds: int = 0
     remote_by_peer: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -104,6 +111,27 @@ class RingIndex(DedupIndex):
             coordinator=self.local_node,
         )
 
+    def lookup_and_insert_many(
+        self, fingerprints: Iterable[str], metadata: Optional[str] = None
+    ) -> list[bool]:
+        """Batched check-and-set: one ring round trip per contacted node.
+
+        Per-key locality counters are still recorded (they count keys); the
+        store's network accounting collapses the batch into one contact per
+        distinct coordinator→replica pair (see
+        :meth:`~repro.kvstore.store.DistributedKVStore.put_if_absent_many`).
+        """
+        fps = list(fingerprints)
+        for fp in fps:
+            self._record(fp)
+        self.lookups.batch_rounds += 1
+        return self.store.put_if_absent_many(
+            fps,
+            metadata if metadata is not None else "",
+            consistency=self.consistency,
+            coordinator=self.local_node,
+        )
+
     def __len__(self) -> int:
         return len(self.store)
 
@@ -139,6 +167,9 @@ class DedupAgent:
             index=index,
             chunker=chunker if chunker is not None else FixedSizeChunker(self.config.chunk_size),
             unique_sink=unique_sink,
+            # lookup_batch is the agent's pipeline depth: 1 keeps the legacy
+            # per-chunk round trip, >1 batches fingerprints per index call.
+            batch_size=self.config.lookup_batch,
         )
 
     @property

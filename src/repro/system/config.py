@@ -27,11 +27,14 @@ class EFDedupConfig:
         hash_mb_per_s: chunking + hashing CPU throughput of an edge node
             (MB/s). Charged per chunk in the throughput simulation.
         lookup_service_s: CPU time per index lookup at the serving node.
-        lookup_batch: pipeline depth for *remote* operations — agents keep
-            this many lookups/uploads in flight, so per-chunk latency is
-            RTT/batch. The default of 1 models duperemove's serial per-block
-            queries; the scaled-down experiments (4 KiB chunks instead of
-            128 KiB) raise it to keep the latency-per-byte of the prototype.
+        lookup_batch: fingerprints per batched index round trip — the
+            agent's :class:`~repro.dedup.engine.DedupEngine` accumulates
+            this many chunks and issues one ``lookup_and_insert_many`` call,
+            and the throughput simulations charge one RTT per batch (so
+            per-chunk remote latency is RTT/batch). The default of 1 models
+            duperemove's serial per-block queries; the scaled-down
+            experiments (4 KiB chunks instead of 128 KiB) raise it to 80 to
+            keep the latency-per-byte of the prototype.
         upload_rtts: WAN round trips per synchronous unique-chunk upload
             (request + acknowledged data transfer).
         tcp_window_bytes: per-stream TCP window for Cloud-only raw

@@ -42,6 +42,9 @@ class DESNodeResult:
     node_id: str
     raw_bytes: int = 0
     chunks: int = 0
+    # Lookup batches that crossed the network (>= 1 remote-primary key).
+    # Bounded by ceil(chunks / lookup_batch).
+    round_trips: int = 0
     uploaded_bytes: int = 0
     finish_time_s: float = 0.0
 
@@ -73,10 +76,15 @@ class DESReport:
 class _NodeProcess:
     """One edge node as a sequential simulation process.
 
-    Per chunk: hashing CPU, an index lookup (local service time or a remote
-    RTT / pipelining depth), and — for unique chunks — a synchronous upload
-    whose handshake costs RTTs and whose bytes move through the shared WAN
-    link at whatever rate contention leaves.
+    Per chunk: hashing CPU and lookup service time, then the per-key
+    check-and-set (a batched call is not atomic across its keys — each key
+    races at its own replica, so claims from concurrent nodes interleave at
+    chunk granularity). Every ``lookup_batch`` chunks the open batch closes:
+    if any key's primary replica was remote, the node waits one
+    scatter-gather round trip (the slowest contacted peer), then uploads the
+    batch's unique chunks synchronously, one at a time — each handshake
+    costs RTTs and the bytes move through the shared WAN link at whatever
+    rate contention leaves.
     """
 
     def __init__(
@@ -102,6 +110,11 @@ class _NodeProcess:
         self.wan = wan
         self.stats = stats
         self.result = result
+        # Open-batch state: keys looked up so far, RTT per distinct remote
+        # primary they contacted, and the unique chunks awaiting upload.
+        self._batch_keys = 0
+        self._batch_peer_rtts: dict[str, float] = {}
+        self._batch_uploads: list[tuple[Chunk, str]] = []
 
     def start(self) -> None:
         self.engine.schedule_in(0.0, self._next_chunk)
@@ -111,43 +124,72 @@ class _NodeProcess:
     def _next_chunk(self) -> None:
         chunk = next(self.chunks, None)
         if chunk is None:
-            self.result.finish_time_s = self.engine.clock.now
+            if self._batch_keys:
+                self._close_batch(final=True)  # flush the final partial batch
+            else:
+                self.result.finish_time_s = self.engine.clock.now
             return
-        delay = self.config.hash_time_s(chunk.length) + self._lookup_delay(chunk)
+        delay = self.config.hash_time_s(chunk.length) + self.config.lookup_service_s
         self.engine.schedule_in(delay, lambda: self._after_lookup(chunk))
-
-    def _lookup_delay(self, chunk: Chunk) -> float:
-        fp = default_fingerprint(chunk.data)
-        replicas = self.ring.store.replicas_for(fp)
-        if self.node_id in replicas:
-            return self.config.lookup_service_s
-        rtt = self.topology.rtt_s(self.node_id, replicas[0])
-        return self.config.lookup_service_s + rtt / self.config.lookup_batch
 
     def _after_lookup(self, chunk: Chunk) -> None:
         fp = default_fingerprint(chunk.data)
+        replicas = self.ring.store.replicas_for(fp)
+        if self.node_id not in replicas:
+            self._batch_peer_rtts[replicas[0]] = self.topology.rtt_s(
+                self.node_id, replicas[0]
+            )
         is_new = self.ring.store.put_if_absent(fp, self.node_id, coordinator=self.node_id)
         self.stats.record_chunk(chunk.length, is_new)
         self.result.chunks += 1
-        if not is_new:
+        if is_new:
+            self._batch_uploads.append((chunk, fp))
+        self._batch_keys += 1
+        if self._batch_keys >= self.config.lookup_batch:
+            self._close_batch(final=False)
+        else:
             self._next_chunk()
+
+    def _close_batch(self, final: bool) -> None:
+        """End the open batch: wait the scatter-gather round trip (slowest
+        contacted peer) if any key went remote, then drain its uploads."""
+        wait = max(self._batch_peer_rtts.values()) if self._batch_peer_rtts else 0.0
+        if self._batch_peer_rtts:
+            self.result.round_trips += 1
+        self._batch_keys = 0
+        self._batch_peer_rtts = {}
+        uploads = self._batch_uploads
+        self._batch_uploads = []
+        if wait > 0.0:
+            self.engine.schedule_in(wait, lambda: self._upload_next(uploads, final))
+        else:
+            self._upload_next(uploads, final)
+
+    def _upload_next(self, uploads: list[tuple[Chunk, str]], final: bool) -> None:
+        """Synchronously upload the batch's unique chunks, then move on."""
+        if not uploads:
+            if final:
+                self.result.finish_time_s = self.engine.clock.now
+            else:
+                self._next_chunk()
             return
+        chunk, fp = uploads.pop(0)
         self.cloud.receive_chunk(chunk, fp)
         self.result.uploaded_bytes += chunk.length
         handshake = self.config.upload_rtts * self.topology.wan_rtt_s() / self.config.lookup_batch
         transfer_id = self.wan.start_transfer(self.engine.clock.now, float(chunk.length))
-        self.engine.schedule_in(handshake, lambda: self._poll_upload(transfer_id))
+        self.engine.schedule_in(handshake, lambda: self._poll_upload(transfer_id, uploads, final))
 
-    def _poll_upload(self, transfer_id: int) -> None:
+    def _poll_upload(self, transfer_id: int, uploads: list[tuple[Chunk, str]], final: bool) -> None:
         now = self.engine.clock.now
         if self.wan.is_done(now, transfer_id):
-            self._next_chunk()
+            self._upload_next(uploads, final)
             return
         # Re-check when the link expects its next completion (a new transfer
         # starting earlier just triggers another poll — still exact).
         eta = self.wan.estimate_finish_time(now)
         wait = max(1e-9, (eta - now) if eta is not None else 1e-9)
-        self.engine.schedule_in(wait, lambda: self._poll_upload(transfer_id))
+        self.engine.schedule_in(wait, lambda: self._poll_upload(transfer_id, uploads, final))
 
 
 def run_edge_rings_des(

@@ -9,13 +9,19 @@ outcome on the actual data); only the clock is modeled.
 Timing model (per edge node), mirroring the prototype's data path:
 
 - chunk + fingerprint CPU: bytes / ``hash_mb_per_s``;
-- index lookup: local replicas cost only the service time; a remote lookup
-  costs an RTT to the primary replica, amortized by the agent's pipelining
-  depth ``lookup_batch`` (Cloud-assisted pays the WAN RTT instead);
+- index lookups are issued in batches of ``lookup_batch`` fingerprints and
+  charged *per round trip*, not per key: every key pays the lookup service
+  time, and a batch containing remote keys pays one scatter-gather round —
+  the coordinator messages each contacted peer once and waits for the
+  slowest (the latency charge is the max RTT over the batch's distinct
+  remote primaries; the network cost sums one RTT per contacted peer).
+  Cloud-assisted pays one WAN RTT per batch instead. With
+  ``lookup_batch=1`` this degenerates to the classic one-RTT-per-remote-key
+  model;
 - unique-chunk upload: a synchronous small-object PUT over the WAN —
-  ``upload_rtts`` round trips, likewise amortized by ``lookup_batch``. This
-  is what makes higher dedup ratios buy throughput (fewer uploads), the
-  effect behind Fig. 6(b)'s ring-size sweet spot;
+  ``upload_rtts`` round trips, amortized by the same pipelining depth
+  ``lookup_batch``. This is what makes higher dedup ratios buy throughput
+  (fewer uploads), the effect behind Fig. 6(b)'s ring-size sweet spot;
 - Cloud-only forwards raw bytes: each node streams at its TCP-window-limited
   per-stream rate (``tcp_window_bytes`` / WAN RTT, capped by the link rate),
   and all streams share the uplink capacity — the paper's bottleneck.
@@ -55,6 +61,9 @@ class NodeTiming:
     upload_s: float = 0.0
     local_lookups: int = 0
     remote_lookups: int = 0
+    # Lookup batches that crossed the network (>= 1 remote key). Bounded by
+    # ceil(chunks / lookup_batch) — the per-round-trip accounting guarantee.
+    round_trips: int = 0
     uploaded_bytes: int = 0
     completion_s: float = 0.0
 
@@ -213,32 +222,54 @@ def run_edge_rings(
     # Nodes deduplicate in parallel in the real system, so chunks are
     # processed round-robin across nodes: without interleaving, the first
     # node of a ring would absorb every upload and the later members none,
-    # which no live deployment exhibits.
+    # which no live deployment exhibits. Batching does not change this —
+    # a batched check-and-set is not atomic across its keys (each key races
+    # at its own replica), so claims stay chunk-grained while the *latency*
+    # is charged per scatter-gather round at batch boundaries.
     streams = {
         nid: _chunk_stream(ring_of[nid].agent(nid).engine.chunker, files, timings[nid], config)
         for nid, files in workloads.items()
     }
+    # Open-batch state per node: keys so far, and RTT per distinct remote
+    # primary contacted by those keys.
+    batch_keys = {nid: 0 for nid in workloads}
+    batch_peer_rtts: dict[str, dict[str, float]] = {nid: {} for nid in workloads}
+
+    def _close_batch(nid: str) -> None:
+        nonlocal network_cost
+        timing = timings[nid]
+        peer_rtts = batch_peer_rtts[nid]
+        if peer_rtts:
+            # One scatter-gather round: each distinct remote primary is
+            # messaged once, the batch waits on the slowest.
+            timing.lookup_s += max(peer_rtts.values())
+            network_cost += sum(peer_rtts.values())
+            timing.round_trips += 1
+            peer_rtts.clear()
+        batch_keys[nid] = 0
+
     while streams:
         exhausted = []
         for nid, stream in streams.items():
             chunk = next(stream, None)
             if chunk is None:
+                if batch_keys[nid]:
+                    _close_batch(nid)  # flush the final partial batch
                 exhausted.append(nid)
                 continue
             ring = ring_of[nid]
             timing = timings[nid]
             fp = default_fingerprint(chunk.data)
             replicas = ring.store.replicas_for(fp)
+            timing.lookup_s += config.lookup_service_s
             if nid in replicas:
                 timing.local_lookups += 1
-                timing.lookup_s += config.lookup_service_s
                 lookup_latency.observe(config.lookup_service_s)
             else:
                 timing.remote_lookups += 1
                 rtt = topology.rtt_s(nid, replicas[0])
-                timing.lookup_s += config.lookup_service_s + rtt / config.lookup_batch
+                batch_peer_rtts[nid][replicas[0]] = rtt
                 lookup_latency.observe(config.lookup_service_s + rtt)
-                network_cost += rtt
             is_new = ring.store.put_if_absent(fp, nid, coordinator=nid)
             stats.record_chunk(chunk.length, is_new)
             timing.chunks += 1
@@ -247,6 +278,9 @@ def run_edge_rings(
                 timing.uploaded_bytes += chunk.length
                 timing.upload_s += upload_time
                 wan_bytes += chunk.length
+            batch_keys[nid] += 1
+            if batch_keys[nid] >= config.lookup_batch:
+                _close_batch(nid)
         for nid in exhausted:
             del streams[nid]
     for timing in timings.values():
@@ -290,19 +324,32 @@ def run_cloud_assisted(
         nid: _chunk_stream(chunker, files, timings[nid], config)
         for nid, files in workloads.items()
     }
+    # Claims stay chunk-grained (concurrent nodes race at the cloud index
+    # key by key); every key pays the service time, and each batch of
+    # ``lookup_batch`` keys shares one WAN round trip to the cloud index.
+    batch_keys = {nid: 0 for nid in workloads}
+
+    def _close_batch(nid: str) -> None:
+        nonlocal network_cost
+        timings[nid].lookup_s += wan_rtt
+        network_cost += wan_rtt
+        timings[nid].round_trips += 1
+        batch_keys[nid] = 0
+
     while streams:
         exhausted = []
         for nid, stream in streams.items():
             chunk = next(stream, None)
             if chunk is None:
+                if batch_keys[nid]:
+                    _close_batch(nid)  # flush the final partial batch
                 exhausted.append(nid)
                 continue
             timing = timings[nid]
             fp = default_fingerprint(chunk.data)
             timing.remote_lookups += 1
-            timing.lookup_s += config.lookup_service_s + wan_rtt / config.lookup_batch
+            timing.lookup_s += config.lookup_service_s
             lookup_latency.observe(config.lookup_service_s + wan_rtt)
-            network_cost += wan_rtt
             present = service.lookup(fp)
             timing.chunks += 1
             stats.record_chunk(chunk.length, not present)
@@ -311,6 +358,9 @@ def run_cloud_assisted(
                 timing.uploaded_bytes += chunk.length
                 timing.upload_s += upload_time
                 wan_bytes += chunk.length
+            batch_keys[nid] += 1
+            if batch_keys[nid] >= config.lookup_batch:
+                _close_batch(nid)
         for nid in exhausted:
             del streams[nid]
     for timing in timings.values():

@@ -1,0 +1,205 @@
+"""Tests for batched fingerprint lookups (``lookup_and_insert_many``).
+
+The batched call must be semantically identical to looping
+``lookup_and_insert`` on every index backend — same results, same index
+contents, same per-key counters — while collapsing the *network* accounting
+to one round trip per batch (distinct coordinator→replica contacts instead
+of per-key contacts).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dedup.cache import LRUCacheIndex, ModelGuidedCacheIndex
+from repro.dedup.engine import DedupEngine
+from repro.dedup.index import InMemoryIndex
+from repro.chunking.fixed import FixedSizeChunker
+from repro.kvstore.consistency import ConsistencyLevel
+from repro.kvstore.store import DistributedKVStore
+from repro.system.agent import RingIndex
+
+
+def _fingerprints(n: int, pool: int, seed: int = 0) -> list[str]:
+    """A stream of fingerprints with repeats (pool < n forces duplicates)."""
+    rng = np.random.default_rng(seed)
+    return [f"fp-{int(i):06d}" for i in rng.integers(0, pool, size=n)]
+
+
+NODES = [f"edge-{i}" for i in range(6)]
+
+
+def _index_factories():
+    return [
+        pytest.param(lambda: InMemoryIndex(), id="in-memory"),
+        pytest.param(
+            lambda: RingIndex(DistributedKVStore(NODES), local_node="edge-0"),
+            id="ring",
+        ),
+        pytest.param(lambda: LRUCacheIndex(InMemoryIndex(), capacity=64), id="lru-cache"),
+        pytest.param(
+            lambda: ModelGuidedCacheIndex(
+                InMemoryIndex(), scorer=lambda fp: 1.0, capacity=64
+            ),
+            id="model-cache",
+        ),
+    ]
+
+
+@pytest.mark.parametrize("make_index", _index_factories())
+class TestBatchedMatchesLooped:
+    def test_same_results_and_contents(self, make_index):
+        fps = _fingerprints(500, pool=120)
+        looped_index = make_index()
+        batched_index = make_index()
+        looped = [looped_index.lookup_and_insert(fp, metadata="src") for fp in fps]
+        for lo in range(0, len(fps), 37):  # ragged batches, incl. a partial tail
+            batch = fps[lo : lo + 37]
+            got = batched_index.lookup_and_insert_many(batch, metadata="src")
+            assert got == looped[lo : lo + 37]
+        assert len(batched_index) == len(looped_index)
+        assert set(batched_index.fingerprints()) == set(looped_index.fingerprints())
+
+    def test_intra_batch_duplicates(self, make_index):
+        """A fingerprint repeated inside one batch: first occurrence is new,
+        the rest are duplicates — same as the sequential loop."""
+        index = make_index()
+        assert index.lookup_and_insert_many(["a", "b", "a", "a", "b"]) == [
+            True,
+            True,
+            False,
+            False,
+            False,
+        ]
+
+    def test_empty_batch(self, make_index):
+        index = make_index()
+        assert index.lookup_and_insert_many([]) == []
+
+
+class TestStoreBatchAccounting:
+    def test_results_match_sequential(self):
+        fps = _fingerprints(300, pool=90, seed=1)
+        seq_store = DistributedKVStore(NODES)
+        batch_store = DistributedKVStore(NODES)
+        seq = [seq_store.put_if_absent(fp, "v", coordinator="edge-0") for fp in fps]
+        got = batch_store.put_if_absent_many(fps, "v", coordinator="edge-0")
+        assert got == seq
+        assert batch_store.unique_keys() == seq_store.unique_keys()
+        # Per-key read/write counters are batching-invariant.
+        assert batch_store.stats.reads == seq_store.stats.reads
+        assert batch_store.stats.writes == seq_store.stats.writes
+        assert batch_store.stats.local_reads == seq_store.stats.local_reads
+        assert batch_store.stats.remote_reads == seq_store.stats.remote_reads
+
+    def test_contacts_collapse_per_batch(self):
+        """One batch contacts each coordinator→replica pair at most once, so
+        remote contacts are bounded by the peer count — not the key count."""
+        fps = _fingerprints(200, pool=200, seed=2)
+        store = DistributedKVStore(NODES)
+        store.put_if_absent_many(fps, "v", coordinator="edge-0")
+        assert store.stats.batch_rounds == 1
+        assert store.stats.remote_contacts <= len(NODES) - 1
+        assert all(count == 1 for count in store.stats.per_pair_contacts.values())
+
+        sequential = DistributedKVStore(NODES)
+        for fp in fps:
+            sequential.put_if_absent(fp, "v", coordinator="edge-0")
+        assert sequential.stats.remote_contacts > store.stats.remote_contacts
+
+    def test_batch_rounds_count_calls(self):
+        store = DistributedKVStore(NODES)
+        fps = _fingerprints(100, pool=50, seed=3)
+        for lo in range(0, 100, 25):
+            store.put_if_absent_many(fps[lo : lo + 25], "v", coordinator="edge-1")
+        assert store.stats.batch_rounds == 4
+
+    def test_consistency_level_respected(self):
+        store = DistributedKVStore(NODES, replication_factor=3)
+        got = store.put_if_absent_many(
+            ["x", "y", "x"], "v", consistency=ConsistencyLevel.QUORUM, coordinator="edge-2"
+        )
+        assert got == [True, True, False]
+
+
+class TestRingIndexBatching:
+    def test_locality_counters_are_per_key(self):
+        fps = _fingerprints(400, pool=150, seed=4)
+        looped_index = RingIndex(DistributedKVStore(NODES), local_node="edge-3")
+        batched_index = RingIndex(DistributedKVStore(NODES), local_node="edge-3")
+        for fp in fps:
+            looped_index.lookup_and_insert(fp)
+        for lo in range(0, len(fps), 64):
+            batched_index.lookup_and_insert_many(fps[lo : lo + 64])
+        assert batched_index.lookups.local_lookups == looped_index.lookups.local_lookups
+        assert batched_index.lookups.remote_lookups == looped_index.lookups.remote_lookups
+        assert batched_index.lookups.remote_by_peer == looped_index.lookups.remote_by_peer
+        assert batched_index.lookups.total_lookups == len(fps)
+        assert batched_index.lookups.batch_rounds == math.ceil(len(fps) / 64)
+        assert looped_index.lookups.batch_rounds == 0
+
+
+class TestEngineBatching:
+    def _payload(self, seed: int = 5) -> bytes:
+        rng = np.random.default_rng(seed)
+        # 64 chunks drawn from 8 distinct 4 KiB blocks: plenty of duplicates.
+        blocks = [rng.integers(0, 4, size=4096, dtype=np.uint8).tobytes() for _ in range(8)]
+        return b"".join(blocks[i] for i in rng.integers(0, len(blocks), size=64))
+
+    def test_batched_matches_unbatched(self):
+        data = self._payload()
+        results = {}
+        for batch_size in (1, 7, 64, 1000):
+            engine = DedupEngine(chunker=FixedSizeChunker(4096), batch_size=batch_size)
+            result = engine.dedup_bytes(data, source="s")
+            results[batch_size] = (
+                result.unique_fingerprints,
+                result.stats.raw_chunks,
+                result.stats.unique_chunks,
+                result.stats.raw_bytes,
+                result.stats.unique_bytes,
+            )
+        assert len(set(results.values())) == 1
+
+    def test_batched_stream_matches_bytes(self):
+        data = self._payload(seed=6)
+        blocks = [data[i : i + 10_000] for i in range(0, len(data), 10_000)]
+        byte_engine = DedupEngine(chunker=FixedSizeChunker(4096), batch_size=16)
+        stream_engine = DedupEngine(chunker=FixedSizeChunker(4096), batch_size=16)
+        a = byte_engine.dedup_bytes(data)
+        b = stream_engine.dedup_stream(iter(blocks))
+        assert a.unique_fingerprints == b.unique_fingerprints
+        assert a.stats.raw_chunks == b.stats.raw_chunks
+
+    def test_unique_sink_sees_every_unique_chunk_once(self):
+        data = self._payload(seed=7)
+        seen: list[str] = []
+        engine = DedupEngine(
+            chunker=FixedSizeChunker(4096),
+            batch_size=16,
+            unique_sink=lambda chunk, fp: seen.append(fp),
+        )
+        result = engine.dedup_bytes(data)
+        assert seen == list(result.unique_fingerprints)
+
+    def test_ring_round_trips_bounded(self):
+        """The acceptance bound: a batched engine issues at most
+        ceil(chunks / batch_size) index round trips per source."""
+        data = self._payload(seed=8)
+        for batch_size in (1, 16, 80):
+            index = RingIndex(DistributedKVStore(NODES), local_node="edge-0")
+            engine = DedupEngine(
+                index=index, chunker=FixedSizeChunker(4096), batch_size=batch_size
+            )
+            engine.dedup_bytes(data)
+            chunks = engine.stats.raw_chunks
+            if batch_size == 1:
+                assert index.lookups.batch_rounds == 0  # legacy per-key path
+            else:
+                assert index.lookups.batch_rounds <= math.ceil(chunks / batch_size)
+                assert index.store.stats.batch_rounds == index.lookups.batch_rounds
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            DedupEngine(batch_size=0)

@@ -62,6 +62,44 @@ class TestDESBasics:
         assert des.events_executed >= total_chunks
 
 
+class TestBatchedRoundTrips:
+    """Per-round-trip accounting: lookups cross the network at most once per
+    batch of ``lookup_batch`` fingerprints, never once per key."""
+
+    @pytest.mark.parametrize("lookup_batch", [1, 16, 80])
+    def test_des_round_trips_bounded_per_node(self, lookup_batch):
+        import math
+
+        topology, bundle, config, partition = setup(
+            files_per_node=2, lookup_batch=lookup_batch
+        )
+        des = run_edge_rings_des(topology, partition, bundle.workloads, config)
+        for result in des.per_node.values():
+            assert result.round_trips <= math.ceil(result.chunks / lookup_batch)
+
+    @pytest.mark.parametrize("lookup_batch", [1, 16, 80])
+    def test_analytic_round_trips_bounded_per_node(self, lookup_batch):
+        import math
+
+        topology, bundle, config, partition = setup(
+            files_per_node=2, lookup_batch=lookup_batch
+        )
+        report = run_edge_rings(topology, partition, bundle.workloads, config)
+        for timing in report.per_node.values():
+            assert timing.round_trips <= math.ceil(timing.chunks / lookup_batch)
+
+    def test_batching_reduces_lookup_latency(self):
+        """Raising the batch depth must not slow a node's lookup pipeline —
+        the point of the optimization."""
+        topology, bundle, config1, partition = setup(files_per_node=2, lookup_batch=1)
+        _, _, config80, _ = setup(files_per_node=2, lookup_batch=80)
+        serial = run_edge_rings(topology, partition, bundle.workloads, config1)
+        batched = run_edge_rings(topology, partition, bundle.workloads, config80)
+        for nid in serial.per_node:
+            assert batched.per_node[nid].lookup_s <= serial.per_node[nid].lookup_s + 1e-12
+        assert batched.network_cost_s <= serial.network_cost_s + 1e-12
+
+
 class TestAgreementWithAnalytic:
     def test_uncontended_regime_agrees(self):
         """With few nodes and high dedup the uplink never saturates; DES and
