@@ -47,6 +47,19 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def snapshot(self) -> dict[str, float]:
+        """Counters as a flat dict under the canonical ``cache.*`` metric
+        names — the same names live runs print and simulated runs export
+        through :func:`repro.sim.metrics.export_cache_stats`."""
+        return {
+            "cache.hits": float(self.hits),
+            "cache.misses": float(self.misses),
+            "cache.admissions": float(self.admissions),
+            "cache.rejections": float(self.rejections),
+            "cache.evictions": float(self.evictions),
+            "cache.hit_rate": self.hit_rate,
+        }
+
 
 class LRUCacheIndex(DedupIndex):
     """An LRU presence cache in front of a backing dedup index.
@@ -102,6 +115,35 @@ class LRUCacheIndex(DedupIndex):
         is_new = self.backing.lookup_and_insert(fingerprint, metadata)
         self._admit(fingerprint)
         return is_new
+
+    def lookup_and_insert_many(self, fingerprints, metadata: Optional[str] = None) -> list[bool]:
+        """Batched check-and-set that keeps the backing batch intact.
+
+        Cache hits are answered locally; only misses travel to the backing
+        index, in one ``lookup_and_insert_many`` call — so a remote backing
+        (a D2-ring store) still pays one round trip per contacted node, not
+        one per key. Results match the per-key loop exactly (an intra-batch
+        repeat is new once, then a duplicate, via the backing's ordering);
+        only the hit/miss counters differ for intra-batch repeats, which
+        the upfront cache probe counts as misses.
+        """
+        fps = list(fingerprints)
+        misses: list[str] = []
+        hit_mask: list[bool] = []
+        for fp in fps:
+            hit = self._cache_hit(fp)
+            hit_mask.append(hit)
+            if not hit:
+                misses.append(fp)
+        backed = iter(self.backing.lookup_and_insert_many(misses, metadata=metadata))
+        results: list[bool] = []
+        for fp, hit in zip(fps, hit_mask):
+            if hit:
+                results.append(False)  # cached presence: definitely a duplicate
+            else:
+                results.append(next(backed))
+                self._admit(fp)
+        return results
 
     def __len__(self) -> int:
         return len(self.backing)

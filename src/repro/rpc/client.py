@@ -1,0 +1,328 @@
+"""The asyncio RPC client: connection reuse, timeouts, retries, correlation.
+
+One :class:`RpcClient` serves a whole live ring. It keeps one multiplexed
+TCP connection per peer node (opened lazily, reused across calls and
+coordinators) and matches pipelined responses back to callers by
+correlation id.
+
+Call semantics are **at-least-once with server-side replay suppression**:
+
+- each *logical call* gets one correlation id;
+- each attempt (re)sends the same id, waits ``timeout_s``, and on silence
+  backs off per the :class:`~repro.rpc.retry.RetryPolicy` before retrying;
+- a late response from an earlier attempt still completes the call (the
+  pending future is keyed by the correlation id, not the attempt);
+- the server's idempotency cache answers a re-delivered id with the
+  original result, so retries never double-apply an operation;
+- when the budget runs dry the caller gets a typed
+  :class:`~repro.rpc.errors.RpcTimeoutError`.
+
+Fault injection (:class:`~repro.rpc.faults.FaultInjector`) hooks the send
+path (drop / delay / duplicate per coordinator→node pair) and the response
+path (drop), so every retry behavior above is testable deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.kvstore.errors import NodeDownError
+from repro.rpc.errors import (
+    FrameError,
+    RemoteCallError,
+    RpcConnectionError,
+    RpcError,
+    RpcTimeoutError,
+)
+from repro.rpc.faults import FaultInjector, SendPlan
+from repro.rpc.framing import default_codec_name, encode_frame, get_codec, read_frame
+from repro.rpc.messages import Request, Response, correlation_ids
+from repro.rpc.retry import RetryPolicy
+from repro.sim.metrics import Summary
+
+_NO_FAULTS = SendPlan()
+
+# Remote error types re-raised as their local exception classes.
+_REMOTE_TYPES = {"NodeDownError": NodeDownError}
+
+
+def raise_remote_error(error: Optional[dict[str, str]]) -> None:
+    """Re-raise a response's error envelope as a typed local exception."""
+    error = error or {}
+    error_type = error.get("type", "UnknownError")
+    message = error.get("message", "")
+    local = _REMOTE_TYPES.get(error_type)
+    if local is not None:
+        raise local(message)
+    raise RemoteCallError(error_type, message)
+
+
+@dataclass
+class ClientStats:
+    """Transport accounting for one client."""
+
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    connection_errors: int = 0
+    failed_calls: int = 0
+    by_method: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "rpc.calls": self.calls,
+            "rpc.attempts": self.attempts,
+            "rpc.retries": self.retries,
+            "rpc.timeouts": self.timeouts,
+            "rpc.connection_errors": self.connection_errors,
+            "rpc.failed_calls": self.failed_calls,
+            "rpc.by_method": dict(self.by_method),
+        }
+
+
+class _Pending:
+    __slots__ = ("future", "src")
+
+    def __init__(self, future: asyncio.Future, src: Optional[str]) -> None:
+        self.future = future
+        self.src = src
+
+
+class _Connection:
+    """One reused TCP stream to a peer, multiplexing pipelined calls."""
+
+    def __init__(
+        self,
+        node_id: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        injector: Optional[FaultInjector],
+    ) -> None:
+        self.node_id = node_id
+        self._reader = reader
+        self._writer = writer
+        self._injector = injector
+        self.pending: dict[str, _Pending] = {}
+        self.closed = False
+        self._send_tasks: set[asyncio.Task] = set()
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    # -- sending -------------------------------------------------------- #
+
+    def send_soon(self, frame: bytes, delay_s: float = 0.0, duplicate: bool = False) -> None:
+        """Schedule the frame write without blocking the caller's attempt —
+        a delayed frame races the per-attempt timeout, as on a real wire."""
+        task = asyncio.create_task(self._send(frame, delay_s, duplicate))
+        self._send_tasks.add(task)
+        task.add_done_callback(self._send_tasks.discard)
+
+    async def _send(self, frame: bytes, delay_s: float, duplicate: bool) -> None:
+        try:
+            if delay_s:
+                await asyncio.sleep(delay_s)
+            if self.closed:
+                return
+            self._writer.write(frame if not duplicate else frame + frame)
+            await self._writer.drain()
+        except (OSError, asyncio.CancelledError):
+            # A failed write surfaces as a timeout/connection error on the
+            # waiting call; the reader loop tears the connection down.
+            pass
+
+    # -- receiving ------------------------------------------------------ #
+
+    async def _read_loop(self) -> None:
+        error: RpcError
+        try:
+            while True:
+                obj = await read_frame(self._reader)
+                if obj is None:
+                    error = RpcConnectionError(self.node_id, "peer closed the connection")
+                    break
+                response = Response.from_wire(obj)
+                pending = self.pending.get(response.msg_id)
+                if pending is None:
+                    continue  # duplicate or stale (already-answered) response
+                if self._injector is not None and self._injector.should_drop_response(
+                    pending.src, self.node_id
+                ):
+                    continue  # the network ate the reply; the call will retry
+                if not pending.future.done():
+                    pending.future.set_result(response)
+        except (OSError, FrameError) as exc:
+            error = RpcConnectionError(self.node_id, str(exc))
+        except asyncio.CancelledError:
+            error = RpcConnectionError(self.node_id, "client closed")
+        self._fail_all(error)
+
+    def _fail_all(self, error: RpcError) -> None:
+        self.closed = True
+        for pending in self.pending.values():
+            if not pending.future.done():
+                pending.future.set_exception(error)
+        self.pending.clear()
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    async def close(self) -> None:
+        self.closed = True
+        for task in list(self._send_tasks):
+            task.cancel()
+        self._reader_task.cancel()
+        await asyncio.gather(self._reader_task, *self._send_tasks, return_exceptions=True)
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+
+
+class RpcClient:
+    """Framed RPC over reused connections to a fixed set of peers.
+
+    Args:
+        addresses: node id → (host, port) of each peer's NodeServer.
+        codec: wire codec name (default: msgpack if available, else json).
+        timeout_s: per-attempt response timeout.
+        retry: retry schedule (default :class:`RetryPolicy`()).
+        fault_injector: optional fault hook for tests/chaos runs.
+        seed: seeds backoff jitter (and nothing else).
+
+    All methods must run on the event loop that owns the connections.
+    """
+
+    def __init__(
+        self,
+        addresses: dict[str, tuple[str, int]],
+        codec: Optional[str] = None,
+        timeout_s: float = 0.25,
+        retry: Optional[RetryPolicy] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        seed: int = 0,
+    ) -> None:
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s!r}")
+        self.addresses = dict(addresses)
+        self.codec = get_codec(codec if codec is not None else default_codec_name())
+        self.timeout_s = timeout_s
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_injector = fault_injector
+        self.stats = ClientStats()
+        self.rtt = Summary("rpc.rtt_s")
+        self._rng = random.Random(seed)
+        self._ids = correlation_ids()
+        self._conns: dict[str, _Connection] = {}
+
+    # -- connections ---------------------------------------------------- #
+
+    async def _connection(self, dst: str) -> _Connection:
+        conn = self._conns.get(dst)
+        if conn is not None and not conn.closed:
+            return conn
+        try:
+            host, port = self.addresses[dst]
+        except KeyError:
+            raise RpcConnectionError(dst, "unknown node (no address)") from None
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            raise RpcConnectionError(dst, str(exc)) from None
+        conn = _Connection(dst, reader, writer, self.fault_injector)
+        self._conns[dst] = conn
+        return conn
+
+    # -- calls ----------------------------------------------------------- #
+
+    async def call(
+        self,
+        dst: str,
+        method: str,
+        params: Optional[dict[str, Any]] = None,
+        src: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Any:
+        """One logical call: send, await the correlated response, retry on
+        silence, raise :class:`RpcTimeoutError` when the budget is spent.
+
+        Remote application errors are re-raised typed (never retried — they
+        are deterministic); transport silence and dead connections are
+        retried per the policy.
+        """
+        timeout = timeout_s if timeout_s is not None else self.timeout_s
+        msg_id = next(self._ids)
+        frame = encode_frame(
+            Request(msg_id, method, params or {}, src=src, dst=dst).to_wire(), self.codec
+        )
+        self.stats.calls += 1
+        self.stats.by_method[method] = self.stats.by_method.get(method, 0) + 1
+        backoffs = self.retry.backoff_delays(self._rng)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        last_conn: Optional[_Connection] = None
+        last_error: Optional[RpcError] = None
+        started = time.perf_counter()
+        try:
+            for attempt in range(self.retry.attempts):
+                if attempt:
+                    self.stats.retries += 1
+                    await asyncio.sleep(next(backoffs))
+                self.stats.attempts += 1
+                if future.done():
+                    future.exception()  # retrieve, to silence the loop's warning
+                    future = loop.create_future()
+                plan = (
+                    self.fault_injector.plan_send(src, dst)
+                    if self.fault_injector is not None
+                    else _NO_FAULTS
+                )
+                if not plan.drop:
+                    try:
+                        conn = await self._connection(dst)
+                    except RpcConnectionError as exc:
+                        self.stats.connection_errors += 1
+                        last_error = exc
+                        continue
+                    conn.pending[msg_id] = _Pending(future, src)
+                    last_conn = conn
+                    conn.send_soon(frame, delay_s=plan.delay_s, duplicate=plan.duplicate)
+                try:
+                    response = await asyncio.wait_for(asyncio.shield(future), timeout)
+                except asyncio.TimeoutError:
+                    self.stats.timeouts += 1
+                    last_error = RpcTimeoutError(method, dst, self.retry.attempts, timeout)
+                    continue
+                except RpcConnectionError as exc:
+                    self.stats.connection_errors += 1
+                    last_error = exc
+                    continue
+                self.rtt.observe(time.perf_counter() - started)
+                if response.ok:
+                    return response.result
+                raise_remote_error(response.error)
+        finally:
+            if last_conn is not None and last_conn.pending.get(msg_id, None) is not None:
+                del last_conn.pending[msg_id]
+            if future.done() and not future.cancelled():
+                future.exception()
+        self.stats.failed_calls += 1
+        if isinstance(last_error, RpcTimeoutError) or last_error is None:
+            raise RpcTimeoutError(method, dst, self.retry.attempts, timeout)
+        raise last_error
+
+    async def ping(self, dst: str, src: Optional[str] = None) -> float:
+        """Round-trip one ping; returns the measured RTT in seconds."""
+        t0 = time.perf_counter()
+        await self.call(dst, "ping", src=src)
+        return time.perf_counter() - t0
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    async def close(self) -> None:
+        conns, self._conns = list(self._conns.values()), {}
+        for conn in conns:
+            await conn.close()

@@ -1,0 +1,145 @@
+"""Boot a live ring: N node servers + one coordinator store, really on TCP.
+
+:class:`LiveKVCluster` is the deployment unit of the asyncio transport.
+It owns a dedicated event loop running in a daemon thread, starts one
+:class:`~repro.rpc.server.NodeServer` per ring member on 127.0.0.1
+(OS-assigned ports), and fronts them with a
+:class:`~repro.rpc.remote_store.RemoteKVStore` — so synchronous callers
+(``D2Ring``, ``DedupAgent``, tests, the ``repro live`` CLI) drive a real
+message-passing cluster without touching asyncio themselves.
+
+Use it as a context manager; :meth:`close` is idempotent and tears down
+client connections, servers, and the loop thread in that order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Iterable, Optional
+
+from repro.kvstore.consistency import ConsistencyLevel
+from repro.rpc.client import RpcClient
+from repro.rpc.faults import FaultInjector
+from repro.rpc.remote_store import RemoteKVStore
+from repro.rpc.retry import RetryPolicy
+from repro.rpc.server import NodeServer
+
+
+class LiveKVCluster:
+    """An asyncio KV cluster on localhost, one TCP server per member.
+
+    Args:
+        node_ids: ring members (placement comes from token hashing, as for
+            the in-process store).
+        replication_factor: γ — copies of each key.
+        vnodes: virtual nodes per member.
+        default_consistency: store-level default consistency.
+        strategy: replica-placement override.
+        codec: wire codec name (default: msgpack if available, else json).
+        timeout_s: per-attempt RPC timeout.
+        retry: retry schedule (default :class:`RetryPolicy`()).
+        fault_injector: optional :class:`FaultInjector` consulted on every
+            message — the chaos hook.
+        max_hints_per_node: hinted-handoff window per down replica.
+        seed: seeds retry jitter.
+        host: bind address for the node servers.
+    """
+
+    def __init__(
+        self,
+        node_ids: Iterable[str],
+        replication_factor: int = 2,
+        vnodes: int = 16,
+        default_consistency: ConsistencyLevel = ConsistencyLevel.ONE,
+        strategy=None,
+        codec: Optional[str] = None,
+        timeout_s: float = 0.25,
+        retry: Optional[RetryPolicy] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        max_hints_per_node: int = 100_000,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        ids = list(node_ids)
+        if not ids:
+            raise ValueError("a live cluster needs at least one node")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate node ids in {ids!r}")
+        self.fault_injector = fault_injector
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-rpc-loop", daemon=True
+        )
+        self._thread.start()
+        self._closed = False
+        self.servers: dict[str, NodeServer] = {}
+        try:
+            addresses: dict[str, tuple[str, int]] = {}
+
+            async def boot() -> None:
+                for node_id in ids:
+                    server = NodeServer(node_id=node_id, codec=codec)
+                    addresses[node_id] = await server.start(host)
+                    self.servers[node_id] = server
+
+            self._run(boot())
+            self.client = RpcClient(
+                addresses,
+                codec=codec,
+                timeout_s=timeout_s,
+                retry=retry,
+                fault_injector=fault_injector,
+                seed=seed,
+            )
+            self.store = RemoteKVStore(
+                client=self.client,
+                loop=self._loop,
+                replication_factor=replication_factor,
+                vnodes=vnodes,
+                default_consistency=default_consistency,
+                strategy=strategy,
+                max_hints_per_node=max_hints_per_node,
+            )
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+
+    def _run(self, coro):
+        """Run a coroutine on the cluster's loop thread and wait for it."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    @property
+    def node_ids(self) -> list[str]:
+        return list(self.servers)
+
+    def server_stats(self) -> dict[str, dict]:
+        """Per-node server request counters."""
+        return {nid: server.stats.snapshot() for nid, server in self.servers.items()}
+
+    def close(self) -> None:
+        """Tear down client, servers, and the loop thread. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if hasattr(self, "client"):
+                self._run(self.client.close())
+
+            async def stop_servers() -> None:
+                for server in self.servers.values():
+                    await server.stop()
+
+            self._run(stop_servers())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+            self._loop.close()
+
+    def __enter__(self) -> "LiveKVCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

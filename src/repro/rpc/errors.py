@@ -1,0 +1,61 @@
+"""Typed exceptions for the asyncio RPC transport.
+
+The lineage follows :mod:`repro.kvstore.errors`: everything derives from
+:class:`~repro.kvstore.errors.KVStoreError` so callers that already handle
+store failures (``UnavailableError``, ``NodeDownError``) catch transport
+failures with the same ``except KVStoreError`` — a live ring fails the same
+way an in-process ring does, just with more specific types.
+"""
+
+from __future__ import annotations
+
+from repro.kvstore.errors import KVStoreError
+
+
+class RpcError(KVStoreError):
+    """Base class for transport-level failures."""
+
+
+class FrameError(RpcError):
+    """A wire frame was malformed: bad length prefix, unknown codec byte,
+    truncated payload, or a frame above the size limit."""
+
+
+class RpcConnectionError(RpcError):
+    """A connection to a peer could not be established or was lost mid-call."""
+
+    def __init__(self, node_id: str, detail: str) -> None:
+        super().__init__(f"connection to node {node_id!r} failed: {detail}")
+        self.node_id = node_id
+
+
+class RpcTimeoutError(RpcError):
+    """A call exhausted its retry budget without receiving a response.
+
+    Raised only after the full retry schedule (per-attempt timeout ×
+    ``attempts``, with backoff between attempts) has run dry — transient
+    drops and delays are masked by the retries and never surface as this.
+    """
+
+    def __init__(self, method: str, node_id: str, attempts: int, timeout_s: float) -> None:
+        super().__init__(
+            f"call {method!r} to node {node_id!r} timed out after "
+            f"{attempts} attempt(s) of {timeout_s:g}s each"
+        )
+        self.method = method
+        self.node_id = node_id
+        self.attempts = attempts
+        self.timeout_s = timeout_s
+
+
+class RemoteCallError(RpcError):
+    """The peer executed the request and returned an application error.
+
+    Carries the remote exception's type name so known kv-store errors can be
+    re-raised as their local types (see ``client.raise_remote_error``).
+    """
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"remote {error_type}: {message}")
+        self.error_type = error_type
+        self.remote_message = message

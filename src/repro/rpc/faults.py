@@ -1,0 +1,250 @@
+"""Deterministic fault injection for the RPC transport.
+
+The transport consults a :class:`FaultInjector` at two points:
+
+- :meth:`FaultInjector.plan_send` — before a request frame leaves the
+  client: the request may be *dropped* (never sent; the call times out and
+  retries), *delayed* (held for a fixed interval before the write), or
+  *duplicated* (the frame is written twice; the server's idempotency cache
+  makes the second delivery harmless and the client discards the second
+  response).
+- :meth:`FaultInjector.should_drop_response` — when a response frame
+  arrives: dropping here models "the server did the work but the network
+  ate the reply", the scenario that distinguishes at-most-once from
+  at-least-once semantics.
+
+Rules match on the (src, dst) *coordinator → replica node* pair, with
+``None`` as a wildcard, an optional probability, and an optional ``times``
+budget after which the rule retires. :meth:`partition` installs an
+unconditional symmetric drop for a pair (both directions, requests and
+responses) until :meth:`heal` removes it.
+
+All randomness comes from one seeded ``random.Random``, so a single-threaded
+test replays the exact same fault sequence every run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+DROP = "drop"
+DELAY = "delay"
+DUPLICATE = "duplicate"
+
+REQUEST = "request"
+RESPONSE = "response"
+
+
+@dataclass
+class FaultRule:
+    """One injected-fault pattern.
+
+    Attributes:
+        kind: DROP, DELAY, or DUPLICATE.
+        src: coordinator node id to match (None = any).
+        dst: replica node id to match (None = any).
+        direction: REQUEST or RESPONSE (delay/duplicate are request-only).
+        probability: chance the rule fires when it matches.
+        delay_s: hold time for DELAY rules.
+        times: remaining firings before the rule retires (None = unlimited).
+    """
+
+    kind: str
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    direction: str = REQUEST
+    probability: float = 1.0
+    delay_s: float = 0.0
+    times: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (DROP, DELAY, DUPLICATE):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.direction not in (REQUEST, RESPONSE):
+            raise ValueError(f"unknown direction {self.direction!r}")
+        if self.kind in (DELAY, DUPLICATE) and self.direction != REQUEST:
+            raise ValueError(f"{self.kind} faults apply to requests only")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability!r}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s!r}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times!r}")
+
+    def matches(self, src: Optional[str], dst: Optional[str]) -> bool:
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+    @property
+    def exhausted(self) -> bool:
+        return self.times is not None and self.times <= 0
+
+
+@dataclass(frozen=True)
+class SendPlan:
+    """What the injector decided for one outgoing request frame."""
+
+    drop: bool = False
+    delay_s: float = 0.0
+    duplicate: bool = False
+
+
+@dataclass
+class FaultStats:
+    """How often each fault actually fired."""
+
+    dropped_requests: int = 0
+    dropped_responses: int = 0
+    delayed_requests: int = 0
+    duplicated_requests: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "faults.dropped_requests": self.dropped_requests,
+            "faults.dropped_responses": self.dropped_responses,
+            "faults.delayed_requests": self.delayed_requests,
+            "faults.duplicated_requests": self.duplicated_requests,
+        }
+
+
+@dataclass
+class FaultInjector:
+    """A rule set the transport consults on every message.
+
+    An injector with no rules and no partitions is a no-op (the transport's
+    default is ``None``, skipping the consult entirely).
+    """
+
+    seed: int = 0
+    rules: list[FaultRule] = field(default_factory=list)
+    stats: FaultStats = field(default_factory=FaultStats)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._partitions: set[frozenset[str]] = set()
+
+    # -- rule installation ---------------------------------------------- #
+
+    def add_rule(self, rule: FaultRule) -> FaultRule:
+        self.rules.append(rule)
+        return rule
+
+    def drop_requests(
+        self,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        probability: float = 1.0,
+        times: Optional[int] = None,
+    ) -> FaultRule:
+        """Lose request frames on the pair (call times out, retries resend)."""
+        return self.add_rule(
+            FaultRule(DROP, src, dst, REQUEST, probability=probability, times=times)
+        )
+
+    def drop_responses(
+        self,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        probability: float = 1.0,
+        times: Optional[int] = None,
+    ) -> FaultRule:
+        """Lose response frames: the server applied the call, the client
+        retries it — the idempotency test case."""
+        return self.add_rule(
+            FaultRule(DROP, src, dst, RESPONSE, probability=probability, times=times)
+        )
+
+    def delay_requests(
+        self,
+        delay_s: float,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        probability: float = 1.0,
+        times: Optional[int] = None,
+    ) -> FaultRule:
+        """Hold request frames for ``delay_s`` before they are written."""
+        return self.add_rule(
+            FaultRule(
+                DELAY, src, dst, REQUEST,
+                probability=probability, delay_s=delay_s, times=times,
+            )
+        )
+
+    def duplicate_requests(
+        self,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        probability: float = 1.0,
+        times: Optional[int] = None,
+    ) -> FaultRule:
+        """Deliver request frames twice."""
+        return self.add_rule(
+            FaultRule(DUPLICATE, src, dst, REQUEST, probability=probability, times=times)
+        )
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the pair symmetrically: every request and response between
+        ``a`` and ``b`` (either direction) is dropped until :meth:`heal`."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: Optional[str] = None, b: Optional[str] = None) -> None:
+        """Remove one partition (both ids given) or all partitions."""
+        if a is None and b is None:
+            self._partitions.clear()
+        elif a is not None and b is not None:
+            self._partitions.discard(frozenset((a, b)))
+        else:
+            raise ValueError("heal() takes both node ids or neither")
+
+    def clear(self) -> None:
+        """Retire every rule and partition."""
+        self.rules.clear()
+        self._partitions.clear()
+
+    # -- transport-side queries ----------------------------------------- #
+
+    def is_partitioned(self, src: Optional[str], dst: Optional[str]) -> bool:
+        if src is None or dst is None:
+            return False
+        return frozenset((src, dst)) in self._partitions
+
+    def _fire(self, kind: str, direction: str, src: Optional[str], dst: Optional[str]) -> list[FaultRule]:
+        fired = []
+        for rule in self.rules:
+            if rule.kind != kind or rule.direction != direction or rule.exhausted:
+                continue
+            if not rule.matches(src, dst):
+                continue
+            if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                continue
+            if rule.times is not None:
+                rule.times -= 1
+            fired.append(rule)
+        return fired
+
+    def plan_send(self, src: Optional[str], dst: Optional[str]) -> SendPlan:
+        """Decide the fate of one outgoing request frame."""
+        if self.is_partitioned(src, dst):
+            self.stats.dropped_requests += 1
+            return SendPlan(drop=True)
+        if self._fire(DROP, REQUEST, src, dst):
+            self.stats.dropped_requests += 1
+            return SendPlan(drop=True)
+        delay_s = sum(r.delay_s for r in self._fire(DELAY, REQUEST, src, dst))
+        duplicate = bool(self._fire(DUPLICATE, REQUEST, src, dst))
+        if delay_s:
+            self.stats.delayed_requests += 1
+        if duplicate:
+            self.stats.duplicated_requests += 1
+        return SendPlan(drop=False, delay_s=delay_s, duplicate=duplicate)
+
+    def should_drop_response(self, src: Optional[str], dst: Optional[str]) -> bool:
+        """Decide the fate of one incoming response frame for the (src, dst)
+        pair of the call it answers."""
+        if self.is_partitioned(src, dst) or self._fire(DROP, RESPONSE, src, dst):
+            self.stats.dropped_responses += 1
+            return True
+        return False

@@ -1,0 +1,178 @@
+"""Length-prefixed wire framing with pluggable codecs.
+
+A frame on the wire is::
+
+    +----------------+-----------+------------------+
+    | 4-byte length  | codec id  | payload          |
+    | big-endian     | 1 byte    | length - 1 bytes |
+    +----------------+-----------+------------------+
+
+The length covers the codec byte plus the payload, so a reader needs
+exactly two ``readexactly`` calls per frame. Every frame names its own
+codec, which lets a server answer msgpack and JSON clients on the same
+port and lets a deployment upgrade codecs without a flag day.
+
+Two codecs ship:
+
+- ``json`` — always available; fingerprints and metadata are strings, so
+  UTF-8 JSON round-trips every message the store sends.
+- ``msgpack`` — used when the ``msgpack`` package is importable; smaller
+  and faster but never required (the container image may not carry it).
+
+``default_codec_name()`` picks msgpack when present, else JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Optional
+
+from repro.rpc.errors import FrameError
+
+# A frame larger than this is a protocol violation, not a big message —
+# reject it instead of letting a corrupt length prefix allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class JsonCodec:
+    """UTF-8 JSON payloads (codec id 0)."""
+
+    name = "json"
+    wire_id = 0
+
+    @staticmethod
+    def encode(obj: Any) -> bytes:
+        return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+
+    @staticmethod
+    def decode(payload: bytes) -> Any:
+        return json.loads(payload.decode("utf-8"))
+
+
+class MsgpackCodec:
+    """msgpack payloads (codec id 1); only registered when importable."""
+
+    name = "msgpack"
+    wire_id = 1
+
+    @staticmethod
+    def encode(obj: Any) -> bytes:
+        import msgpack
+
+        return msgpack.packb(obj, use_bin_type=True)
+
+    @staticmethod
+    def decode(payload: bytes) -> Any:
+        import msgpack
+
+        return msgpack.unpackb(payload, raw=False)
+
+
+def _msgpack_available() -> bool:
+    try:
+        import msgpack  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+_CODECS_BY_NAME = {JsonCodec.name: JsonCodec}
+_CODECS_BY_ID = {JsonCodec.wire_id: JsonCodec}
+if _msgpack_available():  # pragma: no cover - depends on the environment
+    _CODECS_BY_NAME[MsgpackCodec.name] = MsgpackCodec
+    _CODECS_BY_ID[MsgpackCodec.wire_id] = MsgpackCodec
+
+
+def available_codecs() -> tuple[str, ...]:
+    """Names of the codecs usable in this environment."""
+    return tuple(sorted(_CODECS_BY_NAME))
+
+
+def default_codec_name() -> str:
+    """Prefer msgpack when installed, else JSON."""
+    return MsgpackCodec.name if MsgpackCodec.name in _CODECS_BY_NAME else JsonCodec.name
+
+
+def get_codec(name: str):
+    """Resolve a codec by name.
+
+    Raises:
+        FrameError: unknown or unavailable codec.
+    """
+    try:
+        return _CODECS_BY_NAME[name]
+    except KeyError:
+        raise FrameError(
+            f"unknown codec {name!r}; available: {', '.join(available_codecs())}"
+        ) from None
+
+
+def encode_frame(obj: Any, codec=JsonCodec) -> bytes:
+    """Serialize ``obj`` into one complete wire frame."""
+    payload = codec.encode(obj)
+    body_len = 1 + len(payload)
+    if body_len > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {body_len} bytes exceeds limit {MAX_FRAME_BYTES}")
+    return _LEN.pack(body_len) + bytes([codec.wire_id]) + payload
+
+
+def decode_frame(frame: bytes) -> tuple[Any, int]:
+    """Decode one complete frame; returns ``(message, bytes_consumed)``.
+
+    Raises:
+        FrameError: short buffer, oversize length, or unknown codec id.
+    """
+    if len(frame) < _LEN.size:
+        raise FrameError(f"frame header needs {_LEN.size} bytes, got {len(frame)}")
+    (body_len,) = _LEN.unpack_from(frame)
+    if body_len < 1:
+        raise FrameError(f"frame body length must be >= 1, got {body_len}")
+    if body_len > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {body_len} bytes exceeds limit {MAX_FRAME_BYTES}")
+    end = _LEN.size + body_len
+    if len(frame) < end:
+        raise FrameError(f"truncated frame: need {end} bytes, got {len(frame)}")
+    codec_id = frame[_LEN.size]
+    codec = _CODECS_BY_ID.get(codec_id)
+    if codec is None:
+        raise FrameError(f"unknown codec id {codec_id} in frame")
+    return codec.decode(frame[_LEN.size + 1 : end]), end
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj: Any, codec=JsonCodec) -> None:
+    """Write one framed message and drain the transport."""
+    writer.write(encode_frame(obj, codec))
+    await writer.drain()
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Any]:
+    """Read one framed message; returns None on clean EOF at a frame boundary.
+
+    Raises:
+        FrameError: corrupt header/codec, or EOF inside a frame.
+    """
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise FrameError(
+            f"connection closed mid-header ({len(exc.partial)} of {_LEN.size} bytes)"
+        ) from None
+    (body_len,) = _LEN.unpack(header)
+    if body_len < 1 or body_len > MAX_FRAME_BYTES:
+        raise FrameError(f"bad frame body length {body_len}")
+    try:
+        body = await reader.readexactly(body_len)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"connection closed mid-frame ({len(exc.partial)} of {body_len} bytes)"
+        ) from None
+    codec = _CODECS_BY_ID.get(body[0])
+    if codec is None:
+        raise FrameError(f"unknown codec id {body[0]} in frame")
+    return codec.decode(body[1:])

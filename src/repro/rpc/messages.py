@@ -1,0 +1,117 @@
+"""Request/response envelopes with correlation ids.
+
+Connections are multiplexed: a client pipelines many requests on one TCP
+stream and matches responses back by ``msg_id``. Correlation ids are unique
+per *logical call*, not per transmission — a retry resends the same id, so
+the server's idempotency cache can answer a repeated delivery with the
+original result and the client can discard duplicate or stale responses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.rpc.errors import FrameError
+
+
+def correlation_ids(prefix: Optional[str] = None):
+    """An infinite generator of globally-unique correlation ids.
+
+    The prefix (random unless given) keeps ids from distinct clients from
+    colliding in a server's idempotency cache.
+    """
+    if prefix is None:
+        prefix = os.urandom(4).hex()
+    return (f"{prefix}-{n}" for n in itertools.count(1))
+
+
+@dataclass(frozen=True)
+class Request:
+    """One RPC call: ``method(**params)`` addressed to node ``dst``.
+
+    ``src`` is the coordinator the call acts for — fault injection and
+    contact accounting are keyed on the (src, dst) node pair.
+    """
+
+    msg_id: str
+    method: str
+    params: dict[str, Any] = field(default_factory=dict)
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "kind": "req",
+            "id": self.msg_id,
+            "method": self.method,
+            "params": self.params,
+            "src": self.src,
+            "dst": self.dst,
+        }
+
+    @staticmethod
+    def from_wire(obj: Any) -> "Request":
+        try:
+            if obj["kind"] != "req":
+                raise FrameError(f"expected a request, got kind {obj['kind']!r}")
+            return Request(
+                msg_id=obj["id"],
+                method=obj["method"],
+                params=obj.get("params") or {},
+                src=obj.get("src"),
+                dst=obj.get("dst"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise FrameError(f"malformed request frame: {obj!r}") from exc
+
+
+@dataclass(frozen=True)
+class Response:
+    """The reply to one request, matched by ``msg_id``.
+
+    Exactly one of ``result`` (ok) or ``error`` (a ``{"type", "message"}``
+    dict naming the remote exception) is meaningful.
+    """
+
+    msg_id: str
+    ok: bool
+    result: Any = None
+    error: Optional[dict[str, str]] = None
+
+    @staticmethod
+    def success(msg_id: str, result: Any) -> "Response":
+        return Response(msg_id=msg_id, ok=True, result=result)
+
+    @staticmethod
+    def failure(msg_id: str, exc: BaseException) -> "Response":
+        return Response(
+            msg_id=msg_id,
+            ok=False,
+            error={"type": type(exc).__name__, "message": str(exc)},
+        )
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "kind": "resp",
+            "id": self.msg_id,
+            "ok": self.ok,
+            "result": self.result,
+            "error": self.error,
+        }
+
+    @staticmethod
+    def from_wire(obj: Any) -> "Response":
+        try:
+            if obj["kind"] != "resp":
+                raise FrameError(f"expected a response, got kind {obj['kind']!r}")
+            return Response(
+                msg_id=obj["id"],
+                ok=bool(obj["ok"]),
+                result=obj.get("result"),
+                error=obj.get("error"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise FrameError(f"malformed response frame: {obj!r}") from exc

@@ -1,0 +1,519 @@
+"""RemoteKVStore: the DistributedKVStore operation surface over real RPC.
+
+This is the live-transport twin of
+:class:`~repro.kvstore.store.DistributedKVStore`. Coordination stays where
+the in-process store keeps it — replica placement from the same
+:class:`~repro.kvstore.hashring.ConsistentHashRing`, consistency levels,
+hinted handoff, last-write-wins merges, and the per-round-trip contact
+accounting in :class:`~repro.kvstore.store.StoreStats` — but every replica
+touch is a framed RPC to that node's
+:class:`~repro.rpc.server.NodeServer` instead of a method call.
+
+Batching matches PR 1's accounting: :meth:`put_if_absent_many` scatters
+**one in-flight batch message per contacted replica** per phase (a
+``multi_get`` covering every key the node is consulted for, then a
+``multi_put`` covering every new key it owns), gathers the responses
+concurrently, and records one contact per distinct coordinator→replica
+pair — so ``remote_contacts``/``batch_rounds`` mean the same thing for a
+live ring as for a simulated one.
+
+Synchronous facade: the store is driven by ordinary (non-async) callers —
+``RingIndex``/``DedupAgent`` work unchanged — and bridges into the cluster's
+event-loop thread with ``run_coroutine_threadsafe``. Calling it *from* the
+loop thread would deadlock and raises immediately.
+
+Divergence from the in-process store, by design:
+
+- ``put_if_absent_many`` validates aliveness for *all* keys before applying
+  any write (the in-process loop applies keys before the failing one);
+- membership changes (``add_node``/``remove_node``) are not supported live;
+- a call whose retries run dry raises
+  :class:`~repro.rpc.errors.RpcTimeoutError` — a failure mode the
+  in-process store cannot have.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.kvstore.consistency import ConsistencyLevel
+from repro.kvstore.errors import NoSuchNodeError, UnavailableError
+from repro.kvstore.hashring import ConsistentHashRing
+from repro.kvstore.hints import Hint, HintBuffer
+from repro.kvstore.node import VersionedValue
+from repro.kvstore.replication import SimpleReplicationStrategy
+from repro.kvstore.store import StoreStats
+from repro.rpc.client import RpcClient
+
+
+def _entry_from_wire(row) -> Optional[VersionedValue]:
+    if row is None:
+        return None
+    value, timestamp, tombstone = row
+    return VersionedValue(value=value, timestamp=int(timestamp), tombstone=bool(tombstone))
+
+
+@dataclass(frozen=True)
+class RemoteNodeHandle:
+    """Client-side view of one ring member: its address and aliveness.
+
+    ``is_up`` reflects the *coordinator's* aliveness set (what hints key
+    off), not a probe of the process.
+    """
+
+    node_id: str
+    host: str
+    port: int
+    _down: frozenset = frozenset()  # replaced per lookup; see RemoteKVStore.nodes
+
+    @property
+    def is_up(self) -> bool:
+        return self.node_id not in self._down
+
+
+class _NodesView(dict):
+    """``store.nodes`` compatible mapping: node id → RemoteNodeHandle."""
+
+    def __init__(self, store: "RemoteKVStore") -> None:
+        super().__init__()
+        self._store = store
+
+    def __getitem__(self, node_id: str) -> RemoteNodeHandle:
+        host, port = super().__getitem__(node_id)
+        return RemoteNodeHandle(
+            node_id, host, port, _down=frozenset(self._store._down)
+        )
+
+
+class RemoteKVStore:
+    """A replicated, partitioned KV store whose replicas live behind RPC.
+
+    Args:
+        client: transport to the ring's node servers (addresses define
+            membership).
+        loop: the event loop (running in its own thread) the client's
+            connections belong to.
+        replication_factor: γ — copies of each key.
+        vnodes: virtual nodes per member.
+        default_consistency: level used when an operation names none.
+        strategy: replica-placement override; defaults to SimpleStrategy.
+        max_hints_per_node: hinted-handoff window per down replica.
+    """
+
+    def __init__(
+        self,
+        client: RpcClient,
+        loop: asyncio.AbstractEventLoop,
+        replication_factor: int = 2,
+        vnodes: int = 16,
+        default_consistency: ConsistencyLevel = ConsistencyLevel.ONE,
+        strategy=None,
+        max_hints_per_node: int = 100_000,
+    ) -> None:
+        ids = list(client.addresses)
+        if not ids:
+            raise ValueError("a KV store needs at least one node")
+        self._client = client
+        self._loop = loop
+        self.ring = ConsistentHashRing(vnodes=vnodes)
+        self.strategy = (
+            strategy if strategy is not None else SimpleReplicationStrategy(replication_factor)
+        )
+        self.default_consistency = default_consistency
+        self.nodes = _NodesView(self)
+        for node_id in ids:
+            self.ring.add_node(node_id)
+            host, port = client.addresses[node_id]
+            dict.__setitem__(self.nodes, node_id, (host, port))
+        self.hints = HintBuffer(max_hints_per_node=max_hints_per_node)
+        self.stats = StoreStats()
+        self._timestamps = itertools.count(1)
+        self._down: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # sync ↔ async bridge
+    # ------------------------------------------------------------------ #
+
+    def _sync(self, coro):
+        running = None
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            pass
+        if running is self._loop:
+            raise RuntimeError(
+                "RemoteKVStore's synchronous API must not be called from the "
+                "transport's own event-loop thread (it would deadlock)"
+            )
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    # ------------------------------------------------------------------ #
+    # membership and failure injection
+    # ------------------------------------------------------------------ #
+
+    def _check_member(self, node_id: str) -> None:
+        if node_id not in self.nodes:
+            raise NoSuchNodeError(f"node {node_id!r} is not in the cluster")
+
+    def mark_down(self, node_id: str) -> None:
+        """Fail ``node_id``: its server refuses data ops and the coordinator
+        turns its writes into hints."""
+        self._check_member(node_id)
+        self._down.add(node_id)
+        self._sync(self._client.call(node_id, "set_down", {"down": True}))
+
+    def mark_up(self, node_id: str) -> None:
+        """Recover ``node_id`` and replay its buffered hints over the wire."""
+        self._check_member(node_id)
+        self._sync(self._client.call(node_id, "set_down", {"down": False}))
+        self._down.discard(node_id)
+        hints = self.hints.take_for(node_id)
+        if hints:
+            entries = [[h.key, h.value, h.timestamp, h.tombstone] for h in hints]
+            self._sync(self._client.call(node_id, "multi_put", {"entries": entries}))
+            self.stats.hints_replayed += len(hints)
+
+    def alive_nodes(self) -> list[str]:
+        return [nid for nid in self.nodes if nid not in self._down]
+
+    def add_node(self, node_id: str) -> None:
+        raise NotImplementedError(
+            "live membership changes are not supported yet; plan the ring "
+            "before booting it (transport='inproc' supports add_node)"
+        )
+
+    def remove_node(self, node_id: str) -> None:
+        raise NotImplementedError(
+            "live membership changes are not supported yet; plan the ring "
+            "before booting it (transport='inproc' supports remove_node)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # placement queries
+    # ------------------------------------------------------------------ #
+
+    def replicas_for(self, key: str) -> list[str]:
+        """Ordered replica list for ``key`` (primary first)."""
+        return self.strategy.replicas_for_key(self.ring, key)
+
+    def is_local(self, key: str, node_id: str) -> bool:
+        return node_id in self.replicas_for(key)
+
+    def _required_acks(self, consistency: Optional[ConsistencyLevel]) -> int:
+        level = consistency if consistency is not None else self.default_consistency
+        return level.required_acks(self.strategy.effective_factor(self.ring))
+
+    def _route(
+        self, key: str, consistency: Optional[ConsistencyLevel], coordinator: Optional[str]
+    ) -> tuple[list[str], list[str], list[str]]:
+        """(replicas, alive, consulted) for one key; raises UnavailableError."""
+        replicas = self.replicas_for(key)
+        required = self._required_acks(consistency)
+        alive = [r for r in replicas if r not in self._down]
+        if len(alive) < required:
+            self.stats.unavailable_errors += 1
+            raise UnavailableError(required=required, alive=len(alive), key=key)
+        ordered = alive
+        if coordinator is not None and coordinator in alive:
+            ordered = [coordinator] + [r for r in alive if r != coordinator]
+        return replicas, alive, ordered[:required]
+
+    # ------------------------------------------------------------------ #
+    # scatter-gather primitives — one message per contacted node
+    # ------------------------------------------------------------------ #
+
+    async def _scatter_get(
+        self, groups: dict[str, list[str]], coordinator: Optional[str]
+    ) -> dict[str, dict[str, Optional[VersionedValue]]]:
+        async def one(node_id: str, keys: list[str]):
+            result = await self._client.call(
+                node_id, "multi_get", {"keys": keys}, src=coordinator
+            )
+            return node_id, {
+                key: _entry_from_wire(row) for key, row in result["entries"].items()
+            }
+
+        return dict(await asyncio.gather(*(one(n, ks) for n, ks in groups.items())))
+
+    async def _scatter_put(
+        self, groups: dict[str, list[list]], coordinator: Optional[str]
+    ) -> None:
+        async def one(node_id: str, entries: list[list]):
+            await self._client.call(
+                node_id, "multi_put", {"entries": entries}, src=coordinator
+            )
+
+        await asyncio.gather(*(one(n, es) for n, es in groups.items()))
+
+    # ------------------------------------------------------------------ #
+    # client operations (synchronous facade over the async core)
+    # ------------------------------------------------------------------ #
+
+    def put(
+        self,
+        key: str,
+        value: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+    ) -> None:
+        """Write ``key`` to its replica set (hints for down replicas)."""
+        self._sync(self._a_put(key, value, consistency, coordinator))
+
+    async def _a_put(
+        self,
+        key: str,
+        value: str,
+        consistency: Optional[ConsistencyLevel],
+        coordinator: Optional[str],
+        contacts: Optional[set[tuple[str, str]]] = None,
+        tombstone: bool = False,
+    ) -> None:
+        replicas, alive, _ = self._route(key, consistency, coordinator)
+        ts = next(self._timestamps)
+        if not tombstone:
+            # Tombstone scatters mirror DistributedKVStore.delete, which
+            # counts only its embedded read — not the write or its contacts.
+            self.stats.writes += 1
+        groups: dict[str, list[list]] = {}
+        for replica in replicas:
+            if replica in self._down:
+                if self.hints.add(
+                    Hint(
+                        target_node=replica, key=key, value=value,
+                        timestamp=ts, tombstone=tombstone,
+                    )
+                ):
+                    self.stats.hints_stored += 1
+                continue
+            groups[replica] = [[key, value, ts, tombstone]]
+            if coordinator is not None and not tombstone:
+                if contacts is not None:
+                    contacts.add((coordinator, replica))
+                else:
+                    self.stats.record_contact(coordinator, replica)
+        await self._scatter_put(groups, coordinator)
+
+    def get(
+        self,
+        key: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+    ) -> Optional[str]:
+        """Read ``key``: newest value among the consulted replicas."""
+        return self._sync(self._a_get(key, consistency, coordinator))
+
+    async def _a_get(
+        self,
+        key: str,
+        consistency: Optional[ConsistencyLevel],
+        coordinator: Optional[str],
+        contacts: Optional[set[tuple[str, str]]] = None,
+    ) -> Optional[str]:
+        _, _, consulted = self._route(key, consistency, coordinator)
+        self.stats.reads += 1
+        if coordinator is not None:
+            if coordinator in consulted:
+                self.stats.local_reads += 1
+            else:
+                self.stats.remote_reads += 1
+            for replica in consulted:
+                if contacts is not None:
+                    contacts.add((coordinator, replica))
+                else:
+                    self.stats.record_contact(coordinator, replica)
+        by_node = await self._scatter_get({n: [key] for n in consulted}, coordinator)
+        best: Optional[VersionedValue] = None
+        for node_id in consulted:
+            found = by_node[node_id].get(key)
+            if found is not None and found.newer_than(best):
+                best = found
+        if best is None or best.tombstone:
+            return None
+        return best.value
+
+    def contains(
+        self,
+        key: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+    ) -> bool:
+        return self.get(key, consistency=consistency, coordinator=coordinator) is not None
+
+    def put_if_absent(
+        self,
+        key: str,
+        value: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+    ) -> bool:
+        """Insert ``key`` unless present; True if it was new."""
+        return self._sync(self._a_put_if_absent(key, value, consistency, coordinator))
+
+    async def _a_put_if_absent(
+        self,
+        key: str,
+        value: str,
+        consistency: Optional[ConsistencyLevel],
+        coordinator: Optional[str],
+    ) -> bool:
+        if await self._a_get(key, consistency, coordinator) is not None:
+            return False
+        await self._a_put(key, value, consistency, coordinator)
+        return True
+
+    def put_if_absent_many(
+        self,
+        keys: Iterable[str],
+        value: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+    ) -> list[bool]:
+        """Batched check-and-set: scatter-gather with one in-flight batch
+        message per contacted replica.
+
+        Key-level results are identical to calling :meth:`put_if_absent`
+        once per key in order (intra-batch repeats included); the network
+        sends each contacted node one ``multi_get`` for every key it is
+        consulted for and one ``multi_put`` for every new key it owns, all
+        replicas in flight concurrently. Contacts are recorded once per
+        distinct coordinator→replica pair; ``batch_rounds`` counts calls.
+        """
+        return self._sync(
+            self._a_put_if_absent_many(list(keys), value, consistency, coordinator)
+        )
+
+    async def _a_put_if_absent_many(
+        self,
+        keys: list[str],
+        value: str,
+        consistency: Optional[ConsistencyLevel],
+        coordinator: Optional[str],
+    ) -> list[bool]:
+        # Route every key first: no write is applied if any key is
+        # unavailable at the requested level.
+        routes = {key: self._route(key, consistency, coordinator) for key in dict.fromkeys(keys)}
+        # Phase 1 — batched reads: one multi_get per consulted node.
+        read_groups: dict[str, list[str]] = {}
+        for key, (_, _, consulted) in routes.items():
+            for node_id in consulted:
+                read_groups.setdefault(node_id, []).append(key)
+        by_node = await self._scatter_get(read_groups, coordinator)
+        present: dict[str, bool] = {}
+        for key, (_, _, consulted) in routes.items():
+            best: Optional[VersionedValue] = None
+            for node_id in consulted:
+                found = by_node[node_id].get(key)
+                if found is not None and found.newer_than(best):
+                    best = found
+            present[key] = best is not None and not best.tombstone
+        # Phase 2 — per-key decisions in input order, writes queued per node.
+        contacts: set[tuple[str, str]] = set()
+        write_groups: dict[str, list[list]] = {}
+        results: list[bool] = []
+        inserted: set[str] = set()
+        for key in keys:
+            replicas, _, consulted = routes[key]
+            self.stats.reads += 1
+            if coordinator is not None:
+                if coordinator in consulted:
+                    self.stats.local_reads += 1
+                else:
+                    self.stats.remote_reads += 1
+                contacts.update((coordinator, node_id) for node_id in consulted)
+            if present[key] or key in inserted:
+                results.append(False)
+                continue
+            inserted.add(key)
+            results.append(True)
+            ts = next(self._timestamps)
+            self.stats.writes += 1
+            for replica in replicas:
+                if replica in self._down:
+                    if self.hints.add(
+                        Hint(target_node=replica, key=key, value=value, timestamp=ts)
+                    ):
+                        self.stats.hints_stored += 1
+                    continue
+                write_groups.setdefault(replica, []).append([key, value, ts, False])
+                if coordinator is not None:
+                    contacts.add((coordinator, replica))
+        await self._scatter_put(write_groups, coordinator)
+        for pair_coordinator, replica in sorted(contacts):
+            self.stats.record_contact(pair_coordinator, replica)
+        self.stats.batch_rounds += 1
+        return results
+
+    def delete(
+        self,
+        key: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+    ) -> bool:
+        """Delete ``key`` by writing a tombstone to its replica set."""
+        return self._sync(self._a_delete(key, consistency, coordinator))
+
+    async def _a_delete(
+        self,
+        key: str,
+        consistency: Optional[ConsistencyLevel],
+        coordinator: Optional[str],
+    ) -> bool:
+        was_live = await self._a_get(key, consistency, coordinator) is not None
+        await self._a_put(key, "", consistency, coordinator, tombstone=True)
+        return was_live
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def unique_keys(self) -> set[str]:
+        """The logical key set across all replicas (operator view: includes
+        down nodes via the control-plane dump)."""
+        return self._sync(self._a_unique_keys())
+
+    async def _a_unique_keys(self) -> set[str]:
+        async def one(node_id: str):
+            result = await self._client.call(node_id, "dump")
+            return {key: _entry_from_wire(row) for key, row in result["entries"].items()}
+
+        newest: dict[str, VersionedValue] = {}
+        for shard in await asyncio.gather(*(one(n) for n in self.nodes)):
+            for key, stored in shard.items():
+                if stored is not None and stored.newer_than(newest.get(key)):
+                    newest[key] = stored
+        return {key for key, stored in newest.items() if not stored.tombstone}
+
+    def total_stored_entries(self) -> int:
+        """Sum of per-node entry counts (≈ unique_keys · γ when healthy)."""
+
+        async def count_all():
+            async def one(node_id: str):
+                return (await self._client.call(node_id, "key_count"))["count"]
+
+            return sum(await asyncio.gather(*(one(n) for n in self.nodes)))
+
+        return self._sync(count_all())
+
+    def ping_all(self) -> dict[str, float]:
+        """Round-trip every member once; node id → RTT seconds."""
+
+        async def ping_every():
+            rtts = await asyncio.gather(*(self._client.ping(n) for n in self.nodes))
+            return dict(zip(self.nodes, rtts))
+
+        return self._sync(ping_every())
+
+    def transport_snapshot(self) -> dict:
+        """Client transport counters (calls, retries, timeouts, RTTs)."""
+        snap = self._client.stats.snapshot()
+        if self._client.rtt.count:
+            snap["rpc.rtt_mean_s"] = self._client.rtt.mean
+            snap["rpc.rtt_p99_s"] = self._client.rtt.percentile(99)
+        return snap
+
+    def __len__(self) -> int:
+        return len(self.unique_keys())

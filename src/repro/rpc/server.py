@@ -1,0 +1,244 @@
+"""Per-node RPC server: a StorageNode replica behind a real TCP socket.
+
+Each edge node of a live D2-ring runs one :class:`NodeServer` on
+127.0.0.1 (port assigned by the OS). The server speaks the framed
+request/response protocol of :mod:`repro.rpc.framing` /
+:mod:`repro.rpc.messages` and exposes the *replica-local* operation
+surface — batched gets and puts against the node's
+:class:`~repro.kvstore.node.StorageNode` shard. Coordination (replica
+placement, consistency, hint buffering, last-write-wins merges) stays
+client-side in :class:`~repro.rpc.remote_store.RemoteKVStore`, exactly
+where :class:`~repro.kvstore.store.DistributedKVStore` keeps it.
+
+Two server-side behaviors make retries safe:
+
+- **Idempotency cache.** Responses are remembered per correlation id
+  (bounded LRU). A retried or duplicated delivery of a request the server
+  already executed returns the *original* response instead of re-executing,
+  so a non-idempotent claim is never applied twice.
+- **Down-state.** ``set_down(True)`` makes data operations fail with
+  ``NodeDownError`` (the process answers, the replica refuses — a crashed
+  replica is modeled client-side by the coordinator's aliveness set).
+  Control operations (``set_down``, ``dump``, ``stats``) keep working so
+  an operator — or a test — can inspect and recover the node.
+
+Wire value encoding: a stored entry travels as ``[value, timestamp,
+tombstone]``; ``multi_put`` takes ``[key, value, timestamp, tombstone]``
+rows. Fingerprints and metadata are strings, so both codecs round-trip
+them losslessly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.kvstore.errors import KVStoreError
+from repro.kvstore.node import StorageNode
+from repro.rpc.errors import FrameError
+from repro.rpc.framing import get_codec, read_frame, write_frame
+from repro.rpc.messages import Request, Response
+
+# Correlation ids remembered for retry/duplicate suppression.
+DEFAULT_IDEMPOTENCY_CAPACITY = 4096
+
+
+@dataclass
+class ServerStats:
+    """Request accounting for one node server."""
+
+    requests: int = 0
+    replays: int = 0  # answered from the idempotency cache
+    errors: int = 0
+    connections: int = 0
+    by_method: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "server.requests": self.requests,
+            "server.replays": self.replays,
+            "server.errors": self.errors,
+            "server.connections": self.connections,
+            "server.by_method": dict(self.by_method),
+        }
+
+
+def _entry_to_wire(stored) -> Optional[list]:
+    if stored is None:
+        return None
+    return [stored.value, stored.timestamp, stored.tombstone]
+
+
+class NodeServer:
+    """One replica's network face.
+
+    Args:
+        node: the storage shard this server fronts (created if omitted).
+        node_id: required when ``node`` is omitted.
+        codec: codec name used for *outgoing* frames (incoming frames name
+            their own codec, so mixed-codec clients are fine).
+        idempotency_capacity: correlation ids remembered for replay.
+    """
+
+    def __init__(
+        self,
+        node: Optional[StorageNode] = None,
+        node_id: Optional[str] = None,
+        codec: Optional[str] = None,
+        idempotency_capacity: int = DEFAULT_IDEMPOTENCY_CAPACITY,
+    ) -> None:
+        if node is None:
+            if node_id is None:
+                raise ValueError("give either a StorageNode or a node_id")
+            node = StorageNode(node_id)
+        if idempotency_capacity < 1:
+            raise ValueError(
+                f"idempotency_capacity must be >= 1, got {idempotency_capacity!r}"
+            )
+        self.node = node
+        from repro.rpc.framing import default_codec_name
+
+        self.codec = get_codec(codec if codec is not None else default_codec_name())
+        self.stats = ServerStats()
+        self._seen: OrderedDict[str, Response] = OrderedDict()
+        self._idempotency_capacity = idempotency_capacity
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self.address: Optional[tuple[str, int]] = None
+
+    @property
+    def node_id(self) -> str:
+        return self.node.node_id
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        if self._server is not None:
+            raise RuntimeError(f"server for {self.node_id!r} already started")
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting, close live connections, and wait for handlers."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._server = None
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                try:
+                    obj = await read_frame(reader)
+                except FrameError:
+                    break  # protocol violation: drop the connection
+                if obj is None:
+                    break
+                response = self._dispatch(Request.from_wire(obj))
+                await write_frame(writer, response.to_wire(), self.codec)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _dispatch(self, request: Request) -> Response:
+        self.stats.requests += 1
+        self.stats.by_method[request.method] = (
+            self.stats.by_method.get(request.method, 0) + 1
+        )
+        cached = self._seen.get(request.msg_id)
+        if cached is not None:
+            self._seen.move_to_end(request.msg_id)
+            self.stats.replays += 1
+            return cached
+        handler = self._HANDLERS.get(request.method)
+        try:
+            if handler is None:
+                raise FrameError(f"unknown method {request.method!r}")
+            response = Response.success(request.msg_id, handler(self, request.params))
+        except (KVStoreError, ValueError, TypeError, KeyError) as exc:
+            self.stats.errors += 1
+            response = Response.failure(request.msg_id, exc)
+        self._seen[request.msg_id] = response
+        while len(self._seen) > self._idempotency_capacity:
+            self._seen.popitem(last=False)
+        return response
+
+    # ------------------------------------------------------------------ #
+    # operations — data plane (refused while the replica is down)
+    # ------------------------------------------------------------------ #
+
+    def _op_ping(self, params: dict) -> dict:
+        return {"node": self.node_id, "up": self.node.is_up}
+
+    def _op_multi_get(self, params: dict) -> dict:
+        keys = params["keys"]
+        # local_get raises NodeDownError when the replica is down.
+        return {"entries": {key: _entry_to_wire(self.node.local_get(key)) for key in keys}}
+
+    def _op_multi_put(self, params: dict) -> dict:
+        entries = params["entries"]
+        for key, value, timestamp, tombstone in entries:
+            self.node.local_put(key, value, int(timestamp), tombstone=bool(tombstone))
+        return {"stored": len(entries)}
+
+    # ------------------------------------------------------------------ #
+    # operations — control plane (always served)
+    # ------------------------------------------------------------------ #
+
+    def _op_set_down(self, params: dict) -> dict:
+        if params["down"]:
+            self.node.mark_down()
+        else:
+            self.node.mark_up()
+        return {"node": self.node_id, "up": self.node.is_up}
+
+    def _op_dump(self, params: dict) -> dict:
+        # Operator view: reads the shard directly, works while down
+        # (mirrors DistributedKVStore.unique_keys() reading node._data).
+        return {
+            "entries": {key: _entry_to_wire(stored) for key, stored in self.node._data.items()}
+        }
+
+    def _op_key_count(self, params: dict) -> dict:
+        return {"count": len(self.node._data)}
+
+    def _op_stats(self, params: dict) -> dict:
+        return self.stats.snapshot()
+
+    _HANDLERS = {
+        "ping": _op_ping,
+        "multi_get": _op_multi_get,
+        "multi_put": _op_multi_put,
+        "set_down": _op_set_down,
+        "dump": _op_dump,
+        "key_count": _op_key_count,
+        "stats": _op_stats,
+    }

@@ -176,6 +176,33 @@ class MetricsRegistry:
         return out
 
 
+def export_cache_stats(registry: MetricsRegistry, stats, prefix: str = "") -> dict[str, float]:
+    """Export a :class:`~repro.dedup.cache.CacheStats` snapshot into a
+    registry under the canonical ``cache.*`` metric names.
+
+    Live cluster runs print ``CacheStats.snapshot()`` directly and simulated
+    experiment drivers collect ``MetricsRegistry.snapshot()`` — routing the
+    cache counters through here makes both report the *same names* for the
+    same quantities, so dashboards and assertions don't fork per mode.
+
+    Counts land in counters (set to the snapshot value), the hit rate in a
+    gauge. ``prefix`` namespaces multi-cache components
+    (e.g. ``"edge-3."`` → ``edge-3.cache.hits``). Returns the exported
+    name → value mapping.
+    """
+    exported: dict[str, float] = {}
+    for name, value in stats.snapshot().items():
+        full = f"{prefix}{name}"
+        if name.endswith("hit_rate"):
+            registry.gauge(full).set(value)
+        else:
+            counter = registry.counter(full)
+            counter.reset()
+            counter.inc(value)
+        exported[full] = value
+    return exported
+
+
 def throughput_mb_per_s(total_bytes: float, elapsed_seconds: float) -> float:
     """Throughput in MB/s (MB = 1e6 bytes, matching the paper's MB/s units)."""
     if elapsed_seconds <= 0:

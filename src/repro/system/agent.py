@@ -17,7 +17,7 @@ throughput simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from repro.chunking.base import Chunker
 from repro.chunking.fixed import FixedSizeChunker
@@ -26,6 +26,14 @@ from repro.dedup.index import DedupIndex
 from repro.kvstore.consistency import ConsistencyLevel
 from repro.kvstore.store import DistributedKVStore
 from repro.system.config import EFDedupConfig
+
+if TYPE_CHECKING:  # the live-transport twin; imported lazily to keep the
+    # in-process path free of the rpc package
+    from repro.rpc.remote_store import RemoteKVStore
+
+# Any store exposing the DistributedKVStore operation surface: the
+# in-process analytic store or the asyncio-transport RemoteKVStore.
+IndexStore = Union[DistributedKVStore, "RemoteKVStore"]
 
 
 @dataclass
@@ -66,11 +74,15 @@ class RingIndex(DedupIndex):
 
     All operations coordinate from ``local_node`` (the agent's own node), so
     locality statistics reflect that agent's position on the index ring.
+    The store may be the in-process :class:`DistributedKVStore` or the
+    asyncio transport's :class:`~repro.rpc.remote_store.RemoteKVStore` —
+    both expose the same operation surface, so the agent pipeline is
+    transport-agnostic.
     """
 
     def __init__(
         self,
-        store: DistributedKVStore,
+        store: IndexStore,
         local_node: str,
         consistency: ConsistencyLevel = ConsistencyLevel.ONE,
     ) -> None:

@@ -102,6 +102,22 @@ class EFDedupCluster:
         ]
         self._ring_of = {nid: ring for ring in self.rings for nid in ring.members}
 
+    def shutdown(self) -> None:
+        """Close every deployed ring's transport.
+
+        Required when ``config.transport == "asyncio"`` (live rings hold
+        sockets and an event-loop thread); a harmless no-op for in-process
+        rings. The cluster can be re-deployed afterwards.
+        """
+        for ring in self.rings:
+            ring.close()
+
+    def __enter__(self) -> "EFDedupCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
     def ring_for(self, node_id: str) -> D2Ring:
         try:
             return self._ring_of[node_id]

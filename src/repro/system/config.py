@@ -40,6 +40,22 @@ class EFDedupConfig:
         tcp_window_bytes: per-stream TCP window for Cloud-only raw
             forwarding; the per-node stream rate is window/RTT capped by the
             link rate.
+        transport: how a ring's index store runs — ``"inproc"`` (the
+            analytic in-process :class:`~repro.kvstore.store.DistributedKVStore`)
+            or ``"asyncio"`` (a real localhost TCP cluster,
+            :class:`~repro.rpc.cluster.LiveKVCluster`, one server per
+            member). Both expose the same operation surface and produce
+            identical dedup decisions; remember to ``close()`` live rings.
+        rpc_timeout_s: live transport only — per-attempt RPC timeout.
+        rpc_attempts: live transport only — total tries per call (1 = no
+            retries); backoff/jitter come from the default
+            :class:`~repro.rpc.retry.RetryPolicy` schedule.
+        rpc_codec: live transport only — wire codec name, or None to pick
+            msgpack when installed and JSON otherwise.
+        cache_capacity: when > 0, each agent fronts its ring index with an
+            LRU presence cache of this many fingerprints
+            (:class:`~repro.dedup.cache.LRUCacheIndex`) — hot duplicates
+            answer locally instead of hitting the (possibly remote) store.
     """
 
     chunk_size: int = 128 * 1024
@@ -51,6 +67,11 @@ class EFDedupConfig:
     lookup_batch: int = 1
     upload_rtts: float = 2.0
     tcp_window_bytes: int = 128 * 1024
+    transport: str = "inproc"
+    rpc_timeout_s: float = 0.25
+    rpc_attempts: int = 4
+    rpc_codec: str | None = None
+    cache_capacity: int = 0
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -74,6 +95,20 @@ class EFDedupConfig:
         if self.tcp_window_bytes <= 0:
             raise ValueError(
                 f"tcp_window_bytes must be positive, got {self.tcp_window_bytes!r}"
+            )
+        if self.transport not in ("inproc", "asyncio"):
+            raise ValueError(
+                f"transport must be 'inproc' or 'asyncio', got {self.transport!r}"
+            )
+        if self.rpc_timeout_s <= 0:
+            raise ValueError(
+                f"rpc_timeout_s must be positive, got {self.rpc_timeout_s!r}"
+            )
+        if self.rpc_attempts < 1:
+            raise ValueError(f"rpc_attempts must be >= 1, got {self.rpc_attempts!r}")
+        if self.cache_capacity < 0:
+            raise ValueError(
+                f"cache_capacity must be >= 0, got {self.cache_capacity!r}"
             )
 
     def hash_time_s(self, nbytes: int) -> float:

@@ -1,9 +1,19 @@
 """D2-rings: a partition cell with its distributed index and agents.
 
-A :class:`D2Ring` owns one :class:`~repro.kvstore.store.DistributedKVStore`
-spanning its member nodes (one Cassandra cluster per ring in the paper) and
-one :class:`~repro.system.agent.DedupAgent` per member. Unique chunks flow
+A :class:`D2Ring` owns one index store spanning its member nodes (one
+Cassandra cluster per ring in the paper) and one
+:class:`~repro.system.agent.DedupAgent` per member. Unique chunks flow
 to the shared central cloud store.
+
+The store comes in two transports, chosen by ``config.transport``:
+
+- ``"inproc"`` (default) — the analytic
+  :class:`~repro.kvstore.store.DistributedKVStore`;
+- ``"asyncio"`` — a :class:`~repro.rpc.cluster.LiveKVCluster`: each member
+  runs its replica behind a real TCP server on localhost and every index
+  operation crosses the wire with timeouts, retries, and (optionally)
+  injected faults. Live rings hold sockets and a loop thread — use the
+  ring as a context manager or call :meth:`D2Ring.close`.
 
 Failure behaviour mirrors Sec. IV: with replication factor γ ≥ 2 a ring
 keeps deduplicating while a member is down (writes to the down replica turn
@@ -14,6 +24,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
+from repro.dedup.cache import LRUCacheIndex
 from repro.dedup.recipes import RecipeStore, make_recipe, restore_file
 from repro.dedup.stats import DedupStats
 from repro.kvstore.store import DistributedKVStore
@@ -33,6 +44,9 @@ class D2Ring:
         cloud_of_member: optional node → edge-cloud mapping; when given, the
             ring's index uses cloud-aware placement (γ replicas in distinct
             edge clouds where possible) instead of plain ring order.
+        fault_injector: live transport only — a
+            :class:`~repro.rpc.faults.FaultInjector` consulted on every
+            message between agents and replicas.
     """
 
     def __init__(
@@ -42,6 +56,7 @@ class D2Ring:
         cloud: Optional[CentralCloudStore] = None,
         config: Optional[EFDedupConfig] = None,
         cloud_of_member: Optional[dict[str, str]] = None,
+        fault_injector=None,
     ) -> None:
         if not members:
             raise ValueError(f"ring {ring_id!r} needs at least one member")
@@ -56,28 +71,81 @@ class D2Ring:
             strategy = CloudAwareReplicationStrategy(
                 self.config.replication_factor, cloud_of_member
             )
-        self.store = DistributedKVStore(
-            node_ids=self.members,
-            replication_factor=self.config.replication_factor,
-            vnodes=self.config.vnodes,
-            default_consistency=self.config.consistency,
-            strategy=strategy,
-        )
+        if fault_injector is not None and self.config.transport != "asyncio":
+            raise ValueError("fault_injector requires transport='asyncio'")
+        self._live = None
+        if self.config.transport == "asyncio":
+            from repro.rpc.cluster import LiveKVCluster
+            from repro.rpc.retry import RetryPolicy
+
+            self._live = LiveKVCluster(
+                node_ids=self.members,
+                replication_factor=self.config.replication_factor,
+                vnodes=self.config.vnodes,
+                default_consistency=self.config.consistency,
+                strategy=strategy,
+                codec=self.config.rpc_codec,
+                timeout_s=self.config.rpc_timeout_s,
+                retry=RetryPolicy(attempts=self.config.rpc_attempts),
+                fault_injector=fault_injector,
+            )
+            self.store = self._live.store
+        else:
+            self.store = DistributedKVStore(
+                node_ids=self.members,
+                replication_factor=self.config.replication_factor,
+                vnodes=self.config.vnodes,
+                default_consistency=self.config.consistency,
+                strategy=strategy,
+            )
         self.recipes = RecipeStore()
         self.agents: dict[str, DedupAgent] = {}
+        self.ring_indexes: dict[str, RingIndex] = {}
         for node_id in self.members:
             self._make_agent(node_id)
 
     def _make_agent(self, node_id: str) -> None:
-        index = RingIndex(
+        ring_index = RingIndex(
             self.store, local_node=node_id, consistency=self.config.consistency
         )
+        self.ring_indexes[node_id] = ring_index
+        index = ring_index
+        if self.config.cache_capacity > 0:
+            # A presence cache answers hot duplicates at the agent instead of
+            # crossing (what may be) the wire; decisions are unchanged.
+            index = LRUCacheIndex(ring_index, capacity=self.config.cache_capacity)
         self.agents[node_id] = DedupAgent(
             node_id=node_id,
             index=index,
             config=self.config,
             unique_sink=self.cloud.receive_chunk,
         )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle (live transport holds sockets and a loop thread)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_live(self) -> bool:
+        """True when the ring's index runs over the asyncio transport."""
+        return self._live is not None
+
+    @property
+    def live_cluster(self):
+        """The :class:`~repro.rpc.cluster.LiveKVCluster` behind a live ring
+        (None for in-process rings)."""
+        return self._live
+
+    def close(self) -> None:
+        """Shut down the live transport (no-op for in-process rings)."""
+        if self._live is not None:
+            self._live.close()
+
+    def __enter__(self) -> "D2Ring":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __len__(self) -> int:
         return len(self.members)
@@ -148,15 +216,26 @@ class D2Ring:
     def local_lookup_fraction(self) -> float:
         """Observed fraction of lookups served locally — compare with the
         model's γ/|P| (Eq. 2)."""
-        local = sum(
-            a.engine.index.lookups.local_lookups  # type: ignore[union-attr]
-            for a in self.agents.values()
-        )
-        total = sum(
-            a.engine.index.lookups.total_lookups  # type: ignore[union-attr]
-            for a in self.agents.values()
-        )
+        local = sum(idx.lookups.local_lookups for idx in self.ring_indexes.values())
+        total = sum(idx.lookups.total_lookups for idx in self.ring_indexes.values())
         return local / total if total else 0.0
+
+    def cache_metrics(self) -> dict[str, float]:
+        """Merged agent-cache counters (empty when ``cache_capacity`` is 0),
+        under the same metric names simulated runs export (see
+        :func:`repro.sim.metrics.export_cache_stats`)."""
+        merged: dict[str, float] = {}
+        for agent in self.agents.values():
+            index = agent.engine.index
+            if isinstance(index, LRUCacheIndex):
+                for name, value in index.stats.snapshot().items():
+                    if name == "cache.hit_rate":
+                        continue  # a ratio; recomputed below
+                    merged[name] = merged.get(name, 0.0) + value
+        if merged:
+            looked_up = merged["cache.hits"] + merged["cache.misses"]
+            merged["cache.hit_rate"] = merged["cache.hits"] / looked_up if looked_up else 0.0
+        return merged
 
     # ------------------------------------------------------------------ #
     # membership
@@ -170,7 +249,7 @@ class D2Ring:
         """
         if node_id in self.agents:
             raise ValueError(f"node {node_id!r} is already in ring {self.ring_id!r}")
-        self.store.add_node(node_id)
+        self.store.add_node(node_id)  # live transport raises NotImplementedError
         self.members.append(node_id)
         self._make_agent(node_id)
 

@@ -125,3 +125,92 @@ class TestModelGuidedCacheIndex:
         )
         for fp in ["a", "b", "a", "c", "a"]:
             assert plain.lookup_and_insert(fp) == guided.lookup_and_insert(fp)
+
+
+class TestCacheStatsSnapshot:
+    def test_snapshot_uses_canonical_metric_names(self):
+        cache = LRUCacheIndex(InMemoryIndex(), capacity=4)
+        cache.lookup_and_insert("x")  # miss, admitted
+        cache.lookup_and_insert("x")  # hit
+        snap = cache.stats.snapshot()
+        assert snap == {
+            "cache.hits": 1.0,
+            "cache.misses": 1.0,
+            "cache.admissions": 1.0,
+            "cache.rejections": 0.0,
+            "cache.evictions": 0.0,
+            "cache.hit_rate": 0.5,
+        }
+
+    def test_snapshot_values_are_floats(self):
+        cache = LRUCacheIndex(InMemoryIndex(), capacity=4)
+        assert all(isinstance(v, float) for v in cache.stats.snapshot().values())
+
+    def test_empty_snapshot_has_zero_hit_rate(self):
+        cache = LRUCacheIndex(InMemoryIndex(), capacity=4)
+        assert cache.stats.snapshot()["cache.hit_rate"] == 0.0
+
+
+class _BatchCountingIndex(InMemoryIndex):
+    """Counts how many batched calls reach the backing index."""
+
+    def __init__(self):
+        super().__init__()
+        self.batch_calls = 0
+        self.batch_sizes = []
+
+    def lookup_and_insert_many(self, fingerprints, metadata=None):
+        fps = list(fingerprints)
+        self.batch_calls += 1
+        self.batch_sizes.append(len(fps))
+        return super().lookup_and_insert_many(fps, metadata=metadata)
+
+
+class TestBatchedCacheLookups:
+    def test_results_match_per_key_loop(self):
+        plain = InMemoryIndex()
+        cached = LRUCacheIndex(InMemoryIndex(), capacity=8)
+        batch = ["a", "b", "a", "c", "b", "d"]
+        expected = [plain.lookup_and_insert(fp) for fp in batch]
+        assert cached.lookup_and_insert_many(batch) == expected
+
+    def test_misses_travel_in_one_backing_batch(self):
+        backing = _BatchCountingIndex()
+        cached = LRUCacheIndex(backing, capacity=8)
+        cached.lookup_and_insert_many(["a", "b", "c"])  # all misses
+        assert backing.batch_calls == 1
+        assert backing.batch_sizes == [3]
+
+    def test_cache_hits_are_answered_without_the_backing(self):
+        backing = _BatchCountingIndex()
+        cached = LRUCacheIndex(backing, capacity=8)
+        cached.lookup_and_insert_many(["a", "b"])
+        results = cached.lookup_and_insert_many(["a", "c", "b"])
+        assert results == [False, True, False]
+        assert backing.batch_calls == 2
+        assert backing.batch_sizes == [2, 1]  # only "c" crossed over
+        assert cached.stats.hits == 2
+
+    def test_all_hits_send_an_empty_batch_downstream(self):
+        backing = _BatchCountingIndex()
+        cached = LRUCacheIndex(backing, capacity=8)
+        cached.lookup_and_insert_many(["a", "b"])
+        assert cached.lookup_and_insert_many(["b", "a"]) == [False, False]
+        assert backing.batch_sizes[-1] == 0
+
+    def test_intra_batch_repeat_is_new_once_then_duplicate(self):
+        cached = LRUCacheIndex(InMemoryIndex(), capacity=8)
+        assert cached.lookup_and_insert_many(["x", "x", "x"]) == [True, False, False]
+
+    def test_model_guided_cache_batches_too(self):
+        backing = _BatchCountingIndex()
+        cached = ModelGuidedCacheIndex(
+            backing, scorer=lambda fp: 1.0 if fp < "c" else 0.0, capacity=8
+        )
+        assert cached.lookup_and_insert_many(["a", "d"]) == [True, True]
+        assert cached.stats.rejections == 1  # "d" scored cold, not admitted
+        # second round: hot "a" answers from the cache, cold "d" crosses
+        # back to the backing — still as one batch.
+        assert cached.lookup_and_insert_many(["a", "d"]) == [False, False]
+        assert backing.batch_calls == 2
+        assert backing.batch_sizes == [2, 1]

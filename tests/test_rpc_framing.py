@@ -1,0 +1,239 @@
+"""Tests for the RPC wire layer: codecs, length-prefixed frames, envelopes,
+retry schedules, and the fault injector's rule engine."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.rpc.errors import FrameError
+from repro.rpc.faults import FaultInjector, FaultRule
+from repro.rpc.framing import (
+    JsonCodec,
+    available_codecs,
+    decode_frame,
+    default_codec_name,
+    encode_frame,
+    get_codec,
+    read_frame,
+)
+from repro.rpc.messages import Request, Response, correlation_ids
+from repro.rpc.retry import RetryPolicy
+
+
+class TestCodecs:
+    def test_json_always_available(self):
+        assert "json" in available_codecs()
+        assert get_codec("json") is JsonCodec
+
+    def test_default_codec_is_available(self):
+        assert default_codec_name() in available_codecs()
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(FrameError):
+            get_codec("protobuf")
+
+    @pytest.mark.parametrize("name", sorted(available_codecs()))
+    def test_roundtrip(self, name):
+        codec = get_codec(name)
+        obj = {"kind": "req", "id": "x-1", "params": {"keys": ["a", "b"], "n": 3}}
+        assert codec.decode(codec.encode(obj)) == obj
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        obj = {"hello": "world", "n": [1, 2, 3]}
+        decoded, consumed = decode_frame(encode_frame(obj))
+        assert decoded == obj
+        assert consumed == len(encode_frame(obj))
+
+    def test_frames_are_self_describing(self):
+        # Every codec's frame decodes without knowing the codec up front.
+        for name in available_codecs():
+            decoded, _ = decode_frame(encode_frame({"n": 1}, get_codec(name)))
+            assert decoded == {"n": 1}
+
+    def test_truncated_frame_rejected(self):
+        frame = encode_frame({"k": "v"})
+        with pytest.raises(FrameError):
+            decode_frame(frame[:-1])
+
+    def test_short_header_rejected(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"\x00\x00")
+
+    def test_unknown_codec_id_rejected(self):
+        frame = bytearray(encode_frame({"k": "v"}))
+        frame[4] = 250  # stomp the codec byte
+        with pytest.raises(FrameError):
+            decode_frame(bytes(frame))
+
+    def test_oversize_length_rejected(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"\xff\xff\xff\xff" + b"x" * 16)
+
+    def test_two_frames_back_to_back(self):
+        buf = encode_frame({"i": 1}) + encode_frame({"i": 2})
+        first, consumed = decode_frame(buf)
+        second, _ = decode_frame(buf[consumed:])
+        assert (first, second) == ({"i": 1}, {"i": 2})
+
+
+class TestAsyncReadFrame:
+    def _reader_with(self, data: bytes) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return reader
+
+    def test_reads_stream_of_frames(self):
+        async def run():
+            reader = self._reader_with(
+                encode_frame({"i": 1}) + encode_frame({"i": 2})
+            )
+            assert await read_frame(reader) == {"i": 1}
+            assert await read_frame(reader) == {"i": 2}
+            assert await read_frame(reader) is None  # clean EOF
+
+        asyncio.run(run())
+
+    def test_eof_mid_frame_is_an_error(self):
+        async def run():
+            reader = self._reader_with(encode_frame({"i": 1})[:-2])
+            with pytest.raises(FrameError):
+                await read_frame(reader)
+
+        asyncio.run(run())
+
+
+class TestEnvelopes:
+    def test_request_roundtrip(self):
+        req = Request("id-1", "multi_get", {"keys": ["a"]}, src="n0", dst="n1")
+        assert Request.from_wire(req.to_wire()) == req
+
+    def test_response_roundtrip(self):
+        resp = Response.success("id-1", {"entries": {}})
+        assert Response.from_wire(resp.to_wire()) == resp
+
+    def test_failure_envelope_names_the_type(self):
+        resp = Response.failure("id-2", ValueError("boom"))
+        assert resp.error == {"type": "ValueError", "message": "boom"}
+
+    def test_malformed_request_rejected(self):
+        with pytest.raises(FrameError):
+            Request.from_wire({"kind": "resp", "id": "x"})
+        with pytest.raises(FrameError):
+            Request.from_wire(["not", "a", "dict"])
+
+    def test_correlation_ids_unique_across_clients(self):
+        a, b = correlation_ids(), correlation_ids()
+        ids = {next(a) for _ in range(100)} | {next(b) for _ in range(100)}
+        assert len(ids) == 200
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(attempts=4, base_delay_s=0.1, multiplier=2.0,
+                             max_delay_s=10.0, jitter=0.0)
+        assert list(policy.backoff_delays(random.Random(0))) == [0.1, 0.2, 0.4]
+
+    def test_backoff_respects_ceiling(self):
+        policy = RetryPolicy(attempts=5, base_delay_s=0.1, multiplier=10.0,
+                             max_delay_s=0.3, jitter=0.0)
+        assert list(policy.backoff_delays(random.Random(0))) == [0.1, 0.3, 0.3, 0.3]
+
+    def test_jitter_stays_in_band_and_is_seeded(self):
+        policy = RetryPolicy(attempts=6, base_delay_s=0.1, multiplier=1.0,
+                             max_delay_s=0.1, jitter=0.5)
+        delays = list(policy.backoff_delays(random.Random(42)))
+        assert all(0.05 <= d <= 0.15 for d in delays)
+        assert delays == list(policy.backoff_delays(random.Random(42)))
+
+    def test_single_attempt_has_no_backoff(self):
+        assert list(RetryPolicy(attempts=1).backoff_delays(random.Random(0))) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=1.0, max_delay_s=0.5)
+
+    def test_worst_case_bounds_the_schedule(self):
+        policy = RetryPolicy(attempts=3, base_delay_s=0.1, multiplier=2.0,
+                             max_delay_s=1.0, jitter=0.5)
+        assert policy.worst_case_s(0.25) == pytest.approx(3 * 0.25 + (0.1 + 0.2) * 1.5)
+
+
+class TestFaultInjector:
+    def test_no_rules_is_a_noop(self):
+        inj = FaultInjector()
+        plan = inj.plan_send("a", "b")
+        assert not plan.drop and not plan.duplicate and plan.delay_s == 0.0
+        assert not inj.should_drop_response("a", "b")
+
+    def test_drop_times_budget(self):
+        inj = FaultInjector()
+        inj.drop_requests(times=2)
+        assert inj.plan_send("a", "b").drop
+        assert inj.plan_send("a", "b").drop
+        assert not inj.plan_send("a", "b").drop  # budget spent
+        assert inj.stats.dropped_requests == 2
+
+    def test_pair_matching(self):
+        inj = FaultInjector()
+        inj.drop_requests(src="a", dst="b")
+        assert inj.plan_send("a", "b").drop
+        assert not inj.plan_send("b", "a").drop
+        assert not inj.plan_send("a", "c").drop
+
+    def test_delay_and_duplicate_compose(self):
+        inj = FaultInjector()
+        inj.delay_requests(0.01)
+        inj.duplicate_requests()
+        plan = inj.plan_send("a", "b")
+        assert plan.delay_s == pytest.approx(0.01)
+        assert plan.duplicate and not plan.drop
+
+    def test_response_drop_is_separate_from_request_drop(self):
+        inj = FaultInjector()
+        inj.drop_responses(times=1)
+        assert not inj.plan_send("a", "b").drop
+        assert inj.should_drop_response("a", "b")
+        assert not inj.should_drop_response("a", "b")
+
+    def test_partition_is_symmetric_and_heals(self):
+        inj = FaultInjector()
+        inj.partition("a", "b")
+        assert inj.plan_send("a", "b").drop
+        assert inj.plan_send("b", "a").drop
+        assert inj.should_drop_response("a", "b")
+        assert not inj.plan_send("a", "c").drop
+        inj.heal("a", "b")
+        assert not inj.plan_send("a", "b").drop
+
+    def test_probability_is_seeded(self):
+        def run(seed):
+            inj = FaultInjector(seed=seed)
+            inj.drop_requests(probability=0.5)
+            return [inj.plan_send("a", "b").drop for _ in range(50)]
+
+        outcomes = run(1)
+        assert outcomes == run(1)
+        assert any(outcomes) and not all(outcomes)
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            FaultRule("explode")
+        with pytest.raises(ValueError):
+            FaultRule("drop", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultRule("delay", direction="response")
+        with pytest.raises(ValueError):
+            FaultRule("drop", times=0)
+
+    def test_heal_requires_both_or_neither(self):
+        inj = FaultInjector()
+        with pytest.raises(ValueError):
+            inj.heal("a")

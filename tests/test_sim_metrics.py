@@ -153,3 +153,55 @@ class TestThroughput:
     def test_zero_elapsed_rejected(self):
         with pytest.raises(ValueError):
             throughput_mb_per_s(1e6, 0.0)
+
+
+class TestExportCacheStats:
+    def _stats(self):
+        from repro.dedup.cache import CacheStats
+
+        stats = CacheStats()
+        stats.hits = 6
+        stats.misses = 2
+        stats.admissions = 2
+        stats.evictions = 1
+        return stats
+
+    def test_exports_under_canonical_names(self):
+        from repro.sim.metrics import export_cache_stats
+
+        registry = MetricsRegistry()
+        exported = export_cache_stats(registry, self._stats())
+        assert exported["cache.hits"] == 6.0
+        assert exported["cache.hit_rate"] == pytest.approx(0.75)
+        assert registry.counters["cache.hits"].value == 6.0
+        assert registry.counters["cache.misses"].value == 2.0
+        assert registry.gauges["cache.hit_rate"].value == pytest.approx(0.75)
+        assert "cache.hit_rate" not in registry.counters  # a ratio, not a count
+
+    def test_prefix_namespaces_multi_cache_components(self):
+        from repro.sim.metrics import export_cache_stats
+
+        registry = MetricsRegistry()
+        export_cache_stats(registry, self._stats(), prefix="edge-3.")
+        assert registry.counters["edge-3.cache.hits"].value == 6.0
+        assert "cache.hits" not in registry.counters
+
+    def test_reexport_overwrites_instead_of_accumulating(self):
+        from repro.sim.metrics import export_cache_stats
+
+        registry = MetricsRegistry()
+        stats = self._stats()
+        export_cache_stats(registry, stats)
+        stats.hits += 4
+        export_cache_stats(registry, stats)
+        assert registry.counters["cache.hits"].value == 10.0
+
+    def test_live_and_simulated_runs_share_metric_names(self):
+        """The contract the satellite asks for: `CacheStats.snapshot()` (what
+        live runs print) and the registry export (what simulations collect)
+        agree on names and values."""
+        from repro.sim.metrics import export_cache_stats
+
+        registry = MetricsRegistry()
+        stats = self._stats()
+        assert export_cache_stats(registry, stats) == stats.snapshot()
