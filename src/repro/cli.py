@@ -1,19 +1,25 @@
 """Command-line interface.
 
-Five subcommands cover the workflows a user runs repeatedly:
+Six subcommands cover the workflows a user runs repeatedly:
 
 - ``repro plan``      — plan D2-rings for a fleet and print the partition
                         with its predicted costs;
 - ``repro estimate``  — run Algorithm 1 on sampled files and print the
                         fitted chunk-pool model;
-- ``repro simulate``  — a Fig. 7-style algorithm comparison at scale;
+- ``repro simulate``  — a Fig. 7-style algorithm comparison at scale
+                        (``--metrics-json`` exports the cost table);
 - ``repro figures``   — regenerate the paper's figures (any subset);
 - ``repro live``      — boot an N-node D2-ring as a real asyncio TCP
                         cluster on localhost, run a seeded dataset through
                         it, and report dedup + transport metrics
                         (``repro serve`` is an alias). ``--check`` verifies
                         the live run's unique-chunk fingerprint set is
-                        byte-identical to the in-process engine's.
+                        byte-identical to the in-process engine's and that
+                        both transports export the same metric names;
+                        ``--metrics-json`` / ``--trace-json`` dump the
+                        unified metrics export and a Chrome-trace span dump;
+- ``repro metrics``   — render a ``--metrics-json`` export as a table,
+                        Prometheus text, or JSON.
 
 All output is plain text on stdout; exit code 0 on success. Invoke as
 ``python -m repro <subcommand>`` (or ``repro`` once installed with an
@@ -80,6 +86,22 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--rings", type=int, default=20)
     simulate.add_argument("--alpha", type=float, default=0.001)
     simulate.add_argument("--seed", type=int, default=11)
+    simulate.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="also write the per-algorithm cost table as a repro.metrics/v1 "
+        "JSON export (readable with `repro metrics`)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="render a repro.metrics/v1 JSON export"
+    )
+    metrics.add_argument(
+        "path", help="metrics file written by a --metrics-json flag"
+    )
+    metrics.add_argument(
+        "--format", choices=("table", "prometheus", "json"), default="table",
+        help="output format (default: table)",
+    )
 
     figures = sub.add_parser("figures", help="regenerate the paper's figures")
     figures.add_argument(
@@ -130,7 +152,18 @@ def _build_parser() -> argparse.ArgumentParser:
         live.add_argument(
             "--check", action="store_true",
             help="also run the in-process engine and require byte-identical "
-            "unique-chunk fingerprint sets (exit 1 on mismatch)",
+            "unique-chunk fingerprint sets plus identical transport-"
+            "independent metric names (exit 1 on mismatch)",
+        )
+        live.add_argument(
+            "--metrics-json", default=None, metavar="PATH",
+            help="write the run's unified metrics (dedup, caches, kvstore, "
+            "rpc histograms) as a repro.metrics/v1 JSON export",
+        )
+        live.add_argument(
+            "--trace-json", default=None, metavar="PATH",
+            help="record rpc/store spans and write them as Chrome-trace "
+            "JSON (open in chrome://tracing or Perfetto)",
         )
     return parser
 
@@ -189,9 +222,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     }
     print(f"{args.nodes} nodes, {args.rings} rings, alpha={args.alpha:g}")
     print(f"{'algorithm':<14} {'storage':>10} {'network':>12} {'aggregate':>11}")
+    breakdowns: dict[str, dict[str, float]] = {}
     for name, algo in algorithms.items():
         b = problem.cost_breakdown(algo.partition_checked(problem))
+        breakdowns[name] = b
         print(f"{name:<14} {b['storage']:>10.0f} {b['network']:>12.0f} {b['aggregate']:>11.0f}")
+    if args.metrics_json:
+        from repro.obs import MetricsHub
+
+        hub = MetricsHub()
+        for name, b in breakdowns.items():
+            hub.register(
+                f"simulate.{name.lower()}",
+                {k: b[k] for k in ("storage", "network", "aggregate")},
+            )
+        count = hub.dump_json(args.metrics_json)
+        print(f"metrics: wrote {count} series to {args.metrics_json}")
     return 0
 
 
@@ -243,10 +289,17 @@ def _cmd_live(args: argparse.Namespace) -> int:
         if args.delay_ms:
             injector.delay_requests(args.delay_ms / 1e3)
 
+    tracer = None
+    if args.trace_json:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+
     print(f"booting {args.nodes}-node asyncio ring (gamma={args.gamma}, "
           f"batch={args.batch}, codec={args.codec or 'auto'})")
     with D2Ring(
-        "live-0", members, config=build_config("asyncio"), fault_injector=injector
+        "live-0", members, config=build_config("asyncio"),
+        fault_injector=injector, tracer=tracer,
     ) as ring:
         ring.ingest_workloads(workloads)
         stats = ring.combined_stats()
@@ -267,6 +320,16 @@ def _cmd_live(args: argparse.Namespace) -> int:
             for name, value in sorted(ring.cache_metrics().items()):
                 print(f"  {name}={value:.4g}")
         live_ratio = stats.dedup_ratio
+        hub = ring.metrics_hub()
+        live_names = set(hub.collect())
+        if args.metrics_json:
+            count = hub.dump_json(args.metrics_json)
+            print(f"metrics: wrote {count} series to {args.metrics_json}")
+
+    if tracer is not None:
+        count = tracer.dump_chrome_trace(args.trace_json)
+        print(f"trace: wrote {count} spans to {args.trace_json}"
+              + (f" ({tracer.dropped} dropped)" if tracer.dropped else ""))
 
     if not args.check:
         return 0
@@ -277,15 +340,62 @@ def _cmd_live(args: argparse.Namespace) -> int:
     ref_unique = frozenset(ref.store.unique_keys())
     same_set = live_unique == ref_unique
     same_ratio = abs(live_ratio - ref_stats.dedup_ratio) < 1e-12
+    # Metric-name parity: a dashboard built on an inproc run must read a
+    # live run unchanged. The live ring only *adds* rpc.* transport series.
+    ref_names = set(ref.metrics_hub().collect())
+    same_names = {n for n in live_names if not n.startswith("rpc.")} == ref_names
     print(f"check: in-process unique_chunks={len(ref_unique)}  "
           f"dedup_ratio={ref_stats.dedup_ratio:.3f}")
-    if same_set and same_ratio:
+    if same_set and same_ratio and same_names:
         print("check: PASS — live cluster matches the in-process engine "
-              "(identical unique-chunk fingerprint sets)")
+              "(identical unique-chunk fingerprint sets and metric names)")
         return 0
     print("check: FAIL — live and in-process runs disagree "
-          f"(set match={same_set}, ratio match={same_ratio})", file=sys.stderr)
+          f"(set match={same_set}, ratio match={same_ratio}, "
+          f"metric-name match={same_names})", file=sys.stderr)
     return 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.hub import SCHEMA, render_prometheus
+
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read metrics export {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(doc, dict) or not isinstance(doc.get("metrics"), dict):
+        print(f"{args.path!r} is not a metrics export (no 'metrics' mapping)",
+              file=sys.stderr)
+        return 2
+    if doc.get("schema") != SCHEMA:
+        print(f"warning: schema {doc.get('schema')!r} (this tool expects {SCHEMA!r})",
+              file=sys.stderr)
+    metrics = doc["metrics"]
+    if args.format == "json":
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        print()
+    elif args.format == "prometheus":
+        sys.stdout.write(render_prometheus(metrics))
+    else:
+        for name in sorted(metrics):
+            value = metrics[name]
+            if isinstance(value, dict) and value.get("type") == "histogram":
+                if value.get("count"):
+                    print(f"{name:<40} count={value['count']}  "
+                          f"mean={value['mean'] * 1e6:.0f}us  "
+                          f"p50={value['p50'] * 1e6:.0f}us  "
+                          f"p99={value['p99'] * 1e6:.0f}us")
+                else:
+                    print(f"{name:<40} count=0")
+            elif isinstance(value, (int, float)):
+                print(f"{name:<40} {value:.6g}")
+            else:
+                print(f"{name:<40} {value}")
+    return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -315,6 +425,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figures": _cmd_figures,
         "live": _cmd_live,
         "serve": _cmd_live,
+        "metrics": _cmd_metrics,
     }
     return handlers[args.command](args)
 

@@ -94,6 +94,11 @@ class LRUCacheIndex(DedupIndex):
             self._cache.popitem(last=False)
             self.stats.evictions += 1
 
+    def _would_admit(self, fingerprint: str) -> bool:
+        """Whether :meth:`_admit` would insert this key — pure (no stats, no
+        mutation), so the batched path can simulate cache evolution."""
+        return True
+
     # -- DedupIndex API --------------------------------------------------#
 
     def contains(self, fingerprint: str) -> bool:
@@ -122,23 +127,39 @@ class LRUCacheIndex(DedupIndex):
         Cache hits are answered locally; only misses travel to the backing
         index, in one ``lookup_and_insert_many`` call — so a remote backing
         (a D2-ring store) still pays one round trip per contacted node, not
-        one per key. Results match the per-key loop exactly (an intra-batch
-        repeat is new once, then a duplicate, via the backing's ordering);
-        only the hit/miss counters differ for intra-batch repeats, which
-        the upfront cache probe counts as misses.
+        one per key. Results, stats, and cache state all match the per-key
+        loop exactly, including intra-batch repeats: a repeat whose first
+        occurrence was admitted is a cache *hit* (the old upfront probe
+        miscounted it as a miss), while a repeat whose first occurrence was
+        rejected by admission — or already evicted within the batch — is a
+        miss, just as the loop would see it.
+
+        Requires a deterministic admission decision (``_would_admit``): the
+        keys the loop would send to the backing are predicted by simulating
+        its cache evolution on a copy, and the real cache and stats are only
+        touched after the backing batch returns — so a failed remote round
+        cannot leave phantom cached presence behind (a false "cached
+        present" would mark a never-stored chunk as duplicate).
         """
         fps = list(fingerprints)
+        sim = self._cache.copy()
         misses: list[str] = []
-        hit_mask: list[bool] = []
         for fp in fps:
-            hit = self._cache_hit(fp)
-            hit_mask.append(hit)
-            if not hit:
+            if fp in sim:
+                sim.move_to_end(fp)
+            else:
                 misses.append(fp)
+                if self._would_admit(fp):
+                    sim[fp] = None
+                    while len(sim) > self.capacity:
+                        sim.popitem(last=False)
         backed = iter(self.backing.lookup_and_insert_many(misses, metadata=metadata))
+        # Replay is literally the per-key loop with backing answers
+        # pre-fetched; the simulation above guarantees the iterator yields
+        # in exactly the order the misses occur here.
         results: list[bool] = []
-        for fp, hit in zip(fps, hit_mask):
-            if hit:
+        for fp in fps:
+            if self._cache_hit(fp):
                 results.append(False)  # cached presence: definitely a duplicate
             else:
                 results.append(next(backed))
@@ -180,8 +201,13 @@ class ModelGuidedCacheIndex(LRUCacheIndex):
         self.scorer = scorer
         self.admit_threshold = admit_threshold
 
+    def _would_admit(self, fingerprint: str) -> bool:
+        # The scorer must be deterministic: the batched path evaluates it
+        # once while simulating and once while admitting for real.
+        return self.scorer(fingerprint) >= self.admit_threshold
+
     def _admit(self, fingerprint: str) -> None:
-        if self.scorer(fingerprint) < self.admit_threshold:
+        if not self._would_admit(fingerprint):
             self.stats.rejections += 1
             return
         super()._admit(fingerprint)

@@ -9,6 +9,7 @@ hand to it and in the latency charged per lookup.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
@@ -17,6 +18,7 @@ from repro.chunking.fixed import FixedSizeChunker
 from repro.chunking.hashing import Fingerprinter, default_fingerprint
 from repro.dedup.index import DedupIndex, InMemoryIndex
 from repro.dedup.stats import DedupStats
+from repro.obs.histogram import Histogram
 
 # Called for every unique chunk, e.g. to upload it to the central cloud.
 UniqueChunkSink = Callable[[Chunk, str], None]
@@ -75,6 +77,9 @@ class DedupEngine:
         self.unique_sink = unique_sink
         self.batch_size = batch_size
         self.stats = DedupStats()
+        # Wall time of index lookup rounds (one observation per
+        # lookup_and_insert call, or per batched flush).
+        self.lookup_latency = Histogram("engine.lookup_s")
 
     def dedup_bytes(self, data: bytes, source: Optional[str] = None) -> DedupResult:
         """Deduplicate a complete in-memory input.
@@ -101,7 +106,9 @@ class DedupEngine:
         if self.batch_size == 1:
             for chunk in chunks:
                 fp = self.fingerprint(chunk.data)
+                started = time.perf_counter()
                 is_new = self.index.lookup_and_insert(fp, metadata=source)
+                self.lookup_latency.observe(time.perf_counter() - started)
                 self._account(chunk, fp, is_new, call_stats, unique)
         else:
             pending: list[tuple[Chunk, str]] = []
@@ -121,9 +128,11 @@ class DedupEngine:
         call_stats: DedupStats,
         unique: list[str],
     ) -> None:
+        started = time.perf_counter()
         results = self.index.lookup_and_insert_many(
             [fp for _, fp in pending], metadata=source
         )
+        self.lookup_latency.observe(time.perf_counter() - started)
         for (chunk, fp), is_new in zip(pending, results):
             self._account(chunk, fp, is_new, call_stats, unique)
 

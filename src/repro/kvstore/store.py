@@ -18,6 +18,7 @@ Failure semantics:
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -27,6 +28,7 @@ from repro.kvstore.hashring import ConsistentHashRing
 from repro.kvstore.hints import Hint, HintBuffer
 from repro.kvstore.node import StorageNode, VersionedValue
 from repro.kvstore.replication import SimpleReplicationStrategy
+from repro.obs.histogram import Histogram
 
 
 @dataclass
@@ -51,6 +53,23 @@ class StoreStats:
         self.remote_contacts += 1
         pair = (coordinator, replica)
         self.per_pair_contacts[pair] = self.per_pair_contacts.get(pair, 0) + 1
+
+    def snapshot(self) -> dict[str, float]:
+        """Scalar counters with bare keys (no prefix): the MetricsHub joins
+        the registration name on, so the same snapshot serves ``kvstore.*``
+        on a ring and any other mount point. Per-pair contacts are a
+        labeled series, not a scalar, so they are not exported here."""
+        return {
+            "reads": float(self.reads),
+            "writes": float(self.writes),
+            "local_reads": float(self.local_reads),
+            "remote_reads": float(self.remote_reads),
+            "hints_stored": float(self.hints_stored),
+            "hints_replayed": float(self.hints_replayed),
+            "unavailable_errors": float(self.unavailable_errors),
+            "remote_contacts": float(self.remote_contacts),
+            "batch_rounds": float(self.batch_rounds),
+        }
 
 
 class DistributedKVStore:
@@ -91,6 +110,9 @@ class DistributedKVStore:
             self.nodes[node_id] = StorageNode(node_id)
         self.hints = HintBuffer()
         self.stats = StoreStats()
+        # Same metric as RemoteKVStore.batch_latency, so "kvstore.batch_s"
+        # means one batched check-and-set round in both transports.
+        self.batch_latency = Histogram("kvstore.batch_s")
         self._timestamps = itertools.count(1)
 
     # ------------------------------------------------------------------ #
@@ -312,6 +334,7 @@ class DistributedKVStore:
             One ``True`` (inserted) / ``False`` (already present) per key,
             in input order.
         """
+        started = time.perf_counter()
         contacts: set[tuple[str, str]] = set()
         results: list[bool] = []
         for key in keys:
@@ -338,6 +361,7 @@ class DistributedKVStore:
         for pair_coordinator, replica in sorted(contacts):
             self.stats.record_contact(pair_coordinator, replica)
         self.stats.batch_rounds += 1
+        self.batch_latency.observe(time.perf_counter() - started)
         return results
 
     def delete(

@@ -1,0 +1,26 @@
+"""Unified observability layer: histograms, trace spans, and the MetricsHub.
+
+One import surface for the three pieces the rest of the system wires in:
+
+- :class:`Histogram` — fixed-bucket latency histograms (O(1) memory) for hot
+  paths, replacing raw-sample ``Summary`` objects;
+- :class:`Tracer` / :data:`NULL_TRACER` — lightweight spans linked across the
+  wire by the RPC correlation id, dumpable as Chrome-trace JSON;
+- :class:`MetricsHub` — the process-wide registry joining every component's
+  counters into one Prometheus-text / JSON export.
+"""
+
+from repro.obs.histogram import DEFAULT_LATENCY_BUCKETS_S, Histogram
+from repro.obs.hub import MetricsHub, prometheus_name, render_prometheus
+from repro.obs.trace import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Histogram",
+    "MetricsHub",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "prometheus_name",
+    "render_prometheus",
+]

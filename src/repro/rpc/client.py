@@ -42,7 +42,8 @@ from repro.rpc.faults import FaultInjector, SendPlan
 from repro.rpc.framing import default_codec_name, encode_frame, get_codec, read_frame
 from repro.rpc.messages import Request, Response, correlation_ids
 from repro.rpc.retry import RetryPolicy
-from repro.sim.metrics import Summary
+from repro.obs.histogram import Histogram
+from repro.obs.trace import NULL_TRACER, Tracer
 
 _NO_FAULTS = SendPlan()
 
@@ -192,6 +193,9 @@ class RpcClient:
         retry: retry schedule (default :class:`RetryPolicy`()).
         fault_injector: optional fault hook for tests/chaos runs.
         seed: seeds backoff jitter (and nothing else).
+        tracer: optional :class:`~repro.obs.trace.Tracer`; each call opens a
+            ``rpc.client.<method>`` span whose span id *is* the correlation
+            id, so server-side handler spans link to it across the wire.
 
     All methods must run on the event loop that owns the connections.
     """
@@ -204,6 +208,7 @@ class RpcClient:
         retry: Optional[RetryPolicy] = None,
         fault_injector: Optional[FaultInjector] = None,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {timeout_s!r}")
@@ -213,7 +218,8 @@ class RpcClient:
         self.retry = retry if retry is not None else RetryPolicy()
         self.fault_injector = fault_injector
         self.stats = ClientStats()
-        self.rtt = Summary("rpc.rtt_s")
+        self.rtt = Histogram("rpc.rtt_s")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._rng = random.Random(seed)
         self._ids = correlation_ids()
         self._conns: dict[str, _Connection] = {}
@@ -266,53 +272,63 @@ class RpcClient:
         last_conn: Optional[_Connection] = None
         last_error: Optional[RpcError] = None
         started = time.perf_counter()
-        try:
-            for attempt in range(self.retry.attempts):
-                if attempt:
-                    self.stats.retries += 1
-                    await asyncio.sleep(next(backoffs))
-                self.stats.attempts += 1
-                if future.done():
-                    future.exception()  # retrieve, to silence the loop's warning
-                    future = loop.create_future()
-                plan = (
-                    self.fault_injector.plan_send(src, dst)
-                    if self.fault_injector is not None
-                    else _NO_FAULTS
-                )
-                if not plan.drop:
+        # The span id is the correlation id: the matching server span opens
+        # with parent_id=msg_id, so one client batch reads client→server
+        # across processes without any wire-format change.
+        with self.tracer.span(
+            f"rpc.client.{method}", node=src, span_id=msg_id, dst=dst
+        ) as rec:
+            try:
+                for attempt in range(self.retry.attempts):
+                    if attempt:
+                        self.stats.retries += 1
+                        await asyncio.sleep(next(backoffs))
+                    self.stats.attempts += 1
+                    if future.done():
+                        future.exception()  # retrieve, to silence the loop's warning
+                        future = loop.create_future()
+                    plan = (
+                        self.fault_injector.plan_send(src, dst)
+                        if self.fault_injector is not None
+                        else _NO_FAULTS
+                    )
+                    if not plan.drop:
+                        try:
+                            conn = await self._connection(dst)
+                        except RpcConnectionError as exc:
+                            self.stats.connection_errors += 1
+                            last_error = exc
+                            continue
+                        conn.pending[msg_id] = _Pending(future, src)
+                        last_conn = conn
+                        conn.send_soon(frame, delay_s=plan.delay_s, duplicate=plan.duplicate)
                     try:
-                        conn = await self._connection(dst)
+                        response = await asyncio.wait_for(asyncio.shield(future), timeout)
+                    except asyncio.TimeoutError:
+                        self.stats.timeouts += 1
+                        last_error = RpcTimeoutError(method, dst, self.retry.attempts, timeout)
+                        continue
                     except RpcConnectionError as exc:
                         self.stats.connection_errors += 1
                         last_error = exc
                         continue
-                    conn.pending[msg_id] = _Pending(future, src)
-                    last_conn = conn
-                    conn.send_soon(frame, delay_s=plan.delay_s, duplicate=plan.duplicate)
-                try:
-                    response = await asyncio.wait_for(asyncio.shield(future), timeout)
-                except asyncio.TimeoutError:
-                    self.stats.timeouts += 1
-                    last_error = RpcTimeoutError(method, dst, self.retry.attempts, timeout)
-                    continue
-                except RpcConnectionError as exc:
-                    self.stats.connection_errors += 1
-                    last_error = exc
-                    continue
-                self.rtt.observe(time.perf_counter() - started)
-                if response.ok:
-                    return response.result
-                raise_remote_error(response.error)
-        finally:
-            if last_conn is not None and last_conn.pending.get(msg_id, None) is not None:
-                del last_conn.pending[msg_id]
-            if future.done() and not future.cancelled():
-                future.exception()
-        self.stats.failed_calls += 1
-        if isinstance(last_error, RpcTimeoutError) or last_error is None:
-            raise RpcTimeoutError(method, dst, self.retry.attempts, timeout)
-        raise last_error
+                    self.rtt.observe(time.perf_counter() - started)
+                    if rec is not None:
+                        rec.attrs["attempts"] = attempt + 1
+                    if response.ok:
+                        return response.result
+                    raise_remote_error(response.error)
+            finally:
+                if last_conn is not None and last_conn.pending.get(msg_id, None) is not None:
+                    del last_conn.pending[msg_id]
+                if future.done() and not future.cancelled():
+                    future.exception()
+            self.stats.failed_calls += 1
+            if rec is not None:
+                rec.attrs["failed"] = True
+            if isinstance(last_error, RpcTimeoutError) or last_error is None:
+                raise RpcTimeoutError(method, dst, self.retry.attempts, timeout)
+            raise last_error
 
     async def ping(self, dst: str, src: Optional[str] = None) -> float:
         """Round-trip one ping; returns the measured RTT in seconds."""

@@ -19,6 +19,7 @@ import threading
 from typing import Iterable, Optional
 
 from repro.kvstore.consistency import ConsistencyLevel
+from repro.obs.trace import Tracer
 from repro.rpc.client import RpcClient
 from repro.rpc.faults import FaultInjector
 from repro.rpc.remote_store import RemoteKVStore
@@ -44,6 +45,9 @@ class LiveKVCluster:
         max_hints_per_node: hinted-handoff window per down replica.
         seed: seeds retry jitter.
         host: bind address for the node servers.
+        tracer: optional :class:`~repro.obs.trace.Tracer` shared by the
+            client, every node server, and the coordinator store, so one
+            batch traces client→coordinator→replica in a single dump.
     """
 
     def __init__(
@@ -60,6 +64,7 @@ class LiveKVCluster:
         max_hints_per_node: int = 100_000,
         seed: int = 0,
         host: str = "127.0.0.1",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         ids = list(node_ids)
         if not ids:
@@ -79,7 +84,7 @@ class LiveKVCluster:
 
             async def boot() -> None:
                 for node_id in ids:
-                    server = NodeServer(node_id=node_id, codec=codec)
+                    server = NodeServer(node_id=node_id, codec=codec, tracer=tracer)
                     addresses[node_id] = await server.start(host)
                     self.servers[node_id] = server
 
@@ -91,6 +96,7 @@ class LiveKVCluster:
                 retry=retry,
                 fault_injector=fault_injector,
                 seed=seed,
+                tracer=tracer,
             )
             self.store = RemoteKVStore(
                 client=self.client,
@@ -100,6 +106,7 @@ class LiveKVCluster:
                 default_consistency=default_consistency,
                 strategy=strategy,
                 max_hints_per_node=max_hints_per_node,
+                tracer=tracer,
             )
         except BaseException:
             self.close()

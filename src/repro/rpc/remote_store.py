@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import threading
+import time
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -47,6 +48,8 @@ from repro.kvstore.hints import Hint, HintBuffer
 from repro.kvstore.node import VersionedValue
 from repro.kvstore.replication import SimpleReplicationStrategy
 from repro.kvstore.store import StoreStats
+from repro.obs.histogram import Histogram
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.rpc.client import RpcClient
 
 
@@ -102,6 +105,9 @@ class RemoteKVStore:
         default_consistency: level used when an operation names none.
         strategy: replica-placement override; defaults to SimpleStrategy.
         max_hints_per_node: hinted-handoff window per down replica.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; each batched
+            check-and-set opens a coordinator-side ``store.put_if_absent_many``
+            span whose scatter-gather RPC spans nest underneath.
     """
 
     def __init__(
@@ -113,6 +119,7 @@ class RemoteKVStore:
         default_consistency: ConsistencyLevel = ConsistencyLevel.ONE,
         strategy=None,
         max_hints_per_node: int = 100_000,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         ids = list(client.addresses)
         if not ids:
@@ -131,6 +138,8 @@ class RemoteKVStore:
             dict.__setitem__(self.nodes, node_id, (host, port))
         self.hints = HintBuffer(max_hints_per_node=max_hints_per_node)
         self.stats = StoreStats()
+        self.batch_latency = Histogram("kvstore.batch_s")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._timestamps = itertools.count(1)
         self._down: set[str] = set()
 
@@ -387,6 +396,26 @@ class RemoteKVStore:
         )
 
     async def _a_put_if_absent_many(
+        self,
+        keys: list[str],
+        value: str,
+        consistency: Optional[ConsistencyLevel],
+        coordinator: Optional[str],
+    ) -> list[bool]:
+        started = time.perf_counter()
+        # The scatter-gather client-call spans nest under this one: gather()
+        # creates its tasks while the context points here.
+        with self.tracer.span(
+            "store.put_if_absent_many", node=coordinator, keys=len(keys)
+        ):
+            try:
+                return await self._a_put_if_absent_many_inner(
+                    keys, value, consistency, coordinator
+                )
+            finally:
+                self.batch_latency.observe(time.perf_counter() - started)
+
+    async def _a_put_if_absent_many_inner(
         self,
         keys: list[str],
         value: str,

@@ -31,12 +31,15 @@ them losslessly.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.kvstore.errors import KVStoreError
 from repro.kvstore.node import StorageNode
+from repro.obs.histogram import Histogram
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.rpc.errors import FrameError
 from repro.rpc.framing import get_codec, read_frame, write_frame
 from repro.rpc.messages import Request, Response
@@ -80,6 +83,9 @@ class NodeServer:
         codec: codec name used for *outgoing* frames (incoming frames name
             their own codec, so mixed-codec clients are fine).
         idempotency_capacity: correlation ids remembered for replay.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; each handled
+            request opens a ``rpc.server.<method>`` span parented on the
+            request's correlation id, linking it to the client call span.
     """
 
     def __init__(
@@ -88,6 +94,7 @@ class NodeServer:
         node_id: Optional[str] = None,
         codec: Optional[str] = None,
         idempotency_capacity: int = DEFAULT_IDEMPOTENCY_CAPACITY,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if node is None:
             if node_id is None:
@@ -102,6 +109,8 @@ class NodeServer:
 
         self.codec = get_codec(codec if codec is not None else default_codec_name())
         self.stats = ServerStats()
+        self.handle_latency = Histogram("server.handle_s")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._seen: OrderedDict[str, Response] = OrderedDict()
         self._idempotency_capacity = idempotency_capacity
         self._server: Optional[asyncio.base_events.Server] = None
@@ -169,6 +178,19 @@ class NodeServer:
                 pass
 
     def _dispatch(self, request: Request) -> Response:
+        started = time.perf_counter()
+        # parent_id is the correlation id == the client call's span id, so
+        # this hop nests under the client span in the merged trace.
+        with self.tracer.span(
+            f"rpc.server.{request.method}",
+            node=self.node_id,
+            parent_id=request.msg_id,
+        ) as rec:
+            response = self._dispatch_inner(request, rec)
+        self.handle_latency.observe(time.perf_counter() - started)
+        return response
+
+    def _dispatch_inner(self, request: Request, rec) -> Response:
         self.stats.requests += 1
         self.stats.by_method[request.method] = (
             self.stats.by_method.get(request.method, 0) + 1
@@ -177,6 +199,8 @@ class NodeServer:
         if cached is not None:
             self._seen.move_to_end(request.msg_id)
             self.stats.replays += 1
+            if rec is not None:
+                rec.attrs["replay"] = True
             return cached
         handler = self._HANDLERS.get(request.method)
         try:
@@ -185,6 +209,8 @@ class NodeServer:
             response = Response.success(request.msg_id, handler(self, request.params))
         except (KVStoreError, ValueError, TypeError, KeyError) as exc:
             self.stats.errors += 1
+            if rec is not None:
+                rec.attrs["error"] = type(exc).__name__
             response = Response.failure(request.msg_id, exc)
         self._seen[request.msg_id] = response
         while len(self._seen) > self._idempotency_capacity:

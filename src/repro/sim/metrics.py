@@ -9,6 +9,8 @@ instantiate them freely without cross-talk.
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -61,23 +63,62 @@ class Gauge:
         return f"Gauge({self.name!r}, value={self._value!r})"
 
 
+# Reservoir size for Summary. 8192 doubles keep the kept-sample error of a
+# percentile estimate well under a percentile point while bounding a summary
+# at ~64 KiB however long a live run observes into it.
+DEFAULT_SUMMARY_CAPACITY = 8192
+
+
 class Summary:
     """Streaming summary of observed samples: count, mean, min/max, percentiles.
 
-    Samples are retained (the experiments here observe at most a few million
-    values), so percentiles are exact rather than approximate sketches.
+    Count, sum, mean, minimum, and maximum are always exact. Retained samples
+    are bounded by ``capacity`` using reservoir sampling (Vitter's Algorithm
+    R): up to ``capacity`` observations percentiles are exact; past it each
+    observation has an equal chance of being retained, so percentiles become
+    unbiased estimates while memory stays constant — an unbounded buffer here
+    previously grew without limit over long live runs. The sorted view is
+    computed lazily and cached between observations instead of re-sorting on
+    every ``percentile()`` call.
+
+    The reservoir's RNG is seeded from the summary name, so runs are
+    reproducible. For hot paths that only need latency quantiles, prefer
+    :class:`repro.obs.histogram.Histogram` (strictly O(1) memory, no
+    sampling).
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, capacity: int = DEFAULT_SUMMARY_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"summary {name!r} capacity must be >= 1, got {capacity!r}")
         self.name = name
+        self.capacity = capacity
         self._samples: list[float] = []
+        self._sorted: list[float] | None = None
+        self._count = 0
         self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        # Deterministic per-name seed (hash() is randomized per process).
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
         if math.isnan(value):
             raise ValueError(f"summary {self.name!r} observed NaN")
-        self._samples.append(float(value))
-        self._sum += value
+        v = float(value)
+        self._count += 1
+        self._sum += v
+        if v < self._min:
+            self._min = v
+        if v > self._max:
+            self._max = v
+        if len(self._samples) < self.capacity:
+            self._samples.append(v)
+            self._sorted = None
+        else:
+            j = self._rng.randrange(self._count)
+            if j < self.capacity:
+                self._samples[j] = v
+                self._sorted = None
 
     def observe_many(self, values: Iterable[float]) -> None:
         for v in values:
@@ -85,7 +126,7 @@ class Summary:
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def total(self) -> float:
@@ -93,42 +134,71 @@ class Summary:
 
     @property
     def mean(self) -> float:
-        if not self._samples:
+        if not self._count:
             raise ValueError(f"summary {self.name!r} has no samples")
-        return self._sum / len(self._samples)
+        return self._sum / self._count
 
     @property
     def minimum(self) -> float:
-        if not self._samples:
+        if not self._count:
             raise ValueError(f"summary {self.name!r} has no samples")
-        return min(self._samples)
+        return self._min
 
     @property
     def maximum(self) -> float:
-        if not self._samples:
+        if not self._count:
             raise ValueError(f"summary {self.name!r} has no samples")
-        return max(self._samples)
+        return self._max
 
     def percentile(self, q: float) -> float:
-        """Exact q-th percentile (q in [0, 100]) using linear interpolation."""
-        if not self._samples:
+        """q-th percentile (q in [0, 100]) with linear interpolation.
+
+        Exact while observations fit in the reservoir, and always exact at
+        q=0 / q=100 (the true min/max are tracked outside the reservoir);
+        otherwise an estimate over the retained sample, clamped to the
+        observed range.
+        """
+        if not self._count:
             raise ValueError(f"summary {self.name!r} has no samples")
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q!r}")
-        ordered = sorted(self._samples)
+        if q == 0.0:
+            return self._min
+        if q == 100.0:
+            return self._max
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        ordered = self._sorted
         if len(ordered) == 1:
             return ordered[0]
         rank = (q / 100.0) * (len(ordered) - 1)
         lo = int(math.floor(rank))
         hi = int(math.ceil(rank))
         if lo == hi:
-            return ordered[lo]
-        frac = rank - lo
-        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+            value = ordered[lo]
+        else:
+            frac = rank - lo
+            value = ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        return min(max(value, self._min), self._max)
 
     def reset(self) -> None:
         self._samples.clear()
+        self._sorted = None
+        self._count = 0
         self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat stats view (count/sum and, when nonempty, mean/min/max/p50/p99)."""
+        out: dict[str, float] = {"count": float(self._count), "sum": self._sum}
+        if self._count:
+            out["mean"] = self.mean
+            out["min"] = self._min
+            out["max"] = self._max
+            out["p50"] = self.percentile(50)
+            out["p99"] = self.percentile(99)
+        return out
 
     def __repr__(self) -> str:
         return f"Summary({self.name!r}, count={self.count})"
@@ -146,6 +216,10 @@ class MetricsRegistry:
     counters: dict[str, Counter] = field(default_factory=dict)
     gauges: dict[str, Gauge] = field(default_factory=dict)
     summaries: dict[str, Summary] = field(default_factory=dict)
+    # Which source object last exported to each metric name (see
+    # export_cache_stats): re-exporting the same source overwrites, a
+    # *different* source hitting the same name is a collision.
+    export_sources: dict[str, object] = field(default_factory=dict)
 
     def counter(self, name: str) -> Counter:
         if name not in self.counters:
@@ -189,10 +263,26 @@ def export_cache_stats(registry: MetricsRegistry, stats, prefix: str = "") -> di
     gauge. ``prefix`` namespaces multi-cache components
     (e.g. ``"edge-3."`` → ``edge-3.cache.hits``). Returns the exported
     name → value mapping.
+
+    Re-exporting the *same* stats object refreshes its values in place, but
+    exporting a *different* stats object onto names already claimed by
+    another raises ``ValueError`` — previously the reset-then-inc write
+    silently clobbered whichever cache exported first when two caches shared
+    a registry without distinct prefixes.
     """
     exported: dict[str, float] = {}
-    for name, value in stats.snapshot().items():
+    snapshot = stats.snapshot()
+    for name in snapshot:
         full = f"{prefix}{name}"
+        owner = registry.export_sources.get(full)
+        if owner is not None and owner is not stats:
+            raise ValueError(
+                f"metric {full!r} was already exported by a different cache; "
+                "pass a distinct prefix= to namespace each cache"
+            )
+    for name, value in snapshot.items():
+        full = f"{prefix}{name}"
+        registry.export_sources[full] = stats
         if name.endswith("hit_rate"):
             registry.gauge(full).set(value)
         else:
@@ -204,8 +294,16 @@ def export_cache_stats(registry: MetricsRegistry, stats, prefix: str = "") -> di
 
 
 def throughput_mb_per_s(total_bytes: float, elapsed_seconds: float) -> float:
-    """Throughput in MB/s (MB = 1e6 bytes, matching the paper's MB/s units)."""
-    if elapsed_seconds <= 0:
-        raise ValueError(f"elapsed time must be positive, got {elapsed_seconds!r}")
+    """Throughput in MB/s (MB = 1e6 bytes, matching the paper's MB/s units).
+
+    Convention: ``elapsed_seconds == 0`` returns 0.0 — coarse clocks on tiny
+    benches legitimately measure zero elapsed time, and "no measurable
+    throughput" should not crash the harness. Negative elapsed time is still
+    a caller bug and raises.
+    """
+    if elapsed_seconds < 0:
+        raise ValueError(f"elapsed time cannot be negative, got {elapsed_seconds!r}")
+    if elapsed_seconds == 0:
+        return 0.0
     return total_bytes / 1e6 / elapsed_seconds
 

@@ -27,6 +27,7 @@ from repro.core.partitioning.base import Partitioner
 from repro.dedup.engine import DedupResult
 from repro.dedup.stats import DedupStats
 from repro.network.topology import Topology
+from repro.obs.hub import MetricsHub
 from repro.system.cloud import CentralCloudStore
 from repro.system.config import EFDedupConfig
 from repro.system.ring import D2Ring
@@ -150,6 +151,28 @@ class EFDedupCluster:
             "cloud_stored_mb": self.cloud.stored_bytes / 1e6,
             "n_rings": float(len(self.rings)),
         }
+
+    def metrics_hub(self) -> MetricsHub:
+        """One hub spanning the whole deployment: every ring's registries
+        under its ring id (``ring-0.dedup.*``, ``ring-0.kvstore.*``, …) plus
+        the shared cloud store under ``cloud.*``."""
+        if not self.rings:
+            raise RuntimeError("call deploy() before metrics_hub()")
+        hub = MetricsHub()
+        for ring in self.rings:
+            ring.register_metrics(hub, prefix=f"{ring.ring_id}.")
+        cloud = self.cloud
+        hub.register(
+            "cloud",
+            lambda: {
+                "received_bytes": float(cloud.received_bytes),
+                "received_chunks": float(cloud.received_chunks),
+                "redundant_bytes": float(cloud.redundant_bytes),
+                "stored_bytes": float(cloud.stored_bytes),
+                "stored_chunks": float(cloud.stored_chunks),
+            },
+        )
+        return hub
 
 
 class RestorableEFDedupCluster(EFDedupCluster):

@@ -28,6 +28,8 @@ from repro.dedup.cache import LRUCacheIndex
 from repro.dedup.recipes import RecipeStore, make_recipe, restore_file
 from repro.dedup.stats import DedupStats
 from repro.kvstore.store import DistributedKVStore
+from repro.obs.histogram import Histogram
+from repro.obs.hub import MetricsHub
 from repro.system.agent import DedupAgent, RingIndex
 from repro.system.cloud import CentralCloudStore
 from repro.system.config import EFDedupConfig
@@ -47,6 +49,9 @@ class D2Ring:
         fault_injector: live transport only — a
             :class:`~repro.rpc.faults.FaultInjector` consulted on every
             message between agents and replicas.
+        tracer: live transport only — a :class:`~repro.obs.trace.Tracer`
+            shared by the ring's rpc client, node servers, and coordinator
+            store, so one ingest batch traces client→coordinator→replica.
     """
 
     def __init__(
@@ -57,6 +62,7 @@ class D2Ring:
         config: Optional[EFDedupConfig] = None,
         cloud_of_member: Optional[dict[str, str]] = None,
         fault_injector=None,
+        tracer=None,
     ) -> None:
         if not members:
             raise ValueError(f"ring {ring_id!r} needs at least one member")
@@ -73,6 +79,11 @@ class D2Ring:
             )
         if fault_injector is not None and self.config.transport != "asyncio":
             raise ValueError("fault_injector requires transport='asyncio'")
+        if tracer is not None and self.config.transport != "asyncio":
+            raise ValueError(
+                "tracer requires transport='asyncio' (spans instrument the rpc hops)"
+            )
+        self.tracer = tracer
         self._live = None
         if self.config.transport == "asyncio":
             from repro.rpc.cluster import LiveKVCluster
@@ -88,6 +99,7 @@ class D2Ring:
                 timeout_s=self.config.rpc_timeout_s,
                 retry=RetryPolicy(attempts=self.config.rpc_attempts),
                 fault_injector=fault_injector,
+                tracer=tracer,
             )
             self.store = self._live.store
         else:
@@ -236,6 +248,84 @@ class D2Ring:
             looked_up = merged["cache.hits"] + merged["cache.misses"]
             merged["cache.hit_rate"] = merged["cache.hits"] / looked_up if looked_up else 0.0
         return merged
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+
+    def _lookup_metrics(self) -> dict[str, float]:
+        local = sum(idx.lookups.local_lookups for idx in self.ring_indexes.values())
+        remote = sum(idx.lookups.remote_lookups for idx in self.ring_indexes.values())
+        rounds = sum(idx.lookups.batch_rounds for idx in self.ring_indexes.values())
+        total = local + remote
+        return {
+            "local": float(local),
+            "remote": float(remote),
+            "batch_rounds": float(rounds),
+            "local_fraction": local / total if total else 0.0,
+        }
+
+    def _merged_engine_latency(self) -> dict:
+        merged = Histogram("engine.lookup_s")
+        for agent in self.agents.values():
+            merged.merge_from(agent.engine.lookup_latency)
+        return merged.snapshot()
+
+    def register_metrics(self, hub: MetricsHub, prefix: str = "") -> None:
+        """Mount every registry of this ring on ``hub``.
+
+        Transport-independent names (identical for inproc and asyncio rings):
+        ``dedup.*`` (merged agent accounting), ``lookups.*`` (locality and
+        batching), ``cache.*`` (merged agent presence caches),
+        ``kvstore.*`` (StoreStats counters), ``kvstore.batch_s`` and
+        ``engine.lookup_s`` (latency histograms). Live rings additionally
+        export ``rpc.*`` client counters, the ``rpc.rtt_s`` histogram, and
+        per-replica ``rpc.server.<node>.*`` counters with
+        ``rpc.server.<node>.handle_s`` histograms.
+
+        Sources are registered as callables over the live component
+        registries, so each :meth:`MetricsHub.collect` sees current values.
+        ``prefix`` namespaces multi-ring deployments (e.g. ``"ring-0."``).
+        """
+        hub.register(f"{prefix}dedup", lambda: self.combined_stats().as_dict())
+        hub.register(f"{prefix}lookups", self._lookup_metrics)
+        # cache_metrics() keys carry the canonical "cache." prefix already
+        # (shared with export_cache_stats); strip it so the hub's name join
+        # doesn't double it.
+        hub.register(
+            f"{prefix}cache",
+            lambda: {
+                k.removeprefix("cache."): v for k, v in self.cache_metrics().items()
+            },
+        )
+        hub.register(f"{prefix}kvstore", self.store.stats)
+        hub.register(f"{prefix}kvstore.batch_s", self.store.batch_latency)
+        hub.register(f"{prefix}engine.lookup_s", self._merged_engine_latency)
+        if self._live is not None:
+            client = self._live.client
+            hub.register(
+                f"{prefix}rpc",
+                lambda: {
+                    k.removeprefix("rpc."): v for k, v in client.stats.snapshot().items()
+                },
+            )
+            hub.register(f"{prefix}rpc.rtt_s", client.rtt)
+            for node_id, server in self._live.servers.items():
+                hub.register(
+                    f"{prefix}rpc.server.{node_id}",
+                    lambda s=server: {
+                        k.removeprefix("server."): v for k, v in s.stats.snapshot().items()
+                    },
+                )
+                hub.register(
+                    f"{prefix}rpc.server.{node_id}.handle_s", server.handle_latency
+                )
+
+    def metrics_hub(self) -> MetricsHub:
+        """A fresh hub with this ring's registries mounted (no prefix)."""
+        hub = MetricsHub()
+        self.register_metrics(hub)
+        return hub
 
     # ------------------------------------------------------------------ #
     # membership

@@ -202,6 +202,39 @@ class TestBatchedCacheLookups:
         cached = LRUCacheIndex(InMemoryIndex(), capacity=8)
         assert cached.lookup_and_insert_many(["x", "x", "x"]) == [True, False, False]
 
+    def test_intra_batch_repeat_evicted_counts_as_miss(self):
+        """Regression for the accounting divergence this PR fixes: with
+        capacity 1 the batch [a, b, a] admits b over a, so the second 'a'
+        must be a miss (exactly as the per-key loop counts it)."""
+        cached = LRUCacheIndex(InMemoryIndex(), capacity=1)
+        assert cached.lookup_and_insert_many(["a", "b", "a"]) == [True, True, False]
+        assert cached.stats.hits == 0
+        assert cached.stats.misses == 3
+        assert cached.stats.evictions == 2
+
+    def test_cached_key_evicted_by_earlier_batch_member(self):
+        # 'b' is cached, but 'a' (a miss, admitted first) evicts it before
+        # its probe — so 'b' must count as a miss, not a hit.
+        cached = LRUCacheIndex(InMemoryIndex(), capacity=1)
+        cached.lookup_and_insert("b")
+        assert cached.lookup_and_insert_many(["a", "b"]) == [True, False]
+        assert cached.stats.hits == 0
+        assert list(cached._cache) == ["b"]
+
+    def test_failed_backing_batch_leaves_cache_untouched(self):
+        """Deferred mutation: if the remote batch fails, no key may look
+        cached afterwards (a phantom hit would silently drop a chunk)."""
+
+        class _ExplodingIndex(InMemoryIndex):
+            def lookup_and_insert_many(self, fingerprints, metadata=None):
+                raise ConnectionError("ring down")
+
+        cached = LRUCacheIndex(_ExplodingIndex(), capacity=8)
+        with pytest.raises(ConnectionError):
+            cached.lookup_and_insert_many(["a", "b"])
+        assert cached.cached_entries == 0
+        assert cached.stats.misses == 0  # nothing was accounted either
+
     def test_model_guided_cache_batches_too(self):
         backing = _BatchCountingIndex()
         cached = ModelGuidedCacheIndex(
@@ -214,3 +247,52 @@ class TestBatchedCacheLookups:
         assert cached.lookup_and_insert_many(["a", "d"]) == [False, False]
         assert backing.batch_calls == 2
         assert backing.batch_sizes == [2, 1]
+
+
+class TestBatchedMatchesLoopedProperty:
+    """Seeded-random equivalence check: for any batch sequence (repeats,
+    tiny capacities, admission rejections), the batched path must produce
+    byte-identical results, stats, and cache state to the per-key loop."""
+
+    def _stats_tuple(self, cache):
+        s = cache.stats
+        return (s.hits, s.misses, s.admissions, s.rejections, s.evictions)
+
+    def _pair(self, capacity, guided, seed):
+        import random
+
+        if guided:
+            # Deterministic scorer keyed on the fingerprint text, ~40% cold.
+            scorer = lambda fp: 1.0 if (int(fp[1:]) % 5) < 3 else 0.0
+            make = lambda: ModelGuidedCacheIndex(
+                InMemoryIndex(), scorer=scorer, capacity=capacity
+            )
+        else:
+            make = lambda: LRUCacheIndex(InMemoryIndex(), capacity=capacity)
+        return make(), make(), random.Random(seed)
+
+    def _check(self, capacity, guided, seed, rounds=30):
+        batched, looped, rng = self._pair(capacity, guided, seed)
+        universe = [f"f{i}" for i in range(12)]  # small -> lots of repeats
+        for _ in range(rounds):
+            batch = [rng.choice(universe) for _ in range(rng.randrange(1, 9))]
+            got = batched.lookup_and_insert_many(list(batch))
+            want = [looped.lookup_and_insert(fp) for fp in batch]
+            assert got == want, (capacity, guided, seed, batch)
+            assert self._stats_tuple(batched) == self._stats_tuple(looped), (
+                capacity, guided, seed, batch,
+            )
+            # Cache contents AND recency order must agree.
+            assert list(batched._cache) == list(looped._cache), (
+                capacity, guided, seed, batch,
+            )
+
+    def test_lru_random_batches(self):
+        for capacity in (1, 2, 3, 8):
+            for seed in range(8):
+                self._check(capacity, guided=False, seed=seed)
+
+    def test_model_guided_random_batches(self):
+        for capacity in (1, 2, 3, 8):
+            for seed in range(8):
+                self._check(capacity, guided=True, seed=seed)

@@ -115,6 +115,60 @@ class TestSummary:
         s.reset()
         assert s.count == 0
 
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Summary("s", capacity=0)
+
+    def test_reservoir_bounds_memory(self):
+        s = Summary("s", capacity=64)
+        s.observe_many(float(i) for i in range(10_000))
+        assert len(s._samples) <= 64
+        # Exact stats are tracked outside the reservoir.
+        assert s.count == 10_000
+        assert s.total == pytest.approx(sum(range(10_000)))
+        assert s.minimum == 0.0
+        assert s.maximum == 9999.0
+
+    def test_endpoints_exact_beyond_capacity(self):
+        s = Summary("s", capacity=16)
+        s.observe_many(float(i) for i in range(1000))
+        assert s.percentile(0) == 0.0
+        assert s.percentile(100) == 999.0
+
+    def test_reservoir_percentile_accuracy(self):
+        # 50k uniform samples through an 8k reservoir: the median estimate
+        # must stay close to the true one (seeded RNG, so deterministic).
+        s = Summary("s")
+        s.observe_many((i % 1000) / 1000.0 for i in range(50_000))
+        assert s.percentile(50) == pytest.approx(0.5, abs=0.05)
+        assert s.percentile(90) == pytest.approx(0.9, abs=0.05)
+
+    def test_reservoir_is_deterministic_per_name(self):
+        a, b = Summary("same"), Summary("same")
+        for s in (a, b):
+            s.observe_many(float(i) for i in range(5000))
+        assert a._samples == b._samples
+        assert a.percentile(50) == b.percentile(50)
+
+    def test_percentile_clamped_to_observed_range(self):
+        s = Summary("s", capacity=4)
+        s.observe_many([1.0, 2.0, 3.0, 4.0, 100.0, -100.0])
+        for q in (1, 25, 50, 75, 99):
+            assert -100.0 <= s.percentile(q) <= 100.0
+
+    def test_snapshot_empty(self):
+        assert Summary("s").snapshot() == {"count": 0.0, "sum": 0.0}
+
+    def test_snapshot_nonempty(self):
+        s = Summary("s")
+        s.observe_many([1.0, 3.0])
+        snap = s.snapshot()
+        assert snap["count"] == 2.0
+        assert snap["sum"] == 4.0
+        assert snap["mean"] == 2.0
+        assert snap["min"] == 1.0 and snap["max"] == 3.0
+        assert "p50" in snap and "p99" in snap
+
 
 class TestMetricsRegistry:
     def test_counter_reuse_by_name(self):
@@ -150,9 +204,14 @@ class TestThroughput:
     def test_basic(self):
         assert throughput_mb_per_s(2e6, 2.0) == pytest.approx(1.0)
 
-    def test_zero_elapsed_rejected(self):
+    def test_zero_elapsed_is_zero_throughput(self):
+        # Convention: coarse clocks on tiny benches can measure 0 elapsed;
+        # that means "no measurable throughput", not a crash.
+        assert throughput_mb_per_s(1e6, 0.0) == 0.0
+
+    def test_negative_elapsed_rejected(self):
         with pytest.raises(ValueError):
-            throughput_mb_per_s(1e6, 0.0)
+            throughput_mb_per_s(1e6, -0.5)
 
 
 class TestExportCacheStats:
@@ -195,6 +254,38 @@ class TestExportCacheStats:
         stats.hits += 4
         export_cache_stats(registry, stats)
         assert registry.counters["cache.hits"].value == 10.0
+
+    def test_two_caches_without_prefixes_collide(self):
+        """The clobber bug this PR fixes: a second cache exporting onto the
+        same names used to silently overwrite the first — now it raises."""
+        from repro.sim.metrics import export_cache_stats
+
+        registry = MetricsRegistry()
+        export_cache_stats(registry, self._stats())
+        with pytest.raises(ValueError, match="distinct prefix"):
+            export_cache_stats(registry, self._stats())  # a different object
+
+    def test_collision_check_leaves_registry_untouched(self):
+        from repro.sim.metrics import export_cache_stats
+
+        registry = MetricsRegistry()
+        first = self._stats()
+        export_cache_stats(registry, first)
+        before = registry.snapshot()
+        with pytest.raises(ValueError):
+            export_cache_stats(registry, self._stats())
+        assert registry.snapshot() == before
+
+    def test_two_caches_with_distinct_prefixes_coexist(self):
+        from repro.sim.metrics import export_cache_stats
+
+        registry = MetricsRegistry()
+        export_cache_stats(registry, self._stats(), prefix="edge-0.")
+        other = self._stats()
+        other.hits = 1
+        export_cache_stats(registry, other, prefix="edge-1.")
+        assert registry.counters["edge-0.cache.hits"].value == 6.0
+        assert registry.counters["edge-1.cache.hits"].value == 1.0
 
     def test_live_and_simulated_runs_share_metric_names(self):
         """The contract the satellite asks for: `CacheStats.snapshot()` (what
