@@ -1,0 +1,41 @@
+"""Chaos harness: seeded fault scenarios against live D2-rings.
+
+Jepsen-style testing scaled to this repo: a
+:class:`~repro.chaos.scenarios.ChaosScenario` declares *what* breaks and
+*when* (as fractions of ingest progress, so runs are deterministic for a
+given seed), :func:`~repro.chaos.runner.run_scenario` drives a real
+asyncio ring through the schedule while deduplicating a seeded workload,
+and :func:`~repro.chaos.invariants.check_invariants` verifies afterwards
+that no unique chunk was lost, dedup accounting is conserved, and the
+replicas converged. Exposed as ``repro chaos`` on the CLI and measured by
+``benchmarks/bench_chaos_recovery.py``.
+"""
+
+from repro.chaos.invariants import InvariantReport, check_invariants
+from repro.chaos.runner import ChaosReport, run_scenario, seeded_pool_workload
+from repro.chaos.scenarios import (
+    SCENARIOS,
+    ChaosScenario,
+    FaultEvent,
+    crash_restart,
+    flapping,
+    get_scenario,
+    partition_heal,
+    rolling_restart,
+)
+
+__all__ = [
+    "ChaosReport",
+    "ChaosScenario",
+    "FaultEvent",
+    "InvariantReport",
+    "SCENARIOS",
+    "check_invariants",
+    "crash_restart",
+    "flapping",
+    "get_scenario",
+    "partition_heal",
+    "rolling_restart",
+    "run_scenario",
+    "seeded_pool_workload",
+]

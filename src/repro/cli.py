@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the workflows a user runs repeatedly:
+The subcommands cover the workflows a user runs repeatedly:
 
 - ``repro plan``      — plan D2-rings for a fleet and print the partition
                         with its predicted costs;
@@ -19,7 +19,12 @@ Six subcommands cover the workflows a user runs repeatedly:
                         ``--metrics-json`` / ``--trace-json`` dump the
                         unified metrics export and a Chrome-trace span dump;
 - ``repro metrics``   — render a ``--metrics-json`` export as a table,
-                        Prometheus text, or JSON.
+                        Prometheus text, or JSON;
+- ``repro chaos``     — run a seeded fault scenario (crash-restart,
+                        rolling-restart, flapping, partition-heal) against
+                        a live WAL-backed ring and check the recovery
+                        invariants; exit 1 if any is violated or the final
+                        dedup ratio drifts from the fault-free baseline.
 
 All output is plain text on stdout; exit code 0 on success. Invoke as
 ``python -m repro <subcommand>`` (or ``repro`` once installed with an
@@ -29,7 +34,6 @@ entry point).
 from __future__ import annotations
 
 import argparse
-import random
 import sys
 from typing import Optional, Sequence
 
@@ -101,6 +105,48 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--format", choices=("table", "prometheus", "json"), default="table",
         help="output format (default: table)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault scenario against a live ring and check "
+        "the recovery invariants",
+    )
+    chaos.add_argument(
+        "scenario",
+        nargs="?",
+        default="crash-restart",
+        choices=("crash-restart", "rolling-restart", "flapping", "partition-heal"),
+        help="fault schedule to inject (default: crash-restart)",
+    )
+    chaos.add_argument("--nodes", type=int, default=3, help="ring members (default 3)")
+    chaos.add_argument(
+        "--files", type=int, default=6, help="files ingested per node (default 6)"
+    )
+    chaos.add_argument(
+        "--file-kb", type=int, default=32, help="file size in KiB (default 32)"
+    )
+    chaos.add_argument("--gamma", type=int, default=2, help="replication factor")
+    chaos.add_argument("--seed", type=int, default=7, help="workload seed")
+    chaos.add_argument(
+        "--batch", type=int, default=16, help="fingerprints per batched lookup"
+    )
+    chaos.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="WAL directory (default: a temp dir, removed afterwards)",
+    )
+    chaos.add_argument(
+        "--heartbeat-ms", type=float, default=0.0,
+        help="run the phi-accrual heartbeat prober at this period and let "
+        "it detect the crashes (default 0: explicit mark-down)",
+    )
+    chaos.add_argument(
+        "--codec", default=None,
+        help="wire codec (default: msgpack if installed, else json)",
+    )
+    chaos.add_argument(
+        "--json", default=None, metavar="PATH", dest="report_json",
+        help="also write the full chaos report as JSON",
     )
 
     figures = sub.add_parser("figures", help="regenerate the paper's figures")
@@ -249,16 +295,11 @@ def _seeded_workload(
     Files are drawn block-wise from a shared pool, so different nodes hold
     duplicate chunks — the workload shape collaborative dedup exists for.
     """
-    rng = random.Random(seed)
-    pool = [rng.randbytes(block_size) for _ in range(24)]
-    blocks_per_file = max(1, (file_kb * 1024) // block_size)
-    return {
-        f"edge-{n}": [
-            b"".join(rng.choice(pool) for _ in range(blocks_per_file))
-            for _ in range(files_per_node)
-        ]
-        for n in range(n_nodes)
-    }
+    from repro.chaos.runner import seeded_pool_workload
+
+    return seeded_pool_workload(
+        n_nodes, files_per_node, file_kb, seed, block_size=block_size
+    )
 
 
 def _cmd_live(args: argparse.Namespace) -> int:
@@ -356,6 +397,65 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import run_scenario
+
+    print(f"chaos: scenario={args.scenario} nodes={args.nodes} "
+          f"files={args.files}x{args.file_kb}KiB seed={args.seed} "
+          f"gamma={args.gamma}"
+          + (f" heartbeat={args.heartbeat_ms:g}ms" if args.heartbeat_ms else ""))
+    report = run_scenario(
+        args.scenario,
+        nodes=args.nodes,
+        files_per_node=args.files,
+        file_kb=args.file_kb,
+        seed=args.seed,
+        gamma=args.gamma,
+        lookup_batch=args.batch,
+        data_dir=args.data_dir,
+        heartbeat_interval_s=args.heartbeat_ms / 1e3,
+        codec=args.codec,
+    )
+    print(f"events: {', '.join(report.events_fired) or '(none)'}")
+    for name, ok in report.invariants.checks.items():
+        print(f"  {'ok ' if ok else 'FAIL'} {name}")
+    print(f"dedup_ratio={report.dedup_ratio:.3f} "
+          f"(fault-free baseline {report.baseline_ratio:.3f}, "
+          f"match={report.ratio_matches_baseline})")
+    if report.recovery_times_s:
+        print(f"recovery: {len(report.recovery_times_s)} rejoin(s), "
+              f"worst {max(report.recovery_times_s) * 1e3:.1f}ms")
+    print(f"throughput: degraded {report.degraded_throughput_mb_s:.1f} MB/s "
+          f"over {report.degraded_seconds:.3f}s, "
+          f"healthy {report.healthy_throughput_mb_s:.1f} MB/s "
+          f"over {report.healthy_seconds:.3f}s")
+    hints = report.store_stats
+    print(f"store: hints_stored={hints.get('hints_stored', 0):.0f} "
+          f"hints_replayed={hints.get('hints_replayed', 0):.0f} "
+          f"read_repairs={hints.get('read_repairs', 0):.0f} "
+          f"recovery_repairs={hints.get('recovery_repairs', 0):.0f}")
+    replayed = sum(
+        s.get("log_entries_replayed", 0) + s.get("snapshot_entries_loaded", 0)
+        for s in report.wal_stats.values()
+    )
+    print(f"wal: {replayed:.0f} entries restored across "
+          f"{len(report.wal_stats)} node(s)")
+    if args.report_json:
+        import json
+
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"report: wrote {args.report_json}")
+    if report.passed:
+        print("chaos: PASS — all invariants held and dedup matched the "
+              "fault-free baseline")
+        return 0
+    print("chaos: FAIL — " + "; ".join(report.invariants.violations or
+          [f"ratio {report.dedup_ratio} != baseline {report.baseline_ratio}"]),
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     import json
 
@@ -426,6 +526,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "live": _cmd_live,
         "serve": _cmd_live,
         "metrics": _cmd_metrics,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

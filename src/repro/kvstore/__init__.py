@@ -24,11 +24,13 @@ from repro.kvstore.repair import (
     ReplicaRepairer,
     build_merkle_tree,
     differing_buckets,
+    merkle_from_items,
 )
 from repro.kvstore.replication import SimpleReplicationStrategy
 from repro.kvstore.store import DistributedKVStore, StoreStats
 from repro.kvstore.topology_strategy import CloudAwareReplicationStrategy
 from repro.kvstore.tokens import TOKEN_SPACE, key_token, node_token, token_distance
+from repro.kvstore.wal import WalStats, WriteAheadLog
 
 __all__ = [
     "CloudAwareReplicationStrategy",
@@ -53,9 +55,12 @@ __all__ = [
     "TOKEN_SPACE",
     "UnavailableError",
     "VersionedValue",
+    "WalStats",
+    "WriteAheadLog",
     "build_merkle_tree",
     "differing_buckets",
     "key_token",
+    "merkle_from_items",
     "node_token",
     "token_distance",
 ]

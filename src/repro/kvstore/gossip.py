@@ -110,10 +110,14 @@ class PhiAccrualDetector:
 class HeartbeatMonitor:
     """Drives a phi detector from a ring's membership and flips node state.
 
-    Glue between the detector and a :class:`DistributedKVStore`: call
-    :meth:`observe` whenever a node proves liveness (e.g. served a request)
-    and :meth:`sweep` periodically to mark suspected nodes down / recovered
-    nodes up.
+    Glue between the detector and a store: call :meth:`observe` whenever a
+    node proves liveness (e.g. served a request, answered a ping) and
+    :meth:`sweep` periodically to mark suspected nodes down / recovered
+    nodes up. Works against any store exposing ``nodes`` (id → handle with
+    ``is_up``), ``mark_down`` and ``mark_up`` — both the in-process
+    :class:`~repro.kvstore.store.DistributedKVStore` (simulated clock) and
+    the live transport's :class:`~repro.rpc.remote_store.RemoteKVStore`
+    (wall clock, driven by :class:`~repro.rpc.heartbeat.HeartbeatService`).
     """
 
     def __init__(self, store, detector: PhiAccrualDetector | None = None) -> None:
@@ -128,11 +132,22 @@ class HeartbeatMonitor:
 
     def sweep(self, now: float) -> None:
         """Reconcile store liveness with the detector's verdicts."""
-        for node_id, node in self.store.nodes.items():
+        # Index lookups (not .items()) so RemoteKVStore's nodes view can
+        # materialize per-node handles carrying the coordinator's aliveness.
+        for node_id in list(self.store.nodes):
             available = self.detector.is_available(node_id, now)
-            if node.is_up and not available:
+            if self.store.nodes[node_id].is_up and not available:
                 self.store.mark_down(node_id)
                 self.transitions.append((now, node_id, "down"))
-            elif not node.is_up and available:
+            elif not self.store.nodes[node_id].is_up and available:
                 self.store.mark_up(node_id)
                 self.transitions.append((now, node_id, "up"))
+
+    def snapshot(self) -> dict[str, float]:
+        """Transition counters (for a MetricsHub mount)."""
+        downs = sum(1 for _, _, state in self.transitions if state == "down")
+        return {
+            "suspicions": float(downs),
+            "recoveries": float(len(self.transitions) - downs),
+            "known_peers": float(len(self.detector.known_peers())),
+        }

@@ -32,11 +32,23 @@ class VersionedValue:
 
 
 class StorageNode:
-    """One member of a KV cluster: a local store with an availability flag."""
+    """One member of a KV cluster: a local store with an availability flag.
 
-    def __init__(self, node_id: str) -> None:
+    Args:
+        node_id: this member's id.
+        wal: optional :class:`~repro.kvstore.wal.WriteAheadLog`. When given,
+            the shard is rebuilt from it on construction (the crash-restart
+            path) and every accepted write is logged before it is applied —
+            so a replica that dies with the process comes back with its
+            pre-crash keys.
+    """
+
+    def __init__(self, node_id: str, wal=None) -> None:
         self.node_id = node_id
-        self._data: dict[str, VersionedValue] = {}
+        self.wal = wal
+        self._data: dict[str, VersionedValue] = (
+            wal.load() if wal is not None else {}
+        )
         self._up = True
 
     @property
@@ -64,7 +76,13 @@ class StorageNode:
         existing = self._data.get(key)
         incoming = VersionedValue(value=value, timestamp=timestamp, tombstone=tombstone)
         if incoming.newer_than(existing):
+            if self.wal is not None:
+                # Log before apply: a crash after the append replays the
+                # record, a crash before it never claimed the write.
+                self.wal.append(key, value, timestamp, tombstone)
             self._data[key] = incoming
+            if self.wal is not None:
+                self.wal.maybe_snapshot(self._data)
 
     def local_get(self, key: str) -> Optional[VersionedValue]:
         """Read ``key`` from the local shard (None if absent)."""

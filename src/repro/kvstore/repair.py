@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.kvstore.node import StorageNode, VersionedValue
 from repro.kvstore.store import DistributedKVStore
@@ -52,17 +52,17 @@ def _bucket_of(key: str, depth: int) -> int:
     return prefix >> (32 - depth)
 
 
-def build_merkle_tree(node: StorageNode, depth: int = 6) -> MerkleTree:
-    """Build the Merkle tree of ``node``'s local data (node must be up)."""
+def merkle_from_items(
+    items: Iterable[tuple[str, str, int, bool]], depth: int = 6
+) -> MerkleTree:
+    """Build a Merkle tree from raw ``(key, value, timestamp, tombstone)``
+    rows — the operator view a node server exposes over RPC, which must
+    work regardless of the replica's up/down flag."""
     if not 1 <= depth <= 16:
         raise ValueError(f"depth must be in [1, 16], got {depth!r}")
     buckets: list[list[tuple[str, str, int, bool]]] = [[] for _ in range(2**depth)]
-    for key in node.local_keys():
-        stored = node.local_get(key)
-        assert stored is not None
-        buckets[_bucket_of(key, depth)].append(
-            (key, stored.value, stored.timestamp, stored.tombstone)
-        )
+    for key, value, ts, tombstone in items:
+        buckets[_bucket_of(key, depth)].append((key, value, ts, tombstone))
     leaves = []
     for bucket in buckets:
         if not bucket:
@@ -79,6 +79,18 @@ def build_merkle_tree(node: StorageNode, depth: int = 6) -> MerkleTree:
             for i in range(0, len(level), 2)
         ]
     return MerkleTree(depth=depth, leaves=tuple(leaves), root=level[0])
+
+
+def build_merkle_tree(node: StorageNode, depth: int = 6) -> MerkleTree:
+    """Build the Merkle tree of ``node``'s local data (node must be up)."""
+    return merkle_from_items(
+        (
+            (key, stored.value, stored.timestamp, stored.tombstone)
+            for key in node.local_keys()
+            if (stored := node.local_get(key)) is not None
+        ),
+        depth,
+    )
 
 
 def differing_buckets(a: MerkleTree, b: MerkleTree) -> list[int]:

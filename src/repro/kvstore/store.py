@@ -44,6 +44,8 @@ class StoreStats:
     unavailable_errors: int = 0
     remote_contacts: int = 0
     batch_rounds: int = 0
+    read_repairs: int = 0
+    recovery_repairs: int = 0
     per_pair_contacts: dict[tuple[str, str], int] = field(default_factory=dict)
 
     def record_contact(self, coordinator: str, replica: str) -> None:
@@ -69,6 +71,8 @@ class StoreStats:
             "unavailable_errors": float(self.unavailable_errors),
             "remote_contacts": float(self.remote_contacts),
             "batch_rounds": float(self.batch_rounds),
+            "read_repairs": float(self.read_repairs),
+            "recovery_repairs": float(self.recovery_repairs),
         }
 
 
@@ -114,6 +118,7 @@ class DistributedKVStore:
         # means one batched check-and-set round in both transports.
         self.batch_latency = Histogram("kvstore.batch_s")
         self._timestamps = itertools.count(1)
+        self.monitor = None  # set by enable_failure_detection()
 
     # ------------------------------------------------------------------ #
     # membership and failure injection
@@ -139,6 +144,38 @@ class DistributedKVStore:
 
     def alive_nodes(self) -> list[str]:
         return [nid for nid, node in self.nodes.items() if node.is_up]
+
+    def enable_failure_detection(self, detector=None):
+        """Attach a :class:`~repro.kvstore.gossip.HeartbeatMonitor` so node
+        liveness is driven by heartbeats instead of manual ``mark_down``/
+        ``mark_up`` calls.
+
+        Feed it with :meth:`record_heartbeat` whenever a node proves
+        liveness (simulated clock: any monotonic float) and call
+        :meth:`sweep_failures` periodically; suspected nodes are marked
+        down (writes become hints) and recovered nodes are marked up
+        (hints replay). This is the same monitor class the live transport's
+        :class:`~repro.rpc.heartbeat.HeartbeatService` drives from real
+        pings — one consumer, two clocks.
+        """
+        from repro.kvstore.gossip import HeartbeatMonitor
+
+        self.monitor = HeartbeatMonitor(self, detector)
+        return self.monitor
+
+    def record_heartbeat(self, node_id: str, now: float) -> None:
+        """Record one liveness proof for ``node_id`` at time ``now``."""
+        if self.monitor is None:
+            raise RuntimeError("call enable_failure_detection() first")
+        self.monitor.observe(node_id, now)
+
+    def sweep_failures(self, now: float) -> list[tuple[float, str, str]]:
+        """Reconcile liveness with the detector; returns the transitions
+        recorded so far (``(now, node_id, "down"|"up")`` tuples)."""
+        if self.monitor is None:
+            raise RuntimeError("call enable_failure_detection() first")
+        self.monitor.sweep(now)
+        return self.monitor.transitions
 
     def add_node(self, node_id: str) -> None:
         """Grow the cluster by one member.
@@ -279,10 +316,21 @@ class DistributedKVStore:
                 else:
                     self.stats.record_contact(coordinator, replica)
         best: Optional[VersionedValue] = None
+        holders: dict[str, Optional[VersionedValue]] = {}
         for replica in consulted:
             found = self.nodes[replica].local_get(key)
+            holders[replica] = found
             if found is not None and found.newer_than(best):
                 best = found
+        # Read repair: a quorum read that saw divergent replicas fixes the
+        # stale ones in the background (consulted == 1 reads never diverge).
+        if best is not None and len(consulted) > 1:
+            for replica, found in holders.items():
+                if found is None or best.newer_than(found):
+                    self.nodes[replica].local_put(
+                        key, best.value, best.timestamp, tombstone=best.tombstone
+                    )
+                    self.stats.read_repairs += 1
         if best is None or best.tombstone:
             return None
         return best.value

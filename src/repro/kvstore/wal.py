@@ -1,0 +1,216 @@
+"""Per-node durability: append-only write-ahead log + periodic snapshots.
+
+A :class:`~repro.kvstore.node.StorageNode` is in-memory; a crashed replica
+of a *live* ring (its :class:`~repro.rpc.server.NodeServer` process dying)
+would otherwise lose its shard and come back empty, leaning entirely on
+hints and anti-entropy to rebuild. Cassandra solves this with a commit log
+plus SSTable flushes; we reproduce the same shape at our scale:
+
+- every accepted ``local_put`` appends one record to an append-only JSONL
+  log **before** the write is considered durable;
+- every ``snapshot_every`` appends, the full shard is written to a
+  snapshot file (atomic ``os.replace``) and the log is truncated, bounding
+  replay time;
+- on restart, :meth:`WriteAheadLog.load` reads the snapshot and replays
+  the log on top. A torn final line (the classic mid-append crash) is
+  detected and dropped, never propagated.
+
+Records are ``[key, value, timestamp, tombstone]`` JSON arrays — the same
+tuple the wire protocol ships — so the log is greppable and codec-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.kvstore.node import VersionedValue
+
+_SNAP_SUFFIX = ".snap.json"
+_LOG_SUFFIX = ".wal.jsonl"
+
+
+@dataclass
+class WalStats:
+    """Durability accounting for one node's log."""
+
+    appends: int = 0
+    snapshots: int = 0
+    snapshot_entries_loaded: int = 0
+    log_entries_replayed: int = 0
+    torn_records_dropped: int = 0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "appends": float(self.appends),
+            "snapshots": float(self.snapshots),
+            "snapshot_entries_loaded": float(self.snapshot_entries_loaded),
+            "log_entries_replayed": float(self.log_entries_replayed),
+            "torn_records_dropped": float(self.torn_records_dropped),
+        }
+
+
+class WriteAheadLog:
+    """Append-only log + snapshot pair for one node's local shard.
+
+    Args:
+        directory: where this node's two files live (created if missing).
+        node_id: names the files (``<node_id>.wal.jsonl`` / ``.snap.json``).
+        snapshot_every: accepted writes between snapshots; a snapshot
+            rewrites the full shard and truncates the log. ``0`` disables
+            automatic snapshots (the log grows until :meth:`write_snapshot`
+            is called explicitly).
+        fsync: when True, every append is fsync'd — crash-proof against
+            power loss, slow. The default (False) flushes to the OS on each
+            append, which survives *process* crashes (the failure mode the
+            chaos harness injects) without the per-write fsync cost.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        node_id: str,
+        snapshot_every: int = 1024,
+        fsync: bool = False,
+    ) -> None:
+        if snapshot_every < 0:
+            raise ValueError(f"snapshot_every must be >= 0, got {snapshot_every!r}")
+        if not node_id or "/" in node_id or os.sep in node_id:
+            raise ValueError(f"node_id must be a plain name, got {node_id!r}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.node_id = node_id
+        self.snapshot_every = snapshot_every
+        self.fsync = fsync
+        self.stats = WalStats()
+        self.log_path = self.directory / f"{node_id}{_LOG_SUFFIX}"
+        self.snap_path = self.directory / f"{node_id}{_SNAP_SUFFIX}"
+        self._fh = None
+        self._appends_since_snapshot = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+
+    def load(self) -> dict[str, VersionedValue]:
+        """Rebuild the shard: snapshot first, then replay the log on top.
+
+        Last-write-wins per key, exactly as live ``local_put`` applies
+        records, so replaying is idempotent. A torn trailing log line is
+        dropped (and counted), not raised.
+        """
+        data: dict[str, VersionedValue] = {}
+        if self.snap_path.exists():
+            with open(self.snap_path, encoding="utf-8") as fh:
+                raw = json.load(fh)
+            for key, (value, ts, tombstone) in raw.items():
+                data[key] = VersionedValue(
+                    value=value, timestamp=int(ts), tombstone=bool(tombstone)
+                )
+            self.stats.snapshot_entries_loaded += len(data)
+        if self.log_path.exists():
+            with open(self.log_path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        key, value, ts, tombstone = json.loads(line)
+                    except (json.JSONDecodeError, ValueError, TypeError):
+                        # torn append: a crash mid-write leaves a partial
+                        # final record; everything before it is intact.
+                        self.stats.torn_records_dropped += 1
+                        continue
+                    incoming = VersionedValue(
+                        value=value, timestamp=int(ts), tombstone=bool(tombstone)
+                    )
+                    if incoming.newer_than(data.get(key)):
+                        data[key] = incoming
+                    self.stats.log_entries_replayed += 1
+        return data
+
+    # ------------------------------------------------------------------ #
+    # logging
+    # ------------------------------------------------------------------ #
+
+    def _handle(self):
+        if self._closed:
+            raise ValueError(f"WAL for {self.node_id!r} is closed")
+        if self._fh is None:
+            self._fh = open(self.log_path, "a", encoding="utf-8")
+        return self._fh
+
+    def append(self, key: str, value: str, timestamp: int, tombstone: bool) -> None:
+        """Record one accepted write. Called *by* the node on every accepted
+        ``local_put``; returns after the record reaches the OS (or the disk,
+        with ``fsync=True``)."""
+        fh = self._handle()
+        fh.write(json.dumps([key, value, timestamp, tombstone]) + "\n")
+        fh.flush()
+        if self.fsync:
+            os.fsync(fh.fileno())
+        self.stats.appends += 1
+        self._appends_since_snapshot += 1
+
+    def due_for_snapshot(self) -> bool:
+        return (
+            self.snapshot_every > 0
+            and self._appends_since_snapshot >= self.snapshot_every
+        )
+
+    def write_snapshot(self, data: dict[str, VersionedValue]) -> None:
+        """Write the full shard atomically, then truncate the log.
+
+        Crash ordering is safe at every point: the snapshot lands via
+        ``os.replace`` (old snapshot visible until the new one is complete)
+        and the log is only truncated *after* the replace — a crash between
+        the two replays log records onto the new snapshot, which LWW makes
+        a no-op.
+        """
+        raw = {
+            key: [v.value, v.timestamp, v.tombstone] for key, v in data.items()
+        }
+        tmp = self.snap_path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(raw, fh)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, self.snap_path)
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        open(self.log_path, "w", encoding="utf-8").close()  # truncate
+        self.stats.snapshots += 1
+        self._appends_since_snapshot = 0
+
+    def maybe_snapshot(self, data: dict[str, VersionedValue]) -> bool:
+        """Snapshot if the append counter says it's time. Returns True if
+        a snapshot was written."""
+        if self.due_for_snapshot():
+            self.write_snapshot(data)
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Flush and close the log handle. Idempotent; the files remain —
+        a closed WAL can be reopened by a fresh instance (the restart
+        path)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

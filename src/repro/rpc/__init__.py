@@ -26,8 +26,10 @@ from repro.rpc.errors import (
 )
 from repro.rpc.faults import FaultInjector, FaultRule, FaultStats, SendPlan
 from repro.rpc.framing import available_codecs, default_codec_name, get_codec
+from repro.rpc.heartbeat import HeartbeatService
 from repro.rpc.messages import Request, Response
 from repro.rpc.remote_store import RemoteKVStore
+from repro.rpc.repair import RemoteReplicaRepairer
 from repro.rpc.retry import RetryPolicy
 from repro.rpc.server import NodeServer, ServerStats
 
@@ -37,10 +39,12 @@ __all__ = [
     "FaultRule",
     "FaultStats",
     "FrameError",
+    "HeartbeatService",
     "LiveKVCluster",
     "NodeServer",
     "RemoteCallError",
     "RemoteKVStore",
+    "RemoteReplicaRepairer",
     "Request",
     "Response",
     "RetryPolicy",

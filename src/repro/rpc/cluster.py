@@ -16,9 +16,13 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Iterable, Optional
+from pathlib import Path
+from typing import Iterable, Optional, Union
 
 from repro.kvstore.consistency import ConsistencyLevel
+from repro.kvstore.gossip import PhiAccrualDetector
+from repro.kvstore.node import StorageNode
+from repro.kvstore.wal import WriteAheadLog
 from repro.obs.trace import Tracer
 from repro.rpc.client import RpcClient
 from repro.rpc.faults import FaultInjector
@@ -48,6 +52,17 @@ class LiveKVCluster:
         tracer: optional :class:`~repro.obs.trace.Tracer` shared by the
             client, every node server, and the coordinator store, so one
             batch traces client→coordinator→replica in a single dump.
+        data_dir: when given, each node keeps a
+            :class:`~repro.kvstore.wal.WriteAheadLog` under this directory,
+            so a :meth:`kill_node`/:meth:`restart_node` cycle restores the
+            shard from disk instead of restarting empty.
+        snapshot_every: WAL snapshot cadence (ignored without ``data_dir``).
+        heartbeat_interval_s: when > 0, a background
+            :class:`~repro.rpc.heartbeat.HeartbeatService` pings every
+            member at this period and flips coordinator up/down state via
+            the phi-accrual detector. 0 disables the prober.
+        heartbeat_detector: optional detector override for the prober
+            (e.g. a lower threshold in tests).
     """
 
     def __init__(
@@ -65,13 +80,25 @@ class LiveKVCluster:
         seed: int = 0,
         host: str = "127.0.0.1",
         tracer: Optional[Tracer] = None,
+        data_dir: Optional[Union[str, Path]] = None,
+        snapshot_every: int = 1024,
+        heartbeat_interval_s: float = 0.0,
+        heartbeat_detector: Optional[PhiAccrualDetector] = None,
     ) -> None:
         ids = list(node_ids)
         if not ids:
             raise ValueError("a live cluster needs at least one node")
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate node ids in {ids!r}")
+        if heartbeat_interval_s < 0:
+            raise ValueError(
+                f"heartbeat_interval_s must be >= 0, got {heartbeat_interval_s!r}"
+            )
         self.fault_injector = fault_injector
+        self._codec = codec
+        self._tracer = tracer
+        self._data_dir = Path(data_dir) if data_dir is not None else None
+        self._snapshot_every = snapshot_every
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="repro-rpc-loop", daemon=True
@@ -79,12 +106,19 @@ class LiveKVCluster:
         self._thread.start()
         self._closed = False
         self.servers: dict[str, NodeServer] = {}
+        self.wals: dict[str, WriteAheadLog] = {}
+        self._killed: set[str] = set()
+        self.heartbeats = None
         try:
             addresses: dict[str, tuple[str, int]] = {}
 
             async def boot() -> None:
                 for node_id in ids:
-                    server = NodeServer(node_id=node_id, codec=codec, tracer=tracer)
+                    server = NodeServer(
+                        node=StorageNode(node_id, wal=self._open_wal(node_id)),
+                        codec=codec,
+                        tracer=tracer,
+                    )
                     addresses[node_id] = await server.start(host)
                     self.servers[node_id] = server
 
@@ -108,6 +142,15 @@ class LiveKVCluster:
                 max_hints_per_node=max_hints_per_node,
                 tracer=tracer,
             )
+            if heartbeat_interval_s > 0:
+                from repro.rpc.heartbeat import HeartbeatService
+
+                self.heartbeats = HeartbeatService(
+                    self.store,
+                    interval_s=heartbeat_interval_s,
+                    detector=heartbeat_detector,
+                )
+                self.heartbeats.start()
         except BaseException:
             self.close()
             raise
@@ -118,6 +161,15 @@ class LiveKVCluster:
         """Run a coroutine on the cluster's loop thread and wait for it."""
         return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
 
+    def _open_wal(self, node_id: str) -> Optional[WriteAheadLog]:
+        if self._data_dir is None:
+            return None
+        wal = WriteAheadLog(
+            self._data_dir, node_id, snapshot_every=self._snapshot_every
+        )
+        self.wals[node_id] = wal
+        return wal
+
     @property
     def node_ids(self) -> list[str]:
         return list(self.servers)
@@ -126,12 +178,72 @@ class LiveKVCluster:
         """Per-node server request counters."""
         return {nid: server.stats.snapshot() for nid, server in self.servers.items()}
 
+    def wal_stats(self) -> dict[str, dict]:
+        """Per-node durability counters (empty without ``data_dir``)."""
+        return {nid: wal.stats.snapshot() for nid, wal in self.wals.items()}
+
+    # ------------------------------------------------------------------ #
+    # crash-restart lifecycle
+    # ------------------------------------------------------------------ #
+
+    def kill_node(self, node_id: str, mark_down: bool = True) -> None:
+        """Crash one member: stop its server and discard its in-memory
+        shard. With ``data_dir`` the durable part (WAL + snapshot) stays
+        on disk; without it the node will restart empty.
+
+        By default the coordinator marks the node down immediately (writes
+        become hints). Pass ``mark_down=False`` to leave detection to the
+        heartbeat service — the realistic path, where the ring only learns
+        of the crash from missed heartbeats.
+        """
+        if node_id not in self.servers:
+            raise KeyError(f"unknown node {node_id!r}")
+        if node_id in self._killed:
+            return
+        self._killed.add(node_id)
+        self._run(self.servers[node_id].stop())
+        wal = self.wals.pop(node_id, None)
+        if wal is not None:
+            wal.close()
+        if mark_down:
+            self.store.mark_down(node_id)
+
+    def restart_node(self, node_id: str, repair: bool = True) -> None:
+        """Bring a killed member back on its original address.
+
+        The shard is rebuilt from the node's WAL (empty without one), the
+        coordinator marks it up — which replays buffered hints and runs the
+        recovery read-repair pass — and, with ``repair=True``, a Merkle
+        anti-entropy pass catches up whatever the hint window dropped.
+        """
+        if node_id not in self.servers:
+            raise KeyError(f"unknown node {node_id!r}")
+        if node_id not in self._killed:
+            raise RuntimeError(f"node {node_id!r} is not killed")
+        server = NodeServer(
+            node=StorageNode(node_id, wal=self._open_wal(node_id)),
+            codec=self._codec,
+            tracer=self._tracer,
+        )
+        host, port = self.client.addresses[node_id]
+        self._run(server.start(host, port))  # same port: peers need no update
+        self.servers[node_id] = server
+        self._killed.discard(node_id)
+        self.store.mark_up(node_id)
+        if repair:
+            from repro.rpc.repair import RemoteReplicaRepairer
+
+            RemoteReplicaRepairer(self.store).repair_node(node_id)
+
     def close(self) -> None:
-        """Tear down client, servers, and the loop thread. Idempotent."""
+        """Tear down heartbeats, client, servers, WALs, and the loop
+        thread. Idempotent."""
         if self._closed:
             return
         self._closed = True
         try:
+            if self.heartbeats is not None:
+                self.heartbeats.stop()
             if hasattr(self, "client"):
                 self._run(self.client.close())
 
@@ -140,6 +252,8 @@ class LiveKVCluster:
                     await server.stop()
 
             self._run(stop_servers())
+            for wal in self.wals.values():
+                wal.close()
         finally:
             self._loop.call_soon_threadsafe(self._loop.stop)
             self._thread.join(timeout=5)

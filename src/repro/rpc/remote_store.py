@@ -42,7 +42,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.kvstore.consistency import ConsistencyLevel
-from repro.kvstore.errors import NoSuchNodeError, UnavailableError
+from repro.kvstore.errors import NodeDownError, NoSuchNodeError, UnavailableError
 from repro.kvstore.hashring import ConsistentHashRing
 from repro.kvstore.hints import Hint, HintBuffer
 from repro.kvstore.node import VersionedValue
@@ -51,6 +51,7 @@ from repro.kvstore.store import StoreStats
 from repro.obs.histogram import Histogram
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.rpc.client import RpcClient
+from repro.rpc.errors import RpcError
 
 
 def _entry_from_wire(row) -> Optional[VersionedValue]:
@@ -142,6 +143,12 @@ class RemoteKVStore:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._timestamps = itertools.count(1)
         self._down: set[str] = set()
+        # Keys routed while one of their replicas was down ("served below
+        # full replication"): on that replica's recovery they get a
+        # targeted read-repair pass, covering writes the hint window
+        # dropped or that pre-date this coordinator. Bounded per node by
+        # the hint window.
+        self._degraded: dict[str, set[str]] = {}
 
     # ------------------------------------------------------------------ #
     # sync ↔ async bridge
@@ -170,21 +177,78 @@ class RemoteKVStore:
 
     def mark_down(self, node_id: str) -> None:
         """Fail ``node_id``: its server refuses data ops and the coordinator
-        turns its writes into hints."""
+        turns its writes into hints.
+
+        The server-side notification is best-effort: a node that is marked
+        down because it *crashed* (socket refused, detector suspicion) is
+        unreachable by definition, and the coordinator-side aliveness flip
+        is the part that matters — writes become hints either way.
+        """
         self._check_member(node_id)
+        self._sync(self._a_mark_down(node_id))
+
+    async def _a_mark_down(self, node_id: str) -> None:
         self._down.add(node_id)
-        self._sync(self._client.call(node_id, "set_down", {"down": True}))
+        try:
+            await self._client.call(node_id, "set_down", {"down": True})
+        except RpcError:
+            pass  # unreachable (crashed / partitioned): local flip suffices
 
     def mark_up(self, node_id: str) -> None:
-        """Recover ``node_id`` and replay its buffered hints over the wire."""
+        """Recover ``node_id``: replay its buffered hints over the wire,
+        then read-repair every key that was served below full replication
+        while it was down (``stats.recovery_repairs`` counts the entries
+        actually pushed)."""
         self._check_member(node_id)
-        self._sync(self._client.call(node_id, "set_down", {"down": False}))
+        self._sync(self._a_mark_up(node_id))
+
+    async def _a_mark_up(self, node_id: str) -> None:
+        await self._client.call(node_id, "set_down", {"down": False})
         self._down.discard(node_id)
         hints = self.hints.take_for(node_id)
         if hints:
             entries = [[h.key, h.value, h.timestamp, h.tombstone] for h in hints]
-            self._sync(self._client.call(node_id, "multi_put", {"entries": entries}))
+            await self._client.call(node_id, "multi_put", {"entries": entries})
             self.stats.hints_replayed += len(hints)
+        await self._a_recovery_repair(node_id)
+
+    async def _a_recovery_repair(self, node_id: str) -> None:
+        """Push the newest copy of each degraded-read key to the recovered
+        replica. Hints cover writes this coordinator *saw* while the node
+        was down; this pass covers keys it merely *served* under-replicated
+        (hint-window overflow, pre-existing data). Only entries the node's
+        own copy is missing or older than are pushed."""
+        keys = [
+            k
+            for k in sorted(self._degraded.pop(node_id, ()))
+            if node_id in self.replicas_for(k)
+        ]
+        if not keys:
+            return
+        groups: dict[str, list[str]] = {node_id: list(keys)}
+        for key in keys:
+            for replica in self.replicas_for(key):
+                if replica != node_id and replica not in self._down:
+                    groups.setdefault(replica, []).append(key)
+        by_node = await self._scatter_get(groups, None)
+        own = by_node.get(node_id, {})
+        rows: list[list] = []
+        for key in keys:
+            best: Optional[VersionedValue] = None
+            for replica, entries in by_node.items():
+                if replica == node_id:
+                    continue
+                found = entries.get(key)
+                if found is not None and found.newer_than(best):
+                    best = found
+            if best is None:
+                continue
+            mine = own.get(key)
+            if mine is None or best.newer_than(mine):
+                rows.append([key, best.value, best.timestamp, best.tombstone])
+        if rows:
+            await self._client.call(node_id, "multi_put", {"entries": rows})
+            self.stats.recovery_repairs += len(rows)
 
     def alive_nodes(self) -> list[str]:
         return [nid for nid in self.nodes if nid not in self._down]
@@ -226,6 +290,11 @@ class RemoteKVStore:
         if len(alive) < required:
             self.stats.unavailable_errors += 1
             raise UnavailableError(required=required, alive=len(alive), key=key)
+        for replica in replicas:
+            if replica in self._down:
+                bucket = self._degraded.setdefault(replica, set())
+                if len(bucket) < self.hints.max_hints_per_node:
+                    bucket.add(key)
         ordered = alive
         if coordinator is not None and coordinator in alive:
             ordered = [coordinator] + [r for r in alive if r != coordinator]
@@ -258,6 +327,35 @@ class RemoteKVStore:
 
         await asyncio.gather(*(one(n, es) for n, es in groups.items()))
 
+    async def _scatter_put_tolerant(
+        self, groups: dict[str, list[list]], coordinator: Optional[str]
+    ) -> dict[str, Optional[Exception]]:
+        """Like :meth:`_scatter_put`, but per-node failures are returned
+        (node id → error or None) instead of raised, so write paths can
+        count acks and decide availability themselves. A missed ack is a
+        transport failure (``RpcError``) or the replica refusing because
+        it marked itself down before this coordinator noticed
+        (``NodeDownError``); anything else still propagates."""
+
+        async def one(node_id: str, entries: list[list]):
+            await self._client.call(
+                node_id, "multi_put", {"entries": entries}, src=coordinator
+            )
+
+        outcomes = await asyncio.gather(
+            *(one(n, es) for n, es in groups.items()), return_exceptions=True
+        )
+        acked: dict[str, Optional[Exception]] = {}
+        for node_id, outcome in zip(groups, outcomes):
+            if isinstance(outcome, BaseException) and not isinstance(
+                outcome, (RpcError, NodeDownError)
+            ):
+                raise outcome
+            acked[node_id] = (
+                outcome if isinstance(outcome, (RpcError, NodeDownError)) else None
+            )
+        return acked
+
     # ------------------------------------------------------------------ #
     # client operations (synchronous facade over the async core)
     # ------------------------------------------------------------------ #
@@ -282,6 +380,7 @@ class RemoteKVStore:
         tombstone: bool = False,
     ) -> None:
         replicas, alive, _ = self._route(key, consistency, coordinator)
+        required = self._required_acks(consistency)
         ts = next(self._timestamps)
         if not tombstone:
             # Tombstone scatters mirror DistributedKVStore.delete, which
@@ -290,6 +389,23 @@ class RemoteKVStore:
         groups: dict[str, list[list]] = {}
         for replica in replicas:
             if replica in self._down:
+                continue  # hinted below, once the write is known durable
+            groups[replica] = [[key, value, ts, tombstone]]
+            if coordinator is not None and not tombstone:
+                if contacts is not None:
+                    contacts.add((coordinator, replica))
+                else:
+                    self.stats.record_contact(coordinator, replica)
+        failures = await self._scatter_put_tolerant(groups, coordinator)
+        acked = sum(1 for exc in failures.values() if exc is None)
+        if acked < required:
+            # Partial write: the routing check passed but the wire did not
+            # deliver enough acks. No hints were buffered yet, so the
+            # caller can retry without double-buffering.
+            self.stats.unavailable_errors += 1
+            raise UnavailableError(required=required, alive=acked, key=key)
+        for replica in replicas:
+            if replica in self._down or failures.get(replica) is not None:
                 if self.hints.add(
                     Hint(
                         target_node=replica, key=key, value=value,
@@ -297,14 +413,6 @@ class RemoteKVStore:
                     )
                 ):
                     self.stats.hints_stored += 1
-                continue
-            groups[replica] = [[key, value, ts, tombstone]]
-            if coordinator is not None and not tombstone:
-                if contacts is not None:
-                    contacts.add((coordinator, replica))
-                else:
-                    self.stats.record_contact(coordinator, replica)
-        await self._scatter_put(groups, coordinator)
 
     def get(
         self,
@@ -340,6 +448,20 @@ class RemoteKVStore:
             found = by_node[node_id].get(key)
             if found is not None and found.newer_than(best):
                 best = found
+        if best is not None and len(consulted) > 1:
+            # Read repair: push the winner to consulted replicas that
+            # returned a stale or missing copy. Best-effort — a failed
+            # push is not counted and does not fail the read.
+            stale = {
+                node_id: [[key, best.value, best.timestamp, best.tombstone]]
+                for node_id in consulted
+                if (found := by_node[node_id].get(key)) is None or best.newer_than(found)
+            }
+            if stale:
+                outcomes = await self._scatter_put_tolerant(stale, coordinator)
+                self.stats.read_repairs += sum(
+                    1 for exc in outcomes.values() if exc is None
+                )
         if best is None or best.tombstone:
             return None
         return best.value
@@ -443,7 +565,7 @@ class RemoteKVStore:
         contacts: set[tuple[str, str]] = set()
         write_groups: dict[str, list[list]] = {}
         results: list[bool] = []
-        inserted: set[str] = set()
+        inserted: dict[str, int] = {}  # key → timestamp of its write
         for key in keys:
             replicas, _, consulted = routes[key]
             self.stats.reads += 1
@@ -456,21 +578,39 @@ class RemoteKVStore:
             if present[key] or key in inserted:
                 results.append(False)
                 continue
-            inserted.add(key)
-            results.append(True)
             ts = next(self._timestamps)
+            inserted[key] = ts
+            results.append(True)
             self.stats.writes += 1
             for replica in replicas:
                 if replica in self._down:
+                    continue  # hinted below, once the batch is known durable
+                write_groups.setdefault(replica, []).append([key, value, ts, False])
+                if coordinator is not None:
+                    contacts.add((coordinator, replica))
+        failures = await self._scatter_put_tolerant(write_groups, coordinator)
+        failed = {n for n, exc in failures.items() if exc is not None}
+        required = self._required_acks(consistency)
+        for key in inserted:
+            acked = sum(
+                1
+                for r in routes[key][0]
+                if r not in self._down and r not in failed
+            )
+            if acked < required:
+                # Partial batch: some replica message failed after the
+                # routing check passed. Hints are buffered only on the
+                # all-keys-acked path below, so the caller's retry of the
+                # whole batch cannot double-buffer.
+                self.stats.unavailable_errors += 1
+                raise UnavailableError(required=required, alive=acked, key=key)
+        for key, ts in inserted.items():
+            for replica in routes[key][0]:
+                if replica in self._down or replica in failed:
                     if self.hints.add(
                         Hint(target_node=replica, key=key, value=value, timestamp=ts)
                     ):
                         self.stats.hints_stored += 1
-                    continue
-                write_groups.setdefault(replica, []).append([key, value, ts, False])
-                if coordinator is not None:
-                    contacts.add((coordinator, replica))
-        await self._scatter_put(write_groups, coordinator)
         for pair_coordinator, replica in sorted(contacts):
             self.stats.record_contact(pair_coordinator, replica)
         self.stats.batch_rounds += 1

@@ -38,6 +38,7 @@ from typing import Any, Optional
 
 from repro.kvstore.errors import KVStoreError
 from repro.kvstore.node import StorageNode
+from repro.kvstore.repair import _bucket_of, merkle_from_items
 from repro.obs.histogram import Histogram
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.rpc.errors import FrameError
@@ -259,6 +260,29 @@ class NodeServer:
     def _op_stats(self, params: dict) -> dict:
         return self.stats.snapshot()
 
+    def _op_merkle_tree(self, params: dict) -> dict:
+        # Anti-entropy is an operator flow like dump: it reads the shard
+        # directly so a recovering (still-down) replica can be compared.
+        depth = int(params.get("depth", 6))
+        tree = merkle_from_items(
+            (
+                (key, stored.value, stored.timestamp, stored.tombstone)
+                for key, stored in self.node._data.items()
+            ),
+            depth,
+        )
+        return {"depth": tree.depth, "leaves": list(tree.leaves), "root": tree.root}
+
+    def _op_repair_range(self, params: dict) -> dict:
+        depth = int(params["depth"])
+        buckets = set(params["buckets"])
+        entries = [
+            [key, stored.value, stored.timestamp, stored.tombstone]
+            for key, stored in self.node._data.items()
+            if _bucket_of(key, depth) in buckets
+        ]
+        return {"entries": entries}
+
     _HANDLERS = {
         "ping": _op_ping,
         "multi_get": _op_multi_get,
@@ -267,4 +291,6 @@ class NodeServer:
         "dump": _op_dump,
         "key_count": _op_key_count,
         "stats": _op_stats,
+        "merkle_tree": _op_merkle_tree,
+        "repair_range": _op_repair_range,
     }

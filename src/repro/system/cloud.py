@@ -65,6 +65,11 @@ class CentralCloudStore:
     def has_chunk(self, fingerprint: str) -> bool:
         return fingerprint in self._chunks
 
+    def fingerprints(self) -> frozenset[str]:
+        """The set of stored chunk fingerprints (the chaos invariant
+        checker compares this against the ring index's key set)."""
+        return frozenset(self._chunks)
+
     def get_chunk(self, fingerprint: str) -> bytes:
         """Fetch a stored chunk's bytes (the restore path).
 

@@ -56,6 +56,17 @@ class EFDedupConfig:
             LRU presence cache of this many fingerprints
             (:class:`~repro.dedup.cache.LRUCacheIndex`) — hot duplicates
             answer locally instead of hitting the (possibly remote) store.
+        data_dir: live transport only — when set, every ring member keeps
+            a :class:`~repro.kvstore.wal.WriteAheadLog` under this
+            directory, so a crash-restart cycle
+            (:meth:`~repro.rpc.cluster.LiveKVCluster.kill_node` /
+            :meth:`restart_node`) restores the shard from disk instead of
+            restarting empty.
+        heartbeat_interval_s: live transport only — when > 0, a background
+            :class:`~repro.rpc.heartbeat.HeartbeatService` pings every
+            member at this period and drives coordinator up/down state via
+            the phi-accrual failure detector. 0 (default) disables the
+            prober; failures are then injected/marked explicitly.
     """
 
     chunk_size: int = 128 * 1024
@@ -72,6 +83,8 @@ class EFDedupConfig:
     rpc_attempts: int = 4
     rpc_codec: str | None = None
     cache_capacity: int = 0
+    data_dir: str | None = None
+    heartbeat_interval_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -110,6 +123,17 @@ class EFDedupConfig:
             raise ValueError(
                 f"cache_capacity must be >= 0, got {self.cache_capacity!r}"
             )
+        if self.heartbeat_interval_s < 0:
+            raise ValueError(
+                f"heartbeat_interval_s must be >= 0, got {self.heartbeat_interval_s!r}"
+            )
+        if self.transport != "asyncio":
+            if self.data_dir is not None:
+                raise ValueError("data_dir requires transport='asyncio'")
+            if self.heartbeat_interval_s:
+                raise ValueError(
+                    "heartbeat_interval_s requires transport='asyncio'"
+                )
 
     def hash_time_s(self, nbytes: int) -> float:
         """CPU time to chunk + fingerprint ``nbytes`` of input."""

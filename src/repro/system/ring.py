@@ -100,6 +100,8 @@ class D2Ring:
                 retry=RetryPolicy(attempts=self.config.rpc_attempts),
                 fault_injector=fault_injector,
                 tracer=tracer,
+                data_dir=self.config.data_dir,
+                heartbeat_interval_s=self.config.heartbeat_interval_s,
             )
             self.store = self._live.store
         else:
@@ -286,6 +288,12 @@ class D2Ring:
         Sources are registered as callables over the live component
         registries, so each :meth:`MetricsHub.collect` sees current values.
         ``prefix`` namespaces multi-ring deployments (e.g. ``"ring-0."``).
+
+        Failure-handling series are conditional and live-only (and so stay
+        under the ``rpc.`` namespace the parity check carves out):
+        ``rpc.failure.*`` (heartbeat prober + phi detector transitions,
+        when ``heartbeat_interval_s`` > 0) and ``rpc.wal.*`` (summed
+        durability counters, when ``data_dir`` is set).
         """
         hub.register(f"{prefix}dedup", lambda: self.combined_stats().as_dict())
         hub.register(f"{prefix}lookups", self._lookup_metrics)
@@ -310,6 +318,19 @@ class D2Ring:
                 },
             )
             hub.register(f"{prefix}rpc.rtt_s", client.rtt)
+            if self._live.heartbeats is not None:
+                hub.register(f"{prefix}rpc.failure", self._live.heartbeats.snapshot)
+            if self._live.wals:
+                live = self._live
+
+                def _wal_totals() -> dict[str, float]:
+                    totals: dict[str, float] = {}
+                    for stats in live.wal_stats().values():
+                        for name, value in stats.items():
+                            totals[name] = totals.get(name, 0.0) + value
+                    return totals
+
+                hub.register(f"{prefix}rpc.wal", _wal_totals)
             for node_id, server in self._live.servers.items():
                 hub.register(
                     f"{prefix}rpc.server.{node_id}",
@@ -366,3 +387,19 @@ class D2Ring:
     def recover_node(self, node_id: str) -> None:
         """Bring a member back; buffered hints replay automatically."""
         self.store.mark_up(node_id)
+
+    def crash_node(self, node_id: str, mark_down: bool = True) -> None:
+        """Live rings only: actually crash a member's replica process (its
+        TCP server stops; the in-memory shard is gone, the WAL survives).
+        Harsher than :meth:`fail_node`, which only flips a flag."""
+        if self._live is None:
+            raise RuntimeError("crash_node requires transport='asyncio'")
+        self._live.kill_node(node_id, mark_down=mark_down)
+
+    def restart_node(self, node_id: str, repair: bool = True) -> None:
+        """Live rings only: restart a crashed member — WAL reload, hint
+        replay, recovery read-repair, and (by default) a Merkle
+        anti-entropy catch-up pass."""
+        if self._live is None:
+            raise RuntimeError("restart_node requires transport='asyncio'")
+        self._live.restart_node(node_id, repair=repair)

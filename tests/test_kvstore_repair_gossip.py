@@ -9,8 +9,10 @@ from repro.kvstore.gossip import HeartbeatMonitor, PhiAccrualDetector
 from repro.kvstore.node import StorageNode
 from repro.kvstore.repair import (
     ReplicaRepairer,
+    _bucket_of,
     build_merkle_tree,
     differing_buckets,
+    merkle_from_items,
 )
 from repro.kvstore.store import DistributedKVStore
 
@@ -224,3 +226,93 @@ class TestHeartbeatMonitor:
         store = DistributedKVStore(["a"], replication_factor=1)
         with pytest.raises(KeyError):
             HeartbeatMonitor(store).observe("ghost", 0.0)
+
+
+class TestMerkleEdgeCases:
+    def test_empty_range_repair_is_a_noop(self):
+        store = DistributedKVStore(["a", "b"], replication_factor=2)
+        stats = ReplicaRepairer(store).repair_all()
+        assert stats.pairs_checked == 1
+        assert stats.buckets_streamed == 0
+        assert stats.synced_keys == 0
+
+    def test_single_key_tree_localizes_to_one_bucket(self):
+        rows = [("only-key", "v", 1, False)]
+        tree = merkle_from_items(rows, depth=6)
+        empty = merkle_from_items([], depth=6)
+        assert tree.root != empty.root
+        assert differing_buckets(tree, empty) == [_bucket_of("only-key", 6)]
+        # Depth 1 still works: two buckets, one of them dirty.
+        shallow = merkle_from_items(rows, depth=1)
+        assert shallow.n_buckets == 2
+
+    def test_single_key_pair_sync(self):
+        store = DistributedKVStore(["a", "b"], replication_factor=2)
+        store.put("k", "v")
+        store.nodes["b"]._data.pop("k", None)  # one replica loses its only key
+        stats = ReplicaRepairer(store).repair_all()
+        assert stats.synced_keys == 1
+        assert store.nodes["b"].local_contains("k")
+
+    def test_merkle_from_items_depth_bounds(self):
+        with pytest.raises(ValueError):
+            merkle_from_items([], depth=0)
+        with pytest.raises(ValueError):
+            merkle_from_items([], depth=17)
+
+    def test_repair_with_replica_down_mid_session(self):
+        """A replica that goes down between repair passes is skipped, and a
+        later pass (after it recovers, hints lost) still converges."""
+        store, victim = desynced_store()
+        store.mark_down(victim)
+        repairer = ReplicaRepairer(store)
+        shard_size = len(store.nodes[victim]._data)
+        repairer.repair_all()  # victim down: only alive pairs compared
+        assert len(store.nodes[victim]._data) == shard_size  # gained nothing
+        before = repairer.stats.synced_keys
+        store.hints.take_for(victim)  # recovery loses the hints again
+        store.nodes[victim].mark_up()
+        repairer.repair_all()
+        assert repairer.stats.synced_keys > before
+        assert ReplicaRepairer(store).verify_replication() == []
+
+
+class TestStoreFailureDetectionWiring:
+    def test_detected_crash_turns_writes_into_hints(self):
+        store = DistributedKVStore(["a", "b", "c"], replication_factor=2)
+        store.enable_failure_detection(PhiAccrualDetector(threshold=8))
+        for t in range(10):
+            for nid in ("a", "b", "c"):
+                store.record_heartbeat(nid, float(t))
+        # "c" dies silently; the sweep must notice and divert its writes.
+        for t in range(10, 60):
+            store.record_heartbeat("a", float(t))
+            store.record_heartbeat("b", float(t))
+        transitions = store.sweep_failures(60.0)
+        assert (60.0, "c", "down") in transitions
+        keys_on_c = [
+            f"k{i}" for i in range(200) if "c" in store.replicas_for(f"k{i}")
+        ][:3]
+        for k in keys_on_c:
+            store.put(k, "v")
+        assert store.hints.pending_for("c") == len(keys_on_c)
+        # It comes back: the sweep marks it up, which replays the hints.
+        store.record_heartbeat("c", 61.0)
+        store.sweep_failures(61.5)
+        assert store.nodes["c"].is_up
+        assert store.hints.pending_for("c") == 0
+        for k in keys_on_c:
+            assert store.nodes["c"].local_contains(k)
+
+    def test_heartbeat_apis_require_enabling(self):
+        store = DistributedKVStore(["a"], replication_factor=1)
+        with pytest.raises(RuntimeError, match="enable_failure_detection"):
+            store.record_heartbeat("a", 0.0)
+        with pytest.raises(RuntimeError, match="enable_failure_detection"):
+            store.sweep_failures(0.0)
+
+    def test_enable_returns_monitor_with_default_detector(self):
+        store = DistributedKVStore(["a", "b"], replication_factor=2)
+        monitor = store.enable_failure_detection()
+        assert monitor is store.monitor
+        assert isinstance(monitor.detector, PhiAccrualDetector)

@@ -288,9 +288,10 @@ class TestRetriesAndFaults:
             }
             assert len(versions) == 1
 
-    def test_exhausted_write_raises_typed_error_without_double_apply(self):
-        """Every reply from one replica is lost: the call fails typed, but the
-        replica still applied the write exactly once."""
+    def test_exhausted_write_succeeds_at_level_and_hints_the_silent_replica(self):
+        """Every reply from one replica is lost: with CL.ONE the other
+        replica's ack satisfies the write, the silent replica is hinted,
+        and (idempotency cache) it still applied the write exactly once."""
         injector = FaultInjector()
         with live_cluster(
             fault_injector=injector, timeout_s=0.05, retry=FAST_RETRY
@@ -298,8 +299,9 @@ class TestRetriesAndFaults:
             store = cluster.store
             key = key_with_replicas(store, ["n1", "n2"])
             injector.drop_responses(dst="n2")
-            with pytest.raises(RpcTimeoutError):
-                store.put_if_absent(key, "m", coordinator="n0")
+            assert store.put_if_absent(key, "m", coordinator="n0") is True
+            assert store.stats.hints_stored == 1
+            assert store.hints.pending_for("n2") == 1
             server = cluster.servers["n2"]
             executed = server.stats.by_method["multi_put"] - server.stats.replays
             assert executed == 1
