@@ -12,6 +12,10 @@ replicas converged. Exposed as ``repro chaos`` on the CLI and measured by
 """
 
 from repro.chaos.invariants import InvariantReport, check_invariants
+from repro.chaos.migration_scenario import (
+    MigrationChaosReport,
+    run_migration_scenario,
+)
 from repro.chaos.runner import ChaosReport, run_scenario, seeded_pool_workload
 from repro.chaos.scenarios import (
     SCENARIOS,
@@ -29,6 +33,7 @@ __all__ = [
     "ChaosScenario",
     "FaultEvent",
     "InvariantReport",
+    "MigrationChaosReport",
     "SCENARIOS",
     "check_invariants",
     "crash_restart",
@@ -36,6 +41,7 @@ __all__ = [
     "get_scenario",
     "partition_heal",
     "rolling_restart",
+    "run_migration_scenario",
     "run_scenario",
     "seeded_pool_workload",
 ]

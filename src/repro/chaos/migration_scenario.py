@@ -1,0 +1,211 @@
+"""Migrate-under-faults: live ring migration with a node crash mid-window.
+
+The other chaos scenarios stress a *static* ring. This one stresses the
+cutover protocol itself: a deployed :class:`EFDedupCluster` ingests a
+seeded segment, live-migrates to a new partition, and then — while the
+dual-lookup window is open — a surviving member of a *source* ring is
+killed and later restarted, with ingest continuing throughout.
+
+The acceptance check mirrors :mod:`repro.chaos.runner`: the final dedup
+ratio must match a fault-free run of the *identical* migration (same
+seeds, same plans, no kill) bit-for-bit. That holds because the
+timestamp-bounded dual-lookup probe reads *all* alive replicas of each
+key, so with replication factor gamma >= 2 a single crashed source node
+never changes a verdict — faults may cost latency, never correctness.
+
+Exposed as ``repro chaos migrate-under-faults`` on the CLI and measured
+by ``benchmarks/bench_replan_migration.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.chaos.runner import _round_robin, seeded_pool_workload
+from repro.core.costs import SNOD2Problem
+from repro.core.model import ChunkPoolModel, grouped_sources
+from repro.network.costmatrix import latency_cost_matrix
+from repro.network.topology import build_testbed
+from repro.system.cluster import EFDedupCluster
+from repro.system.config import EFDedupConfig
+
+
+def default_migration_partitions(nodes: int) -> tuple[list[list[int]], list[list[int]]]:
+    """Two balanced rings, then move the last member of ring-0 to ring-1.
+
+    For 6 nodes: ``[[0,1,2],[3,4,5]] -> [[0,1],[2,3,4,5]]`` — one node
+    moves, both rings survive, and ring-0 keeps a member to kill.
+    """
+    if nodes < 4:
+        raise ValueError(f"migrate-under-faults needs >= 4 nodes, got {nodes}")
+    half = nodes // 2
+    old = [list(range(half)), list(range(half, nodes))]
+    new = [list(range(half - 1)), list(range(half - 1, nodes))]
+    return old, new
+
+
+@dataclass
+class MigrationChaosReport:
+    """Outcome of one migrate-under-faults run vs its fault-free twin."""
+
+    seed: int
+    nodes: int
+    total_files: int
+    events_fired: list[str]
+    dedup_ratio: float
+    baseline_ratio: float
+    state: str
+    recovery_time_s: float
+    migration: dict[str, float] = field(default_factory=dict)
+    baseline_migration: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ratio_matches_baseline(self) -> bool:
+        return abs(self.dedup_ratio - self.baseline_ratio) < 1e-12
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.ratio_matches_baseline
+            and self.state == "COMMITTED"
+            and self.migration.get("migration.nodes_moved", 0.0) > 0
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": "migrate-under-faults",
+            "seed": self.seed,
+            "nodes": self.nodes,
+            "total_files": self.total_files,
+            "passed": self.passed,
+            "events_fired": list(self.events_fired),
+            "dedup_ratio": self.dedup_ratio,
+            "baseline_ratio": self.baseline_ratio,
+            "ratio_matches_baseline": self.ratio_matches_baseline,
+            "state": self.state,
+            "recovery_time_s": self.recovery_time_s,
+            "migration": dict(self.migration),
+            "baseline_migration": dict(self.baseline_migration),
+        }
+
+
+def _run_migration(
+    nodes: int,
+    files_per_node: int,
+    file_kb: int,
+    seed: int,
+    gamma: int,
+    lookup_batch: int,
+    old: list[list[int]],
+    new: list[list[int]],
+    inject: bool,
+    kill_node: str,
+    events: list[str],
+) -> tuple[float, dict[str, float], str, float]:
+    """One full ingest → migrate → (maybe crash) → commit pass."""
+    model = ChunkPoolModel(
+        [150.0, 150.0],
+        grouped_sources(
+            [i % 2 for i in range(nodes)], [[0.9, 0.1], [0.1, 0.9]], 80.0
+        ),
+    )
+    topo = build_testbed(nodes, min(3, nodes))
+    problem = SNOD2Problem(
+        model=model,
+        nu=latency_cost_matrix(topo),
+        duration=2.0,
+        gamma=gamma,
+        alpha=50.0,
+    )
+    config = EFDedupConfig(
+        chunk_size=4096,
+        replication_factor=gamma,
+        lookup_batch=lookup_batch,
+        transport="asyncio",
+        rpc_timeout_s=0.5,
+        rpc_attempts=5,
+    )
+    recovery_s = 0.0
+    with EFDedupCluster(topo, problem, config=config) as cluster:
+        cluster.partition = old
+        cluster.deploy()
+        for nid, data in _round_robin(
+            seeded_pool_workload(nodes, files_per_node, file_kb, seed=seed)
+        ):
+            cluster.ingest(nid, data)
+
+        migrator = cluster.migrate(new)
+        ring = cluster.ring_for(kill_node)
+        if inject:
+            ring.crash_node(kill_node)
+            events.append(f"kill:{kill_node}@window-open")
+
+        window = _round_robin(
+            seeded_pool_workload(nodes, files_per_node, file_kb, seed=seed + 1)
+        )
+        restart_at = len(window) // 2
+        for i, (nid, data) in enumerate(window):
+            if inject and i == restart_at:
+                started = time.perf_counter()
+                ring.restart_node(kill_node)
+                recovery_s = time.perf_counter() - started
+                events.append(f"restart:{kill_node}@window-mid")
+            cluster.ingest(nid, data)
+        migrator.close_window()
+
+        for nid, data in _round_robin(
+            seeded_pool_workload(nodes, files_per_node, file_kb, seed=seed + 2)
+        ):
+            cluster.ingest(nid, data)
+
+        ratio = cluster.combined_stats().dedup_ratio
+        return ratio, migrator.report.as_metrics(), migrator.state, recovery_s
+
+
+def run_migration_scenario(
+    nodes: int = 6,
+    files_per_node: int = 2,
+    file_kb: int = 8,
+    seed: int = 7,
+    gamma: int = 2,
+    lookup_batch: int = 16,
+    skip_baseline: bool = False,
+) -> MigrationChaosReport:
+    """Run the migrate-under-faults scenario and its fault-free twin.
+
+    The kill target is the first member of the ring that loses a node
+    (a *surviving* source-ring member, so its store keeps serving
+    timestamp-bounded dual-lookup probes while one replica is dark).
+    """
+    if gamma < 2:
+        raise ValueError(
+            f"migrate-under-faults needs gamma >= 2 to survive the crash, "
+            f"got {gamma}"
+        )
+    old, new = default_migration_partitions(nodes)
+    kill_node = f"edge-{old[0][0]}"
+    events: list[str] = []
+    ratio, migration, state, recovery_s = _run_migration(
+        nodes, files_per_node, file_kb, seed, gamma, lookup_batch,
+        old, new, True, kill_node, events,
+    )
+    if skip_baseline:
+        baseline, base_migration = ratio, dict(migration)
+    else:
+        baseline, base_migration, _, _ = _run_migration(
+            nodes, files_per_node, file_kb, seed, gamma, lookup_batch,
+            old, new, False, kill_node, [],
+        )
+    return MigrationChaosReport(
+        seed=seed,
+        nodes=nodes,
+        total_files=nodes * files_per_node * 3,
+        events_fired=events,
+        dedup_ratio=ratio,
+        baseline_ratio=baseline,
+        state=state,
+        recovery_time_s=recovery_s,
+        migration=migration,
+        baseline_migration=base_migration,
+    )

@@ -24,7 +24,17 @@ The subcommands cover the workflows a user runs repeatedly:
                         rolling-restart, flapping, partition-heal) against
                         a live WAL-backed ring and check the recovery
                         invariants; exit 1 if any is violated or the final
-                        dedup ratio drifts from the fault-free baseline.
+                        dedup ratio drifts from the fault-free baseline;
+- ``repro replan``    — the full control loop, live: fit the estimator on
+                        sampled files (restarts fanned out over a
+                        ProcessPoolExecutor with ``--workers``), deploy the
+                        SMART plan, ingest, drift the workload, re-fit,
+                        and apply the accepted ReplanDecision as a *live
+                        migration* while ingest continues. ``--check``
+                        re-runs the post-migration segment on a fresh
+                        cluster deployed directly onto the new plan and
+                        requires chunk-for-chunk dedup parity (exit 1 on
+                        mismatch).
 
 All output is plain text on stdout; exit code 0 on success. Invoke as
 ``python -m repro <subcommand>`` (or ``repro`` once installed with an
@@ -116,15 +126,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "scenario",
         nargs="?",
         default="crash-restart",
-        choices=("crash-restart", "rolling-restart", "flapping", "partition-heal"),
-        help="fault schedule to inject (default: crash-restart)",
+        choices=(
+            "crash-restart",
+            "rolling-restart",
+            "flapping",
+            "partition-heal",
+            "migrate-under-faults",
+        ),
+        help="fault schedule to inject (default: crash-restart); "
+        "migrate-under-faults crashes a source-ring node while a live "
+        "migration's dual-lookup window is open",
     )
-    chaos.add_argument("--nodes", type=int, default=3, help="ring members (default 3)")
     chaos.add_argument(
-        "--files", type=int, default=6, help="files ingested per node (default 6)"
+        "--nodes", type=int, default=None,
+        help="ring members (default 3; 6 for migrate-under-faults)",
     )
     chaos.add_argument(
-        "--file-kb", type=int, default=32, help="file size in KiB (default 32)"
+        "--files", type=int, default=None,
+        help="files ingested per node (default 6; 2 per segment for "
+        "migrate-under-faults)",
+    )
+    chaos.add_argument(
+        "--file-kb", type=int, default=None,
+        help="file size in KiB (default 32; 8 for migrate-under-faults)",
     )
     chaos.add_argument("--gamma", type=int, default=2, help="replication factor")
     chaos.add_argument("--seed", type=int, default=7, help="workload seed")
@@ -147,6 +171,66 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--json", default=None, metavar="PATH", dest="report_json",
         help="also write the full chaos report as JSON",
+    )
+
+    replan = sub.add_parser(
+        "replan",
+        help="fit, deploy, drift, re-fit, and live-migrate a running "
+        "cluster to the new plan while ingest continues",
+    )
+    replan.add_argument("--nodes", type=int, default=6, help="edge nodes (default 6)")
+    replan.add_argument("--rings", type=int, default=2, help="D2-rings M (default 2)")
+    replan.add_argument(
+        "--alpha", type=float, default=50.0, help="tradeoff factor (default 50)"
+    )
+    replan.add_argument("--gamma", type=int, default=2, help="replication factor")
+    replan.add_argument(
+        "--files", type=int, default=2, help="sample/ingest files per node (default 2)"
+    )
+    replan.add_argument(
+        "--file-kb", type=int, default=8, help="ingest file size in KiB (default 8)"
+    )
+    replan.add_argument(
+        "--sample-kb", type=int, default=64,
+        help="estimator sample-file size in KiB (default 64; larger samples "
+        "overlap their group pool more, sharpening the fitted vectors)",
+    )
+    replan.add_argument("--seed", type=int, default=7, help="workload + fit seed")
+    replan.add_argument(
+        "--pools", type=int, default=2, help="K pools the estimator fits (default 2)"
+    )
+    replan.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="fan estimator restarts over a ProcessPoolExecutor of N "
+        "processes (default 2; 1 = serial)",
+    )
+    replan.add_argument(
+        "--restarts", type=int, default=2,
+        help="random restarts per estimator fit (default 2)",
+    )
+    replan.add_argument(
+        "--fit-iters", type=int, default=600,
+        help="Nelder-Mead iteration cap per start (default 600)",
+    )
+    replan.add_argument(
+        "--horizon", type=float, default=20.0,
+        help="intervals the new plan must stay valid to amortize the "
+        "churn-aware migration cost (default 20)",
+    )
+    replan.add_argument(
+        "--transport", choices=("inproc", "asyncio"), default="inproc",
+        help="ring transport for the migrated cluster (default inproc)",
+    )
+    replan.add_argument(
+        "--check", action="store_true",
+        help="require a real migration and chunk-for-chunk dedup parity of "
+        "the post-migration segment against a fresh cluster deployed "
+        "directly onto the new plan (exit 1 on mismatch)",
+    )
+    replan.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write the migrated cluster's unified metrics (including "
+        "migration.*) as a repro.metrics/v1 JSON export",
     )
 
     figures = sub.add_parser("figures", help="regenerate the paper's figures")
@@ -397,18 +481,70 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_chaos_migration(args: argparse.Namespace) -> int:
+    from repro.chaos import run_migration_scenario
+
+    nodes = args.nodes if args.nodes is not None else 6
+    files = args.files if args.files is not None else 2
+    file_kb = args.file_kb if args.file_kb is not None else 8
+    print(f"chaos: scenario=migrate-under-faults nodes={nodes} "
+          f"files={files}x{file_kb}KiB/segment seed={args.seed} "
+          f"gamma={args.gamma}")
+    report = run_migration_scenario(
+        nodes=nodes,
+        files_per_node=files,
+        file_kb=file_kb,
+        seed=args.seed,
+        gamma=args.gamma,
+        lookup_batch=args.batch,
+    )
+    print(f"events: {', '.join(report.events_fired) or '(none)'}")
+    mig = report.migration
+    print(f"migration: state={report.state} "
+          f"moved={mig.get('migration.nodes_moved', 0):.0f} "
+          f"streamed={mig.get('migration.entries_streamed', 0):.0f} "
+          f"delta={mig.get('migration.entries_restreamed', 0):.0f} "
+          f"probes={mig.get('migration.dual_lookup_probes', 0):.0f} "
+          f"hits={mig.get('migration.dual_lookup_hits', 0):.0f}")
+    if report.recovery_time_s:
+        print(f"recovery: crashed node rejoined in "
+              f"{report.recovery_time_s * 1e3:.1f}ms mid-window")
+    print(f"dedup_ratio={report.dedup_ratio:.3f} "
+          f"(fault-free migration baseline {report.baseline_ratio:.3f}, "
+          f"match={report.ratio_matches_baseline})")
+    if args.report_json:
+        import json
+
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"report: wrote {args.report_json}")
+    if report.passed:
+        print("chaos: PASS — migration committed under faults and dedup "
+              "matched the fault-free migration baseline")
+        return 0
+    print("chaos: FAIL — "
+          f"state={report.state}, ratio {report.dedup_ratio} vs "
+          f"baseline {report.baseline_ratio}", file=sys.stderr)
+    return 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import run_scenario
 
-    print(f"chaos: scenario={args.scenario} nodes={args.nodes} "
-          f"files={args.files}x{args.file_kb}KiB seed={args.seed} "
+    if args.scenario == "migrate-under-faults":
+        return _cmd_chaos_migration(args)
+    nodes = args.nodes if args.nodes is not None else 3
+    files = args.files if args.files is not None else 6
+    file_kb = args.file_kb if args.file_kb is not None else 32
+    print(f"chaos: scenario={args.scenario} nodes={nodes} "
+          f"files={files}x{file_kb}KiB seed={args.seed} "
           f"gamma={args.gamma}"
           + (f" heartbeat={args.heartbeat_ms:g}ms" if args.heartbeat_ms else ""))
     report = run_scenario(
         args.scenario,
-        nodes=args.nodes,
-        files_per_node=args.files,
-        file_kb=args.file_kb,
+        nodes=nodes,
+        files_per_node=files,
+        file_kb=file_kb,
         seed=args.seed,
         gamma=args.gamma,
         lookup_batch=args.batch,
@@ -454,6 +590,204 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           [f"ratio {report.dedup_ratio} != baseline {report.baseline_ratio}"]),
           file=sys.stderr)
     return 1
+
+
+def _grouped_sample_files(
+    group_of: Sequence[int],
+    files_per_node: int,
+    file_kb: int,
+    seed: int,
+    block_size: int = 4096,
+    pool_blocks: int = 24,
+    affinity: float = 0.95,
+) -> list[list[bytes]]:
+    """Per-source sample files for estimator fitting: each group draws
+    blocks from its own pool with probability ``affinity``, so the fitted
+    characteristic vectors recover the group structure."""
+    import random
+
+    rng = random.Random(seed)
+    n_groups = max(group_of) + 1
+    pools = [
+        [rng.randbytes(block_size) for _ in range(pool_blocks)]
+        for _ in range(n_groups)
+    ]
+    blocks_per_file = max(1, (file_kb * 1024) // block_size)
+    out: list[list[bytes]] = []
+    for g in group_of:
+        files = []
+        for _ in range(files_per_node):
+            blocks = []
+            for _ in range(blocks_per_file):
+                pool = g if rng.random() < affinity else (g + 1) % n_groups
+                blocks.append(rng.choice(pools[pool]))
+            files.append(b"".join(blocks))
+        out.append(files)
+    return out
+
+
+def _fit_fleet_model(args: argparse.Namespace, group_of: Sequence[int], seed: int):
+    """Fit a ChunkPoolModel to grouped sample files and wrap it in the
+    fleet's SNOD2 problem (the estimator half of the control loop)."""
+    from repro.core.model import ChunkPoolModel, SourceSpec
+    from repro.network.costmatrix import latency_cost_matrix
+
+    files_by_source = _grouped_sample_files(
+        group_of, args.files, args.sample_kb, seed
+    )
+    observations = observe_combinations(
+        files_by_source, chunker=FixedSizeChunker(4096)
+    )
+    estimator = CharacteristicEstimator(
+        n_sources=args.nodes,
+        n_pools=args.pools,
+        error_threshold=1.0,
+        restarts=args.restarts,
+        max_iterations=args.fit_iters,
+        seed=seed,
+    )
+    fit = estimator.fit(observations, workers=args.workers)
+    # The fitted vectors carry the group structure; rescale the pool sizes
+    # to a common total so the planner operates at a fixed draws-to-pool
+    # ratio regardless of how many sample chunks the fit saw.
+    scale = 300.0 / sum(fit.pool_sizes)
+    model = ChunkPoolModel(
+        [s * scale for s in fit.pool_sizes],
+        [
+            SourceSpec(index=i, rate=80.0, vector=vec)
+            for i, vec in enumerate(fit.vectors)
+        ],
+    )
+    topo = build_testbed(args.nodes, min(3, args.nodes))
+    from repro.core.costs import SNOD2Problem
+
+    problem = SNOD2Problem(
+        model=model,
+        nu=latency_cost_matrix(topo),
+        duration=2.0,
+        gamma=args.gamma,
+        alpha=args.alpha,
+    )
+    return topo, problem, fit
+
+
+def _cmd_replan(args: argparse.Namespace) -> int:
+    from repro.system.cluster import EFDedupCluster
+    from repro.system.config import EFDedupConfig
+    from repro.system.replanner import RingReplanner
+
+    def fmt_plan(partition) -> str:
+        return " | ".join(",".join(str(v) for v in ring) for ring in partition)
+
+    group_before = [i % 2 for i in range(args.nodes)]
+    group_after = [0 if i < args.nodes // 2 else 1 for i in range(args.nodes)]
+
+    print(f"replan: fitting K={args.pools} pools over {args.nodes} sources "
+          f"(workers={args.workers}, restarts={args.restarts})")
+    topo, problem, fit = _fit_fleet_model(args, group_before, args.seed)
+    print(f"  fit: mse={fit.mse:.4f} ({fit.fit_seconds:.1f}s)")
+
+    replanner = RingReplanner(
+        SmartPartitioner(args.rings),
+        migration_cost="auto",
+        horizon_intervals=args.horizon,
+    )
+    d0 = replanner.observe(problem)
+    config = EFDedupConfig(
+        chunk_size=4096,
+        replication_factor=args.gamma,
+        lookup_batch=16,
+        transport=args.transport,
+        rpc_timeout_s=0.5,
+        rpc_attempts=5,
+    )
+    cluster = EFDedupCluster(topo, problem, config=config)
+    cluster.partition = d0.candidate_partition
+    cluster.deploy()
+    print(f"  deployed: {fmt_plan(cluster.partition)} ({args.transport})")
+    try:
+        seg1 = _seeded_workload(args.nodes, args.files, args.file_kb, args.seed)
+        for node_id, files in seg1.items():
+            for data in files:
+                cluster.ingest(node_id, data)
+        print(f"  segment 1 ingested: dedup_ratio="
+              f"{cluster.combined_stats().dedup_ratio:.3f}")
+
+        print("replan: workload drifted — re-fitting estimator")
+        _, problem2, fit2 = _fit_fleet_model(args, group_after, args.seed + 1)
+        print(f"  re-fit: mse={fit2.mse:.4f} ({fit2.fit_seconds:.1f}s)")
+        decision = replanner.observe(problem2)
+        if not decision.replan or decision.candidate_partition == cluster.partition:
+            print(f"replan: plan unchanged ({decision.reason}); nothing to migrate")
+            return 1 if args.check else 0
+        print(f"  decision: {decision.reason}  "
+              f"saving/interval={decision.saving_per_interval:.1f}  "
+              f"migration_cost={decision.migration_cost:.1f}")
+        print(f"  new plan: {fmt_plan(decision.candidate_partition)}")
+
+        migrator = cluster.migrate(decision, problem=problem2)
+        rep = migrator.report
+        print(f"  migrated: {rep.n_moved} node(s) moved, "
+              f"{rep.entries_streamed} index entries streamed in "
+              f"{rep.stream_wall_s * 1e3:.1f}ms "
+              f"(+{rep.rings_created} ring(s), -{rep.rings_dissolved})")
+
+        # Ingest continues while the dual-lookup window is open: a disjoint
+        # pool, so the post-migration segment is exactly separable.
+        seg2 = _seeded_workload(
+            args.nodes, args.files, args.file_kb, args.seed + 1000
+        )
+        pre = cluster.combined_stats()
+        for node_id, files in seg2.items():
+            for data in files:
+                cluster.ingest(node_id, data)
+        post = cluster.combined_stats()
+        seg2_unique = post.unique_chunks - pre.unique_chunks
+        seg2_raw = post.raw_chunks - pre.raw_chunks
+
+        migrator.close_window()
+        print(f"  window closed: probes={rep.dual_lookup_probes} "
+              f"hits={rep.dual_lookup_hits} "
+              f"delta={rep.entries_restreamed} entries in "
+              f"{rep.close_wall_s * 1e3:.1f}ms")
+        print(f"  final dedup_ratio={cluster.combined_stats().dedup_ratio:.3f}")
+        if args.metrics_json:
+            count = cluster.metrics_hub().dump_json(args.metrics_json)
+            print(f"metrics: wrote {count} series to {args.metrics_json}")
+
+        if not args.check:
+            return 0
+        fresh = EFDedupCluster(topo, problem2, config=config)
+        fresh.partition = decision.candidate_partition
+        fresh.deploy()
+        try:
+            for node_id, files in seg2.items():
+                for data in files:
+                    fresh.ingest(node_id, data)
+            fstats = fresh.combined_stats()
+        finally:
+            fresh.shutdown()
+        moved = rep.n_moved > 0
+        parity = (
+            fstats.unique_chunks == seg2_unique and fstats.raw_chunks == seg2_raw
+        )
+        print(f"check: post-migration segment {seg2_unique}/{seg2_raw} "
+              f"unique/raw chunks vs fresh cluster "
+              f"{fstats.unique_chunks}/{fstats.raw_chunks}")
+        if moved and parity:
+            print("check: PASS — live migration preserved dedup exactly "
+                  "(post-migration segment matches a fresh deployment "
+                  "of the new plan)")
+            return 0
+        print("check: FAIL — "
+              + ("; ".join(filter(None, [
+                  None if moved else "no node actually moved",
+                  None if parity else "post-migration dedup diverged from "
+                  "the fresh-deployment baseline",
+              ]))), file=sys.stderr)
+        return 1
+    finally:
+        cluster.shutdown()
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -527,6 +861,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_live,
         "metrics": _cmd_metrics,
         "chaos": _cmd_chaos,
+        "replan": _cmd_replan,
     }
     return handlers[args.command](args)
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import itertools
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -146,6 +147,53 @@ def observe_combinations(
 # the estimator
 # ---------------------------------------------------------------------- #
 
+# Lower bound on log(s_k − 1). _encode floors tiny pools at log 1e-3 and
+# _decode clips to the same value, so a warm start round-trips exactly
+# (a pool of 1.001 chunks stays 1.001, instead of being silently inflated
+# to exp(−2)+1 ≈ 1.135 the way the old [−2, 30] clip did).
+_LOG_SIZE_MIN = float(np.log(1e-3))
+_LOG_SIZE_MAX = 30.0
+
+
+def _decode_theta(theta: np.ndarray, k: int, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """theta = [log s_k (K), logits (N·K)] → (sizes, vectors)."""
+    sizes = np.exp(np.clip(theta[:k], _LOG_SIZE_MIN, _LOG_SIZE_MAX)) + 1.0  # s_k >= 1
+    logits = theta[k:].reshape(n, k)
+    logits = logits - logits.max(axis=1, keepdims=True)
+    weights = np.exp(logits)
+    vectors = weights / weights.sum(axis=1, keepdims=True)
+    return sizes, vectors
+
+
+def _objective_theta(
+    theta: np.ndarray, observations: Sequence[SubsetObservation], k: int, n: int
+) -> float:
+    sizes, vectors = _decode_theta(theta, k, n)
+    err = 0.0
+    for obs in observations:
+        predicted = expected_ratio_for_draws(sizes, vectors, obs.draws)
+        err += (predicted - obs.measured_ratio) ** 2
+    return err / len(observations)
+
+
+def _minimize_one_start(
+    theta0: np.ndarray,
+    observations: tuple[SubsetObservation, ...],
+    k: int,
+    n: int,
+    max_iterations: int,
+) -> tuple[float, np.ndarray]:
+    """Run one Nelder–Mead descent; top-level so worker processes can pickle
+    the call (``fit(workers=N)`` fans restarts over a ProcessPoolExecutor)."""
+    result = minimize(
+        _objective_theta,
+        theta0,
+        args=(observations, k, n),
+        method="Nelder-Mead",
+        options={"maxiter": max_iterations, "xatol": 1e-6, "fatol": 1e-10},
+    )
+    return float(result.fun), np.asarray(result.x)
+
 
 class CharacteristicEstimator:
     """Fits (s_k, P_i) to subset observations by minimizing ratio MSE.
@@ -187,22 +235,10 @@ class CharacteristicEstimator:
     # -- parameter encoding ------------------------------------------- #
 
     def _decode(self, theta: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """theta = [log s_k (K), logits (N·K)] → (sizes, vectors)."""
-        k, n = self.n_pools, self.n_sources
-        sizes = np.exp(np.clip(theta[:k], -2.0, 30.0)) + 1.0  # s_k >= 1 chunk
-        logits = theta[k:].reshape(n, k)
-        logits = logits - logits.max(axis=1, keepdims=True)
-        weights = np.exp(logits)
-        vectors = weights / weights.sum(axis=1, keepdims=True)
-        return sizes, vectors
+        return _decode_theta(theta, self.n_pools, self.n_sources)
 
     def _objective(self, theta: np.ndarray, observations: Sequence[SubsetObservation]) -> float:
-        sizes, vectors = self._decode(theta)
-        err = 0.0
-        for obs in observations:
-            predicted = expected_ratio_for_draws(sizes, vectors, obs.draws)
-            err += (predicted - obs.measured_ratio) ** 2
-        return err / len(observations)
+        return _objective_theta(theta, observations, self.n_pools, self.n_sources)
 
     def _encode(self, pool_sizes: Sequence[float], vectors: Sequence[Sequence[float]]) -> np.ndarray:
         k, n = self.n_pools, self.n_sources
@@ -228,8 +264,17 @@ class CharacteristicEstimator:
         self,
         observations: Sequence[SubsetObservation],
         warm_start: Optional[EstimationResult] = None,
+        workers: int = 1,
     ) -> EstimationResult:
-        """Fit the model to ``observations`` (Algorithm 1's search step)."""
+        """Fit the model to ``observations`` (Algorithm 1's search step).
+
+        Args:
+            workers: fan the starts (warm start + restarts) out over a
+                ``ProcessPoolExecutor`` of this many processes. The default
+                of 1 keeps the serial path, which also short-circuits a
+                warm-started search as soon as the threshold is met; the
+                parallel path always scores every start and keeps the best.
+        """
         if not observations:
             raise ValueError("need at least one observation")
         for obs in observations:
@@ -244,25 +289,57 @@ class CharacteristicEstimator:
             starts.append(self._encode(warm_start.pool_sizes, warm_start.vectors))
         starts.extend(self._random_start(observations) for _ in range(self.restarts))
 
+        obs_tuple = tuple(observations)
+        k, n = self.n_pools, self.n_sources
         best_theta: Optional[np.ndarray] = None
         best_mse = float("inf")
-        for theta0 in starts:
-            result = minimize(
-                self._objective,
-                theta0,
-                args=(observations,),
-                method="Nelder-Mead",
-                options={"maxiter": self.max_iterations, "xatol": 1e-6, "fatol": 1e-10},
-            )
-            if result.fun < best_mse:
-                best_mse = float(result.fun)
-                best_theta = result.x
-            if best_mse <= self.error_threshold and warm_start is not None:
-                # Warm-started searches "end extremely quickly" (Sec. III-A):
-                # accept as soon as the threshold is met.
-                break
+        if workers > 1 and len(starts) > 1:
+            outcomes = self._fan_out_starts(starts, obs_tuple, workers)
+            for mse, theta in outcomes:
+                if mse < best_mse:
+                    best_mse = mse
+                    best_theta = theta
+        else:
+            for theta0 in starts:
+                mse, theta = _minimize_one_start(
+                    theta0, obs_tuple, k, n, self.max_iterations
+                )
+                if mse < best_mse:
+                    best_mse = mse
+                    best_theta = theta
+                if best_mse <= self.error_threshold and warm_start is not None:
+                    # Warm-started searches "end extremely quickly"
+                    # (Sec. III-A): accept as soon as the threshold is met.
+                    break
         assert best_theta is not None
         return self._build_result(best_theta, observations, started)
+
+    def _fan_out_starts(
+        self,
+        starts: Sequence[np.ndarray],
+        observations: tuple[SubsetObservation, ...],
+        workers: int,
+    ) -> list[tuple[float, np.ndarray]]:
+        """Run every start in a worker process; fall back to serial where
+        process pools are unavailable (restricted sandboxes)."""
+        k, n = self.n_pools, self.n_sources
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(starts))) as pool:
+                return list(
+                    pool.map(
+                        _minimize_one_start,
+                        starts,
+                        itertools.repeat(observations),
+                        itertools.repeat(k),
+                        itertools.repeat(n),
+                        itertools.repeat(self.max_iterations),
+                    )
+                )
+        except (OSError, PermissionError):
+            return [
+                _minimize_one_start(theta0, observations, k, n, self.max_iterations)
+                for theta0 in starts
+            ]
 
     def fit_over_time(
         self,
@@ -293,10 +370,13 @@ class CharacteristicEstimator:
         if not observations:
             raise ValueError("need at least one observation")
         started = time.perf_counter()
+        # 1e-6, not 1e-9: grids built from inexact steps (0.1 in float32,
+        # thirds rounded to 8 decimals) sum to 1 only within ~1e-8, and a
+        # 1e-9 filter silently drops those valid probability rows.
         rows = [
             row
             for row in itertools.product(probability_grid, repeat=self.n_pools)
-            if abs(sum(row) - 1.0) < 1e-9
+            if abs(sum(row) - 1.0) < 1e-6
         ]
         if not rows:
             raise ValueError(

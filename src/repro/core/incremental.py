@@ -28,11 +28,26 @@ from repro.core.costs import SNOD2Problem
 class RingState:
     """Sufficient statistics of one ring under construction."""
 
-    __slots__ = ("members", "joint_log_g", "w", "weighted_nu_to", "nu_to", "storage", "network")
+    __slots__ = (
+        "members",
+        "joint_log_g",
+        "log_g_finite",
+        "log_g_ninf",
+        "w",
+        "weighted_nu_to",
+        "nu_to",
+        "storage",
+        "network",
+    )
 
     def __init__(self, n_pools: int, n_sources: int) -> None:
         self.members: list[int] = []
         self.joint_log_g = np.zeros(n_pools)  # Σ_i log g_ik
+        # Split form of joint_log_g so members can be *removed*: the finite
+        # part subtracts safely, and a per-pool count of −∞ contributions
+        # (fully-covered pools) says when the joint value is −∞ outright.
+        self.log_g_finite = np.zeros(n_pools)
+        self.log_g_ninf = np.zeros(n_pools, dtype=int)
         self.w = 0.0  # W(P) = Σ_i rT_i Σ_{j≠i} ν_ij
         self.weighted_nu_to = np.zeros(n_sources)  # Σ_{i∈P} rT_i ν_i,·
         self.nu_to = np.zeros(n_sources)  # Σ_{j∈P} ν_·,j
@@ -99,10 +114,39 @@ class IncrementalCostEvaluator:
             raise ValueError(f"node {node!r} is already in this ring")
         w_new = ring.w + self.rates_t[node] * ring.nu_to[node] + ring.weighted_nu_to[node]
         ring.members.append(node)
-        ring.joint_log_g = ring.joint_log_g + self.log_g[node]
+        contrib = self.log_g[node]
+        finite = np.isfinite(contrib)
+        ring.log_g_finite = ring.log_g_finite + np.where(finite, contrib, 0.0)
+        ring.log_g_ninf = ring.log_g_ninf + (~finite).astype(int)
+        ring.joint_log_g = np.where(ring.log_g_ninf > 0, -np.inf, ring.log_g_finite)
         ring.w = w_new
         ring.weighted_nu_to = ring.weighted_nu_to + self.rates_t[node] * self.nu[node]
         ring.nu_to = ring.nu_to + self.nu[:, node]
+        self._refresh_costs(ring)
+
+    def remove(self, ring: RingState, node: int) -> None:
+        """Take ``node`` back out of ``ring``, exactly reversing :meth:`add`.
+
+        The joint log-g is kept in split form (finite sum + −∞ count), so a
+        member whose log-g contribution is −∞ (a pool it fully covers) can
+        leave without the ``−∞ − (−∞)`` NaN a naive subtraction would hit.
+        """
+        if node not in ring.members:
+            raise ValueError(f"node {node!r} is not in this ring")
+        ring.members.remove(node)
+        contrib = self.log_g[node]
+        finite = np.isfinite(contrib)
+        ring.log_g_finite = ring.log_g_finite - np.where(finite, contrib, 0.0)
+        ring.log_g_ninf = ring.log_g_ninf - (~finite).astype(int)
+        ring.joint_log_g = np.where(ring.log_g_ninf > 0, -np.inf, ring.log_g_finite)
+        ring.weighted_nu_to = ring.weighted_nu_to - self.rates_t[node] * self.nu[node]
+        ring.nu_to = ring.nu_to - self.nu[:, node]
+        # With the vectors now summed over P \ {v}, the add() increment
+        # reads back exactly: W(P\{v}) = W(P) − rT_v·Σν_vj − Σ rT_i·ν_iv.
+        ring.w = ring.w - self.rates_t[node] * ring.nu_to[node] - ring.weighted_nu_to[node]
+        self._refresh_costs(ring)
+
+    def _refresh_costs(self, ring: RingState) -> None:
         ring.storage = float(
             ((1.0 - np.exp(ring.joint_log_g)) * self.sizes).sum()
         )
@@ -112,12 +156,9 @@ class IncrementalCostEvaluator:
         return ring.storage + self.alpha * ring.network
 
     def rebuild(self, members: list[int]) -> RingState:
-        """Fresh ring state for an explicit member list.
-
-        Used when a node leaves a ring: joint log-g values cannot be
-        subtracted safely (−∞ entries from fully-covered pools), so removal
-        reconstructs the state instead.
-        """
+        """Fresh ring state for an explicit member list — the from-scratch
+        reference for :meth:`remove` (and the cheapest way to seed a state
+        from a saved partition)."""
         ring = self.new_ring()
         for node in members:
             self.add(ring, node)

@@ -115,14 +115,22 @@ def _refine_by_moves(
 ) -> list[RingState]:
     """First-improvement local search: move one node to another ring when
     that strictly lowers the total objective. Empty rings stay usable as
-    move targets; callers drop them at the end."""
+    move targets; callers drop them at the end.
+
+    Each pass iterates on *live* membership — a node moved into a ring
+    earlier in the same pass is reconsidered when the scan reaches its new
+    ring — and removal states come from :meth:`IncrementalCostEvaluator.remove`
+    rather than a per-candidate full rebuild, so one pass costs O(N·M)
+    evaluator calls as the module docstring promises."""
     for _ in range(max_passes):
         improved = False
-        for from_idx in range(len(rings)):
-            ring_from = rings[from_idx]
-            for node in list(ring_from.members):
-                without = evaluator.rebuild([m for m in ring_from.members if m != node])
-                removal_gain = evaluator.ring_cost(ring_from) - evaluator.ring_cost(without)
+        for from_idx, ring_from in enumerate(rings):
+            i = 0
+            while i < len(ring_from.members):
+                node = ring_from.members[i]
+                cost_with = evaluator.ring_cost(ring_from)
+                evaluator.remove(ring_from, node)
+                removal_gain = cost_with - evaluator.ring_cost(ring_from)
                 best_delta = -1e-9  # strict improvement only
                 best_target = -1
                 for to_idx, ring_to in enumerate(rings):
@@ -137,9 +145,15 @@ def _refine_by_moves(
                         best_target = to_idx
                 if best_target >= 0:
                     evaluator.add(rings[best_target], node)
-                    rings[from_idx] = without
-                    ring_from = without
                     improved = True
+                    # members[i] is now the next unseen member; stay put.
+                else:
+                    evaluator.add(ring_from, node)
+                    # add() appends; restore scan position so each original
+                    # member is visited exactly once per pass.
+                    ring_from.members.pop()
+                    ring_from.members.insert(i, node)
+                    i += 1
         if not improved:
             break
     return rings

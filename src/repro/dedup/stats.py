@@ -37,11 +37,17 @@ class DedupStats:
 
     @property
     def dedup_ratio(self) -> float:
-        """Original size / deduplicated size (paper's definition; >= 1.0)."""
+        """Original size / deduplicated size (paper's definition; >= 1.0).
+
+        Zero unique bytes with nonzero raw bytes is a legitimate state:
+        a ring whose index was seeded by a live migration's carried shard
+        can see only duplicates. Its deduplicated size is 0, so the ratio
+        is unbounded — reported as ``inf`` rather than an error.
+        """
         if self.raw_bytes == 0:
             return 1.0
         if self.unique_bytes == 0:
-            raise ValueError("raw bytes recorded but zero unique bytes — impossible run")
+            return float("inf")
         return self.raw_bytes / self.unique_bytes
 
     @property

@@ -112,6 +112,37 @@ class ConsistentHashRing:
         """Yield physical nodes clockwise from ``key``'s token."""
         return self.walk_from_token(key_token(key))
 
+    def primary_token_ranges(self, node_id: str) -> list[tuple[int, int]]:
+        """Half-open ``[lo, hi)`` token intervals primarily owned by
+        ``node_id`` — one per vnode: the interval ``[prev, token)`` reaching
+        back to the previous ring token (:meth:`primary_for_token` resolves
+        a query token to the first ring token *strictly greater*, so the
+        vnode's own token belongs to its successor). Wrap-around at the top
+        of the token space is split into two intervals, so every returned
+        range satisfies ``lo < hi``. This is the unit the live-migration
+        path streams: a moved node's share of its old ring's index is
+        exactly the keys whose tokens fall in these ranges.
+        """
+        if node_id not in self._nodes:
+            raise NoSuchNodeError(f"node {node_id!r} is not on the ring")
+        from repro.kvstore.tokens import TOKEN_SPACE
+
+        if len(self._nodes) == 1:
+            return [(0, TOKEN_SPACE)]
+        ranges: list[tuple[int, int]] = []
+        n = len(self._tokens)
+        for i, token in enumerate(self._tokens):
+            if self._token_owner[token] != node_id:
+                continue
+            prev = self._tokens[(i - 1) % n]
+            lo, hi = prev, token
+            if lo < hi:
+                ranges.append((lo, hi))
+            else:  # wraps past the top of the token space
+                ranges.append((lo, TOKEN_SPACE))
+                ranges.append((0, hi))
+        return ranges
+
     def load_distribution(self, sample_keys: list[str]) -> dict[str, int]:
         """Count how many of ``sample_keys`` each node primarily owns.
 

@@ -344,6 +344,70 @@ class DistributedKVStore:
         """Membership test (a get that discards the value)."""
         return self.get(key, consistency=consistency, coordinator=coordinator) is not None
 
+    def clock_now(self) -> int:
+        """Advance and return the store's logical write clock.
+
+        Every write issued after this call is stamped strictly later, so the
+        returned tick is a clean boundary: the migration cutover records it
+        to separate old-topology claims from writes the ring keeps accepting
+        afterwards (see :meth:`contains_many`'s ``ts_bound``).
+        """
+        return next(self._timestamps)
+
+    def contains_many(
+        self,
+        keys: Iterable[str],
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+        ts_bound: Optional[int] = None,
+    ) -> list[bool]:
+        """Batched membership check — the read-only sibling of
+        :meth:`put_if_absent_many`: contacts are recorded once per distinct
+        coordinator→replica pair and ``batch_rounds`` grows by one.
+
+        With ``ts_bound``, a key only counts as present when some alive
+        replica holds a non-tombstone version stamped at or before the
+        bound. The migration dual-lookup window probes this way: claims the
+        source ring accepted *after* the cutover belong to its own new
+        topology and must not leak into the destination's verdicts. The
+        bounded probe consults every alive replica (exactness over the
+        γ/|P| fast path).
+        """
+        if ts_bound is not None:
+            results = []
+            for key in keys:
+                best = None
+                for replica in self.replicas_for(key):
+                    node = self.nodes[replica]
+                    if not node.is_up:
+                        continue
+                    found = node.local_get(key)
+                    if (
+                        found is not None
+                        and found.timestamp <= ts_bound
+                        and found.newer_than(best)
+                    ):
+                        best = found
+                results.append(best is not None and not best.tombstone)
+                self.stats.reads += 1
+            self.stats.batch_rounds += 1
+            return results
+        contacts: set[tuple[str, str]] = set()
+        results = [
+            self.get(
+                key,
+                consistency=consistency,
+                coordinator=coordinator,
+                _contacts=contacts,
+            )
+            is not None
+            for key in keys
+        ]
+        for pair_coordinator, replica in sorted(contacts):
+            self.stats.record_contact(pair_coordinator, replica)
+        self.stats.batch_rounds += 1
+        return results
+
     def put_if_absent(
         self,
         key: str,
@@ -444,6 +508,74 @@ class DistributedKVStore:
                 ):
                     self.stats.hints_stored += 1
         return was_live
+
+    # ------------------------------------------------------------------ #
+    # migration streaming (operator flow)
+    # ------------------------------------------------------------------ #
+
+    def stream_ranges(
+        self, ranges: Iterable[tuple[int, int]]
+    ) -> list[tuple[str, str, int, bool]]:
+        """Collect every entry whose key token falls in the half-open
+        ``[lo, hi)`` token ``ranges``, newest version winning across all
+        shards (up or down — an operator view, like :meth:`unique_keys`).
+
+        This is the unit live ring migration streams between D2-rings: the
+        caller computes a moved node's primary ranges with
+        :meth:`~repro.kvstore.hashring.ConsistentHashRing.primary_token_ranges`
+        and feeds the rows to the destination store's
+        :meth:`ingest_entries`.
+        """
+        from repro.kvstore.tokens import key_token
+
+        bounds = list(ranges)
+        newest: dict[str, VersionedValue] = {}
+        tokens: dict[str, int] = {}
+        for node in self.nodes.values():
+            for key, stored in node._data.items():
+                token = tokens.get(key)
+                if token is None:
+                    token = tokens[key] = key_token(key)
+                if any(lo <= token < hi for lo, hi in bounds) and stored.newer_than(
+                    newest.get(key)
+                ):
+                    newest[key] = stored
+        return [
+            (key, e.value, e.timestamp, e.tombstone)
+            for key, e in sorted(newest.items())
+        ]
+
+    def ingest_entries(self, entries: Iterable[tuple[str, str, int, bool]]) -> int:
+        """Apply migrated entries (rows from another ring's
+        :meth:`stream_ranges`) to their replica sets at the original
+        timestamps; down replicas receive hints. The local timestamp clock
+        is advanced past the ingested entries so later writes still win
+        last-write-wins against them. Returns the number of rows applied.
+        """
+        applied = 0
+        max_ts = 0
+        for key, value, timestamp, tombstone in entries:
+            timestamp = int(timestamp)
+            max_ts = max(max_ts, timestamp)
+            for replica in self.replicas_for(key):
+                node = self.nodes[replica]
+                if node.is_up:
+                    node.local_put(key, value, timestamp, tombstone=bool(tombstone))
+                elif self.hints.add(
+                    Hint(
+                        target_node=replica,
+                        key=key,
+                        value=value,
+                        timestamp=timestamp,
+                        tombstone=bool(tombstone),
+                    )
+                ):
+                    self.stats.hints_stored += 1
+            applied += 1
+        if applied:
+            tick = next(self._timestamps)
+            self._timestamps = itertools.count(max(tick, max_ts + 1))
+        return applied
 
     # ------------------------------------------------------------------ #
     # introspection

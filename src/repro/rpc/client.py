@@ -336,6 +336,20 @@ class RpcClient:
         await self.call(dst, "ping", src=src)
         return time.perf_counter() - t0
 
+    # -- membership ------------------------------------------------------ #
+
+    def register_node(self, dst: str, host: str, port: int) -> None:
+        """Learn (or update) a peer's address; the connection opens lazily."""
+        self.addresses[dst] = (host, int(port))
+
+    async def forget_node(self, dst: str) -> None:
+        """Drop a decommissioned peer: forget its address and close any
+        pooled connection so no future call can reach it."""
+        self.addresses.pop(dst, None)
+        conn = self._conns.pop(dst, None)
+        if conn is not None:
+            await conn.close()
+
     # -- lifecycle ------------------------------------------------------- #
 
     async def close(self) -> None:

@@ -235,6 +235,51 @@ class LiveKVCluster:
 
             RemoteReplicaRepairer(self.store).repair_node(node_id)
 
+    # ------------------------------------------------------------------ #
+    # live membership (ring-migration support)
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, node_id: str, host: str = "127.0.0.1") -> None:
+        """Grow the cluster by one member without stopping traffic: boot a
+        fresh :class:`NodeServer`, teach the client its address, and let the
+        coordinator stream the newcomer's owned key ranges over the wire
+        (:meth:`RemoteKVStore.add_node`)."""
+        if node_id in self.servers:
+            raise ValueError(f"node {node_id!r} is already a member")
+        server = NodeServer(
+            node=StorageNode(node_id, wal=self._open_wal(node_id)),
+            codec=self._codec,
+            tracer=self._tracer,
+        )
+        address = self._run(server.start(host))
+        self.servers[node_id] = server
+        try:
+            self.store.add_node(node_id, address=address)
+        except BaseException:
+            # Roll back the half-joined server: membership stays as it was.
+            del self.servers[node_id]
+            self._run(server.stop())
+            wal = self.wals.pop(node_id, None)
+            if wal is not None:
+                wal.close()
+            self._run(self.client.forget_node(node_id))
+            raise
+
+    def remove_node(self, node_id: str) -> None:
+        """Decommission a member: the coordinator re-streams its shard to
+        the surviving replica sets, then its server stops and the client
+        forgets the address."""
+        if node_id not in self.servers:
+            raise KeyError(f"unknown node {node_id!r}")
+        self.store.remove_node(node_id)
+        server = self.servers.pop(node_id)
+        self._run(server.stop())
+        wal = self.wals.pop(node_id, None)
+        if wal is not None:
+            wal.close()
+        self._run(self.client.forget_node(node_id))
+        self._killed.discard(node_id)
+
     def close(self) -> None:
         """Tear down heartbeats, client, servers, WALs, and the loop
         thread. Idempotent."""

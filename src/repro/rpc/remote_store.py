@@ -26,7 +26,9 @@ Divergence from the in-process store, by design:
 
 - ``put_if_absent_many`` validates aliveness for *all* keys before applying
   any write (the in-process loop applies keys before the failing one);
-- membership changes (``add_node``/``remove_node``) are not supported live;
+- membership changes stream over the wire: ``add_node`` bootstraps a newly
+  booted server from every reachable peer's dump, ``remove_node``
+  re-pushes the departing member's entries to their new replica sets;
 - a call whose retries run dry raises
   :class:`~repro.rpc.errors.RpcTimeoutError` — a failure mode the
   in-process store cannot have.
@@ -253,17 +255,167 @@ class RemoteKVStore:
     def alive_nodes(self) -> list[str]:
         return [nid for nid in self.nodes if nid not in self._down]
 
-    def add_node(self, node_id: str) -> None:
-        raise NotImplementedError(
-            "live membership changes are not supported yet; plan the ring "
-            "before booting it (transport='inproc' supports add_node)"
-        )
+    def add_node(self, node_id: str, address: Optional[tuple[str, int]] = None) -> None:
+        """Grow the live ring by one member whose server is already running.
+
+        The caller (normally :meth:`~repro.rpc.cluster.LiveKVCluster.add_node`)
+        boots the :class:`~repro.rpc.server.NodeServer` first and passes its
+        ``(host, port)`` here (or registers it on the client beforehand).
+        Keys whose replica set now includes the newcomer are streamed to it
+        from every reachable peer — the same bootstrap semantics as
+        :meth:`~repro.kvstore.store.DistributedKVStore.add_node`, but over
+        ``dump``/``multi_put`` RPCs.
+        """
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id!r} already in the cluster")
+        if address is not None:
+            self._client.addresses[node_id] = (address[0], int(address[1]))
+        if node_id not in self._client.addresses:
+            raise NoSuchNodeError(
+                f"node {node_id!r} has no address; boot its server and pass "
+                "address=(host, port)"
+            )
+        self._sync(self._a_add_node(node_id))
+
+    async def _a_add_node(self, node_id: str) -> None:
+        peers = [n for n in self.nodes if n not in self._down]
+        host, port = self._client.addresses[node_id]
+        self.ring.add_node(node_id)
+        dict.__setitem__(self.nodes, node_id, (host, port))
+        newest: dict[str, VersionedValue] = {}
+        for shard in await asyncio.gather(
+            *(self._client.call(n, "dump") for n in peers)
+        ):
+            for key, row in shard["entries"].items():
+                entry = _entry_from_wire(row)
+                if (
+                    entry is not None
+                    and node_id in self.replicas_for(key)
+                    and entry.newer_than(newest.get(key))
+                ):
+                    newest[key] = entry
+        rows = [
+            [key, e.value, e.timestamp, e.tombstone]
+            for key, e in sorted(newest.items())
+        ]
+        if rows:
+            await self._client.call(node_id, "multi_put", {"entries": rows})
 
     def remove_node(self, node_id: str) -> None:
-        raise NotImplementedError(
-            "live membership changes are not supported yet; plan the ring "
-            "before booting it (transport='inproc' supports remove_node)"
-        )
+        """Decommission ``node_id``, streaming its keys to their new replicas
+        (mirrors :meth:`~repro.kvstore.store.DistributedKVStore.remove_node`;
+        an unreachable member is dropped without streaming and anti-entropy
+        restores replication from the survivors)."""
+        self._check_member(node_id)
+        if len(self.nodes) <= 1:
+            raise ValueError("cannot remove the last member of the ring")
+        self._sync(self._a_remove_node(node_id))
+
+    async def _a_remove_node(self, node_id: str) -> None:
+        departing: dict[str, VersionedValue] = {}
+        if node_id not in self._down:
+            try:
+                result = await self._client.call(node_id, "dump")
+            except RpcError:
+                pass  # crashed mid-decommission: survivors repair later
+            else:
+                for key, row in result["entries"].items():
+                    entry = _entry_from_wire(row)
+                    if entry is not None:
+                        departing[key] = entry
+        self.ring.remove_node(node_id)
+        dict.__delitem__(self.nodes, node_id)
+        self._down.discard(node_id)
+        self._degraded.pop(node_id, None)
+        self.hints.take_for(node_id)  # hints for a gone member are void
+        groups: dict[str, list[list]] = {}
+        for key, entry in sorted(departing.items()):
+            for replica in self.replicas_for(key):
+                if replica not in self._down:
+                    groups.setdefault(replica, []).append(
+                        [key, entry.value, entry.timestamp, entry.tombstone]
+                    )
+        if groups:
+            await self._scatter_put(groups, None)
+
+    # ------------------------------------------------------------------ #
+    # migration streaming (operator flow)
+    # ------------------------------------------------------------------ #
+
+    def stream_ranges(
+        self, ranges: "Iterable[tuple[int, int]]"
+    ) -> list[tuple[str, str, int, bool]]:
+        """Collect every entry whose key token falls in the half-open
+        ``[lo, hi)`` token ``ranges`` — the live twin of
+        :meth:`~repro.kvstore.store.DistributedKVStore.stream_ranges`. Each
+        reachable member is asked for the ranges over the ``fetch_range``
+        RPC (token bounds travel as decimal strings: they overflow msgpack's
+        64-bit integers) and the newest version per key wins.
+        """
+        return self._sync(self._a_stream_ranges(list(ranges)))
+
+    async def _a_stream_ranges(
+        self, ranges: list[tuple[int, int]]
+    ) -> list[tuple[str, str, int, bool]]:
+        wire_ranges = [[str(lo), str(hi)] for lo, hi in ranges]
+        peers = [n for n in self.nodes if n not in self._down]
+
+        async def one(node_id: str):
+            try:
+                result = await self._client.call(
+                    node_id, "fetch_range", {"ranges": wire_ranges}
+                )
+            except RpcError:
+                return []  # unreachable mid-migration: replicas cover it
+            return result["entries"]
+
+        newest: dict[str, VersionedValue] = {}
+        for shard in await asyncio.gather(*(one(n) for n in peers)):
+            for key, value, timestamp, tombstone in shard:
+                entry = VersionedValue(value, int(timestamp), bool(tombstone))
+                if entry.newer_than(newest.get(key)):
+                    newest[key] = entry
+        return [
+            (key, e.value, e.timestamp, e.tombstone)
+            for key, e in sorted(newest.items())
+        ]
+
+    def ingest_entries(self, entries: "Iterable[tuple[str, str, int, bool]]") -> int:
+        """Apply migrated rows to their replica sets at the original
+        timestamps (down replicas get hints); advances the timestamp clock
+        past them. The live twin of
+        :meth:`~repro.kvstore.store.DistributedKVStore.ingest_entries`.
+        """
+        return self._sync(self._a_ingest_entries(list(entries)))
+
+    async def _a_ingest_entries(
+        self, entries: list[tuple[str, str, int, bool]]
+    ) -> int:
+        groups: dict[str, list[list]] = {}
+        max_ts = 0
+        for key, value, timestamp, tombstone in entries:
+            timestamp = int(timestamp)
+            max_ts = max(max_ts, timestamp)
+            row = [key, value, timestamp, bool(tombstone)]
+            for replica in self.replicas_for(key):
+                if replica not in self._down:
+                    groups.setdefault(replica, []).append(row)
+                elif self.hints.add(
+                    Hint(
+                        target_node=replica,
+                        key=key,
+                        value=value,
+                        timestamp=timestamp,
+                        tombstone=bool(tombstone),
+                    )
+                ):
+                    self.stats.hints_stored += 1
+        if groups:
+            await self._scatter_put(groups, None)
+        if entries:
+            tick = next(self._timestamps)
+            self._timestamps = itertools.count(max(tick, max_ts + 1))
+        return len(entries)
 
     # ------------------------------------------------------------------ #
     # placement queries
@@ -473,6 +625,82 @@ class RemoteKVStore:
         coordinator: Optional[str] = None,
     ) -> bool:
         return self.get(key, consistency=consistency, coordinator=coordinator) is not None
+
+    def contains_many(
+        self,
+        keys: Iterable[str],
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+        ts_bound: Optional[int] = None,
+    ) -> list[bool]:
+        """Batched membership check: one ``multi_get`` per consulted node,
+        no writes, no read repair. The read-only sibling of
+        :meth:`put_if_absent_many` (the migration dual-lookup window uses it
+        to probe the old ring without mutating it).
+
+        With ``ts_bound``, a key only counts when some alive replica holds a
+        non-tombstone version stamped at or before the bound, and every
+        alive replica is consulted — the exactness contract of the cutover
+        window (claims the source ring accepts *after* the cutover must not
+        leak into the destination's verdicts).
+        """
+        return self._sync(
+            self._a_contains_many(list(keys), consistency, coordinator, ts_bound)
+        )
+
+    def clock_now(self) -> int:
+        """Advance and return the coordinator's logical write clock (every
+        later write is stamped strictly later); the migration cutover
+        records it as the old-topology/new-topology boundary."""
+        return next(self._timestamps)
+
+    async def _a_contains_many(
+        self,
+        keys: list[str],
+        consistency: Optional[ConsistencyLevel],
+        coordinator: Optional[str],
+        ts_bound: Optional[int] = None,
+    ) -> list[bool]:
+        routes = {
+            key: self._route(key, consistency, coordinator)
+            for key in dict.fromkeys(keys)
+        }
+        if ts_bound is not None:
+            # Exactness over the fast path: consult every alive replica.
+            routes = {
+                key: (replicas, alive, alive)
+                for key, (replicas, alive, _) in routes.items()
+            }
+        read_groups: dict[str, list[str]] = {}
+        for key, (_, _, consulted) in routes.items():
+            for node_id in consulted:
+                read_groups.setdefault(node_id, []).append(key)
+        by_node = await self._scatter_get(read_groups, coordinator)
+        present: dict[str, bool] = {}
+        contacts: set[tuple[str, str]] = set()
+        for key, (_, _, consulted) in routes.items():
+            best: Optional[VersionedValue] = None
+            for node_id in consulted:
+                found = by_node[node_id].get(key)
+                if found is None or not found.newer_than(best):
+                    continue
+                if ts_bound is not None and found.timestamp > ts_bound:
+                    continue
+                best = found
+            present[key] = best is not None and not best.tombstone
+            if coordinator is not None:
+                contacts.update((coordinator, node_id) for node_id in consulted)
+        for key in keys:
+            self.stats.reads += 1
+            if coordinator is not None:
+                if coordinator in routes[key][2]:
+                    self.stats.local_reads += 1
+                else:
+                    self.stats.remote_reads += 1
+        for pair_coordinator, replica in sorted(contacts):
+            self.stats.record_contact(pair_coordinator, replica)
+        self.stats.batch_rounds += 1
+        return [present[key] for key in keys]
 
     def put_if_absent(
         self,

@@ -283,6 +283,24 @@ class NodeServer:
         ]
         return {"entries": entries}
 
+    def _op_fetch_range(self, params: dict) -> dict:
+        """Token-range scan — the ring-migration sibling of ``repair_range``.
+
+        Bounds travel as decimal strings: tokens live in [0, 2**127), which
+        overflows msgpack's 64-bit integers. Reads the shard directly
+        (operator flow like ``dump``), so a down replica can still be
+        drained.
+        """
+        from repro.kvstore.tokens import key_token
+
+        ranges = [(int(lo), int(hi)) for lo, hi in params["ranges"]]
+        entries = []
+        for key, stored in self.node._data.items():
+            token = key_token(key)
+            if any(lo <= token < hi for lo, hi in ranges):
+                entries.append([key, stored.value, stored.timestamp, stored.tombstone])
+        return {"entries": entries}
+
     _HANDLERS = {
         "ping": _op_ping,
         "multi_get": _op_multi_get,
@@ -293,4 +311,5 @@ class NodeServer:
         "stats": _op_stats,
         "merkle_tree": _op_merkle_tree,
         "repair_range": _op_repair_range,
+        "fetch_range": _op_fetch_range,
     }

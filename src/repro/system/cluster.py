@@ -61,6 +61,14 @@ class EFDedupCluster:
         self.partition: Optional[Partition] = None
         self.rings: list[D2Ring] = []
         self._ring_of: dict[str, D2Ring] = {}
+        # Stats of agents torn down by live migration (their nodes moved
+        # rings); merged into combined_stats so accounting never resets.
+        self._carryover_stats = DedupStats()
+        # Dissolved rings whose stores must outlive the cutover to serve
+        # the dual-lookup window; drained by LiveMigrator.close_window or,
+        # failing that, by shutdown().
+        self._retired_rings: list[D2Ring] = []
+        self.last_migration = None  # the most recent MigrationReport
 
     # ------------------------------------------------------------------ #
     # planning
@@ -112,6 +120,9 @@ class EFDedupCluster:
         """
         for ring in self.rings:
             ring.close()
+        for ring in self._retired_rings:
+            ring.close()
+        self._retired_rings.clear()
 
     def __enter__(self) -> "EFDedupCluster":
         return self
@@ -132,11 +143,31 @@ class EFDedupCluster:
         return self.ring_for(node_id).ingest(node_id, data)
 
     # ------------------------------------------------------------------ #
+    # live migration
+    # ------------------------------------------------------------------ #
+
+    def migrate(self, target, problem=None, tracer=None):
+        """Apply a :class:`~repro.system.replanner.ReplanDecision` (or raw
+        partition) to the deployed rings without stopping ingest.
+
+        Returns the :class:`~repro.system.migration.LiveMigrator` in its
+        DUAL_LOOKUP state; call ``close_window()`` on it to commit once
+        in-flight traffic has drained. See
+        :class:`~repro.system.migration.LiveMigrator` for the cutover
+        protocol.
+        """
+        from repro.system.migration import LiveMigrator
+
+        migrator = LiveMigrator(self, tracer=tracer)
+        migrator.migrate(target, problem=problem)
+        return migrator
+
+    # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
 
     def combined_stats(self) -> DedupStats:
-        total = DedupStats()
+        total = self._carryover_stats
         for ring in self.rings:
             total = total.merge(ring.combined_stats())
         return total
@@ -171,6 +202,17 @@ class EFDedupCluster:
                 "stored_bytes": float(cloud.stored_bytes),
                 "stored_chunks": float(cloud.stored_chunks),
             },
+        )
+        hub.register(
+            "migration",
+            lambda: (
+                {
+                    k.removeprefix("migration."): v
+                    for k, v in self.last_migration.as_metrics().items()
+                }
+                if self.last_migration is not None
+                else {}
+            ),
         )
         return hub
 

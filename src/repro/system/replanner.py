@@ -31,7 +31,13 @@ from repro.core.partitioning.base import Partitioner
 
 @dataclass(frozen=True)
 class ReplanDecision:
-    """Outcome of one re-planning evaluation."""
+    """Outcome of one re-planning evaluation.
+
+    ``migration_cost`` is the one-off cost the decision was gated on — the
+    configured constant, or the churn-aware estimate when the replanner
+    runs with ``migration_cost="auto"`` (0 for the initial plan, where
+    there is nothing to migrate from).
+    """
 
     replan: bool
     current_cost: float
@@ -39,6 +45,7 @@ class ReplanDecision:
     candidate_partition: Partition
     saving_per_interval: float
     reason: str
+    migration_cost: float = 0.0
 
 
 class RingReplanner:
@@ -48,25 +55,44 @@ class RingReplanner:
         partitioner: the planning algorithm (typically SMART).
         migration_cost: one-off cost of moving to a new partition, in the
             same units as the SNOD2 objective (index rebuild + re-streaming).
+            Pass the string ``"auto"`` to price each decision from the actual
+            plan diff instead — proportional to the nodes moved and the
+            index chunks they re-stream
+            (:func:`~repro.system.migration.estimate_migration_cost`).
         horizon_intervals: intervals the new plan is expected to stay valid;
             the migration cost is amortized over this horizon.
+        history_limit: cap on retained :class:`ReplanDecision` records; a
+            long-lived control loop keeps the most recent ones only.
     """
 
     def __init__(
         self,
         partitioner: Partitioner,
-        migration_cost: float = 0.0,
+        migration_cost: float | str = 0.0,
         horizon_intervals: float = 10.0,
+        history_limit: int = 256,
     ) -> None:
-        if migration_cost < 0:
-            raise ValueError(f"migration_cost must be >= 0, got {migration_cost!r}")
+        if isinstance(migration_cost, str):
+            if migration_cost != "auto":
+                raise ValueError(
+                    f"migration_cost must be a number or 'auto', got {migration_cost!r}"
+                )
+            self.auto_migration_cost = True
+            migration_cost = 0.0
+        else:
+            if migration_cost < 0:
+                raise ValueError(f"migration_cost must be >= 0, got {migration_cost!r}")
+            self.auto_migration_cost = False
         if horizon_intervals <= 0:
             raise ValueError(
                 f"horizon_intervals must be positive, got {horizon_intervals!r}"
             )
+        if history_limit < 1:
+            raise ValueError(f"history_limit must be >= 1, got {history_limit!r}")
         self.partitioner = partitioner
         self.migration_cost = migration_cost
         self.horizon_intervals = horizon_intervals
+        self.history_limit = history_limit
         self.current_partition: Optional[Partition] = None
         self.history: list[ReplanDecision] = []
 
@@ -80,59 +106,61 @@ class RingReplanner:
         candidate = self.partitioner.partition_checked(problem)
         candidate_cost = problem.total_cost(candidate)
         if self.current_partition is None:
-            decision = ReplanDecision(
-                replan=True,
-                current_cost=float("inf"),
-                candidate_cost=candidate_cost,
-                candidate_partition=candidate,
-                saving_per_interval=float("inf"),
-                reason="initial plan",
+            return self._record(
+                ReplanDecision(
+                    replan=True,
+                    current_cost=float("inf"),
+                    candidate_cost=candidate_cost,
+                    candidate_partition=candidate,
+                    saving_per_interval=float("inf"),
+                    reason="initial plan",
+                ),
+                adopt=True,
             )
-            self.current_partition = candidate
-            self.history.append(decision)
-            return decision
         if not self._partition_still_valid(problem):
             # Node count changed: the old plan cannot even be evaluated.
-            decision = ReplanDecision(
-                replan=True,
-                current_cost=float("inf"),
-                candidate_cost=candidate_cost,
-                candidate_partition=candidate,
-                saving_per_interval=float("inf"),
-                reason="fleet membership changed",
+            return self._record(
+                ReplanDecision(
+                    replan=True,
+                    current_cost=float("inf"),
+                    candidate_cost=candidate_cost,
+                    candidate_partition=candidate,
+                    saving_per_interval=float("inf"),
+                    reason="fleet membership changed",
+                ),
+                adopt=True,
             )
-            self.current_partition = candidate
-            self.history.append(decision)
-            return decision
+        if self.auto_migration_cost:
+            from repro.system.migration import estimate_migration_cost
+
+            self.migration_cost = estimate_migration_cost(
+                problem, self.current_partition, candidate
+            )
         current_cost = problem.total_cost(self.current_partition)
         saving = current_cost - candidate_cost
         amortized_bar = self.migration_cost / self.horizon_intervals
-        if saving > amortized_bar:
-            decision = ReplanDecision(
-                replan=True,
-                current_cost=current_cost,
-                candidate_cost=candidate_cost,
-                candidate_partition=candidate,
-                saving_per_interval=saving,
-                reason=(
-                    f"saving {saving:.1f}/interval exceeds amortized migration "
-                    f"cost {amortized_bar:.1f}"
-                ),
-            )
-            self.current_partition = candidate
-        else:
-            decision = ReplanDecision(
-                replan=False,
-                current_cost=current_cost,
-                candidate_cost=candidate_cost,
-                candidate_partition=candidate,
-                saving_per_interval=saving,
-                reason=(
-                    f"saving {saving:.1f}/interval below amortized migration "
-                    f"cost {amortized_bar:.1f}"
-                ),
-            )
+        replan = saving > amortized_bar
+        decision = ReplanDecision(
+            replan=replan,
+            current_cost=current_cost,
+            candidate_cost=candidate_cost,
+            candidate_partition=candidate,
+            saving_per_interval=saving,
+            reason=(
+                f"saving {saving:.1f}/interval "
+                f"{'exceeds' if replan else 'below'} amortized migration "
+                f"cost {amortized_bar:.1f}"
+            ),
+            migration_cost=self.migration_cost,
+        )
+        return self._record(decision, adopt=replan)
+
+    def _record(self, decision: ReplanDecision, adopt: bool) -> ReplanDecision:
+        if adopt:
+            self.current_partition = decision.candidate_partition
         self.history.append(decision)
+        if len(self.history) > self.history_limit:
+            del self.history[: -self.history_limit]
         return decision
 
     def _partition_still_valid(self, problem: SNOD2Problem) -> bool:

@@ -357,23 +357,33 @@ class D2Ring:
 
         The index store re-streams affected key ranges to the newcomer
         (Cassandra-style bootstrap), and a fresh agent starts on the node.
+        On live rings this boots a real TCP server for the newcomer and
+        streams its ranges over the wire.
         """
         if node_id in self.agents:
             raise ValueError(f"node {node_id!r} is already in ring {self.ring_id!r}")
-        self.store.add_node(node_id)  # live transport raises NotImplementedError
+        if self._live is not None:
+            self._live.add_node(node_id)
+        else:
+            self.store.add_node(node_id)
         self.members.append(node_id)
         self._make_agent(node_id)
 
     def remove_member(self, node_id: str) -> None:
         """Decommission a member; its index shard streams to the remaining
-        replicas before it leaves. At least one member must remain."""
+        replicas before it leaves. At least one member must remain. On live
+        rings the departing member's server stops afterwards."""
         if node_id not in self.agents:
             raise KeyError(f"node {node_id!r} is not in ring {self.ring_id!r}")
         if len(self.members) == 1:
             raise ValueError(f"cannot remove the last member of ring {self.ring_id!r}")
-        self.store.remove_node(node_id)
+        if self._live is not None:
+            self._live.remove_node(node_id)
+        else:
+            self.store.remove_node(node_id)
         self.members.remove(node_id)
         del self.agents[node_id]
+        del self.ring_indexes[node_id]
 
     # ------------------------------------------------------------------ #
     # failure injection

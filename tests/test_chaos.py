@@ -13,9 +13,11 @@ from repro.chaos import (
     get_scenario,
     partition_heal,
     rolling_restart,
+    run_migration_scenario,
     run_scenario,
     seeded_pool_workload,
 )
+from repro.chaos.migration_scenario import default_migration_partitions
 from repro.system.config import EFDedupConfig
 from repro.system.ring import D2Ring
 
@@ -154,3 +156,31 @@ class TestRunScenario:
         )
         assert report.passed
         assert any(e.startswith("auto-restart:") for e in report.events_fired)
+
+
+class TestMigrationScenario:
+    def test_default_partitions_move_one_node(self):
+        old, new = default_migration_partitions(6)
+        assert old == [[0, 1, 2], [3, 4, 5]]
+        assert new == [[0, 1], [2, 3, 4, 5]]
+        with pytest.raises(ValueError, match="nodes"):
+            default_migration_partitions(3)
+
+    def test_migrate_under_faults_matches_fault_free_migration(self):
+        report = run_migration_scenario(seed=7)
+        assert report.passed
+        assert report.state == "COMMITTED"
+        assert report.dedup_ratio == report.baseline_ratio > 1.0
+        assert report.events_fired == [
+            "kill:edge-0@window-open", "restart:edge-0@window-mid",
+        ]
+        assert report.recovery_time_s > 0
+        assert report.migration["migration.nodes_moved"] == 1.0
+        assert report.migration["migration.entries_streamed"] > 0
+        doc = report.as_dict()
+        assert doc["passed"] is True
+        assert doc["scenario"] == "migrate-under-faults"
+
+    def test_gamma_floor_rejected(self):
+        with pytest.raises(ValueError, match="gamma"):
+            run_migration_scenario(gamma=1)

@@ -1,5 +1,8 @@
 """Tests for Algorithm 1: characteristic-vector estimation."""
 
+import itertools
+
+import numpy as np
 import pytest
 
 from repro.chunking.fixed import FixedSizeChunker
@@ -199,6 +202,74 @@ class TestGridFit:
         est = CharacteristicEstimator(n_sources=1, n_pools=1)
         with pytest.raises(ValueError):
             est.grid_fit([], size_grid=[10.0], probability_grid=[1.0])
+
+    def test_inexact_step_grid_rows_survive(self):
+        """Regression: a 0.1-step grid materialized in float32 has rows
+        (e.g. 0.1 + 0.2 + 0.7) whose float sum misses 1.0 by ~7e-9; the
+        old ``< 1e-9`` row filter rejected every one of them and grid_fit
+        raised "admits no rows summing to 1" on a perfectly valid grid."""
+        grid = [float(np.float32(v)) for v in (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)]
+        deviations = [
+            abs(sum(row) - 1.0)
+            for row in itertools.product(grid, repeat=3)
+            if abs(sum(row) - 1.0) < 1e-6
+        ]
+        assert deviations, "grid must admit rows under the loosened filter"
+        assert all(d > 1e-9 for d in deviations), (
+            "every admitted row must be one the old 1e-9 filter rejected"
+        )
+        obs = [SubsetObservation(draws=(30.0,), measured_ratio=1.4)]
+        est = CharacteristicEstimator(n_sources=1, n_pools=3, error_threshold=10.0)
+        fit = est.grid_fit(obs, size_grid=[20.0, 60.0], probability_grid=grid)
+        for vec in fit.vectors:
+            assert sum(vec) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestEncodeDecodeRoundTrip:
+    def test_small_pool_warm_start_round_trips(self):
+        """Regression: _encode floors log(s − 1) at log 1e-3 ≈ −6.9, but
+        _decode used to clip theta at −2, silently inflating a warm-start
+        pool of 1.05 chunks to exp(−2) + 1 ≈ 1.135 before optimization."""
+        est = CharacteristicEstimator(n_sources=2, n_pools=2, seed=0)
+        sizes = (1.05, 200.0)
+        vectors = ((0.9, 0.1), (0.2, 0.8))
+        out_sizes, out_vectors = est._decode(est._encode(sizes, vectors))
+        assert tuple(out_sizes) == pytest.approx(sizes, rel=1e-9)
+        for got, want in zip(out_vectors, vectors):
+            assert tuple(got) == pytest.approx(want, rel=1e-6)
+
+    def test_round_trip_property(self):
+        """encode→decode is the identity for any pool sizes above the
+        1 + 1e-3 encoding floor and any strictly positive probability rows."""
+        rng = np.random.default_rng(42)
+        est = CharacteristicEstimator(n_sources=3, n_pools=3, seed=0)
+        for _ in range(50):
+            sizes = tuple(1.001 + float(x) for x in rng.uniform(1e-3, 1e6, size=3))
+            raw = rng.uniform(1e-6, 1.0, size=(3, 3))
+            vectors = tuple(tuple(row / row.sum()) for row in raw)
+            out_sizes, out_vectors = est._decode(est._encode(sizes, vectors))
+            assert tuple(out_sizes) == pytest.approx(sizes, rel=1e-9)
+            for got, want in zip(out_vectors, vectors):
+                assert tuple(got) == pytest.approx(want, rel=1e-6)
+
+
+class TestParallelFit:
+    def test_workers_match_serial_quality(self):
+        """fit(workers=2) fans the restarts over processes and must land a
+        fit of the same quality as the serial path on the same seed."""
+        pool_sizes = [100.0, 300.0]
+        vectors = [[0.7, 0.3], [0.2, 0.8]]
+        obs = model_observations(pool_sizes, vectors, [150.0, 150.0])
+
+        def fresh():
+            return CharacteristicEstimator(
+                n_sources=2, n_pools=2, error_threshold=1e-4, restarts=4, seed=0
+            )
+
+        serial = fresh().fit(obs)
+        parallel = fresh().fit(obs, workers=2)
+        assert parallel.mse == pytest.approx(serial.mse, abs=1e-6)
+        assert parallel.mse < 1e-3
 
 
 class TestEndToEndOnGeneratedFlows:

@@ -94,3 +94,77 @@ class TestAgreementWithDirect:
         assert evaluator.ring_cost(ring) == pytest.approx(
             problem.ring_cost(members), rel=1e-8, abs=1e-8
         )
+
+
+class TestRemove:
+    def test_remove_reverses_add(self):
+        problem = random_problem(5)
+        evaluator = IncrementalCostEvaluator(problem)
+        ring = evaluator.new_ring()
+        for v in (0, 3, 6, 2):
+            evaluator.add(ring, v)
+        evaluator.remove(ring, 3)
+        assert ring.members == [0, 6, 2]
+        assert ring.storage == pytest.approx(problem.storage_cost([0, 6, 2]), rel=1e-9)
+        assert ring.network == pytest.approx(problem.network_cost([0, 6, 2]), rel=1e-9)
+
+    def test_remove_missing_member_rejected(self):
+        problem = random_problem(0)
+        evaluator = IncrementalCostEvaluator(problem)
+        ring = evaluator.new_ring()
+        evaluator.add(ring, 1)
+        with pytest.raises(ValueError, match="not in this ring"):
+            evaluator.remove(ring, 2)
+
+    def test_remove_survives_fully_covered_pool(self):
+        """Regression: a member whose vector fully covers a pool contributes
+        −∞ to the joint log-g; removing it must not NaN-poison the state
+        (the reason removal used to require a full rebuild)."""
+        from repro.core.model import SourceSpec
+
+        sources = [
+            SourceSpec(index=0, rate=100.0, vector=(1.0, 0.0)),
+            SourceSpec(index=1, rate=80.0, vector=(0.2, 0.8)),
+            SourceSpec(index=2, rate=60.0, vector=(0.1, 0.9)),
+        ]
+        model = ChunkPoolModel([1.0, 500.0], sources)
+        nu = np.zeros((3, 3))
+        nu[0, 1] = nu[1, 0] = 0.05
+        problem = SNOD2Problem(model=model, nu=nu, duration=1.0, gamma=1, alpha=1.0)
+        evaluator = IncrementalCostEvaluator(problem)
+        ring = evaluator.new_ring()
+        for v in (0, 1, 2):
+            evaluator.add(ring, v)
+        assert np.isneginf(ring.joint_log_g[0])
+        evaluator.remove(ring, 0)  # the −∞ contributor leaves
+        assert np.all(np.isfinite(ring.joint_log_g))
+        assert ring.storage == pytest.approx(problem.storage_cost([1, 2]), rel=1e-9)
+        evaluator.remove(ring, 2)
+        assert ring.storage == pytest.approx(problem.storage_cost([1]), rel=1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_remove_matches_rebuild_property(self, seed):
+        """Random add/remove interleavings must agree with a from-scratch
+        rebuild of the same membership."""
+        problem = random_problem(seed, n=6, k=3)
+        evaluator = IncrementalCostEvaluator(problem)
+        ring = evaluator.new_ring()
+        rng = np.random.default_rng(seed)
+        outside = list(range(6))
+        rng.shuffle(outside)
+        for _ in range(12):
+            if ring.members and (not outside or rng.random() < 0.5):
+                node = int(rng.choice(ring.members))
+                evaluator.remove(ring, node)
+                outside.append(node)
+            else:
+                node = outside.pop()
+                evaluator.add(ring, node)
+            reference = evaluator.rebuild(list(ring.members))
+            assert evaluator.ring_cost(ring) == pytest.approx(
+                evaluator.ring_cost(reference), rel=1e-8, abs=1e-8
+            )
+            np.testing.assert_allclose(
+                ring.nu_to, reference.nu_to, rtol=1e-8, atol=1e-10
+            )

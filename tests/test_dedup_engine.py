@@ -83,6 +83,14 @@ class TestDedupStats:
     def test_empty_ratio_is_one(self):
         assert DedupStats().dedup_ratio == 1.0
 
+    def test_all_duplicate_ratio_is_inf(self):
+        """Legitimate after live migration seeds a ring's index with a
+        carried shard: every chunk the ring ever sees can be a duplicate."""
+        s = DedupStats()
+        s.record_chunk(100, False)
+        assert s.dedup_ratio == float("inf")
+        assert s.as_dict()["dedup_ratio"] == float("inf")
+
     def test_space_savings(self):
         s = DedupStats()
         s.record_chunk(100, True)

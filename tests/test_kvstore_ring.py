@@ -116,6 +116,55 @@ class TestConsistentHashRing:
             ConsistentHashRing(vnodes=0)
 
 
+class TestPrimaryTokenRanges:
+    def _ring(self, n: int, vnodes: int = 16) -> ConsistentHashRing:
+        ring = ConsistentHashRing(vnodes=vnodes)
+        for i in range(n):
+            ring.add_node(f"n{i}")
+        return ring
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(NoSuchNodeError):
+            self._ring(3).primary_token_ranges("ghost")
+
+    def test_single_node_owns_whole_space(self):
+        ring = ConsistentHashRing()
+        ring.add_node("only")
+        assert ring.primary_token_ranges("only") == [(0, TOKEN_SPACE)]
+
+    def test_ranges_tile_the_token_space(self):
+        """Per-node primary ranges are disjoint and their union is exactly
+        [0, TOKEN_SPACE) — every token has one owner."""
+        ring = self._ring(4)
+        ranges = [r for n in ring.nodes for r in ring.primary_token_ranges(n)]
+        ranges.sort()
+        total = 0
+        prev_hi = 0
+        for lo, hi in ranges:
+            assert lo < hi
+            assert lo >= prev_hi  # disjoint
+            prev_hi = hi
+            total += hi - lo
+        assert total == TOKEN_SPACE
+
+    def test_ranges_agree_with_primary_for_token(self):
+        ring = self._ring(5)
+        for node in ring.nodes:
+            for lo, hi in ring.primary_token_ranges(node):
+                assert ring.primary_for_token(lo) == node
+                assert ring.primary_for_token(hi - 1) == node
+                assert ring.primary_for_token((lo + hi) // 2) == node
+
+    def test_key_tokens_route_to_owning_range(self):
+        ring = self._ring(3)
+        for i in range(200):
+            token = key_token(f"key-{i}")
+            owner = ring.primary_for_token(token)
+            assert any(
+                lo <= token < hi for lo, hi in ring.primary_token_ranges(owner)
+            )
+
+
 class TestReplication:
     def _ring(self, n: int) -> ConsistentHashRing:
         ring = ConsistentHashRing()

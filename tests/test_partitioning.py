@@ -155,6 +155,106 @@ class TestSmart:
         assert canonical_form(partition) == ((0, 2), (1, 3))
 
 
+def _snapshot_refine(evaluator, rings, max_passes):
+    """The pre-fix refine loop (per-ring member snapshot + rebuild per
+    candidate), kept verbatim as the behavioral reference: the rewritten
+    pass must make identical move decisions, just without the rebuilds."""
+    for _ in range(max_passes):
+        improved = False
+        for from_idx in range(len(rings)):
+            ring_from = rings[from_idx]
+            for node in list(ring_from.members):
+                without = evaluator.rebuild(
+                    [m for m in ring_from.members if m != node]
+                )
+                removal_gain = evaluator.ring_cost(ring_from) - evaluator.ring_cost(without)
+                best_delta = -1e-9
+                best_target = -1
+                for to_idx, ring_to in enumerate(rings):
+                    if to_idx == from_idx:
+                        continue
+                    add_cost = float(
+                        evaluator.candidate_deltas(ring_to, np.asarray([node]))[0]
+                    )
+                    delta = add_cost - removal_gain
+                    if delta < best_delta:
+                        best_delta = delta
+                        best_target = to_idx
+                if best_target >= 0:
+                    evaluator.add(rings[best_target], node)
+                    rings[from_idx] = without
+                    ring_from = without
+                    improved = True
+        if not improved:
+            break
+    return rings
+
+
+class TestRefineByMoves:
+    def _random_problem(self, seed, n=12, alpha=5.0):
+        rng = np.random.default_rng(seed)
+        from repro.core.model import SourceSpec
+
+        vectors = rng.dirichlet(np.ones(3), size=n)
+        sources = [
+            SourceSpec(index=i, rate=float(rng.uniform(10, 200)), vector=tuple(vectors[i]))
+            for i in range(n)
+        ]
+        model = ChunkPoolModel(list(rng.uniform(50, 500, size=3)), sources)
+        lat = rng.uniform(0, 0.2, size=(n, n))
+        nu = np.triu(lat, 1)
+        nu = nu + nu.T
+        return SNOD2Problem(model=model, nu=nu, duration=2.0, gamma=2, alpha=alpha)
+
+    def test_refine_does_no_rebuilds(self, medium_problem, monkeypatch):
+        """Regression: the old pass called evaluator.rebuild once per member
+        per candidate evaluation — O(N) full reconstructions per pass. The
+        incremental remove() path must not rebuild at all, so a refine pass
+        costs O(N·M) evaluator calls as the module docstring documents."""
+        from repro.core.incremental import IncrementalCostEvaluator
+
+        calls = {"n": 0}
+        original = IncrementalCostEvaluator.rebuild
+
+        def counting(self, members):
+            calls["n"] += 1
+            return original(self, members)
+
+        monkeypatch.setattr(IncrementalCostEvaluator, "rebuild", counting)
+        SmartPartitioner(3, refine_passes=2).partition_checked(medium_problem)
+        assert calls["n"] == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("m", [3, 4])
+    def test_matches_snapshot_reference(self, seed, m):
+        """The incremental pass must reach a cost no worse than the old
+        snapshot-and-rebuild implementation on the same greedy start."""
+        from repro.core.incremental import IncrementalCostEvaluator
+        from repro.core.partitioning.smart import _refine_by_moves
+
+        problem = self._random_problem(seed)
+
+        def run(refine):
+            evaluator = IncrementalCostEvaluator(problem)
+            rings = [evaluator.new_ring() for _ in range(m)]
+            SmartPartitioner._fill_joint(
+                evaluator, rings, list(range(problem.n_sources))
+            )
+            rings = refine(evaluator, rings, 2)
+            return sum(evaluator.ring_cost(r) for r in rings if r.members)
+
+        assert run(_refine_by_moves) <= run(_snapshot_refine) + 1e-6
+
+    def test_refine_never_hurts(self, medium_problem):
+        refined = medium_problem.total_cost(
+            SmartPartitioner(3, refine_passes=2).partition_checked(medium_problem)
+        )
+        bare = medium_problem.total_cost(
+            SmartPartitioner(3, refine_passes=0).partition_checked(medium_problem)
+        )
+        assert refined <= bare + 1e-9
+
+
 class TestMatching:
     def test_invalid_args(self):
         with pytest.raises(ValueError):

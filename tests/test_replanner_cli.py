@@ -109,6 +109,21 @@ class TestRingReplanner:
         replanner.observe(problem)
         assert len(replanner.history) == 2
 
+    def test_history_bounded_keeps_most_recent(self):
+        """A long-lived control loop must not grow history without bound."""
+        replanner = RingReplanner(SmartPartitioner(2), history_limit=3)
+        problem = problem_for(base_model())
+        for _ in range(7):
+            replanner.observe(problem)
+        assert len(replanner.history) == 3
+        # The retained records are the most recent ones: only the very first
+        # observation is the "initial plan".
+        assert all(d.reason != "initial plan" for d in replanner.history)
+
+    def test_history_limit_validated(self):
+        with pytest.raises(ValueError):
+            RingReplanner(SmartPartitioner(2), history_limit=0)
+
 
 class TestCLI:
     def test_plan_command(self, capsys):
@@ -140,3 +155,28 @@ class TestCLI:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             cli_main([])
+
+    def test_replan_command_check(self, capsys, tmp_path):
+        metrics = tmp_path / "replan_metrics.json"
+        rc = cli_main(
+            [
+                "replan",
+                "--restarts",
+                "1",
+                "--fit-iters",
+                "400",
+                "--workers",
+                "2",
+                "--seed",
+                "11",
+                "--check",
+                "--metrics-json",
+                str(metrics),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "migrated:" in out
+        assert "window closed:" in out
+        assert "check: PASS" in out
+        assert metrics.exists()

@@ -116,10 +116,27 @@ class TestRingTransportWiring:
         assert ring.live_cluster is None
         ring.close()
 
-    def test_live_ring_rejects_membership_growth(self):
+    def test_live_ring_membership_grows_and_shrinks(self):
+        """Live rings now support membership changes over the wire: a
+        newcomer boots a real server and bootstraps its key ranges; a
+        departing member streams its shard out before stopping."""
         with D2Ring("r", MEMBERS, config=make_config("asyncio")) as ring:
-            with pytest.raises(NotImplementedError):
-                ring.add_member("edge-9")
+            ring.ingest_workloads(workload())
+            before = frozenset(ring.store.unique_keys())
+            ring.add_member("edge-9")
+            assert "edge-9" in ring.agents
+            assert set(ring.store.ping_all()) == set(MEMBERS) | {"edge-9"}
+            assert frozenset(ring.store.unique_keys()) == before
+            ring.remove_member("edge-0")
+            assert "edge-0" not in ring.agents
+            assert "edge-0" not in ring.ring_indexes
+            assert set(ring.store.ping_all()) == {"edge-1", "edge-2", "edge-9"}
+            # Every fingerprint survives both the bootstrap and the leave.
+            assert frozenset(ring.store.unique_keys()) == before
+            # And the index still answers duplicates identically afterwards.
+            stats_before = ring.combined_stats()
+            ring.ingest_workloads(workload())
+            assert ring.combined_stats().unique_chunks == stats_before.unique_chunks
 
     def test_cache_metrics_report_canonical_names(self):
         config = make_config("asyncio", cache_capacity=64)

@@ -97,12 +97,15 @@ class TestBasicOperations:
             assert snap["rpc.calls"] == 3
             assert snap["rpc.retries"] == 0
 
-    def test_membership_changes_are_rejected_live(self):
+    def test_membership_change_edge_cases_live(self):
         with live_cluster() as cluster:
-            with pytest.raises(NotImplementedError):
+            # Joining needs a reachable address for the newcomer.
+            with pytest.raises(NoSuchNodeError):
                 cluster.store.add_node("n9")
-            with pytest.raises(NotImplementedError):
-                cluster.store.remove_node("n0")
+            with pytest.raises(ValueError):
+                cluster.store.add_node("n0", address=("127.0.0.1", 1))
+            with pytest.raises(NoSuchNodeError):
+                cluster.store.remove_node("n9")
 
     def test_unknown_node_rejected(self):
         with live_cluster() as cluster:
