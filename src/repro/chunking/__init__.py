@@ -3,6 +3,8 @@ fingerprinting. Replaces duperemove's splitting/hashing stages."""
 
 from repro.chunking.base import Chunk, Chunker, validate_chunking
 from repro.chunking.fixed import DEFAULT_CHUNK_SIZE, FixedSizeChunker
+from repro.chunking.extremum import AEChunker, RAMChunker
+from repro.chunking.fastcdc import FastCDCChunker
 from repro.chunking.gear import GearChunker
 from repro.chunking.hashing import (
     Fingerprinter,
@@ -15,12 +17,15 @@ from repro.chunking.hashing import (
 from repro.chunking.rabin import RabinChunker
 
 __all__ = [
+    "AEChunker",
     "Chunk",
     "Chunker",
     "DEFAULT_CHUNK_SIZE",
     "Fingerprinter",
+    "FastCDCChunker",
     "FixedSizeChunker",
     "GearChunker",
+    "RAMChunker",
     "RabinChunker",
     "blake2b_fingerprint",
     "default_fingerprint",

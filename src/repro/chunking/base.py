@@ -1,14 +1,29 @@
 """Chunk and Chunker abstractions.
 
 A chunker splits a byte stream into contiguous chunks. Deduplication then
-fingerprints each chunk and stores only unique fingerprints. Two families are
-provided: fixed-size chunking (what duperemove and the paper's prototype use)
-and content-defined chunking (the paper's "variable-size chunking" future-work
-item), implemented with Gear and Rabin rolling hashes.
+fingerprints each chunk and stores only unique fingerprints. Three families
+are provided: fixed-size chunking (what duperemove and the paper's prototype
+use), content-defined chunking with rolling hashes (Gear, FastCDC, Rabin),
+and extremum-based chunking (AE, RAM) — the paper's "variable-size chunking"
+future-work item.
 
-Invariant shared by all chunkers: concatenating ``chunk.data`` for the chunks
-of a file, in order, reproduces the file exactly, and ``chunk.offset`` /
-``chunk.length`` describe the chunk's position in the original stream.
+The primitive every chunker implements is :meth:`Chunker.cut_points`: the
+sorted exclusive end offsets of the chunks of a buffer. Everything else —
+``chunk`` (bytes copies, the legacy surface), ``chunk_views`` (zero-copy
+``memoryview`` slices for the dedup hot path) and the incremental
+``chunk_stream`` — is derived from it in this base class.
+
+Invariants shared by all chunkers:
+
+- concatenating ``chunk.data`` for the chunks of a file, in order,
+  reproduces the file exactly, and ``chunk.offset`` / ``chunk.length``
+  describe the chunk's position in the original stream;
+- determinism: the same input always produces the same chunk sequence (this
+  is what makes identical regions dedupe);
+- **prefix stability**: every cut except the last depends only on bytes
+  before it. This is what lets ``chunk_stream`` emit all chunks but the
+  buffer tail as soon as a block arrives, with a carry bounded by the
+  maximum chunk size instead of buffering the whole stream.
 """
 
 from __future__ import annotations
@@ -17,17 +32,23 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+#: What chunkers accept: any contiguous read-only byte buffer.
+Buffer = "bytes | bytearray | memoryview"
+
 
 @dataclass(frozen=True)
 class Chunk:
     """A contiguous slice of an input stream.
 
     Attributes:
-        data: the chunk's bytes.
+        data: the chunk's payload — ``bytes`` (from :meth:`Chunker.chunk`)
+            or a zero-copy ``memoryview`` into the caller's buffer (from
+            :meth:`Chunker.chunk_views`). A view keeps the backing buffer
+            alive; call :meth:`tobytes` to detach.
         offset: byte offset of the chunk in the original stream.
     """
 
-    data: bytes
+    data: "bytes | memoryview"
     offset: int
 
     @property
@@ -37,30 +58,105 @@ class Chunk:
     def __len__(self) -> int:
         return len(self.data)
 
+    def tobytes(self) -> bytes:
+        """The chunk payload as ``bytes`` (copies only if ``data`` is a view)."""
+        return self.data if isinstance(self.data, bytes) else bytes(self.data)
+
 
 class Chunker(ABC):
     """Splits byte streams into chunks.
 
-    Implementations must be deterministic: the same input always produces the
-    same chunk sequence (this is what makes identical regions dedupe).
+    Subclasses implement :meth:`cut_points`; the iteration surfaces are
+    derived here. ``max_size`` must be a positive attribute on every
+    instance — it bounds chunk length and therefore the streaming carry.
     """
 
-    @abstractmethod
-    def chunk(self, data: bytes) -> Iterator[Chunk]:
-        """Split ``data`` into chunks, in stream order."""
+    #: True for reference-only implementations too slow for live ingest
+    #: (the scalar Rabin oracle). `DedupEngine` refuses them unless
+    #: explicitly overridden, so a misconfiguration cannot silently run a
+    #: cluster at oracle speed.
+    oracle_only: bool = False
 
-    def chunk_stream(self, blocks: Iterable[bytes]) -> Iterator[Chunk]:
+    @abstractmethod
+    def cut_points(self, data: "bytes | memoryview") -> list[int]:
+        """Sorted exclusive end offsets of the chunks of ``data``.
+
+        The final entry equals ``len(data)`` whenever ``data`` is
+        non-empty; an empty input yields an empty list.
+        """
+
+    def chunk(self, data: "bytes | memoryview") -> Iterator[Chunk]:
+        """Split ``data`` into chunks, in stream order (``bytes`` payloads)."""
+        for c in self.chunk_views(data):
+            yield Chunk(data=c.tobytes(), offset=c.offset)
+
+    def chunk_views(self, data: "bytes | memoryview") -> Iterator[Chunk]:
+        """Split ``data`` into zero-copy ``memoryview`` chunks.
+
+        The views alias ``data``: they are valid for as long as the caller
+        keeps the backing buffer unchanged, and they keep it alive (a
+        ``bytearray`` backing cannot be resized while views exist).
+        """
+        view = memoryview(data)
+        prev = 0
+        for end in self.cut_points(data):
+            yield Chunk(data=view[prev:end], offset=prev)
+            prev = end
+
+    def chunk_stream(self, blocks: Iterable["bytes | memoryview"]) -> Iterator[Chunk]:
         """Split a stream supplied as an iterable of byte blocks.
 
-        The default implementation buffers the whole stream; chunkers with
-        bounded look-ahead may override this with an incremental version.
+        Incremental: memory is bounded by ``max_size`` plus one block, not
+        the stream length. Chunk payloads are ``bytes`` copies (legacy
+        surface); see :meth:`stream_views` for the zero-copy variant.
         """
-        data = b"".join(blocks)
-        return self.chunk(data)
+        for c in self.stream_views(blocks):
+            yield Chunk(data=c.tobytes(), offset=c.offset)
 
-    def chunk_lengths(self, data: bytes) -> list[int]:
+    def stream_views(self, blocks: Iterable["bytes | memoryview"]) -> Iterator[Chunk]:
+        """Incrementally split a stream into zero-copy chunk views.
+
+        Blocks may be ``bytes``, ``bytearray`` or ``memoryview`` — they are
+        never copied per chunk. Prefix stability makes every cut but the
+        last final as soon as it is found, so only the unfinished tail
+        (strictly less than ``max_size`` bytes, the forced-cut bound) is
+        carried between blocks. Each yielded view aliases either the
+        caller's block or the small internal carry buffer; consume or copy
+        it before the next iteration step.
+        """
+        carry: bytes = b""
+        base = 0  # stream offset of buf[0]
+        for block in blocks:
+            if len(block) == 0:
+                continue
+            # Join the pending tail with the new block. When there is no
+            # tail the block is chunked in place with no copy at all.
+            buf = b"".join((carry, block)) if carry else block
+            cuts = self.cut_points(buf)
+            view = memoryview(buf)
+            prev = 0
+            # Every cut except the last is final (prefix stability); the
+            # final piece may still grow when the next block arrives.
+            for end in cuts[:-1]:
+                yield Chunk(data=view[prev:end], offset=base + prev)
+                prev = end
+            carry = bytes(view[prev:])
+            base += prev
+        if carry:
+            # Stream exhausted: the tail is now a complete input of its own
+            # (chunk_views also applies any final-piece policy, e.g.
+            # FixedSizeChunker's pad_last).
+            for c in self.chunk_views(carry):
+                yield Chunk(data=c.data, offset=base + c.offset)
+
+    def chunk_lengths(self, data: "bytes | memoryview") -> list[int]:
         """Lengths of the chunks of ``data`` (convenience for analysis)."""
-        return [c.length for c in self.chunk(data)]
+        prev = 0
+        lengths = []
+        for end in self.cut_points(data):
+            lengths.append(end - prev)
+            prev = end
+        return lengths
 
 
 def validate_chunking(data: bytes, chunks: list[Chunk]) -> None:
@@ -82,6 +178,6 @@ def validate_chunking(data: bytes, chunks: list[Chunk]) -> None:
         raise ValueError(
             f"chunks cover {expected_offset} bytes but input has {len(data)}"
         )
-    joined = b"".join(c.data for c in chunks)
+    joined = b"".join(c.tobytes() for c in chunks)
     if joined != data:
         raise ValueError("concatenated chunks do not reproduce the input")

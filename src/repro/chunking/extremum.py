@@ -1,0 +1,188 @@
+"""Extremum-based content-defined chunking: AE and RAM.
+
+Both algorithms come from the CDC survey line of work and cut on *byte
+extrema* instead of rolling-hash masks — no table, no hash state, one
+comparison per byte:
+
+- **AE** (Asymmetric Extremum, Zhang et al.): scan from the chunk start
+  tracking the running maximum; cut ``window`` bytes after a maximum that no
+  later byte has beaten. Expected chunk size on mixing data is
+  ``window * e/(e-1) ≈ 1.582 * window``.
+- **RAM** (Rapid Asymmetric Maximum, Widodo et al.): take the maximum of
+  the first ``window`` bytes, then cut at the first later byte that reaches
+  it. The byte-alphabet extremum statistics make the window-to-average
+  mapping approximate (empirically ``avg ≈ 2.5 * window`` for random data
+  around 4 KiB targets).
+
+Each has a scalar reference loop and a per-chunk numpy backend
+(``maximum.accumulate`` / slice-max + first-hit scan); property tests assert
+byte-identical boundaries. Both are *prefix-stable* — a cut depends only on
+bytes up to the cut — so the incremental ``chunk_stream`` machinery of
+:class:`~repro.chunking.base.Chunker` applies unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.chunking.base import Chunker
+
+_BACKENDS = ("auto", "scalar", "vectorized")
+_VECTOR_MIN_BYTES = 1024
+
+#: Expected AE chunk size per window byte on mixing data: e/(e-1).
+AE_SIZE_FACTOR = math.e / (math.e - 1.0)
+
+#: Empirical RAM chunk size per window byte on byte-uniform data.
+RAM_SIZE_FACTOR = 2.5
+
+
+class _ExtremumChunker(Chunker):
+    """Shared parameter handling for the extremum family."""
+
+    _size_factor: float = 1.0
+
+    def __init__(
+        self,
+        avg_size: int = 8 * 1024,
+        window: int | None = None,
+        max_size: int | None = None,
+        backend: str = "auto",
+    ) -> None:
+        if avg_size <= 0:
+            raise ValueError(f"avg_size must be positive, got {avg_size!r}")
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.avg_size = avg_size
+        self.window = window if window is not None else max(1, round(avg_size / self._size_factor))
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window!r}")
+        self.max_size = max_size if max_size is not None else avg_size * 4
+        # The algorithms never cut before the extremum's window has passed.
+        self.min_size = self.window + 1
+        if self.max_size < self.min_size:
+            raise ValueError(
+                f"max_size ({self.max_size}) must be >= window + 1 ({self.min_size})"
+            )
+        self.backend = backend
+
+    def cut_points(self, data) -> list[int]:
+        n = len(data)
+        if n == 0:
+            return []
+        if self.backend == "scalar" or (
+            self.backend == "auto" and n < _VECTOR_MIN_BYTES
+        ):
+            find = self._find_cut_scalar
+            buf = data
+        else:
+            find = self._find_cut_vectorized
+            buf = np.frombuffer(data, dtype=np.uint8)
+        cuts: list[int] = []
+        start = 0
+        while start < n:
+            end = find(buf, start, min(start + self.max_size, n))
+            cuts.append(end)
+            start = end
+        return cuts
+
+    def _find_cut_scalar(self, data, start: int, limit: int) -> int:
+        raise NotImplementedError
+
+    def _find_cut_vectorized(self, buf: np.ndarray, start: int, limit: int) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(avg_size={self.avg_size}, "
+            f"window={self.window}, max_size={self.max_size}, "
+            f"backend={self.backend!r})"
+        )
+
+
+class AEChunker(_ExtremumChunker):
+    """Asymmetric Extremum chunker.
+
+    Args:
+        avg_size: target average chunk size; the window is derived as
+            ``avg_size / (e/(e-1))`` unless given explicitly.
+        window: bytes that must pass without a new maximum for a cut.
+        max_size: forced cut length (default ``avg_size * 4``).
+        backend: ``"scalar"`` | ``"vectorized"`` | ``"auto"``.
+    """
+
+    _size_factor = AE_SIZE_FACTOR
+
+    def _find_cut_scalar(self, data, start: int, limit: int) -> int:
+        w = self.window
+        m_val = data[start]
+        m_pos = start
+        i = start + 1
+        while i < limit:
+            b = data[i]
+            if b > m_val:
+                m_val = b
+                m_pos = i
+            elif i - m_pos == w:
+                # w bytes passed without beating the extremum: cut after i.
+                return i + 1
+            i += 1
+        return limit
+
+    def _find_cut_vectorized(self, buf: np.ndarray, start: int, limit: int) -> int:
+        arr = buf[start:limit]
+        if len(arr) <= self.window:
+            return limit
+        running = np.maximum.accumulate(arr)
+        # Strict new-maximum positions; position 0 is the initial extremum.
+        records = np.flatnonzero(arr[1:] > running[:-1])
+        records += 1
+        w = self.window
+        last = 0
+        for r in records.tolist():
+            if r - last > w:  # no record within w of the previous one
+                break
+            last = r
+        cut = last + w  # position whose check fires, relative to start
+        if cut <= len(arr) - 1:
+            return start + cut + 1
+        return limit
+
+
+class RAMChunker(_ExtremumChunker):
+    """Rapid Asymmetric Maximum chunker.
+
+    Args:
+        avg_size: target average chunk size; the window is derived as
+            ``avg_size / 2.5`` (empirical) unless given explicitly.
+        window: fixed-size prefix whose maximum sets the cut threshold.
+        max_size: forced cut length (default ``avg_size * 4``).
+        backend: ``"scalar"`` | ``"vectorized"`` | ``"auto"``.
+    """
+
+    _size_factor = RAM_SIZE_FACTOR
+
+    def _find_cut_scalar(self, data, start: int, limit: int) -> int:
+        w = self.window
+        if start + w >= limit:
+            return limit
+        h = 0
+        for i in range(start, start + w):
+            if data[i] > h:
+                h = data[i]
+        for i in range(start + w, limit):
+            if data[i] >= h:
+                return i + 1
+        return limit
+
+    def _find_cut_vectorized(self, buf: np.ndarray, start: int, limit: int) -> int:
+        w = self.window
+        if start + w >= limit:
+            return limit
+        h = buf[start : start + w].max()
+        hits = np.flatnonzero(buf[start + w : limit] >= h)
+        if len(hits):
+            return start + w + int(hits[0]) + 1
+        return limit

@@ -1,0 +1,228 @@
+"""FastCDC content-defined chunking (normalized chunking + min-skip).
+
+FastCDC (Xia et al., ATC'16) improves plain gear CDC in two ways this module
+implements:
+
+- **Sub-minimum skipping**: no boundary test below ``min_size`` — the scan
+  jumps straight past the skipped prefix instead of rolling through it.
+- **Normalized chunking**: a *harder* mask (``normalization`` extra bits)
+  before the target size and an *easier* mask (that many fewer bits) after
+  it. Cuts cluster around ``avg_size``, which squeezes the chunk-size
+  distribution toward the target and nearly eliminates forced max-size cuts.
+
+The boundary hash is a *split-lane* gear over a fixed 8-byte window,
+
+    V(e) = (W8(e) & 0xffffff00) | S4(e)
+
+where ``W8`` is the table gear (low 32 bits of the shared
+:data:`repro.chunking.gear._GEAR_TABLE`) over the last 8 bytes and ``S4`` is
+a tableless positional lane ``sum b[e-1-j] << j`` (mod 256) over the last 4;
+a cut fires when ``V & mask == 0``. Windows truncate at the chunk start, so
+boundaries depend only on bytes inside the chunk — which is also what makes
+streamed chunking restartable at every cut. The split lanes let the
+vectorized backend filter the buffer with four tableless uint8 passes and
+touch the gear table only at ~1/256 of positions
+(:func:`repro.chunking.vectorized.split_gear_candidates`); the scalar loop
+here is the reference oracle, and property tests assert byte-identical
+boundaries between the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chunking.base import Chunker
+from repro.chunking.gear import _GEAR_TABLE, _VECTOR_MIN_BYTES
+from repro.chunking.vectorized import _SPLIT_WINDOW, split_gear_candidates
+
+_MASK32 = (1 << 32) - 1
+
+# Scalar (python int) and vectorized (uint32) copies of the split-gear
+# table: the low 32 bits of the shared gear table.
+_T32 = [v & _MASK32 for v in _GEAR_TABLE]
+_T32_U32 = np.array(_T32, dtype=np.uint32)
+
+_BACKENDS = ("auto", "scalar", "vectorized")
+
+DEFAULT_NORMALIZATION = 2
+
+
+class FastCDCChunker(Chunker):
+    """FastCDC chunker: normalized chunking with min-skip over split-gear.
+
+    Args:
+        avg_size: target chunk size (power of two; the normal point).
+        min_size: no cut before this many bytes (default ``avg_size // 4``).
+        max_size: forced cut at this length (default ``avg_size * 4``).
+        normalization: mask-width delta of normalized chunking — the mask
+            has ``normalization`` more bits before the normal point and that
+            many fewer after it. ``0`` degenerates to plain gear behavior.
+            Clamped so both masks stay within the 32-bit hash.
+        backend: ``"scalar"`` for the reference loop, ``"vectorized"`` for
+            the numpy kernel, ``"auto"`` (default) to pick vectorized on
+            non-trivial buffers.
+    """
+
+    def __init__(
+        self,
+        avg_size: int = 8 * 1024,
+        min_size: int | None = None,
+        max_size: int | None = None,
+        normalization: int = DEFAULT_NORMALIZATION,
+        backend: str = "auto",
+    ) -> None:
+        if avg_size <= 0 or avg_size & (avg_size - 1) != 0:
+            raise ValueError(f"avg_size must be a positive power of two, got {avg_size!r}")
+        if normalization < 0:
+            raise ValueError(f"normalization must be >= 0, got {normalization!r}")
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.avg_size = avg_size
+        self.min_size = min_size if min_size is not None else avg_size // 4
+        self.max_size = max_size if max_size is not None else avg_size * 4
+        if not 0 < self.min_size <= avg_size <= self.max_size:
+            raise ValueError(
+                f"need 0 < min_size <= avg_size <= max_size, got "
+                f"min={self.min_size}, avg={avg_size}, max={self.max_size}"
+            )
+        bits = avg_size.bit_length() - 1
+        self.normalization = min(normalization, bits, 32 - bits)
+        self.backend = backend
+        self._mask_s = (1 << (bits + self.normalization)) - 1  # before normal point
+        self._mask_l = (1 << (bits - self.normalization)) - 1  # after normal point
+
+    # -- boundary predicate (shared definition) --------------------------- #
+
+    def _value_at(self, data, start: int, e: int) -> int:
+        """Split-lane value for the cut end ``e`` of a chunk at ``start``,
+        windows truncated at ``start`` — the direct (non-rolling) form."""
+        s4 = 0
+        for j in range(min(4, e - start)):
+            s4 += data[e - 1 - j] << j
+        w8 = 0
+        for j in range(min(_SPLIT_WINDOW, e - start)):
+            w8 += _T32[data[e - 1 - j]] << j
+        return (w8 & _MASK32 & ~0xFF) | (s4 & 0xFF)
+
+    def cut_points(self, data) -> list[int]:
+        if self.backend == "scalar" or (
+            self.backend == "auto" and len(data) < _VECTOR_MIN_BYTES
+        ):
+            return self._cut_points_scalar(data)
+        return self._cut_points_vectorized(data)
+
+    # -- scalar reference backend ----------------------------------------- #
+
+    def _cut_points_scalar(self, data) -> list[int]:
+        n = len(data)
+        cuts: list[int] = []
+        start = 0
+        while start < n:
+            end = self._find_cut(data, start, n)
+            cuts.append(end)
+            start = end
+        return cuts
+
+    def _find_cut(self, data, start: int, n: int) -> int:
+        limit = min(start + self.max_size, n)
+        probe = min(start + self.min_size, limit)
+        if probe >= limit:
+            return limit
+        normal = min(start + self.avg_size, limit)
+        mask_s, mask_l = self._mask_s, self._mask_l
+        t = _T32
+        # Min-skip: lanes are seeded directly at the first tested end, then
+        # rolled byte-by-byte — the skipped prefix is never scanned.
+        e = probe + 1
+        s4 = 0
+        for j in range(min(4, e - start)):
+            s4 += data[e - 1 - j] << j
+        s4 &= 0xFF
+        w8 = 0
+        for j in range(min(_SPLIT_WINDOW, e - start)):
+            w8 += t[data[e - 1 - j]] << j
+        w8 &= _MASK32
+        while True:
+            v = (w8 & ~0xFF) | s4
+            if v & (mask_s if e <= normal else mask_l) == 0:
+                return e
+            if e == limit:
+                return limit
+            # Roll both lanes to end e+1; outgoing terms below the chunk
+            # start were never included (truncated window) so they drop out.
+            b_in = data[e]
+            out4 = data[e - 4] if e - 4 >= start else 0
+            s4 = ((s4 << 1) + b_in - (out4 << 4)) & 0xFF
+            out8 = t[data[e - 8]] if e - 8 >= start else 0
+            w8 = ((w8 << 1) + t[b_in] - (out8 << 8)) & _MASK32
+            e += 1
+
+    # -- vectorized backend ------------------------------------------------ #
+
+    def _cut_points_vectorized(self, data) -> list[int]:
+        n = len(data)
+        if n == 0:
+            return []
+        buf = np.frombuffer(data, dtype=np.uint8)
+        cand_s, cand_l = split_gear_candidates(
+            buf, _T32_U32, (self._mask_s, self._mask_l)
+        )
+        cand_s = cand_s.tolist()
+        cand_l = cand_l.tolist()
+        n_s, n_l = len(cand_s), len(cand_l)
+        i_s = i_l = 0
+        cuts: list[int] = []
+        start = 0
+        while start < n:
+            limit = min(start + self.max_size, n)
+            probe = min(start + self.min_size, limit)
+            end = limit
+            if probe < limit:
+                normal = min(start + self.avg_size, limit)
+                first = probe + 1
+                cut = None
+                # Ends within the first window of the chunk see a
+                # truncated, start-dependent hash the position-independent
+                # kernel cannot provide; check them with the reference
+                # definition (only reachable when min_size < 8).
+                window_valid = start + _SPLIT_WINDOW
+                if first < window_valid:
+                    cut = self._scan_gap(
+                        data, start, probe, min(window_valid - 1, limit), normal
+                    )
+                    first = window_valid
+                if cut is None and first <= limit:
+                    small_end = min(normal, limit)
+                    if first <= small_end:
+                        while i_s < n_s and cand_s[i_s] < first:
+                            i_s += 1
+                        if i_s < n_s and cand_s[i_s] <= small_end:
+                            cut = cand_s[i_s]
+                    if cut is None and normal < limit:
+                        late = max(first, normal + 1)
+                        while i_l < n_l and cand_l[i_l] < late:
+                            i_l += 1
+                        if i_l < n_l and cand_l[i_l] <= limit:
+                            cut = cand_l[i_l]
+                if cut is not None:
+                    end = cut
+            cuts.append(end)
+            start = end
+        return cuts
+
+    def _scan_gap(self, data, start: int, probe: int, gap_end: int, normal: int):
+        """Reference evaluation of truncated-window ends in (probe, gap_end]."""
+        e = probe + 1
+        while e <= gap_end:
+            v = self._value_at(data, start, e)
+            if v & (self._mask_s if e <= normal else self._mask_l) == 0:
+                return e
+            e += 1
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"FastCDCChunker(avg_size={self.avg_size}, "
+            f"min_size={self.min_size}, max_size={self.max_size}, "
+            f"normalization={self.normalization}, backend={self.backend!r})"
+        )

@@ -21,22 +21,33 @@ class FixedSizeChunker(Chunker):
 
     The final chunk may be shorter. With ``pad_last=True`` the final chunk is
     zero-padded to the full size, which models block-device dedup where every
-    block occupies a full block on disk.
+    block occupies a full block on disk (the padded payload is materialized
+    as ``bytes``; all full-size chunks remain zero-copy views).
     """
 
     def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE, pad_last: bool = False) -> None:
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size!r}")
         self.chunk_size = chunk_size
+        self.max_size = chunk_size
         self.pad_last = pad_last
 
-    def chunk(self, data: bytes) -> Iterator[Chunk]:
+    def cut_points(self, data: "bytes | memoryview") -> list[int]:
+        n = len(data)
         size = self.chunk_size
-        for offset in range(0, len(data), size):
-            piece = data[offset : offset + size]
-            if self.pad_last and len(piece) < size:
-                piece = piece + b"\x00" * (size - len(piece))
-            yield Chunk(data=piece, offset=offset)
+        cuts = list(range(size, n + 1, size))
+        if not cuts or cuts[-1] != n:
+            if n > 0:
+                cuts.append(n)
+        return cuts
+
+    def chunk_views(self, data: "bytes | memoryview") -> Iterator[Chunk]:
+        size = self.chunk_size
+        for c in super().chunk_views(data):
+            if self.pad_last and c.length < size:
+                yield Chunk(data=c.tobytes() + b"\x00" * (size - c.length), offset=c.offset)
+            else:
+                yield c
 
     def __repr__(self) -> str:
         return f"FixedSizeChunker(chunk_size={self.chunk_size}, pad_last={self.pad_last})"

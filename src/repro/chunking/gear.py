@@ -24,11 +24,9 @@ whole buffer and finds mask hits with one ``flatnonzero``
 
 from __future__ import annotations
 
-from typing import Iterator
-
 import numpy as np
 
-from repro.chunking.base import Chunk, Chunker
+from repro.chunking.base import Chunker
 from repro.chunking.vectorized import gear_boundary_candidates
 
 _MASK64 = (1 << 64) - 1
@@ -95,23 +93,24 @@ class GearChunker(Chunker):
         # _mask_bits bytes, which is what makes the block scan possible.
         self._mask_bits = avg_size.bit_length() - 1
 
-    def chunk(self, data: bytes) -> Iterator[Chunk]:
+    def cut_points(self, data: "bytes | memoryview") -> list[int]:
         if self.backend == "scalar" or (
             self.backend == "auto" and len(data) < _VECTOR_MIN_BYTES
         ):
-            yield from self._chunk_scalar(data)
-        else:
-            yield from self._chunk_vectorized(data)
+            return self._cut_points_scalar(data)
+        return self._cut_points_vectorized(data)
 
     # -- scalar reference backend ---------------------------------------- #
 
-    def _chunk_scalar(self, data: bytes) -> Iterator[Chunk]:
+    def _cut_points_scalar(self, data) -> list[int]:
         n = len(data)
+        cuts: list[int] = []
         start = 0
         while start < n:
             end = self._find_boundary(data, start, n)
-            yield Chunk(data=data[start:end], offset=start)
+            cuts.append(end)
             start = end
+        return cuts
 
     def _find_boundary(self, data: bytes, start: int, n: int) -> int:
         """Return the exclusive end index of the chunk beginning at ``start``."""
@@ -133,10 +132,10 @@ class GearChunker(Chunker):
 
     # -- vectorized backend ---------------------------------------------- #
 
-    def _chunk_vectorized(self, data: bytes) -> Iterator[Chunk]:
+    def _cut_points_vectorized(self, data) -> list[int]:
         n = len(data)
         if n == 0:
-            return
+            return []
         window = max(self._mask_bits, 1)
         buf = np.frombuffer(data, dtype=np.uint8)
         # Chunk starts only move forward, so a single cursor over the sorted
@@ -146,6 +145,7 @@ class GearChunker(Chunker):
         ).tolist()
         ncand = len(cands)
         idx = 0
+        cuts: list[int] = []
         start = 0
         while start < n:
             limit = min(start + self.max_size, n)
@@ -172,8 +172,9 @@ class GearChunker(Chunker):
                         idx += 1
                     if idx < ncand and cands[idx] <= limit:
                         end = cands[idx]
-            yield Chunk(data=data[start:end], offset=start)
+            cuts.append(end)
             start = end
+        return cuts
 
     def _scan_gap_zone(
         self, data: bytes, start: int, probe: int, gap_end: int

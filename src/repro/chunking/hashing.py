@@ -6,7 +6,10 @@ default to SHA-256 truncated to 16 bytes, which keeps collision probability
 negligible (2^-64 birthday bound at 2^32 chunks) while halving index memory.
 
 Fingerprints are hex strings so they can be used directly as keys in the
-distributed KV store and remain human-readable in logs and tests.
+distributed KV store and remain human-readable in logs and tests. Every
+fingerprinter accepts any contiguous buffer (``bytes`` or ``memoryview``) —
+hashlib consumes views without copying, which is what keeps the zero-copy
+chunk path allocation-free.
 """
 
 from __future__ import annotations
@@ -14,29 +17,29 @@ from __future__ import annotations
 import hashlib
 from typing import Callable
 
-Fingerprinter = Callable[[bytes], str]
+Fingerprinter = Callable[["bytes | memoryview"], str]
 
 
-def sha256_fingerprint(data: bytes, digest_bytes: int = 16) -> str:
+def sha256_fingerprint(data: "bytes | memoryview", digest_bytes: int = 16) -> str:
     """SHA-256 fingerprint truncated to ``digest_bytes`` bytes, hex-encoded."""
     if not 1 <= digest_bytes <= 32:
         raise ValueError(f"digest_bytes must be in [1, 32], got {digest_bytes!r}")
     return hashlib.sha256(data).hexdigest()[: digest_bytes * 2]
 
 
-def sha1_fingerprint(data: bytes) -> str:
+def sha1_fingerprint(data: "bytes | memoryview") -> str:
     """Full SHA-1 fingerprint (what many classic dedup systems used)."""
     return hashlib.sha1(data).hexdigest()
 
 
-def blake2b_fingerprint(data: bytes, digest_bytes: int = 16) -> str:
+def blake2b_fingerprint(data: "bytes | memoryview", digest_bytes: int = 16) -> str:
     """BLAKE2b fingerprint — the fastest cryptographic option in CPython."""
     if not 1 <= digest_bytes <= 64:
         raise ValueError(f"digest_bytes must be in [1, 64], got {digest_bytes!r}")
     return hashlib.blake2b(data, digest_size=digest_bytes).hexdigest()
 
 
-def default_fingerprint(data: bytes) -> str:
+def default_fingerprint(data: "bytes | memoryview") -> str:
     """The fingerprint used across the library unless a caller overrides it."""
     return sha256_fingerprint(data)
 

@@ -13,15 +13,20 @@ the vectorized backend evaluates it at every buffer position in O(log
 window) numpy passes (:func:`repro.chunking.vectorized.rabin_window_hashes`)
 and reduces each chunk's boundary search to a cursor walk over the sorted
 candidate list. Both backends produce byte-identical boundaries.
+
+Even vectorized, the M61 modular arithmetic runs an order of magnitude
+behind the gear-family kernels (~9 MB/s vs several hundred), so the chunker
+is marked :attr:`~repro.chunking.base.Chunker.oracle_only`: it stays
+available as a correctness reference and for offline analysis, but
+:class:`~repro.dedup.engine.DedupEngine` refuses it for live ingest unless
+explicitly overridden.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
-
 import numpy as np
 
-from repro.chunking.base import Chunk, Chunker
+from repro.chunking.base import Chunker
 from repro.chunking.vectorized import rabin_boundary_candidates
 
 _MOD = (1 << 61) - 1  # Mersenne prime: cheap modular reduction, no collisions in practice
@@ -34,7 +39,12 @@ _BACKENDS = ("auto", "scalar", "vectorized")
 
 
 class RabinChunker(Chunker):
+    oracle_only = True
+
     """Content-defined chunker using a Rabin-Karp rolling hash.
+
+    Reference-only (``oracle_only = True``): use Gear or FastCDC for live
+    ingest.
 
     Args:
         avg_size: expected chunk size; the boundary test fires with
@@ -79,23 +89,24 @@ class RabinChunker(Chunker):
         # Precomputed BASE^(window_size-1) for removing the outgoing byte.
         self._out_factor = pow(_BASE, window_size - 1, _MOD)
 
-    def chunk(self, data: bytes) -> Iterator[Chunk]:
+    def cut_points(self, data: "bytes | memoryview") -> list[int]:
         if self.backend == "scalar" or (
             self.backend == "auto" and len(data) < _VECTOR_MIN_BYTES
         ):
-            yield from self._chunk_scalar(data)
-        else:
-            yield from self._chunk_vectorized(data)
+            return self._cut_points_scalar(data)
+        return self._cut_points_vectorized(data)
 
     # -- scalar reference backend ---------------------------------------- #
 
-    def _chunk_scalar(self, data: bytes) -> Iterator[Chunk]:
+    def _cut_points_scalar(self, data) -> list[int]:
         n = len(data)
+        cuts: list[int] = []
         start = 0
         while start < n:
             end = self._find_boundary(data, start, n)
-            yield Chunk(data=data[start:end], offset=start)
+            cuts.append(end)
             start = end
+        return cuts
 
     def _find_boundary(self, data: bytes, start: int, n: int) -> int:
         limit = min(start + self.max_size, n)
@@ -119,10 +130,10 @@ class RabinChunker(Chunker):
 
     # -- vectorized backend ---------------------------------------------- #
 
-    def _chunk_vectorized(self, data: bytes) -> Iterator[Chunk]:
+    def _cut_points_vectorized(self, data) -> list[int]:
         n = len(data)
         if n == 0:
-            return
+            return []
         buf = np.frombuffer(data, dtype=np.uint8)
         # Chunk starts only move forward, so a single cursor over the sorted
         # candidate list replaces a binary search per chunk.
@@ -131,6 +142,7 @@ class RabinChunker(Chunker):
         ).tolist()
         ncand = len(cands)
         idx = 0
+        cuts: list[int] = []
         start = 0
         while start < n:
             limit = min(start + self.max_size, n)
@@ -143,8 +155,9 @@ class RabinChunker(Chunker):
                     idx += 1
                 if idx < ncand and cands[idx] <= limit - 1:
                     end = cands[idx]
-            yield Chunk(data=data[start:end], offset=start)
+            cuts.append(end)
             start = end
+        return cuts
 
     def __repr__(self) -> str:
         return (

@@ -302,6 +302,150 @@ def rabin_boundary_candidates(
 
 
 # ---------------------------------------------------------------------- #
+# Split-gear (FastCDC)
+# ---------------------------------------------------------------------- #
+#
+# The FastCDC chunker's boundary value is a 32-bit *split-lane* hash over a
+# fixed 8-byte window:
+#
+#   V(e) = (W8(e) & 0xffffff00) | S4(e)
+#   W8(e) = sum_{j<8} T32[b[e-1-j]] << j   (mod 2^32, gear over the table)
+#   S4(e) = sum_{j<4}     b[e-1-j] << j    (mod 2^8, tableless positional lane)
+#
+# with both sums truncated at the chunk start (absent bytes contribute 0).
+# A cut fires when ``V & mask == 0``. The split lanes exist purely for
+# vectorization economics:
+#
+# - The low byte (S4) needs **no table gather** — it is computed for every
+#   position with four uint8 ufunc passes, and ``S4 & mask & 0xff == 0``
+#   filters the buffer down to ~1/256 of its positions.
+# - The table-gear lane (W8) is only evaluated **at the survivors**, as
+#   per-j gathers from 8 pre-shifted copies of the table — O(survivors)
+#   instead of O(n) gather traffic, which is what the pure-gear kernel
+#   spends most of its time on.
+#
+# A block whose survivor count explodes (constant runs make S4 degenerate)
+# falls back to evaluating the exact 32-bit hash for the whole block by
+# doubling — bounded ~3x slowdown instead of a survivor blowup. Both
+# windows are powers of two, so the doubling recurrences also produce the
+# exact truncated-window sums for the first ``window-1`` positions.
+
+_SPLIT_WINDOW = 8  # bytes of context the boundary value V depends on
+_S4_WINDOW = 4
+
+# Survivor density above which a block switches to the exact evaluation:
+# 1/32 of positions, vs the ~1/256 the filter passes on mixing data.
+_DENSE_SHIFT = 5
+
+
+def _s4_lane_into(b: np.ndarray, acc: np.ndarray, tmp: np.ndarray) -> np.ndarray:
+    """The positional lane ``S4[i] = sum_{j<4} b[i-j] << j`` mod 256."""
+    return _gear_doubling_into(b, _S4_WINDOW, acc, tmp)
+
+
+def split_gear_values(buf: np.ndarray, table32: np.ndarray) -> np.ndarray:
+    """The split-lane value ``V`` at every position of ``buf`` (uint32).
+
+    ``out[i]`` is the value for the cut *end* ``e = i + 1``, with windows
+    truncated at the buffer start — the definition oracle used by tests;
+    the chunkers use the blocked :func:`split_gear_candidates`.
+    """
+    if len(buf) == 0:
+        return np.empty(0, dtype=_U32)
+    g = table32[buf.astype(np.intp)]
+    w8 = _gear_doubling_into(g, _SPLIT_WINDOW, np.empty_like(g), np.empty_like(g))
+    s4 = _gear_doubling_into(buf, _S4_WINDOW, np.empty_like(buf), np.empty_like(buf))
+    np.bitwise_and(w8, _U32(0xFFFFFF00), out=w8)
+    np.bitwise_or(w8, s4.astype(_U32), out=w8)
+    return w8
+
+
+def split_gear_candidates(
+    buf: np.ndarray, table32: np.ndarray, masks: tuple[int, ...]
+) -> list[np.ndarray]:
+    """Sorted end positions where ``V & mask == 0``, one array per mask.
+
+    A returned position ``e`` means the split-lane value of the full 8-byte
+    window ending at ``e`` matches the mask; only ``e >= 8`` is reported
+    (shorter, truncated windows are start-dependent and are checked by the
+    chunker's scalar gap scan). Masks sharing a low byte share one filter
+    pass and one survivor-hash evaluation.
+    """
+    n = len(buf)
+    window = _SPLIT_WINDOW
+    if n < window:
+        return [np.empty(0, dtype=np.int64) for _ in masks]
+    # Group masks by their low-byte filter; typically both normalized-
+    # chunking masks have >= 8 low bits set and share the single S4 == 0
+    # filter.
+    groups: dict[int, list[int]] = {}
+    for k, mask in enumerate(masks):
+        groups.setdefault(mask & 0xFF, []).append(k)
+    cap = min(n, _BLOCK + window - 1)
+    s4 = np.empty(cap, dtype=np.uint8)
+    tmp8 = np.empty(cap, dtype=np.uint8)
+    pred = np.empty(cap, dtype=bool)
+    shifted = [table32 << _U32(j) for j in range(window)]
+    surv_parts: dict[int, list[np.ndarray]] = {fm: [] for fm in groups}
+    exact_parts: list[list[np.ndarray]] = [[] for _ in masks]
+    dense_thresh_shift = _DENSE_SHIFT
+    for lo, s, e in _blocks(n, window):
+        m = e - lo
+        b = buf[lo:e]
+        a = _s4_lane_into(b, s4[:m], tmp8[:m])
+        first = max(s, window - 1)  # emit only full-window positions
+        acc32 = None
+        for fm, ks in groups.items():
+            if fm == 0xFF:
+                np.equal(a, np.uint8(0), out=pred[:m])
+            else:
+                np.bitwise_and(a, np.uint8(fm), out=tmp8[:m])
+                np.equal(tmp8[:m], np.uint8(0), out=pred[:m])
+            if int(np.count_nonzero(pred[:m])) <= m >> dense_thresh_shift:
+                hits = np.flatnonzero(pred[:m])
+                hits += lo
+                surv_parts[fm].append(hits[hits >= first])
+                continue
+            # Dense block (constant runs): evaluate the exact 32-bit value
+            # for the whole block instead of drowning in survivors.
+            if acc32 is None:
+                acc32 = table32[b.astype(np.intp)]
+                t32 = np.empty_like(acc32)
+                for q in (1, 2, 4):  # doubling to the 8-byte window
+                    np.left_shift(acc32[:-q], _U32(q), out=t32[q:])
+                    np.add(acc32[q:], t32[q:], out=acc32[q:])
+                np.bitwise_and(acc32, _U32(0xFFFFFF00), out=acc32)
+                np.bitwise_or(acc32, a.astype(_U32), out=acc32)
+            for k in ks:
+                np.bitwise_and(acc32, _U32(masks[k]), out=t32)
+                np.equal(t32, _U32(0), out=pred[:m])
+                hits = np.flatnonzero(pred[:m])
+                hits += lo
+                exact_parts[k].append(hits[hits >= first])
+    out: list[np.ndarray | None] = [None] * len(masks)
+    for fm, ks in groups.items():
+        parts = surv_parts[fm]
+        if not parts:
+            surv = np.empty(0, dtype=np.int64)
+        else:
+            surv = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        h = None
+        if len(surv) and any(masks[k] > 0xFF for k in ks):
+            # Table-gear lane only at the survivors: 8 shifted-table gathers.
+            h = shifted[0][buf[surv]]
+            for j in range(1, window):
+                h = h + shifted[j][buf[surv - j]]
+        for k in ks:
+            hi = masks[k] & ~0xFF
+            cands = surv if (h is None or hi == 0) else surv[(h & _U32(hi)) == 0]
+            pieces = [cands, *exact_parts[k]]
+            c = np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+            c = np.sort(c) if len(pieces) > 1 else c
+            out[k] = c + 1
+    return out  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------- #
 # candidate walking
 # ---------------------------------------------------------------------- #
 

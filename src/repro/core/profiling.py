@@ -88,7 +88,7 @@ class PoolLibrary:
     def _fingerprints_of(self, files: Iterable[bytes]) -> list[str]:
         fps: list[str] = []
         for data in files:
-            fps.extend(self.fingerprint(c.data) for c in self.chunker.chunk(data))
+            fps.extend(self.fingerprint(c.data) for c in self.chunker.chunk_views(data))
         return fps
 
     def add_profile(self, name: str, files: Iterable[bytes]) -> PoolProfile:

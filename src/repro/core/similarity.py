@@ -99,14 +99,14 @@ class MinHasher:
 
     def sketch_bytes(self, data: bytes) -> MinHashSignature:
         """Chunk ``data`` and sketch its fingerprint set."""
-        fps = [self.fingerprint(c.data) for c in self.chunker.chunk(data)]
+        fps = [self.fingerprint(c.data) for c in self.chunker.chunk_views(data)]
         return self.sketch_fingerprints(fps)
 
     def sketch_files(self, files: Iterable[bytes]) -> MinHashSignature:
         """Sketch the union fingerprint set of several files (one source)."""
         fps: list[str] = []
         for data in files:
-            fps.extend(self.fingerprint(c.data) for c in self.chunker.chunk(data))
+            fps.extend(self.fingerprint(c.data) for c in self.chunker.chunk_views(data))
         return self.sketch_fingerprints(fps)
 
 

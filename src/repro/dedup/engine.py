@@ -5,13 +5,27 @@ the same engine runs against an in-memory index (single node), the
 distributed KV index of a D2-ring, or a remote cloud index — the deployment
 strategies in :mod:`repro.system.strategies` only differ in the index they
 hand to it and in the latency charged per lookup.
+
+The hot path is zero-copy: chunkers yield ``memoryview`` slices of the
+caller's buffer (:meth:`~repro.chunking.base.Chunker.chunk_views`), the
+fingerprint hashes the view directly (hashlib accepts any buffer), and chunk
+payloads are only materialized as ``bytes`` for *unique* chunks handed to
+the ``unique_sink``. Streams are chunked incrementally with a carry bounded
+by the chunker's ``max_size`` instead of being joined into one buffer.
+
+Fingerprinting can optionally be released to a thread pool
+(``hash_workers > 0``): hashlib drops the GIL for buffers over ~2 KiB, so on
+multi-core hosts the SHA-256 of a lookup batch runs in parallel with the
+chunk scan. The results are identical either way; the engine's accounting
+and index traffic do not change.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.chunking.base import Chunk, Chunker
 from repro.chunking.fixed import FixedSizeChunker
@@ -21,6 +35,7 @@ from repro.dedup.stats import DedupStats
 from repro.obs.histogram import Histogram
 
 # Called for every unique chunk, e.g. to upload it to the central cloud.
+# The chunk's payload is materialized ``bytes`` (sinks may store it).
 UniqueChunkSink = Callable[[Chunk, str], None]
 
 # Fingerprints accumulated before one batched index round trip. Against an
@@ -48,8 +63,13 @@ class DedupEngine:
         index: where fingerprints are looked up / stored. Defaults to a fresh
             in-memory index.
         chunker: how streams are split. Defaults to duperemove-style 128 KiB
-            fixed-size chunks.
-        fingerprint: chunk fingerprint function.
+            fixed-size chunks. Chunkers flagged
+            :attr:`~repro.chunking.base.Chunker.oracle_only` (the scalar
+            Rabin reference) are rejected unless ``allow_oracle_chunkers``
+            is set — a misconfigured deployment must not silently ingest at
+            oracle speed.
+        fingerprint: chunk fingerprint function (receives ``bytes`` or
+            ``memoryview`` payloads).
         unique_sink: optional callback invoked with every unique chunk (used
             by agents to forward unique data to the central cloud).
         batch_size: fingerprints per batched index round trip. ``1`` keeps
@@ -59,6 +79,11 @@ class DedupEngine:
             :meth:`DedupIndex.lookup_and_insert_many` — the results are
             identical, only the index call granularity (and, for remote
             indexes, the round-trip count) changes.
+        hash_workers: when > 0, fingerprint each lookup batch on a thread
+            pool of this size instead of inline (hashlib releases the GIL).
+            Identical results; a throughput knob for multi-core hosts.
+        allow_oracle_chunkers: accept ``oracle_only`` chunkers (analysis /
+            test use only).
     """
 
     def __init__(
@@ -68,39 +93,61 @@ class DedupEngine:
         fingerprint: Fingerprinter = default_fingerprint,
         unique_sink: Optional[UniqueChunkSink] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        hash_workers: int = 0,
+        allow_oracle_chunkers: bool = False,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
+        if hash_workers < 0:
+            raise ValueError(f"hash_workers must be >= 0, got {hash_workers!r}")
         self.index = index if index is not None else InMemoryIndex()
         self.chunker = chunker if chunker is not None else FixedSizeChunker()
+        if self.chunker.oracle_only and not allow_oracle_chunkers:
+            raise ValueError(
+                f"{type(self.chunker).__name__} is a reference oracle too slow "
+                "for live ingest; pick a production chunker (gear, fastcdc, ae, "
+                "ram, fixed) or pass allow_oracle_chunkers=True for offline use"
+            )
         self.fingerprint = fingerprint
         self.unique_sink = unique_sink
         self.batch_size = batch_size
+        self.hash_workers = hash_workers
+        self._hash_pool: Optional[ThreadPoolExecutor] = None
         self.stats = DedupStats()
         # Wall time of index lookup rounds (one observation per
         # lookup_and_insert call, or per batched flush).
         self.lookup_latency = Histogram("engine.lookup_s")
 
-    def dedup_bytes(self, data: bytes, source: Optional[str] = None) -> DedupResult:
+    def dedup_bytes(
+        self, data: "bytes | memoryview", source: Optional[str] = None
+    ) -> DedupResult:
         """Deduplicate a complete in-memory input.
 
         Args:
-            data: the raw input bytes.
+            data: the raw input bytes (any contiguous buffer; never copied).
             source: optional label stored as metadata with new fingerprints.
 
         Returns:
             Per-call result; cumulative accounting is on :attr:`stats`.
         """
-        return self._run(self.chunker.chunk(data), source)
+        return self._run(self.chunker.chunk_views(data), source)
 
-    def dedup_stream(self, blocks: Iterable[bytes], source: Optional[str] = None) -> DedupResult:
-        """Deduplicate an input supplied as an iterable of byte blocks."""
-        return self._run(self.chunker.chunk_stream(blocks), source)
+    def dedup_stream(
+        self, blocks: Iterable["bytes | memoryview"], source: Optional[str] = None
+    ) -> DedupResult:
+        """Deduplicate an input supplied as an iterable of byte blocks.
+
+        Blocks may be ``bytes`` or ``memoryview``; they are chunked
+        incrementally (carry bounded by the chunker's ``max_size``) and
+        never copied per chunk. Mutable blocks (e.g. a reused ``bytearray``)
+        must not be modified until the call returns.
+        """
+        return self._run(self.chunker.stream_views(blocks), source)
 
     # The single chunk → fingerprint → lookup pipeline behind both entry
     # points.
 
-    def _run(self, chunks: Iterable[Chunk], source: Optional[str]) -> DedupResult:
+    def _run(self, chunks: Iterator[Chunk], source: Optional[str]) -> DedupResult:
         call_stats = DedupStats()
         unique: list[str] = []
         if self.batch_size == 1:
@@ -110,30 +157,51 @@ class DedupEngine:
                 is_new = self.index.lookup_and_insert(fp, metadata=source)
                 self.lookup_latency.observe(time.perf_counter() - started)
                 self._account(chunk, fp, is_new, call_stats, unique)
-        else:
-            pending: list[tuple[Chunk, str]] = []
+            return DedupResult(stats=call_stats, unique_fingerprints=tuple(unique))
+        pending: list[Chunk] = []
+        if self.hash_workers > 0:
+            # Deferred hashing: collect the batch, fan the digests out to
+            # the pool at flush (order-preserving map).
             for chunk in chunks:
-                pending.append((chunk, self.fingerprint(chunk.data)))
+                pending.append(chunk)
                 if len(pending) >= self.batch_size:
-                    self._flush(pending, source, call_stats, unique)
+                    self._flush(pending, self._hash_batch(pending), source, call_stats, unique)
                     pending.clear()
             if pending:
-                self._flush(pending, source, call_stats, unique)
+                self._flush(pending, self._hash_batch(pending), source, call_stats, unique)
+        else:
+            fps: list[str] = []
+            for chunk in chunks:
+                pending.append(chunk)
+                fps.append(self.fingerprint(chunk.data))
+                if len(pending) >= self.batch_size:
+                    self._flush(pending, fps, source, call_stats, unique)
+                    pending.clear()
+                    fps.clear()
+            if pending:
+                self._flush(pending, fps, source, call_stats, unique)
         return DedupResult(stats=call_stats, unique_fingerprints=tuple(unique))
+
+    def _hash_batch(self, chunks: list[Chunk]) -> list[str]:
+        if self._hash_pool is None:
+            self._hash_pool = ThreadPoolExecutor(
+                max_workers=self.hash_workers,
+                thread_name_prefix="dedup-hash",
+            )
+        return list(self._hash_pool.map(self.fingerprint, (c.data for c in chunks)))
 
     def _flush(
         self,
-        pending: list[tuple[Chunk, str]],
+        pending: list[Chunk],
+        fps: list[str],
         source: Optional[str],
         call_stats: DedupStats,
         unique: list[str],
     ) -> None:
         started = time.perf_counter()
-        results = self.index.lookup_and_insert_many(
-            [fp for _, fp in pending], metadata=source
-        )
+        results = self.index.lookup_and_insert_many(fps, metadata=source)
         self.lookup_latency.observe(time.perf_counter() - started)
-        for (chunk, fp), is_new in zip(pending, results):
+        for chunk, fp, is_new in zip(pending, fps, results):
             self._account(chunk, fp, is_new, call_stats, unique)
 
     def _account(
@@ -149,7 +217,19 @@ class DedupEngine:
         if is_new:
             unique.append(fp)
             if self.unique_sink is not None:
-                self.unique_sink(chunk, fp)
+                # Unique chunks are the cold path: materialize bytes here so
+                # sinks can store the payload without pinning the input
+                # buffer through a view.
+                if isinstance(chunk.data, bytes):
+                    self.unique_sink(chunk, fp)
+                else:
+                    self.unique_sink(Chunk(data=chunk.tobytes(), offset=chunk.offset), fp)
+
+    def close(self) -> None:
+        """Shut down the optional hashing pool (no-op when unused)."""
+        if self._hash_pool is not None:
+            self._hash_pool.shutdown(wait=True)
+            self._hash_pool = None
 
     def reset_stats(self) -> None:
         """Zero the cumulative stats without touching the index."""
@@ -166,7 +246,11 @@ def measure_dedup_ratio(
     This is the "real-dedup-ratio" measurement in the paper's Algorithm 1:
     all inputs share one fresh index, and the ratio is raw/unique bytes.
     """
-    engine = DedupEngine(chunker=chunker, fingerprint=fingerprint)
+    engine = DedupEngine(
+        chunker=chunker,
+        fingerprint=fingerprint,
+        allow_oracle_chunkers=True,
+    )
     for data in inputs:
         engine.dedup_bytes(data)
     return engine.stats.dedup_ratio

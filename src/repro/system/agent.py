@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from repro.chunking.base import Chunker
-from repro.chunking.fixed import FixedSizeChunker
 from repro.dedup.engine import DedupEngine, DedupResult, UniqueChunkSink
 from repro.dedup.index import DedupIndex
 from repro.kvstore.consistency import ConsistencyLevel
@@ -161,8 +160,9 @@ class DedupAgent:
         config: system tunables (chunk size etc.).
         unique_sink: invoked with each unique chunk — wired to the central
             cloud's ``receive_chunk`` by the deployment strategies.
-        chunker: override the chunker (defaults to fixed-size at
-            ``config.chunk_size``).
+        chunker: override the chunker (defaults to the algorithm selected
+            by ``config.chunking_algo`` at ``config.chunk_size``, via
+            :meth:`~repro.system.config.EFDedupConfig.make_chunker`).
     """
 
     def __init__(
@@ -177,7 +177,7 @@ class DedupAgent:
         self.config = config if config is not None else EFDedupConfig()
         self.engine = DedupEngine(
             index=index,
-            chunker=chunker if chunker is not None else FixedSizeChunker(self.config.chunk_size),
+            chunker=chunker if chunker is not None else self.config.make_chunker(),
             unique_sink=unique_sink,
             # lookup_batch is the agent's pipeline depth: 1 keeps the legacy
             # per-chunk round trip, >1 batches fingerprints per index call.

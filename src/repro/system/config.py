@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 from repro.kvstore.consistency import ConsistencyLevel
 
+_CHUNKING_ALGOS = ("fixed", "gear", "fastcdc", "ae", "ram")
+
 
 @dataclass(frozen=True)
 class EFDedupConfig:
@@ -21,6 +23,13 @@ class EFDedupConfig:
 
     Attributes:
         chunk_size: dedup block size in bytes (duperemove default is 128 KiB).
+            For content-defined algorithms this is the target *average*
+            chunk size (gear/fastcdc require a power of two).
+        chunking_algo: how agents split streams — ``"fixed"`` (duperemove
+            behavior, the default), or one of the content-defined
+            algorithms ``"gear"``, ``"fastcdc"``, ``"ae"``, ``"ram"``.
+            ``rabin`` is deliberately absent: it is a reference oracle the
+            engine refuses for live ingest.
         replication_factor: γ — index copies per chunk hash within a ring.
         consistency: read/write level of the ring's KV store.
         vnodes: virtual nodes per member on the index ring.
@@ -70,6 +79,7 @@ class EFDedupConfig:
     """
 
     chunk_size: int = 128 * 1024
+    chunking_algo: str = "fixed"
     replication_factor: int = 2
     consistency: ConsistencyLevel = field(default=ConsistencyLevel.ONE)
     vnodes: int = 16
@@ -89,6 +99,11 @@ class EFDedupConfig:
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {self.chunk_size!r}")
+        if self.chunking_algo not in _CHUNKING_ALGOS:
+            raise ValueError(
+                f"chunking_algo must be one of {sorted(_CHUNKING_ALGOS)}, "
+                f"got {self.chunking_algo!r}"
+            )
         if self.replication_factor < 1:
             raise ValueError(
                 f"replication_factor must be >= 1, got {self.replication_factor!r}"
@@ -140,3 +155,29 @@ class EFDedupConfig:
         if nbytes < 0:
             raise ValueError(f"nbytes must be non-negative, got {nbytes!r}")
         return nbytes / (self.hash_mb_per_s * 1e6)
+
+    def make_chunker(self):
+        """Build the chunker selected by :attr:`chunking_algo`.
+
+        One factory so every component that splits streams — agents, the
+        cloud-side strategies, the throughput harnesses — agrees on the
+        algorithm and the ``chunk_size`` target (a chunk-boundary mismatch
+        between nodes silently destroys cross-node dedup).
+        """
+        from repro.chunking import (
+            AEChunker,
+            FastCDCChunker,
+            FixedSizeChunker,
+            GearChunker,
+            RAMChunker,
+        )
+
+        if self.chunking_algo == "fixed":
+            return FixedSizeChunker(self.chunk_size)
+        if self.chunking_algo == "gear":
+            return GearChunker(avg_size=self.chunk_size)
+        if self.chunking_algo == "fastcdc":
+            return FastCDCChunker(avg_size=self.chunk_size)
+        if self.chunking_algo == "ae":
+            return AEChunker(avg_size=self.chunk_size)
+        return RAMChunker(avg_size=self.chunk_size)

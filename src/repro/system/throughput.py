@@ -37,7 +37,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.chunking.fixed import FixedSizeChunker
 from repro.chunking.hashing import default_fingerprint
 from repro.dedup.stats import DedupStats
 from repro.network.topology import Topology
@@ -311,7 +310,7 @@ def run_cloud_assisted(
     config = config if config is not None else EFDedupConfig()
     _validate_workloads(topology, workloads)
     service = CloudDedupService()
-    chunker = FixedSizeChunker(config.chunk_size)
+    chunker = config.make_chunker()
     timings = {nid: NodeTiming(node_id=nid) for nid in workloads}
     stats = DedupStats()
     network_cost = 0.0
@@ -392,7 +391,7 @@ def run_cloud_only(
     config = config if config is not None else EFDedupConfig()
     _validate_workloads(topology, workloads)
     service = CloudDedupService()
-    chunker = FixedSizeChunker(config.chunk_size)
+    chunker = config.make_chunker()
     timings = {nid: NodeTiming(node_id=nid) for nid in workloads}
     wan_bytes = 0
 

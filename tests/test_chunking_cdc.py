@@ -1,4 +1,4 @@
-"""Tests for content-defined chunking (Gear and Rabin)."""
+"""Tests for content-defined chunking (Gear, FastCDC, Rabin, AE, RAM)."""
 
 import numpy as np
 import pytest
@@ -6,6 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.chunking.base import validate_chunking
+from repro.chunking.extremum import AEChunker, RAMChunker
+from repro.chunking.fastcdc import FastCDCChunker
 from repro.chunking.gear import GearChunker
 from repro.chunking.rabin import RabinChunker
 
@@ -17,6 +19,9 @@ def _random_bytes(n: int, seed: int = 0) -> bytes:
 CDC_CLASSES = [
     pytest.param(lambda: GearChunker(avg_size=256), id="gear"),
     pytest.param(lambda: RabinChunker(avg_size=256), id="rabin"),
+    pytest.param(lambda: FastCDCChunker(avg_size=256), id="fastcdc"),
+    pytest.param(lambda: AEChunker(avg_size=256), id="ae"),
+    pytest.param(lambda: RAMChunker(avg_size=256), id="ram"),
 ]
 
 
