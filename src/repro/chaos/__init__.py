@@ -16,6 +16,10 @@ from repro.chaos.migration_scenario import (
     MigrationChaosReport,
     run_migration_scenario,
 )
+from repro.chaos.restore_scenario import (
+    RestoreChaosReport,
+    run_restore_scenario,
+)
 from repro.chaos.runner import ChaosReport, run_scenario, seeded_pool_workload
 from repro.chaos.scenarios import (
     SCENARIOS,
@@ -34,6 +38,7 @@ __all__ = [
     "FaultEvent",
     "InvariantReport",
     "MigrationChaosReport",
+    "RestoreChaosReport",
     "SCENARIOS",
     "check_invariants",
     "crash_restart",
@@ -42,6 +47,7 @@ __all__ = [
     "partition_heal",
     "rolling_restart",
     "run_migration_scenario",
+    "run_restore_scenario",
     "run_scenario",
     "seeded_pool_workload",
 ]

@@ -25,6 +25,12 @@ The subcommands cover the workflows a user runs repeatedly:
                         a live WAL-backed ring and check the recovery
                         invariants; exit 1 if any is violated or the final
                         dedup ratio drifts from the fault-free baseline;
+- ``repro restore``   — the data-plane durability proof: ingest a seeded
+                        workload into a durable cluster (ring-local
+                        payload shelves + RS(k, m) erasure-coded cloud
+                        tier), optionally fail zones / evict the edge
+                        copies / delete files and GC-sweep, then restore
+                        every file; ``--check`` gates on byte-exactness;
 - ``repro replan``    — the full control loop, live: fit the estimator on
                         sampled files (restarts fanned out over a
                         ProcessPoolExecutor with ``--workers``), deploy the
@@ -132,10 +138,13 @@ def _build_parser() -> argparse.ArgumentParser:
             "flapping",
             "partition-heal",
             "migrate-under-faults",
+            "restore-under-zone-failure",
         ),
         help="fault schedule to inject (default: crash-restart); "
         "migrate-under-faults crashes a source-ring node while a live "
-        "migration's dual-lookup window is open",
+        "migration's dual-lookup window is open; restore-under-zone-failure "
+        "fails m cloud-tier zones, evicts the edge shelves, and requires "
+        "byte-exact k-of-n restores plus a clean GC sweep",
     )
     chaos.add_argument(
         "--nodes", type=int, default=None,
@@ -171,6 +180,58 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--json", default=None, metavar="PATH", dest="report_json",
         help="also write the full chaos report as JSON",
+    )
+
+    restore = sub.add_parser(
+        "restore",
+        help="ingest a seeded workload into the durable content plane, "
+        "optionally fail zones / evict edges / GC, and restore every file",
+    )
+    restore.add_argument("--nodes", type=int, default=3, help="ring members (default 3)")
+    restore.add_argument(
+        "--files", type=int, default=4, help="files ingested per node (default 4)"
+    )
+    restore.add_argument(
+        "--file-kb", type=int, default=32, help="file size in KiB (default 32)"
+    )
+    restore.add_argument("--gamma", type=int, default=2, help="replication factor")
+    restore.add_argument("--seed", type=int, default=7, help="workload seed")
+    restore.add_argument(
+        "--batch", type=int, default=16, help="fingerprints per batched lookup"
+    )
+    restore.add_argument(
+        "--transport", choices=("inproc", "asyncio"), default="asyncio",
+        help="ring transport (default asyncio — payloads move over RPC)",
+    )
+    restore.add_argument(
+        "--k", type=int, default=3, help="RS data shards of the cloud tier (default 3)"
+    )
+    restore.add_argument(
+        "--m", type=int, default=2, help="RS parity shards (default 2)"
+    )
+    restore.add_argument(
+        "--fail-zones", type=int, default=0, metavar="N",
+        help="fail the first N cloud-tier zones before restoring (must be <= m)",
+    )
+    restore.add_argument(
+        "--evict-edge", action="store_true",
+        help="drop every ring-local payload copy first, forcing k-of-n "
+        "reconstruction from the erasure-coded tier",
+    )
+    restore.add_argument(
+        "--delete", type=int, default=0, metavar="N",
+        help="delete the first N files and run a GC sweep before the final "
+        "restore pass (survivors must be untouched)",
+    )
+    restore.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless every restore is byte-exact, zero stripes stay "
+        "under-replicated after zone recovery, and the sweep orphans nothing",
+    )
+    restore.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write the cluster's unified metrics (including content.*) as "
+        "a repro.metrics/v1 JSON export",
     )
 
     replan = sub.add_parser(
@@ -528,11 +589,60 @@ def _cmd_chaos_migration(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_chaos_restore(args: argparse.Namespace) -> int:
+    from repro.chaos import run_restore_scenario
+
+    nodes = args.nodes if args.nodes is not None else 3
+    files = args.files if args.files is not None else 4
+    file_kb = args.file_kb if args.file_kb is not None else 32
+    print(f"chaos: scenario=restore-under-zone-failure nodes={nodes} "
+          f"files={files}x{file_kb}KiB seed={args.seed} gamma={args.gamma}")
+    report = run_restore_scenario(
+        nodes=nodes,
+        files_per_node=files,
+        file_kb=file_kb,
+        seed=args.seed,
+        gamma=args.gamma,
+        lookup_batch=args.batch,
+        journal_dir=args.data_dir,
+    )
+    print(f"events: {', '.join(report.events_fired) or '(none)'}")
+    print(f"restores: healthy_mismatches={report.healthy_mismatches} "
+          f"degraded_mismatches={report.degraded_mismatches} "
+          f"post_sweep_mismatches={report.post_sweep_mismatches} "
+          f"premature_deletions={report.premature_deletions}")
+    print(f"tier: degraded_stripes_seen={report.degraded_stripes_seen} "
+          f"under_replicated_after_recover={report.under_replicated_after_recover}")
+    print(f"gc: deleted {report.files_deleted} files, swept "
+          f"{report.chunks_swept} chunks, reclaimed "
+          f"{report.reclaimed_payload_bytes} payload bytes, "
+          f"orphans={report.orphans_adopted}")
+    for name, ok in report.invariants.checks.items():
+        print(f"  {'ok ' if ok else 'FAIL'} {name}")
+    if args.report_json:
+        import json
+
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"report: wrote {args.report_json}")
+    if report.passed:
+        print("chaos: PASS — every restore was byte-exact through zone "
+              "failure, edge eviction, and the GC sweep")
+        return 0
+    print("chaos: FAIL — "
+          + "; ".join(report.invariants.violations
+                      or ["restore or GC check failed (see counters above)"]),
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import run_scenario
 
     if args.scenario == "migrate-under-faults":
         return _cmd_chaos_migration(args)
+    if args.scenario == "restore-under-zone-failure":
+        return _cmd_chaos_restore(args)
     nodes = args.nodes if args.nodes is not None else 3
     files = args.files if args.files is not None else 6
     file_kb = args.file_kb if args.file_kb is not None else 32
@@ -590,6 +700,132 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           [f"ratio {report.dedup_ratio} != baseline {report.baseline_ratio}"]),
           file=sys.stderr)
     return 1
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    import tempfile
+    import time as _time
+
+    from repro.chaos.runner import _round_robin, seeded_pool_workload
+    from repro.core.costs import SNOD2Problem
+    from repro.core.model import ChunkPoolModel, grouped_sources
+    from repro.network.costmatrix import latency_cost_matrix
+    from repro.system.cluster import DurableEFDedupCluster
+    from repro.system.config import EFDedupConfig
+
+    if args.fail_zones > args.m:
+        print(f"restore: --fail-zones {args.fail_zones} exceeds parity m={args.m}; "
+              "reconstruction would be impossible", file=sys.stderr)
+        return 2
+    nodes = args.nodes
+    model = ChunkPoolModel(
+        [150.0, 150.0],
+        grouped_sources(
+            [i % 2 for i in range(nodes)], [[0.9, 0.1], [0.1, 0.9]], 80.0
+        ),
+    )
+    topology = build_testbed(nodes, min(3, nodes))
+    problem = SNOD2Problem(
+        model=model,
+        nu=latency_cost_matrix(topology),
+        duration=2.0,
+        gamma=args.gamma,
+        alpha=50.0,
+    )
+    config = EFDedupConfig(
+        chunk_size=4096,
+        replication_factor=args.gamma,
+        lookup_batch=args.batch,
+        transport=args.transport,
+        rpc_timeout_s=0.5,
+        rpc_attempts=5,
+        ec_data_shards=args.k,
+        ec_parity_shards=args.m,
+    )
+    print(f"restore: nodes={nodes} files={args.files}x{args.file_kb}KiB "
+          f"seed={args.seed} transport={args.transport} "
+          f"RS(k={args.k},m={args.m}) fail_zones={args.fail_zones} "
+          f"evict_edge={args.evict_edge} delete={args.delete}")
+    with tempfile.TemporaryDirectory() as tmp:
+        cluster = DurableEFDedupCluster(
+            topology, problem, config=config, journal_dir=tmp
+        )
+        cluster.partition = [list(range(nodes))]
+        cluster.deploy()
+        try:
+            files: dict[str, bytes] = {}
+            schedule = _round_robin(
+                seeded_pool_workload(nodes, args.files, args.file_kb, seed=args.seed)
+            )
+            t0 = _time.perf_counter()
+            for i, (nid, data) in enumerate(schedule):
+                fid = f"file-{i}"
+                files[fid] = data
+                cluster.ingest_file(nid, fid, data)
+            ingest_s = _time.perf_counter() - t0
+            total_mb = sum(len(d) for d in files.values()) / 1e6
+            print(f"ingest: {len(files)} files, {total_mb:.2f} MB in "
+                  f"{ingest_s:.3f}s ({total_mb / max(ingest_s, 1e-9):.1f} MB/s)")
+
+            for z in range(args.fail_zones):
+                cluster.fail_zone(z)
+            if args.fail_zones:
+                print(f"faults: failed zones {list(range(args.fail_zones))}")
+            if args.evict_edge:
+                evicted = sum(r.content.clear() for r in cluster.rings)
+                print(f"faults: evicted {evicted} edge payload copies")
+
+            swept_ok = True
+            if args.delete:
+                doomed = sorted(files)[: args.delete]
+                for fid in doomed:
+                    cluster.delete_file(fid)
+                    del files[fid]
+                sweep = cluster.gc_sweep()
+                swept_ok = sweep.orphans_adopted == 0
+                print(f"gc: deleted {len(doomed)} files, swept {sweep.swept} "
+                      f"chunks, reclaimed {sweep.reclaimed_payload_bytes} "
+                      f"payload bytes, orphans={sweep.orphans_adopted}")
+
+            mismatches = 0
+            restore_mb = 0.0
+            t1 = _time.perf_counter()
+            for fid, data in files.items():
+                out = cluster.restore_file(fid)
+                restore_mb += len(out) / 1e6
+                if out != data:
+                    mismatches += 1
+            restore_s = _time.perf_counter() - t1
+            mode = "degraded" if (args.fail_zones or args.evict_edge) else "healthy"
+            print(f"restore: {len(files)} files, {restore_mb:.2f} MB in "
+                  f"{restore_s:.3f}s ({restore_mb / max(restore_s, 1e-9):.1f} MB/s, "
+                  f"{mode}), mismatches={mismatches}")
+
+            under_replicated = 0
+            if args.fail_zones:
+                rebuilt = sum(
+                    cluster.recover_zone(z) for z in range(args.fail_zones)
+                )
+                under_replicated = cluster.tier.under_replicated_stripes
+                print(f"recovery: rebuilt {rebuilt} shards, "
+                      f"under_replicated_stripes={under_replicated}")
+
+            if args.metrics_json:
+                count = cluster.metrics_hub().dump_json(args.metrics_json)
+                print(f"metrics: wrote {count} series to {args.metrics_json}")
+
+            ok = mismatches == 0 and under_replicated == 0 and swept_ok
+            if args.check and not ok:
+                print("restore: FAIL — "
+                      f"mismatches={mismatches} "
+                      f"under_replicated={under_replicated} "
+                      f"sweep_clean={swept_ok}", file=sys.stderr)
+                return 1
+            print("restore: PASS — every file restored byte-exactly"
+                  if ok else "restore: done (use --check to gate on it)")
+            return 0
+        finally:
+            cluster.shutdown()
 
 
 def _grouped_sample_files(
@@ -861,6 +1097,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_live,
         "metrics": _cmd_metrics,
         "chaos": _cmd_chaos,
+        "restore": _cmd_restore,
         "replan": _cmd_replan,
     }
     return handlers[args.command](args)

@@ -1,0 +1,18 @@
+"""Chunk-payload data plane: edge content stores, erasure-coded cloud
+tier, cluster-backed restore fetcher, and refcount garbage collection."""
+
+from repro.content.base import ContentStats, ContentStore, InMemoryContentStore
+from repro.content.gc import RefcountGC
+from repro.content.plane import ContentPlane, PlaneStats, SweepReport
+from repro.content.ring_store import RingContentStore
+
+__all__ = [
+    "ContentStats",
+    "ContentStore",
+    "InMemoryContentStore",
+    "RefcountGC",
+    "ContentPlane",
+    "PlaneStats",
+    "SweepReport",
+    "RingContentStore",
+]

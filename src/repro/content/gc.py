@@ -1,0 +1,151 @@
+"""Refcount-based garbage collection for chunk payloads.
+
+Deduplication makes deletion hard: a chunk's bytes are shared by every
+file whose recipe references its fingerprint, so "delete file" can only
+free a chunk when the *last* recipe referencing it goes away. The
+classic answer (Data Domain, ZFS dedup) is reference counting:
+
+- recipe put  → ``incr`` every entry's fingerprint;
+- recipe drop → ``decr`` every entry's fingerprint;
+- a sweep (:meth:`repro.content.plane.ContentPlane.sweep`) reclaims
+  chunks whose count reached zero, plus stored-but-never-counted
+  orphans.
+
+Counts are journaled through the same
+:class:`~repro.kvstore.wal.WriteAheadLog` machinery that makes node
+shards crash-survivable: every mutation appends ``[fingerprint, count,
+seq, tombstone]`` before it is considered applied, periodic snapshots
+bound replay, and a restart replays snapshot+log with last-write-wins —
+so a crash between a recipe delete and its sweep never orphans a chunk
+(the zero count is on disk) and never double-frees one (counts are
+absolute, not deltas, so replay is idempotent).
+
+The GC is deliberately *cluster-scoped*, not ring-scoped: the same
+fingerprint can be claimed unique by two different rings (per-ring dedup
+domains), and live migration dissolves rings wholesale — a per-ring
+count would be lost with its ring, while this ledger rides above the
+ring lifecycle.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.kvstore.node import VersionedValue
+from repro.kvstore.wal import WriteAheadLog
+
+_JOURNAL_NAME = "refcounts"
+
+
+class RefcountGC:
+    """Chunk reference ledger, optionally WAL-journaled.
+
+    Args:
+        journal_dir: directory for the refcount journal; ``None`` keeps
+            the ledger in memory only (simulation runs).
+        snapshot_every: journal appends between snapshots.
+    """
+
+    def __init__(
+        self,
+        journal_dir: Optional[Union[str, Path]] = None,
+        snapshot_every: int = 512,
+    ) -> None:
+        self.counts: dict[str, int] = {}
+        self._seq = 0
+        self.underflows = 0  # decr below zero: a refcounting bug signal
+        self.wal: Optional[WriteAheadLog] = None
+        if journal_dir is not None:
+            self.wal = WriteAheadLog(
+                journal_dir, _JOURNAL_NAME, snapshot_every=snapshot_every
+            )
+            for fingerprint, stored in self.wal.load().items():
+                self._seq = max(self._seq, stored.timestamp)
+                if not stored.tombstone:
+                    # Zero counts are kept: they mark chunks whose last
+                    # reference died but whose bytes await a sweep.
+                    self.counts[fingerprint] = int(stored.value)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def _journal(self, fingerprint: str, count: int, tombstone: bool = False) -> None:
+        if self.wal is None:
+            return
+        self._seq += 1
+        self.wal.append(fingerprint, str(count), self._seq, tombstone)
+        self.wal.maybe_snapshot(self._ledger_view())
+
+    def _ledger_view(self) -> dict[str, VersionedValue]:
+        return {
+            fingerprint: VersionedValue(str(count), self._seq, False)
+            for fingerprint, count in self.counts.items()
+        }
+
+    def incr(self, fingerprint: str, n: int = 1) -> int:
+        """Add ``n`` references; returns the new count."""
+        count = self.counts.get(fingerprint, 0) + n
+        self.counts[fingerprint] = count
+        self._journal(fingerprint, count)
+        return count
+
+    def decr(self, fingerprint: str, n: int = 1) -> int:
+        """Drop ``n`` references; clamps at zero (and counts the underflow
+        — a negative count means incr/decr calls were unbalanced)."""
+        count = self.counts.get(fingerprint, 0) - n
+        if count < 0:
+            self.underflows += 1
+            count = 0
+        self.counts[fingerprint] = count
+        self._journal(fingerprint, count)
+        return count
+
+    def forget(self, fingerprint: str) -> None:
+        """Remove a fingerprint from the ledger entirely (after its bytes
+        are reclaimed). Journaled as a tombstone so replay forgets too."""
+        if self.counts.pop(fingerprint, None) is not None:
+            self._journal(fingerprint, 0, tombstone=True)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def count(self, fingerprint: str) -> int:
+        return self.counts.get(fingerprint, 0)
+
+    def tracked(self) -> frozenset[str]:
+        return frozenset(self.counts)
+
+    def live_refs(self) -> dict[str, int]:
+        return {fp: c for fp, c in self.counts.items() if c > 0}
+
+    def zero_refs(self) -> list[str]:
+        """Fingerprints whose last reference is gone — sweep candidates."""
+        return sorted(fp for fp, c in self.counts.items() if c == 0)
+
+    def metrics(self) -> dict[str, float]:
+        live = sum(1 for c in self.counts.values() if c > 0)
+        return {
+            "tracked": float(len(self.counts)),
+            "live": float(live),
+            "zero": float(len(self.counts) - live),
+            "underflows": float(self.underflows),
+            "journal_appends": float(self.wal.stats.appends) if self.wal else 0.0,
+            "journal_snapshots": float(self.wal.stats.snapshots) if self.wal else 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+
+    def __enter__(self) -> "RefcountGC":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

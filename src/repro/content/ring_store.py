@@ -1,0 +1,291 @@
+"""Ring-local content store: payloads live on the node that owns the hash.
+
+Every unique chunk's payload is shelved on the ring member that the
+consistent-hash ring names as the fingerprint's primary — the same
+placement the fingerprint index uses, so the node answering "is this
+chunk new?" is also the node holding its bytes (PM-Dedup's
+payloads-at-the-edge locality argument). One copy per ring, on purpose:
+the edge shelf is the *fast* tier; durability belongs to the
+erasure-coded cloud tier behind
+:class:`~repro.content.plane.ContentPlane`.
+
+Writes are buffered and flushed as **one batched message per target
+node** (the payload sibling of ``put_if_absent_many``): over the live
+transport that is a single ``put_chunks`` RPC with base64 payloads in
+the length-prefixed framing; in-process it is a dict update on the
+member's shelf. Reads scatter one batched ``get_chunks`` to every alive
+member and take the first copy found. Down or unreachable members are
+misses, never errors.
+
+The store speaks to both backends through duck typing: a
+:class:`~repro.kvstore.store.DistributedKVStore` (shelves held here,
+since in-process nodes have no server) or a
+:class:`~repro.rpc.remote_store.RemoteKVStore` (shelves live in each
+:class:`~repro.rpc.server.NodeServer`; this class only routes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.content.base import ContentStats
+
+
+class RingContentStore:
+    """Edge payload shelf for one D2-ring.
+
+    Args:
+        ring_id: owning ring (labels metrics).
+        store: the ring's fingerprint-index store; provides placement
+            (``replicas_for``), membership (``nodes``) and — when it is a
+            ``RemoteKVStore`` — the chunk RPC surface.
+        batch_size: buffered puts per automatic flush.
+    """
+
+    def __init__(self, ring_id: str, store, batch_size: int = 16) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
+        self.ring_id = ring_id
+        self.store = store
+        self.batch_size = batch_size
+        self.stats = ContentStats()
+        self._live = hasattr(store, "scatter_put_chunks")
+        self._pending: dict[str, bytes] = {}
+        # In-process backend: per-member shelves live client-side (there
+        # is no server process to hold them).
+        self._shelves: Optional[dict[str, dict[str, bytes]]] = (
+            None if self._live else {nid: {} for nid in store.nodes}
+        )
+
+    # ------------------------------------------------------------------ #
+    # placement
+    # ------------------------------------------------------------------ #
+
+    def members(self) -> list[str]:
+        return list(self.store.nodes)
+
+    def _is_up(self, node_id: str) -> bool:
+        return self.store.nodes[node_id].is_up
+
+    def _target(self, fingerprint: str, exclude: Optional[str] = None) -> Optional[str]:
+        """First alive replica in placement order (primary-first), or None
+        when the whole replica set is down. When ``exclude`` leaves no
+        replica (a departing member was the sole owner), any other alive
+        member serves — reads scatter to every alive member, so the copy
+        stays findable wherever it lands."""
+        for node_id in self.store.replicas_for(fingerprint):
+            if node_id == exclude:
+                continue
+            if self._is_up(node_id):
+                return node_id
+        if exclude is not None:
+            for node_id in self.members():
+                if node_id != exclude and self._is_up(node_id):
+                    return node_id
+        return None
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def put_chunk(self, fingerprint: str, data: bytes) -> bool:
+        """Buffer one payload; flushed in batches. Placement is decided at
+        flush time, so membership changes between put and flush are safe."""
+        self._pending.setdefault(fingerprint, bytes(data))
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+        return True
+
+    def flush(self) -> int:
+        """Push buffered payloads, one batched message per target node.
+
+        Chunks whose replica set is entirely down are dropped (counted in
+        ``dropped_puts``) — the cloud tier holds the durable copy and a
+        later orphan sweep or re-ingest restores edge locality.
+        """
+        if not self._pending:
+            return 0
+        pending, self._pending = self._pending, {}
+        groups: dict[str, list[tuple[str, bytes]]] = {}
+        for fingerprint, data in pending.items():
+            target = self._target(fingerprint)
+            if target is None:
+                self.stats.dropped_puts += 1
+                continue
+            groups.setdefault(target, []).append((fingerprint, data))
+        flushed = 0
+        if self._live:
+            failures = self.store.scatter_put_chunks(groups)
+            for node_id, entries in groups.items():
+                if failures.get(node_id) is None:
+                    for _, data in entries:
+                        self.stats.puts += 1
+                        self.stats.put_bytes += len(data)
+                        flushed += 1
+                else:
+                    self.stats.dropped_puts += len(entries)
+        else:
+            for node_id, entries in groups.items():
+                shelf = self._shelves.setdefault(node_id, {})
+                for fingerprint, data in entries:
+                    shelf[fingerprint] = data
+                    self.stats.puts += 1
+                    self.stats.put_bytes += len(data)
+                    flushed += 1
+        if groups:
+            self.stats.batch_flushes += len(groups)
+        return flushed
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def get_chunk(self, fingerprint: str) -> bytes:
+        """Fetch one payload from the ring (KeyError when no alive member
+        holds a copy)."""
+        found = self.get_many([fingerprint]).get(fingerprint)
+        if found is None:
+            raise KeyError(f"ring {self.ring_id!r} holds no chunk {fingerprint!r}")
+        return found
+
+    def get_many(self, fingerprints: list[str]) -> dict[str, bytes]:
+        """Batched fetch: one ``get_chunks`` message per alive member, all
+        in flight concurrently; returns only the fingerprints found."""
+        self.flush()
+        wanted = list(dict.fromkeys(fingerprints))
+        self.stats.gets += len(wanted)
+        alive = [nid for nid in self.members() if self._is_up(nid)]
+        found: dict[str, bytes] = {}
+        if alive and wanted:
+            if self._live:
+                by_node = self.store.scatter_get_chunks({n: wanted for n in alive})
+            else:
+                by_node = {
+                    n: {fp: self._shelves.get(n, {}).get(fp) for fp in wanted}
+                    for n in alive
+                }
+            for fingerprint in wanted:
+                # Placement order first so the primary's copy wins.
+                ordered = [
+                    n for n in self.store.replicas_for(fingerprint) if n in by_node
+                ] + [n for n in alive if n not in self.store.replicas_for(fingerprint)]
+                for node_id in ordered:
+                    data = by_node.get(node_id, {}).get(fingerprint)
+                    if data is not None:
+                        found[fingerprint] = data
+                        break
+        self.stats.hits += len(found)
+        self.stats.misses += len(wanted) - len(found)
+        return found
+
+    def has_chunk(self, fingerprint: str) -> bool:
+        if fingerprint in self._pending:
+            return True
+        return fingerprint in self.get_many([fingerprint])
+
+    # ------------------------------------------------------------------ #
+    # deletes and eviction
+    # ------------------------------------------------------------------ #
+
+    def delete_chunk(self, fingerprint: str) -> tuple[int, int]:
+        return self.delete_many([fingerprint])
+
+    def delete_many(self, fingerprints: list[str]) -> tuple[int, int]:
+        """Drop payload copies from every member; returns (copies deleted,
+        bytes freed). A down member keeps its copy — unreferenced shelf
+        bytes are re-swept once it serves again, or die with a crash."""
+        self.flush()
+        for fingerprint in fingerprints:
+            self._pending.pop(fingerprint, None)
+        copies = 0
+        freed = 0
+        if self._live:
+            copies, freed = self.store.scatter_delete_chunks(
+                self.members(), list(fingerprints)
+            )
+        else:
+            for shelf in self._shelves.values():
+                for fingerprint in fingerprints:
+                    data = shelf.pop(fingerprint, None)
+                    if data is not None:
+                        copies += 1
+                        freed += len(data)
+        self.stats.deletes += copies
+        self.stats.deleted_bytes += freed
+        return copies, freed
+
+    def clear(self) -> int:
+        """Evict every edge copy (degraded-restore drills: forces the read
+        path through k-of-n reconstruction at the cloud tier)."""
+        self.flush()
+        evicted = 0
+        if self._live:
+            for node_id in self.members():
+                keys = self.store.node_chunk_keys(node_id)
+                if keys:
+                    copies, _ = self.store.scatter_delete_chunks([node_id], keys)
+                    evicted += copies
+        else:
+            for shelf in self._shelves.values():
+                evicted += len(shelf)
+                shelf.clear()
+        return evicted
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+
+    def add_member(self, node_id: str) -> None:
+        if self._shelves is not None:
+            self._shelves.setdefault(node_id, {})
+
+    def rehome_member(self, node_id: str) -> int:
+        """Move a departing member's payloads to their new owners (called
+        before the node leaves the index ring, so placement still knows
+        it). Unreachable member → nothing to move; the cloud tier covers
+        its chunks."""
+        self.flush()
+        if self._live:
+            moving = self.store.node_chunk_dump(node_id)
+        else:
+            moving = self._shelves.pop(node_id, {})
+        rehomed = 0
+        groups: dict[str, list[tuple[str, bytes]]] = {}
+        for fingerprint, data in moving.items():
+            target = self._target(fingerprint, exclude=node_id)
+            if target is None:
+                self.stats.dropped_puts += 1
+                continue
+            groups.setdefault(target, []).append((fingerprint, data))
+            rehomed += 1
+        if self._live:
+            if groups:
+                self.store.scatter_put_chunks(groups)
+        else:
+            for target, entries in groups.items():
+                self._shelves.setdefault(target, {}).update(dict(entries))
+        self.stats.rehomed_chunks += rehomed
+        return rehomed
+
+    def drain_by_member(self) -> dict[str, dict[str, bytes]]:
+        """Every member's shelf contents (operator flow; migration carry
+        uses it to move a dissolving ring's payloads to the new topology)."""
+        self.flush()
+        if self._live:
+            return {nid: self.store.node_chunk_dump(nid) for nid in self.members()}
+        return {nid: dict(shelf) for nid, shelf in self._shelves.items()}
+
+    def fingerprints(self) -> frozenset[str]:
+        out: set[str] = set(self._pending)
+        if self._live:
+            for node_id in self.members():
+                out.update(self.store.node_chunk_keys(node_id))
+        else:
+            for shelf in self._shelves.values():
+                out.update(shelf)
+        return frozenset(out)
+
+    def snapshot(self) -> dict[str, float]:
+        snap = self.stats.snapshot()
+        snap["pending"] = float(len(self._pending))
+        return snap

@@ -124,6 +124,14 @@ class RecipeStore:
         except KeyError:
             raise RecipeError(f"no recipe for {file_id!r}") from None
 
+    def remove(self, file_id: str) -> FileRecipe:
+        """Drop and return a recipe (the file-delete path: the caller
+        decrements the chunks' refcounts from the returned entries)."""
+        try:
+            return self._recipes.pop(file_id)
+        except KeyError:
+            raise RecipeError(f"no recipe for {file_id!r}") from None
+
     def __contains__(self, file_id: str) -> bool:
         return file_id in self._recipes
 

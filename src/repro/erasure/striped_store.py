@@ -9,6 +9,14 @@ keeping r full replicas:
 
 the "save more storage space" + "more reliable" combination the paper's
 future work points at.
+
+Zone failures are crashes, not wipes: a downed zone keeps its shard data
+and serves it again after :meth:`ErasureCodedChunkStore.recover_zone`.
+Writes during an outage skip the down zones, leaving the stripe
+*under-replicated* (fewer than k+m shards stored); recovery backfills the
+missing shards so redundancy is restored without operator action. Deletes
+during an outage are queued as pending drops and applied on recovery, so
+``stored_shard_bytes`` always equals the bytes actually held in zones.
 """
 
 from __future__ import annotations
@@ -52,6 +60,14 @@ class ErasureCodedChunkStore:
         self.stored_shard_bytes = 0
         self.payload_bytes = 0
         self._next_zone = 0
+        # Stripes with fewer than k+m shards stored (degraded writes, or a
+        # repair that could not find enough live zones). recover_zone()
+        # sweeps this set and rebuilds.
+        self._under_replicated: set[str] = set()
+        # Shard entries that could not be dropped because their zone was
+        # down at the time (deletes, and stale copies left by repair):
+        # zone -> [(fingerprint, shard index), ...], applied on recovery.
+        self._pending_drops: dict[int, list[tuple[str, int]]] = {}
 
     # ------------------------------------------------------------------ #
     # zone management
@@ -62,10 +78,29 @@ class ErasureCodedChunkStore:
         self._check_zone(zone)
         self._zone_up[zone] = False
 
-    def recover_zone(self, zone: int) -> None:
-        """Bring a zone back (its shard data is intact — crash, not wipe)."""
+    def recover_zone(self, zone: int) -> int:
+        """Bring a zone back (its shard data is intact — crash, not wipe).
+
+        Recovery also restores the store's redundancy invariant: pending
+        drops (deletes that arrived while the zone was dark, stale copies
+        left behind by :meth:`repair_chunk`) are applied, and every stripe
+        that went under-replicated during the outage has its missing
+        shards rebuilt onto live zones. Returns the number of shards
+        rebuilt by the backfill pass.
+        """
         self._check_zone(zone)
         self._zone_up[zone] = True
+        for fingerprint, idx in self._pending_drops.pop(zone, []):
+            shard_data = self._zones[zone].pop((fingerprint, idx), None)
+            if shard_data is not None:
+                self.stored_shard_bytes -= len(shard_data)
+        rebuilt = 0
+        for fingerprint in sorted(self._under_replicated):
+            try:
+                rebuilt += self.repair_chunk(fingerprint)
+            except ZoneFailedError:
+                continue  # still too few live zones; a later recovery retries
+        return rebuilt
 
     def _check_zone(self, zone: int) -> None:
         if not 0 <= zone < self.n_zones:
@@ -110,10 +145,20 @@ class ErasureCodedChunkStore:
             payload_length=len(data), shard_zone=placement
         )
         self.payload_bytes += len(data)
+        if len(placement) < self.code.total_shards:
+            self._under_replicated.add(fingerprint)
         return True
 
     def has_chunk(self, fingerprint: str) -> bool:
         return fingerprint in self._meta
+
+    def chunk_length(self, fingerprint: str) -> int:
+        """Payload length of a stored chunk (KeyError if unknown)."""
+        return self._meta[fingerprint].payload_length
+
+    def fingerprints(self) -> frozenset[str]:
+        """The set of stored chunk fingerprints."""
+        return frozenset(self._meta)
 
     def get_chunk(self, fingerprint: str) -> bytes:
         """Read a chunk back, decoding around any failed zones.
@@ -138,10 +183,37 @@ class ErasureCodedChunkStore:
             )
         return self.code.decode(available, meta.payload_length)
 
+    def delete_chunk(self, fingerprint: str) -> bool:
+        """Drop a chunk's stripe from every zone. Returns True if it was
+        stored.
+
+        Shards in live zones are removed immediately; shards stuck in down
+        zones are queued as pending drops and reclaimed the moment the
+        zone recovers — so ``stored_shard_bytes`` stays exact (it counts
+        bytes still physically held, including those awaiting a drop) and
+        ``payload_bytes`` reflects the logical deletion immediately.
+        """
+        meta = self._meta.pop(fingerprint, None)
+        if meta is None:
+            return False
+        for idx, zone in meta.shard_zone.items():
+            if self._zone_up[zone]:
+                shard_data = self._zones[zone].pop((fingerprint, idx), None)
+                if shard_data is not None:
+                    self.stored_shard_bytes -= len(shard_data)
+            else:
+                self._pending_drops.setdefault(zone, []).append((fingerprint, idx))
+        self.payload_bytes -= meta.payload_length
+        self._under_replicated.discard(fingerprint)
+        return True
+
     def repair_chunk(self, fingerprint: str) -> int:
         """Re-create missing shards of one stripe onto live zones.
 
-        Returns the number of shards rebuilt.
+        Covers both loss modes: shards never written (a degraded write)
+        and shards marooned in a down zone (re-homed to a live zone; the
+        stale copy is queued for drop when its zone recovers). Returns the
+        number of shards rebuilt.
         """
         meta = self._meta.get(fingerprint)
         if meta is None:
@@ -158,11 +230,18 @@ class ErasureCodedChunkStore:
             target = next((z for z in live_zones if z not in used), None)
             if target is None:
                 break
+            if zone is not None:
+                # Re-homing away from a down zone: its copy is stale now.
+                self._pending_drops.setdefault(zone, []).append(
+                    (fingerprint, shard.index)
+                )
             self._zones[target][(fingerprint, shard.index)] = shard.data
             self.stored_shard_bytes += len(shard.data)
             meta.shard_zone[shard.index] = target
             used.add(target)
             rebuilt += 1
+        if len(meta.shard_zone) == self.code.total_shards:
+            self._under_replicated.discard(fingerprint)
         return rebuilt
 
     # ------------------------------------------------------------------ #
@@ -174,8 +253,25 @@ class ErasureCodedChunkStore:
         return len(self._meta)
 
     @property
+    def under_replicated_stripes(self) -> int:
+        """Stripes currently holding fewer than k+m shards (degraded
+        writes not yet backfilled)."""
+        return len(self._under_replicated)
+
+    @property
     def storage_overhead(self) -> float:
         """Actual stored bytes per payload byte."""
         if self.payload_bytes == 0:
             return 0.0
         return self.stored_shard_bytes / self.payload_bytes
+
+    def metrics(self) -> dict[str, float]:
+        """Flat counters for the observability layer."""
+        return {
+            "stored_chunks": float(self.stored_chunks),
+            "payload_bytes": float(self.payload_bytes),
+            "stored_shard_bytes": float(self.stored_shard_bytes),
+            "storage_overhead": float(self.storage_overhead),
+            "under_replicated_stripes": float(self.under_replicated_stripes),
+            "zones_down": float(len(self.zones_down)),
+        }

@@ -37,6 +37,7 @@ Divergence from the in-process store, by design:
 from __future__ import annotations
 
 import asyncio
+import base64
 import itertools
 import threading
 import time
@@ -507,6 +508,123 @@ class RemoteKVStore:
                 outcome if isinstance(outcome, (RpcError, NodeDownError)) else None
             )
         return acked
+
+    # ------------------------------------------------------------------ #
+    # chunk payloads (content plane)
+    # ------------------------------------------------------------------ #
+    #
+    # Payload bytes travel base64-encoded inside the framed params so the
+    # JSON codec (which has no bytes type) round-trips them. Unreachable or
+    # down replicas are tolerated — the edge copy is a locality cache and
+    # the erasure-coded cloud tier is the durable tier, so a skipped node
+    # is a miss, not a failure.
+
+    def scatter_put_chunks(
+        self, groups: dict[str, list[tuple[str, bytes]]]
+    ) -> dict[str, Optional[Exception]]:
+        """One batched ``put_chunks`` message per target node (the payload
+        sibling of the ``put_if_absent_many`` scatter); returns node id →
+        error-or-None."""
+        return self._sync(self._a_scatter_put_chunks(groups))
+
+    async def _a_scatter_put_chunks(
+        self, groups: dict[str, list[tuple[str, bytes]]]
+    ) -> dict[str, Optional[Exception]]:
+        async def one(node_id: str, entries: list[tuple[str, bytes]]):
+            wire = [
+                [fp, base64.b64encode(data).decode("ascii")] for fp, data in entries
+            ]
+            await self._client.call(node_id, "put_chunks", {"entries": wire})
+
+        outcomes = await asyncio.gather(
+            *(one(n, es) for n, es in groups.items()), return_exceptions=True
+        )
+        acked: dict[str, Optional[Exception]] = {}
+        for node_id, outcome in zip(groups, outcomes):
+            if isinstance(outcome, BaseException) and not isinstance(
+                outcome, (RpcError, NodeDownError)
+            ):
+                raise outcome
+            acked[node_id] = (
+                outcome if isinstance(outcome, (RpcError, NodeDownError)) else None
+            )
+        return acked
+
+    def scatter_get_chunks(
+        self, groups: dict[str, list[str]]
+    ) -> dict[str, dict[str, Optional[bytes]]]:
+        """One batched ``get_chunks`` per node; an unreachable node yields
+        an empty mapping (every fingerprint a miss)."""
+        return self._sync(self._a_scatter_get_chunks(groups))
+
+    async def _a_scatter_get_chunks(
+        self, groups: dict[str, list[str]]
+    ) -> dict[str, dict[str, Optional[bytes]]]:
+        async def one(node_id: str, fingerprints: list[str]):
+            try:
+                result = await self._client.call(
+                    node_id, "get_chunks", {"fingerprints": fingerprints}
+                )
+            except (RpcError, NodeDownError):
+                return node_id, {}
+            return node_id, {
+                fp: None if row is None else base64.b64decode(row)
+                for fp, row in result["chunks"].items()
+            }
+
+        return dict(await asyncio.gather(*(one(n, fs) for n, fs in groups.items())))
+
+    def scatter_delete_chunks(
+        self, node_ids: "Iterable[str]", fingerprints: "Iterable[str]"
+    ) -> tuple[int, int]:
+        """Drop fingerprints from every named node; returns (copies
+        deleted, bytes freed) across reachable nodes."""
+        return self._sync(
+            self._a_scatter_delete_chunks(list(node_ids), list(fingerprints))
+        )
+
+    async def _a_scatter_delete_chunks(
+        self, node_ids: list[str], fingerprints: list[str]
+    ) -> tuple[int, int]:
+        async def one(node_id: str):
+            try:
+                return await self._client.call(
+                    node_id, "delete_chunks", {"fingerprints": fingerprints}
+                )
+            except (RpcError, NodeDownError):
+                return {"deleted": 0, "bytes": 0}
+
+        results = await asyncio.gather(*(one(n) for n in node_ids))
+        return (
+            sum(r["deleted"] for r in results),
+            sum(r["bytes"] for r in results),
+        )
+
+    def node_chunk_keys(self, node_id: str) -> list[str]:
+        """Fingerprints shelved on one node (control-plane: served while
+        the replica is down; [] when the process is unreachable)."""
+
+        async def go():
+            try:
+                result = await self._client.call(node_id, "chunk_keys")
+            except RpcError:
+                return []
+            return list(result["fingerprints"])
+
+        return self._sync(go())
+
+    def node_chunk_dump(self, node_id: str) -> dict[str, bytes]:
+        """Full payload shelf of one node (operator flow for rehoming and
+        migration carry; {} when the process is unreachable)."""
+
+        async def go():
+            try:
+                result = await self._client.call(node_id, "chunk_dump")
+            except RpcError:
+                return {}
+            return {fp: base64.b64decode(row) for fp, row in result["chunks"].items()}
+
+        return self._sync(go())
 
     # ------------------------------------------------------------------ #
     # client operations (synchronous facade over the async core)

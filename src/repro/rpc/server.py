@@ -31,12 +31,13 @@ them losslessly.
 from __future__ import annotations
 
 import asyncio
+import base64
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.kvstore.errors import KVStoreError
+from repro.kvstore.errors import KVStoreError, NodeDownError
 from repro.kvstore.node import StorageNode
 from repro.kvstore.repair import _bucket_of, merkle_from_items
 from repro.obs.histogram import Histogram
@@ -106,6 +107,12 @@ class NodeServer:
                 f"idempotency_capacity must be >= 1, got {idempotency_capacity!r}"
             )
         self.node = node
+        # Chunk-payload shelf for the content plane: fingerprint → raw
+        # bytes. In-memory on purpose — the edge copy is a locality cache;
+        # the erasure-coded cloud tier is the durable tier, so a crashed
+        # node losing its shelf is recoverable by reconstruction.
+        self.chunks: dict[str, bytes] = {}
+        self.chunk_bytes = 0
         from repro.rpc.framing import default_codec_name
 
         self.codec = get_codec(codec if codec is not None else default_codec_name())
@@ -237,6 +244,69 @@ class NodeServer:
         return {"stored": len(entries)}
 
     # ------------------------------------------------------------------ #
+    # operations — chunk payloads (content plane)
+    # ------------------------------------------------------------------ #
+
+    def _require_up(self) -> None:
+        if not self.node.is_up:
+            raise NodeDownError(f"node {self.node_id!r} is down")
+
+    def _op_put_chunks(self, params: dict) -> dict:
+        """Batched payload writes: ``entries`` is [[fingerprint, b64], ...].
+
+        Payloads travel base64-encoded so both codecs (JSON has no bytes
+        type) round-trip them losslessly.
+        """
+        self._require_up()
+        stored = 0
+        stored_bytes = 0
+        for fingerprint, encoded in params["entries"]:
+            data = base64.b64decode(encoded)
+            if fingerprint not in self.chunks:
+                self.chunk_bytes += len(data)
+                stored += 1
+                stored_bytes += len(data)
+            else:
+                self.chunk_bytes += len(data) - len(self.chunks[fingerprint])
+            self.chunks[fingerprint] = data
+        return {"stored": stored, "bytes": stored_bytes}
+
+    def _op_get_chunks(self, params: dict) -> dict:
+        """Batched payload reads; a missing fingerprint maps to None (the
+        caller treats it as a cache miss, not an error)."""
+        self._require_up()
+        out: dict[str, Optional[str]] = {}
+        for fingerprint in params["fingerprints"]:
+            data = self.chunks.get(fingerprint)
+            out[fingerprint] = None if data is None else base64.b64encode(data).decode("ascii")
+        return {"chunks": out}
+
+    def _op_delete_chunks(self, params: dict) -> dict:
+        self._require_up()
+        deleted = 0
+        freed = 0
+        for fingerprint in params["fingerprints"]:
+            data = self.chunks.pop(fingerprint, None)
+            if data is not None:
+                deleted += 1
+                freed += len(data)
+                self.chunk_bytes -= len(data)
+        return {"deleted": deleted, "bytes": freed}
+
+    def _op_chunk_keys(self, params: dict) -> dict:
+        # Operator view like dump: works while down, so a decommission or
+        # GC sweep can still enumerate what a refusing replica holds.
+        return {"fingerprints": sorted(self.chunks)}
+
+    def _op_chunk_dump(self, params: dict) -> dict:
+        return {
+            "chunks": {
+                fp: base64.b64encode(data).decode("ascii")
+                for fp, data in self.chunks.items()
+            }
+        }
+
+    # ------------------------------------------------------------------ #
     # operations — control plane (always served)
     # ------------------------------------------------------------------ #
 
@@ -305,6 +375,11 @@ class NodeServer:
         "ping": _op_ping,
         "multi_get": _op_multi_get,
         "multi_put": _op_multi_put,
+        "put_chunks": _op_put_chunks,
+        "get_chunks": _op_get_chunks,
+        "delete_chunks": _op_delete_chunks,
+        "chunk_keys": _op_chunk_keys,
+        "chunk_dump": _op_chunk_dump,
         "set_down": _op_set_down,
         "dump": _op_dump,
         "key_count": _op_key_count,

@@ -86,6 +86,17 @@ class CentralCloudStore:
             )
         return self._payloads[fingerprint]
 
+    def drop_chunk(self, fingerprint: str) -> bool:
+        """Remove a chunk from storage (the GC reclaim path). Historical
+        WAN counters (``received_*``/``redundant_bytes``) are untouched —
+        the traffic happened — but ``stored_chunks``/``stored_bytes`` and
+        :meth:`fingerprints` reflect the deletion, keeping the chaos
+        invariant *index keys == cloud fingerprints* true across sweeps."""
+        if self._chunks.pop(fingerprint, None) is None:
+            return False
+        self._payloads.pop(fingerprint, None)
+        return True
+
 
 class CloudDedupService:
     """Cloud-side dedup index + store, for the cloud-based baselines."""

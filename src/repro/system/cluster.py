@@ -58,6 +58,9 @@ class EFDedupCluster:
         self.problem = problem
         self.config = config if config is not None else EFDedupConfig()
         self.cloud = CentralCloudStore()
+        # Payload data plane; None on the accounting-only base cluster.
+        # Subclasses set it before deploy() so rings grow content stores.
+        self.content_plane = None
         self.partition: Optional[Partition] = None
         self.rings: list[D2Ring] = []
         self._ring_of: dict[str, D2Ring] = {}
@@ -106,6 +109,7 @@ class EFDedupCluster:
                 members=members,
                 cloud=self.cloud,
                 config=self.config,
+                content_plane=self.content_plane,
             )
             for i, members in enumerate(self.node_rings())
         ]
@@ -214,6 +218,129 @@ class EFDedupCluster:
                 else {}
             ),
         )
+        return hub
+
+
+class DurableEFDedupCluster(EFDedupCluster):
+    """An EF-dedup cluster with a real payload data plane.
+
+    Unique-chunk payloads land on ring-local content stores (the member
+    owning the fingerprint, over the live transport when
+    ``config.transport == "asyncio"``), spill to an erasure-coded cloud
+    tier (RS(k, m) striping across failure zones), and are reclaimed by a
+    refcount GC once no recipe references them. Restores come from edge
+    shelves when possible and k-of-n reconstruction otherwise, so every
+    file stays byte-recoverable with up to m zones failed and any number
+    of edge nodes gone.
+
+    Recipes and refcounts are **cluster-scoped** (not per ring): live
+    migration dissolves rings wholesale, and restorability must survive
+    the swap.
+
+    Args:
+        journal_dir: when set, refcounts are WAL-journaled under this
+            directory and survive a crash-restart of the control process.
+    """
+
+    def __init__(self, topology, problem, config=None, journal_dir=None) -> None:
+        super().__init__(topology, problem, config=config)
+        from repro.content import ContentPlane, RefcountGC
+        from repro.dedup.recipes import RecipeStore
+        from repro.erasure.striped_store import ErasureCodedChunkStore
+
+        cfg = self.config
+        self.tier = ErasureCodedChunkStore(
+            data_shards=cfg.ec_data_shards,
+            parity_shards=cfg.ec_parity_shards,
+            n_zones=cfg.ec_zones,
+        )
+        self.gc = RefcountGC(journal_dir=journal_dir)
+        self.content_plane = ContentPlane(
+            self.tier, gc=self.gc, spill_mode=cfg.spill_mode
+        )
+        self.recipes = RecipeStore()
+
+    # ------------------------------------------------------------------ #
+    # file lifecycle
+    # ------------------------------------------------------------------ #
+
+    def ingest_file(self, node_id: str, file_id: str, data: bytes):
+        """Deduplicate ``data`` at ``node_id``, record its recipe in the
+        cluster catalog, and reference-count its chunks."""
+        from repro.dedup.recipes import make_recipe
+
+        ring = self.ring_for(node_id)
+        recipe = make_recipe(
+            file_id, data, chunker=ring.agent(node_id).engine.chunker
+        )
+        self.recipes.put(recipe)
+        for entry in recipe.entries:
+            self.gc.incr(entry.fingerprint)
+        report = ring.agent(node_id).ingest(data, label=file_id)
+        if ring.content is not None:
+            ring.content.flush()
+        return report
+
+    def restore_file(self, file_id: str) -> bytes:
+        """Reassemble a file through the content plane (edge shelves, then
+        k-of-n tier reconstruction); verifies every chunk fingerprint."""
+        from repro.dedup.recipes import restore_file
+
+        recipe = self.recipes.get(file_id)
+        prefetched = self.content_plane.fetch_many(
+            [entry.fingerprint for entry in recipe.entries]
+        )
+        return restore_file(recipe, prefetched.__getitem__)
+
+    def delete_file(self, file_id: str) -> int:
+        """Drop a file's recipe and dereference its chunks; returns how
+        many chunk refcounts hit zero (reclaimable by the next
+        :meth:`gc_sweep`). Bytes are not freed here — sweeping is separate
+        so batches of deletes amortize one sweep."""
+        from collections import Counter
+
+        recipe = self.recipes.remove(file_id)
+        zeroed = 0
+        for fingerprint, refs in Counter(
+            entry.fingerprint for entry in recipe.entries
+        ).items():
+            if self.gc.decr(fingerprint, refs) == 0:
+                zeroed += 1
+        return zeroed
+
+    def gc_sweep(self, include_unreferenced: bool = True):
+        """Reclaim all zero-ref chunks (and, by default, untracked
+        orphans) from every layer; returns the
+        :class:`~repro.content.plane.SweepReport`."""
+        return self.content_plane.sweep(
+            cloud=self.cloud, include_unreferenced=include_unreferenced
+        )
+
+    # ------------------------------------------------------------------ #
+    # cloud-tier zone faults
+    # ------------------------------------------------------------------ #
+
+    def fail_zone(self, zone: int) -> None:
+        self.tier.fail_zone(zone)
+
+    def recover_zone(self, zone: int) -> int:
+        """Recover a tier zone; returns shards rebuilt by the backfill."""
+        return self.tier.recover_zone(zone)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle and observability
+    # ------------------------------------------------------------------ #
+
+    def shutdown(self) -> None:
+        self.content_plane.flush()
+        super().shutdown()
+        self.content_plane.close()
+
+    def metrics_hub(self) -> MetricsHub:
+        hub = super().metrics_hub()
+        hub.register("content.cloud_tier", self.tier.metrics)
+        hub.register("content.gc", self.gc.metrics)
+        hub.register("content.plane", self.content_plane.metrics)
         return hub
 
 

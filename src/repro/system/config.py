@@ -76,6 +76,18 @@ class EFDedupConfig:
             member at this period and drives coordinator up/down state via
             the phi-accrual failure detector. 0 (default) disables the
             prober; failures are then injected/marked explicitly.
+        ec_data_shards: content plane — k of the cloud tier's RS(k, m)
+            erasure code (data shards per stripe).
+        ec_parity_shards: content plane — m of the code; the tier
+            tolerates m simultaneous zone failures.
+        ec_zones: content plane — failure zones at the cloud tier; None
+            means exactly k + m.
+        spill_mode: content plane — ``"sync"`` stripes each unique chunk
+            to the cloud tier inside the ingest call; ``"async"`` spills
+            on a background thread (``ContentPlane.flush()`` joins it).
+        content_batch: content plane — buffered payload writes per batched
+            ``put_chunks`` message to a ring member (the payload analogue
+            of ``lookup_batch``).
     """
 
     chunk_size: int = 128 * 1024
@@ -95,6 +107,11 @@ class EFDedupConfig:
     cache_capacity: int = 0
     data_dir: str | None = None
     heartbeat_interval_s: float = 0.0
+    ec_data_shards: int = 4
+    ec_parity_shards: int = 2
+    ec_zones: int | None = None
+    spill_mode: str = "sync"
+    content_batch: int = 16
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -141,6 +158,30 @@ class EFDedupConfig:
         if self.heartbeat_interval_s < 0:
             raise ValueError(
                 f"heartbeat_interval_s must be >= 0, got {self.heartbeat_interval_s!r}"
+            )
+        if self.ec_data_shards < 1:
+            raise ValueError(
+                f"ec_data_shards must be >= 1, got {self.ec_data_shards!r}"
+            )
+        if self.ec_parity_shards < 0:
+            raise ValueError(
+                f"ec_parity_shards must be >= 0, got {self.ec_parity_shards!r}"
+            )
+        if (
+            self.ec_zones is not None
+            and self.ec_zones < self.ec_data_shards + self.ec_parity_shards
+        ):
+            raise ValueError(
+                f"ec_zones must be >= k+m={self.ec_data_shards + self.ec_parity_shards}, "
+                f"got {self.ec_zones!r}"
+            )
+        if self.spill_mode not in ("sync", "async"):
+            raise ValueError(
+                f"spill_mode must be 'sync' or 'async', got {self.spill_mode!r}"
+            )
+        if self.content_batch < 1:
+            raise ValueError(
+                f"content_batch must be >= 1, got {self.content_batch!r}"
             )
         if self.transport != "asyncio":
             if self.data_dir is not None:

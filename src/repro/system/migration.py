@@ -203,7 +203,8 @@ class MigrationReport:
     ``entries_restreamed`` counts the delta pass at
     :meth:`LiveMigrator.close_window`. ``dual_lookup_probes`` /
     ``dual_lookup_hits`` measure the window's overhead and the in-flight
-    claims it saved.
+    claims it saved. ``payloads_carried`` counts edge chunk payloads
+    re-homed out of dissolving rings' content shelves at cutover.
     """
 
     state: str = "PLANNED"
@@ -213,6 +214,7 @@ class MigrationReport:
     rings_dissolved: int = 0
     entries_streamed: int = 0
     entries_restreamed: int = 0
+    payloads_carried: int = 0
     dual_lookup_probes: int = 0
     dual_lookup_hits: int = 0
     stream_wall_s: float = 0.0
@@ -232,6 +234,7 @@ class MigrationReport:
             "migration.rings_dissolved": float(self.rings_dissolved),
             "migration.entries_streamed": float(self.entries_streamed),
             "migration.entries_restreamed": float(self.entries_restreamed),
+            "migration.payloads_carried": float(self.payloads_carried),
             "migration.dual_lookup_probes": float(self.dual_lookup_probes),
             "migration.dual_lookup_hits": float(self.dual_lookup_hits),
             "migration.stream_wall_s": float(self.stream_wall_s),
@@ -479,6 +482,7 @@ class LiveMigrator:
                             members=[ids[v] for v in members],
                             cloud=cluster.cloud,
                             config=cluster.config,
+                            content_plane=cluster.content_plane,
                         )
                     )
             for mv in self.report.moves:
@@ -503,6 +507,22 @@ class LiveMigrator:
                 nid: ring for ring in new_rings for nid in ring.members
             }
             cluster._retired_rings.extend(self._dissolved)
+
+            # Dissolving rings take their content shelves with them when
+            # they close, so edge payloads re-home to each member's new
+            # ring now, while the source transports are still up. The
+            # cloud tier is untouched — this only preserves edge locality.
+            for ring in self._dissolved:
+                if ring.content is None:
+                    continue
+                for member, shelf in ring.content.drain_by_member().items():
+                    dst = cluster._ring_of[member]
+                    if dst.content is None:
+                        continue
+                    for fp, data in shelf.items():
+                        dst.content.put_chunk(fp, data)
+                        self.report.payloads_carried += 1
+                    dst.content.flush()
 
             # Open the dual-lookup window: every agent of a ring that
             # received movers probes those movers' source-ring stores,

@@ -52,6 +52,13 @@ class D2Ring:
         tracer: live transport only — a :class:`~repro.obs.trace.Tracer`
             shared by the ring's rpc client, node servers, and coordinator
             store, so one ingest batch traces client→coordinator→replica.
+        content_plane: optional
+            :class:`~repro.content.plane.ContentPlane`; when given, the
+            ring grows a :class:`~repro.content.ring_store.RingContentStore`
+            (unique-chunk payloads land on the member owning the
+            fingerprint, then spill to the plane's erasure-coded cloud
+            tier) and restores fetch through the plane instead of the
+            accounting cloud.
     """
 
     def __init__(
@@ -63,6 +70,7 @@ class D2Ring:
         cloud_of_member: Optional[dict[str, str]] = None,
         fault_injector=None,
         tracer=None,
+        content_plane=None,
     ) -> None:
         if not members:
             raise ValueError(f"ring {ring_id!r} needs at least one member")
@@ -113,10 +121,28 @@ class D2Ring:
                 strategy=strategy,
             )
         self.recipes = RecipeStore()
+        self._content_plane = content_plane
+        self.content = None
+        if content_plane is not None:
+            from repro.content.ring_store import RingContentStore
+
+            self.content = RingContentStore(
+                self.ring_id, self.store, batch_size=self.config.content_batch
+            )
+            content_plane.register_ring(self)
         self.agents: dict[str, DedupAgent] = {}
         self.ring_indexes: dict[str, RingIndex] = {}
         for node_id in self.members:
             self._make_agent(node_id)
+
+    def _store_unique_chunk(self, chunk, fingerprint: str) -> None:
+        """Content-plane unique sink: account the WAN upload on the cloud
+        (the chaos invariants compare unique claims against its counters),
+        shelf the payload on the owning ring member, and spill it to the
+        erasure-coded tier for durability."""
+        self.cloud.receive_chunk(chunk, fingerprint)
+        self.content.put_chunk(fingerprint, chunk.data)
+        self._content_plane.spill(fingerprint, chunk.data)
 
     def _make_agent(self, node_id: str) -> None:
         ring_index = RingIndex(
@@ -128,11 +154,14 @@ class D2Ring:
             # A presence cache answers hot duplicates at the agent instead of
             # crossing (what may be) the wire; decisions are unchanged.
             index = LRUCacheIndex(ring_index, capacity=self.config.cache_capacity)
+        sink = (
+            self.cloud.receive_chunk if self.content is None else self._store_unique_chunk
+        )
         self.agents[node_id] = DedupAgent(
             node_id=node_id,
             index=index,
             config=self.config,
-            unique_sink=self.cloud.receive_chunk,
+            unique_sink=sink,
         )
 
     # ------------------------------------------------------------------ #
@@ -152,6 +181,10 @@ class D2Ring:
 
     def close(self) -> None:
         """Shut down the live transport (no-op for in-process rings)."""
+        if self.content is not None:
+            self.content.flush()
+        if self._content_plane is not None:
+            self._content_plane.forget_ring(self.ring_id)
         if self._live is not None:
             self._live.close()
 
@@ -172,29 +205,48 @@ class D2Ring:
 
     def ingest(self, node_id: str, data: bytes):
         """Deduplicate ``data`` at ``node_id`` against the ring's index."""
-        return self.agent(node_id).ingest(data)
+        report = self.agent(node_id).ingest(data)
+        if self.content is not None:
+            self.content.flush()
+        return report
 
     def ingest_file(self, node_id: str, file_id: str, data: bytes):
         """Deduplicate ``data`` and record its recipe for later restore.
 
-        Requires the ring's cloud to keep payloads
+        Needs somewhere the payload bytes actually live: a content plane,
+        or a ring cloud that keeps payloads
         (``CentralCloudStore(keep_payloads=True)``) — otherwise the recipe
         would point at chunks whose bytes were dropped.
         """
-        if not self.cloud.keep_payloads:
+        if self.content is None and not self.cloud.keep_payloads:
             raise RuntimeError(
-                "restore needs CentralCloudStore(keep_payloads=True); this "
-                "ring's cloud only keeps accounting"
+                "restore needs a content plane or "
+                "CentralCloudStore(keep_payloads=True); this ring's cloud "
+                "only keeps accounting"
             )
         recipe = make_recipe(
             file_id, data, chunker=self.agent(node_id).engine.chunker
         )
         self.recipes.put(recipe)
-        return self.agent(node_id).ingest(data, label=file_id)
+        if self._content_plane is not None:
+            for entry in recipe.entries:
+                self._content_plane.gc.incr(entry.fingerprint)
+        report = self.agent(node_id).ingest(data, label=file_id)
+        if self.content is not None:
+            self.content.flush()
+        return report
 
     def restore_file(self, file_id: str) -> bytes:
-        """Reassemble a previously-ingested file from the cloud's chunks."""
-        return restore_file(self.recipes.get(file_id), self.cloud.get_chunk)
+        """Reassemble a previously-ingested file; with a content plane the
+        chunks come from edge shelves or k-of-n tier reconstruction, else
+        from the payload-keeping cloud."""
+        recipe = self.recipes.get(file_id)
+        if self._content_plane is not None:
+            prefetched = self._content_plane.fetch_many(
+                [entry.fingerprint for entry in recipe.entries]
+            )
+            return restore_file(recipe, prefetched.__getitem__)
+        return restore_file(recipe, self.cloud.get_chunk)
 
     def ingest_workloads(self, workloads: dict[str, Iterable[bytes]]) -> None:
         """Feed per-node file streams through the ring, interleaved round-
@@ -211,6 +263,8 @@ class D2Ring:
                     self.agent(nid).ingest(data)
             for nid in finished:
                 del iters[nid]
+        if self.content is not None:
+            self.content.flush()
 
     # ------------------------------------------------------------------ #
     # accounting
@@ -309,6 +363,10 @@ class D2Ring:
         hub.register(f"{prefix}kvstore", self.store.stats)
         hub.register(f"{prefix}kvstore.batch_s", self.store.batch_latency)
         hub.register(f"{prefix}engine.lookup_s", self._merged_engine_latency)
+        if self.content is not None:
+            # Conditional like rpc.*: only content-plane deployments export
+            # it, and then on both transports identically.
+            hub.register(f"{prefix}content", self.content.snapshot)
         if self._live is not None:
             client = self._live.client
             hub.register(
@@ -367,6 +425,8 @@ class D2Ring:
         else:
             self.store.add_node(node_id)
         self.members.append(node_id)
+        if self.content is not None:
+            self.content.add_member(node_id)
         self._make_agent(node_id)
 
     def remove_member(self, node_id: str) -> None:
@@ -377,6 +437,10 @@ class D2Ring:
             raise KeyError(f"node {node_id!r} is not in ring {self.ring_id!r}")
         if len(self.members) == 1:
             raise ValueError(f"cannot remove the last member of ring {self.ring_id!r}")
+        if self.content is not None:
+            # Before the index forgets the node: payload rehoming needs the
+            # departing member's shelf (live: its still-running server).
+            self.content.rehome_member(node_id)
         if self._live is not None:
             self._live.remove_node(node_id)
         else:

@@ -1,0 +1,293 @@
+"""Tests for the chunk-payload data plane: ring-local content stores,
+the refcount GC ledger, and the ContentPlane spill/fetch/sweep paths."""
+
+import pytest
+
+from repro.content import (
+    ContentPlane,
+    ContentStore,
+    InMemoryContentStore,
+    RefcountGC,
+    RingContentStore,
+)
+from repro.erasure.striped_store import ErasureCodedChunkStore, ZoneFailedError
+from repro.kvstore.store import DistributedKVStore
+
+
+def make_index(n=3, rf=2):
+    return DistributedKVStore([f"n{i}" for i in range(n)], replication_factor=rf)
+
+
+class _FakeRing:
+    """Just enough ring surface for ContentPlane: id, content, index."""
+
+    def __init__(self, ring_id, content, store):
+        self.ring_id = ring_id
+        self.content = content
+        self.store = store
+
+
+def make_ring(ring_id="ring-0", n=3, rf=2, batch=4):
+    index = make_index(n, rf)
+    content = RingContentStore(ring_id, index, batch_size=batch)
+    return _FakeRing(ring_id, content, index)
+
+
+class TestContentStoreProtocol:
+    def test_in_memory_store_conforms(self):
+        assert isinstance(InMemoryContentStore(), ContentStore)
+
+    def test_erasure_store_conforms(self):
+        assert isinstance(ErasureCodedChunkStore(2, 1), ContentStore)
+
+    def test_ring_store_conforms(self):
+        assert isinstance(make_ring().content, ContentStore)
+
+    def test_in_memory_roundtrip(self):
+        store = InMemoryContentStore()
+        assert store.put_chunk("fp", b"abc") is True
+        assert store.put_chunk("fp", b"abc") is False  # dup
+        assert store.get_chunk("fp") == b"abc"
+        assert store.has_chunk("fp")
+        assert store.payload_bytes == 3
+        assert store.delete_chunk("fp") is True
+        assert store.delete_chunk("fp") is False
+        with pytest.raises(KeyError):
+            store.get_chunk("fp")
+
+
+class TestRingContentStore:
+    def test_put_buffers_until_batch(self):
+        ring = make_ring(batch=3)
+        ring.content.put_chunk("a", b"1")
+        ring.content.put_chunk("b", b"2")
+        assert ring.content.stats.batch_flushes == 0
+        ring.content.put_chunk("c", b"3")  # hits batch_size -> auto flush
+        assert ring.content.stats.batch_flushes >= 1
+        assert ring.content.stats.puts == 3
+
+    def test_get_after_flush(self):
+        ring = make_ring()
+        ring.content.put_chunk("fp", b"payload")
+        assert ring.content.get_chunk("fp") == b"payload"
+        with pytest.raises(KeyError):
+            ring.content.get_chunk("ghost")
+
+    def test_placement_follows_index_primary(self):
+        ring = make_ring()
+        ring.content.put_chunk("fp", b"x")
+        ring.content.flush()
+        primary = ring.store.replicas_for("fp")[0]
+        assert "fp" in ring.content._shelves[primary]
+
+    def test_down_primary_falls_to_next_replica(self):
+        ring = make_ring()
+        primary = ring.store.replicas_for("fp")[0]
+        ring.store.mark_down(primary)
+        ring.content.put_chunk("fp", b"x")
+        ring.content.flush()
+        assert "fp" not in ring.content._shelves[primary]
+        assert ring.content.get_chunk("fp") == b"x"
+
+    def test_all_replicas_down_drops_put(self):
+        ring = make_ring(n=2, rf=2)
+        for nid in list(ring.store.nodes):
+            ring.store.mark_down(nid)
+        ring.content.put_chunk("fp", b"x")
+        ring.content.flush()
+        assert ring.content.stats.dropped_puts == 1
+
+    def test_delete_many_and_clear(self):
+        ring = make_ring()
+        ring.content.put_chunk("a", b"xx")
+        ring.content.put_chunk("b", b"yyy")
+        copies, freed = ring.content.delete_many(["a"])
+        assert (copies, freed) == (1, 2)
+        assert ring.content.clear() == 1  # only b left
+        assert ring.content.fingerprints() == frozenset()
+
+    def test_rehome_member_moves_payloads(self):
+        ring = make_ring(n=3, rf=1)
+        for i in range(12):
+            ring.content.put_chunk(f"fp{i}", bytes([i]))
+        ring.content.flush()
+        victim = max(
+            ring.content._shelves, key=lambda n: len(ring.content._shelves[n])
+        )
+        held = len(ring.content._shelves[victim])
+        assert held > 0
+        moved = ring.content.rehome_member(victim)
+        assert moved == held
+        # Every chunk still readable, none left on the departed member.
+        assert victim not in ring.content._shelves
+        for i in range(12):
+            assert ring.content.get_chunk(f"fp{i}") == bytes([i])
+
+    def test_drain_by_member_returns_everything(self):
+        ring = make_ring()
+        ring.content.put_chunk("a", b"1")
+        ring.content.put_chunk("b", b"2")
+        drained = ring.content.drain_by_member()
+        merged = {fp: d for shelf in drained.values() for fp, d in shelf.items()}
+        assert merged == {"a": b"1", "b": b"2"}
+
+
+class TestRefcountGC:
+    def test_incr_decr_zero_refs(self):
+        gc = RefcountGC()
+        assert gc.incr("fp") == 1
+        assert gc.incr("fp", 2) == 3
+        assert gc.decr("fp", 3) == 0
+        assert gc.zero_refs() == ["fp"]
+        assert gc.live_refs() == {}
+
+    def test_decr_clamps_and_counts_underflow(self):
+        gc = RefcountGC()
+        assert gc.decr("ghost") == 0
+        assert gc.underflows == 1
+
+    def test_forget_removes_from_ledger(self):
+        gc = RefcountGC()
+        gc.incr("fp")
+        gc.decr("fp")
+        gc.forget("fp")
+        assert gc.tracked() == frozenset()
+
+    def test_journal_replay_after_restart(self, tmp_path):
+        with RefcountGC(journal_dir=tmp_path) as gc:
+            gc.incr("a", 2)
+            gc.incr("b", 1)
+            gc.decr("b", 1)  # zero but still tracked (awaiting sweep)
+            gc.incr("c", 1)
+            gc.forget("c")  # tombstoned: replay must not resurrect it
+        with RefcountGC(journal_dir=tmp_path) as reborn:
+            assert reborn.count("a") == 2
+            assert reborn.count("b") == 0
+            assert reborn.zero_refs() == ["b"]
+            assert "c" not in reborn.tracked()
+
+    def test_replay_is_idempotent_absolute_counts(self, tmp_path):
+        # Counts are journaled as absolutes, so a replay after more
+        # mutations lands on the latest value, not a sum of deltas.
+        with RefcountGC(journal_dir=tmp_path) as gc:
+            for _ in range(5):
+                gc.incr("fp")
+            gc.decr("fp", 2)
+        with RefcountGC(journal_dir=tmp_path) as reborn:
+            assert reborn.count("fp") == 3
+            reborn.incr("fp")
+        with RefcountGC(journal_dir=tmp_path) as again:
+            assert again.count("fp") == 4
+
+    def test_snapshot_compaction_survives_restart(self, tmp_path):
+        with RefcountGC(journal_dir=tmp_path, snapshot_every=8) as gc:
+            for i in range(50):
+                gc.incr(f"fp{i % 5}")
+            assert gc.wal.stats.snapshots >= 1
+        with RefcountGC(journal_dir=tmp_path, snapshot_every=8) as reborn:
+            assert sum(reborn.counts.values()) == 50
+
+
+class TestContentPlane:
+    def test_sync_spill_reaches_tier(self):
+        plane = ContentPlane(ErasureCodedChunkStore(2, 1))
+        plane.spill("fp", b"d" * 100)
+        assert plane.tier.has_chunk("fp")
+        assert plane.stats.spills == 1
+        plane.close()
+
+    def test_async_spill_lands_after_flush(self):
+        with ContentPlane(ErasureCodedChunkStore(2, 1), spill_mode="async") as plane:
+            for i in range(20):
+                plane.spill(f"fp{i}", bytes([i]) * 50)
+            plane.flush()
+            assert plane.tier.stored_chunks == 20
+
+    def test_fetch_prefers_edge_then_tier(self):
+        ring = make_ring()
+        plane = ContentPlane(ErasureCodedChunkStore(2, 1))
+        plane.register_ring(ring)
+        ring.content.put_chunk("edge", b"from-edge")
+        plane.spill("tier", b"from-tier")
+        got = plane.fetch_many(["edge", "tier"])
+        assert got == {"edge": b"from-edge", "tier": b"from-tier"}
+        assert plane.stats.edge_hits == 1
+        assert plane.stats.tier_hits == 1
+        with pytest.raises(KeyError):
+            plane.fetch("ghost")
+        plane.close()
+
+    def test_spill_deferred_when_zones_down_then_retried(self):
+        tier = ErasureCodedChunkStore(2, 1)
+        plane = ContentPlane(tier)
+        tier.fail_zone(0)
+        tier.fail_zone(1)
+        plane.spill("fp", b"deferred" * 10)
+        assert plane.deferred_spills_pending == 1
+        assert not tier.has_chunk("fp")
+        tier.recover_zone(0)
+        tier.recover_zone(1)
+        plane.flush()
+        assert plane.deferred_spills_pending == 0
+        assert tier.get_chunk("fp") == b"deferred" * 10
+        plane.close()
+
+    def test_sweep_reclaims_zero_refs_everywhere(self):
+        ring = make_ring()
+        gc = RefcountGC()
+        plane = ContentPlane(ErasureCodedChunkStore(2, 1), gc=gc)
+        plane.register_ring(ring)
+        for fp, data in (("keep", b"k" * 64), ("drop", b"d" * 64)):
+            ring.content.put_chunk(fp, data)
+            plane.spill(fp, data)
+            gc.incr(fp)
+        gc.decr("drop")
+        report = plane.sweep()
+        assert report.swept == 1
+        assert report.reclaimed_payload_bytes == 64
+        assert report.edge_copies_deleted == 1
+        assert not plane.tier.has_chunk("drop")
+        assert plane.tier.has_chunk("keep")
+        assert "drop" not in gc.tracked()
+        assert plane.fetch("keep") == b"k" * 64
+        plane.close()
+
+    def test_sweep_adopts_untracked_orphans(self):
+        plane = ContentPlane(ErasureCodedChunkStore(2, 1))
+        plane.spill("orphan", b"o" * 32)  # stored but never refcounted
+        report = plane.sweep()
+        assert report.orphans_adopted == 1
+        assert report.swept == 1
+        assert not plane.tier.has_chunk("orphan")
+        plane.close()
+
+    def test_sweep_keeps_orphans_when_disabled(self):
+        plane = ContentPlane(ErasureCodedChunkStore(2, 1))
+        plane.spill("orphan", b"o")
+        report = plane.sweep(include_unreferenced=False)
+        assert report.swept == 0
+        assert plane.tier.has_chunk("orphan")
+        plane.close()
+
+    def test_forget_ring_stops_edge_serving(self):
+        ring = make_ring()
+        plane = ContentPlane(ErasureCodedChunkStore(2, 1))
+        plane.register_ring(ring)
+        ring.content.put_chunk("fp", b"x")
+        plane.forget_ring(ring.ring_id)
+        with pytest.raises(KeyError):
+            plane.fetch("fp")  # edge copy is gone from the plane's view
+        plane.close()
+
+    def test_metrics_surface(self):
+        plane = ContentPlane(ErasureCodedChunkStore(2, 1))
+        plane.spill("fp", b"m" * 10)
+        snap = plane.metrics()
+        assert snap["spills"] == 1.0
+        assert snap["spill_bytes"] == 10.0
+        assert snap["registered_rings"] == 0.0
+        plane.close()
+
+    def test_invalid_spill_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ContentPlane(ErasureCodedChunkStore(2, 1), spill_mode="maybe")

@@ -268,3 +268,126 @@ class TestErasureCodedChunkStore:
         store = ErasureCodedChunkStore(2, 1)
         with pytest.raises(ValueError):
             store.fail_zone(99)
+
+
+class TestLossPatternsExhaustive:
+    """Every loss pattern of <= m shards must decode, for a grid of codes."""
+
+    @pytest.mark.parametrize("k,m", [(1, 1), (2, 1), (2, 2), (3, 2), (4, 2), (3, 3)])
+    def test_all_loss_patterns_up_to_m(self, k, m):
+        import itertools
+
+        code = ReedSolomonCode(k, m)
+        payload = np.random.default_rng(k * 10 + m).integers(
+            0, 256, 257, dtype=np.uint8
+        ).tobytes()
+        shards = code.encode(payload)
+        for n_lost in range(m + 1):
+            for lost in itertools.combinations(range(k + m), n_lost):
+                subset = [s for s in shards if s.index not in lost]
+                assert code.decode(subset, len(payload)) == payload, lost
+
+    @pytest.mark.parametrize("k,m", [(1, 1), (2, 2), (4, 2)])
+    def test_one_byte_payload_all_patterns(self, k, m):
+        import itertools
+
+        code = ReedSolomonCode(k, m)
+        shards = code.encode(b"\x7f")
+        for lost in itertools.combinations(range(k + m), m):
+            subset = [s for s in shards if s.index not in lost]
+            assert code.decode(subset, 1) == b"\x7f"
+
+    def test_zero_length_payload_survives_losses(self):
+        code = ReedSolomonCode(3, 2)
+        shards = code.encode(b"")
+        assert code.decode(shards[2:], 0) == b""
+
+
+class TestZoneRecoveryBackfill:
+    """recover_zone() must repair every stripe written during the outage."""
+
+    def test_degraded_write_tracked_then_backfilled(self):
+        store = ErasureCodedChunkStore(4, 2)
+        store.fail_zone(0)
+        store.fail_zone(1)
+        store.put_chunk("fp", b"d" * 3000)
+        assert store.under_replicated_stripes == 1
+        rebuilt = store.recover_zone(0)
+        # One zone back: 5 placements possible, still short of k+m=6.
+        assert rebuilt >= 1
+        assert store.under_replicated_stripes == 1
+        rebuilt = store.recover_zone(1)
+        assert rebuilt >= 1
+        assert store.under_replicated_stripes == 0
+        # Full redundancy restored: any m zones may now die.
+        store.fail_zone(0)
+        store.fail_zone(1)
+        assert store.get_chunk("fp") == b"d" * 3000
+
+    def test_healthy_writes_never_under_replicated(self):
+        store = ErasureCodedChunkStore(3, 2)
+        for i in range(5):
+            store.put_chunk(f"fp{i}", bytes([i]) * 100)
+        assert store.under_replicated_stripes == 0
+        assert store.recover_zone(0) == 0  # no-op recovery rebuilds nothing
+
+    def test_metrics_surface(self):
+        store = ErasureCodedChunkStore(3, 2)
+        store.put_chunk("fp", b"m" * 900)
+        store.fail_zone(4)
+        snap = store.metrics()
+        assert snap["stored_chunks"] == 1.0
+        assert snap["payload_bytes"] == 900.0
+        assert snap["zones_down"] == 1.0
+        assert snap["under_replicated_stripes"] == 0.0
+        assert snap["stored_shard_bytes"] > 0.0
+
+
+class TestDeleteChunkAccounting:
+    """delete_chunk must return byte accounting to exactly zero."""
+
+    def test_delete_roundtrip_accounting(self):
+        store = ErasureCodedChunkStore(4, 2)
+        store.put_chunk("a", b"x" * 5000)
+        store.put_chunk("b", b"y" * 300)
+        bytes_with_both = store.stored_shard_bytes
+        assert store.delete_chunk("a") is True
+        assert store.stored_shard_bytes < bytes_with_both
+        assert store.payload_bytes == 300
+        assert store.delete_chunk("b") is True
+        assert store.stored_chunks == 0
+        assert store.stored_shard_bytes == 0
+        assert store.payload_bytes == 0
+        assert store.fingerprints() == frozenset()
+
+    def test_delete_missing_is_false(self):
+        assert ErasureCodedChunkStore(2, 1).delete_chunk("ghost") is False
+
+    def test_delete_during_outage_drops_stale_shards_on_recovery(self):
+        store = ErasureCodedChunkStore(2, 1)
+        store.put_chunk("fp", b"z" * 1200)
+        store.fail_zone(0)
+        assert store.delete_chunk("fp") is True
+        assert store.payload_bytes == 0
+        # Zone 0 still holds its (now orphaned) shard bytes until it heals.
+        assert store.stored_shard_bytes > 0
+        store.recover_zone(0)
+        assert store.stored_shard_bytes == 0
+
+    def test_deleted_chunk_not_backfilled(self):
+        store = ErasureCodedChunkStore(2, 1)
+        store.fail_zone(0)
+        store.put_chunk("fp", b"q" * 800)
+        assert store.under_replicated_stripes == 1
+        store.delete_chunk("fp")
+        assert store.under_replicated_stripes == 0
+        assert store.recover_zone(0) == 0
+        assert store.stored_shard_bytes == 0
+
+    def test_chunk_length_and_has_chunk(self):
+        store = ErasureCodedChunkStore(2, 1)
+        store.put_chunk("fp", b"L" * 77)
+        assert store.has_chunk("fp")
+        assert store.chunk_length("fp") == 77
+        with pytest.raises(KeyError):
+            store.chunk_length("ghost")
