@@ -8,10 +8,14 @@ live)."""
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Callable, Sequence, TypeVar
 
 from repro.analysis.report import FigureResult
+from repro.loadgen.stats import ConfidenceInterval, t_interval
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+T = TypeVar("T")
 
 
 def save_figure(result: FigureResult, name: str) -> str:
@@ -22,3 +26,42 @@ def save_figure(result: FigureResult, name: str) -> str:
     print()
     print(text)
     return text
+
+
+def run_trials(
+    trial: Callable[[int], T],
+    n_trials: int = 5,
+    seed: int = 0,
+) -> list[T]:
+    """Run ``trial(trial_seed)`` ``n_trials`` times with derived seeds.
+
+    Every benchmark that reports a mean must run repeated seeded trials —
+    a single run's number is noise. The per-trial seed is derived from
+    ``seed`` and the trial index so reruns reproduce the same sequence.
+    """
+    from repro.loadgen.seeding import derive_seed
+
+    if n_trials < 1:
+        raise ValueError(f"need at least one trial, got {n_trials}")
+    return [trial(derive_seed("bench-trial", seed, i)) for i in range(n_trials)]
+
+
+def trial_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Mean ± Student-t interval over repeated-trial samples.
+
+    Thin re-export of :func:`repro.loadgen.stats.t_interval` so benchmarks
+    share one CI implementation instead of hand-rolling error bars.
+    """
+    return t_interval(samples, confidence=confidence)
+
+
+def measure(
+    trial: Callable[[int], float],
+    n_trials: int = 5,
+    seed: int = 0,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """``run_trials`` + ``trial_interval`` in one step for scalar metrics."""
+    return trial_interval(run_trials(trial, n_trials, seed), confidence)

@@ -294,6 +294,80 @@ def _build_parser() -> argparse.ArgumentParser:
         "migration.*) as a repro.metrics/v1 JSON export",
     )
 
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop load harness: sweep offered load over a live "
+        "cluster and report the saturation knee with tail latency",
+    )
+    loadgen.add_argument(
+        "--nodes", type=int, default=3, help="ring members (default 3)"
+    )
+    loadgen.add_argument(
+        "--agents", type=int, default=10_000,
+        help="virtual agent identities multiplexed on the transport "
+        "(default 10000)",
+    )
+    loadgen.add_argument(
+        "--sources", type=int, default=48,
+        help="similarity-source pools agents belong to (default 48)",
+    )
+    loadgen.add_argument(
+        "--batch", type=int, default=8,
+        help="fingerprints claimed per request (default 8)",
+    )
+    loadgen.add_argument(
+        "--arrivals", choices=("poisson", "diurnal"), default="poisson",
+        help="arrival process (default poisson; diurnal rides a day/night "
+        "raised cosine around the same mean rate)",
+    )
+    loadgen.add_argument(
+        "--steps", default="250,500,1000,2000,4000", metavar="RPS[,RPS...]",
+        help="offered-load staircase in requests/s "
+        "(default 250,500,1000,2000,4000)",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=1.0,
+        help="seconds each step offers load (default 1.0)",
+    )
+    loadgen.add_argument(
+        "--trials", type=int, default=5,
+        help="seeded trials per step for the confidence interval (default 5)",
+    )
+    loadgen.add_argument(
+        "--zipf-source-s", type=float, default=1.1,
+        help="zipf exponent over sources — hotspot skew (default 1.1)",
+    )
+    loadgen.add_argument(
+        "--zipf-key-s", type=float, default=0.8,
+        help="zipf exponent over each source's keys — duplicate rate "
+        "(default 0.8)",
+    )
+    loadgen.add_argument(
+        "--keys-per-source", type=int, default=50_000,
+        help="fingerprint-space size per source (default 50000)",
+    )
+    loadgen.add_argument("--gamma", type=int, default=2, help="replication factor")
+    loadgen.add_argument("--seed", type=int, default=7, help="workload seed")
+    loadgen.add_argument(
+        "--codec", default=None,
+        help="wire codec (default: msgpack if installed, else json)",
+    )
+    loadgen.add_argument(
+        "--timeout-ms", type=float, default=2000.0,
+        help="per-attempt RPC timeout (default 2000 — saturation queues)",
+    )
+    loadgen.add_argument(
+        "--json", default=None, metavar="PATH", dest="report_json",
+        help="also write the full sweep report (steps, knee, CIs) as JSON",
+    )
+    loadgen.add_argument(
+        "--check", action="store_true",
+        help="determinism gate: generate the request stream twice per step "
+        "seed and require identical digests and aggregate counts, then run "
+        "one short live step and require arrival accounting to conserve "
+        "(arrivals == completed + failed); exit 1 on any mismatch",
+    )
+
     figures = sub.add_parser("figures", help="regenerate the paper's figures")
     figures.add_argument(
         "names",
@@ -1026,6 +1100,142 @@ def _cmd_replan(args: argparse.Namespace) -> int:
         cluster.shutdown()
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.loadgen import (
+        IdentityPool,
+        SweepConfig,
+        SweepDriver,
+        ZipfWorkload,
+        derive_seed,
+        make_arrivals,
+    )
+    from repro.rpc.cluster import LiveKVCluster
+    from repro.rpc.retry import RetryPolicy
+
+    try:
+        steps = [float(s) for s in args.steps.split(",") if s.strip()]
+    except ValueError:
+        print(f"--steps must be comma-separated rates, got {args.steps!r}",
+              file=sys.stderr)
+        return 2
+    if not steps:
+        print("--steps named no offered-load step", file=sys.stderr)
+        return 2
+    node_ids = [f"edge-{i}" for i in range(args.nodes)]
+    config = SweepConfig(
+        n_agents=args.agents,
+        n_sources=args.sources,
+        batch=args.batch,
+        source_s=args.zipf_source_s,
+        key_s=args.zipf_key_s,
+        keys_per_source=args.keys_per_source,
+        arrival_kind=args.arrivals,
+        duration_s=args.duration,
+        trials=args.trials,
+        seed=args.seed,
+    )
+
+    if args.check:
+        # Gate 1 — the offered stream is a pure function of the seed:
+        # regenerate every (step, trial) schedule and request digest and
+        # require bit-identical aggregates.
+        mismatches = []
+        total_requests = 0
+        pool = IdentityPool(
+            config.n_agents, config.n_sources, node_ids, seed=config.seed
+        )
+        for step_idx, rate in enumerate(steps):
+            for trial in range(config.trials):
+                trial_seed = derive_seed("sweep", config.seed, step_idx, trial)
+                arrivals = make_arrivals(
+                    config.arrival_kind, rate, seed=trial_seed,
+                    period_s=config.diurnal_period_s,
+                )
+                first = arrivals.schedule(config.duration_s)
+                second = arrivals.schedule(config.duration_s)
+                if first != second:
+                    mismatches.append(f"schedule s{step_idx}t{trial}")
+                workload = ZipfWorkload(
+                    pool, batch=config.batch, source_s=config.source_s,
+                    key_s=config.key_s, keys_per_source=config.keys_per_source,
+                    namespace=f"s{step_idx}t{trial}", seed=trial_seed,
+                )
+                n = len(first)
+                total_requests += n
+                if workload.digest(n) != workload.digest(n):
+                    mismatches.append(f"workload s{step_idx}t{trial}")
+        print(f"check: regenerated {total_requests} requests across "
+              f"{len(steps)}x{config.trials} (step, trial) pairs")
+        if mismatches:
+            print("check: FAIL — non-deterministic: " + ", ".join(mismatches),
+                  file=sys.stderr)
+            return 1
+        print("check: request stream is deterministic under seed "
+              f"{config.seed}")
+        # Gate 2 — live accounting conserves: one short step against a real
+        # cluster, every arrival must resolve as completed or failed.
+        with LiveKVCluster(
+            node_ids,
+            replication_factor=args.gamma,
+            codec=args.codec,
+            timeout_s=args.timeout_ms / 1e3,
+            retry=RetryPolicy(attempts=3),
+        ) as cluster:
+            driver = SweepDriver(
+                cluster.store.submit_put_if_absent_many, node_ids, config
+            )
+            result = driver._trial(0, 0, steps[0])
+        conserved = result.arrivals == result.completed + result.failed
+        claims = result.claims_new + result.claims_dup
+        claims_ok = claims == result.completed * config.batch
+        print(f"check: live step offered {result.arrivals} arrivals -> "
+              f"{result.completed} completed + {result.failed} failed, "
+              f"{claims} claims")
+        if conserved and claims_ok:
+            print("check: PASS — deterministic stream and conserved "
+                  "accounting")
+            return 0
+        print("check: FAIL — "
+              + "; ".join(filter(None, [
+                  None if conserved else "arrivals != completed + failed",
+                  None if claims_ok else "claim count != completed * batch",
+              ])), file=sys.stderr)
+        return 1
+
+    print(f"loadgen: booting {args.nodes}-node asyncio ring "
+          f"(gamma={args.gamma}, batch={args.batch}, "
+          f"arrivals={args.arrivals}, {config.trials} trials/step)")
+    with LiveKVCluster(
+        node_ids,
+        replication_factor=args.gamma,
+        codec=args.codec,
+        timeout_s=args.timeout_ms / 1e3,
+        retry=RetryPolicy(attempts=3),
+    ) as cluster:
+        driver = SweepDriver(
+            cluster.store.submit_put_if_absent_many, node_ids, config
+        )
+        report = driver.run(steps)
+    print(f"{'offered':>9} {'goodput':>19} {'eff':>6} {'p50':>9} "
+          f"{'p99':>9} {'p999':>9} {'skew':>6}")
+    for step in report.steps:
+        g = step.goodput
+        print(f"{step.offered_rps:>9.0f} {g.mean:>10.1f} ±{g.half_width:>7.1f} "
+              f"{step.efficiency:>6.3f} "
+              f"{step.p50_s.mean * 1e3:>7.2f}ms {step.p99_s.mean * 1e3:>7.2f}ms "
+              f"{step.p999_s.mean * 1e3:>7.2f}ms {step.hotspot_skew:>6.2f}")
+    print(f"knee: offered {report.knee_offered_rps:.0f} req/s -> goodput "
+          f"{report.knee_goodput_rps:.1f} req/s "
+          f"({'saturated' if report.saturated else 'not saturated — sweep higher'})")
+    if args.report_json:
+        import json
+
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"report: wrote {args.report_json}")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     import json
 
@@ -1096,6 +1306,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "live": _cmd_live,
         "serve": _cmd_live,
         "metrics": _cmd_metrics,
+        "loadgen": _cmd_loadgen,
         "chaos": _cmd_chaos,
         "restore": _cmd_restore,
         "replan": _cmd_replan,

@@ -23,8 +23,13 @@ After the greedy, ``refine_passes`` rounds of first-improvement local
 search move single nodes between rings while that lowers the objective.
 The myopic greedy is vulnerable to early tie-breaks that later turn out
 expensive (especially at large α); one or two move passes recover most of
-that loss at O(N·M) evaluations per pass. Set ``refine_passes=0`` for the
-bare Algorithm 2 (the ablation benchmark compares both).
+that loss at O(N·M) evaluations per pass. Move passes alternate with
+*merge* passes that collapse whole ring pairs when the union is cheaper
+than the parts — single-node moves alone cannot reach such partitions,
+because every intermediate move raises the cost (the coarse extreme, one
+big ring, is in SMART's search space only through merges). Set
+``refine_passes=0`` for the bare Algorithm 2 (the ablation benchmark
+compares both).
 """
 
 from __future__ import annotations
@@ -70,6 +75,10 @@ class SmartPartitioner(Partitioner):
             self._fill_sequential(evaluator, rings, list(range(n)))
         if self.refine_passes:
             rings = _refine_by_moves(evaluator, rings, self.refine_passes)
+            for _ in range(self.refine_passes):
+                if not _refine_by_merges(evaluator, rings):
+                    break
+                rings = _refine_by_moves(evaluator, rings, self.refine_passes)
         return [list(r.members) for r in rings if r.members]
 
     # ------------------------------------------------------------------ #
@@ -157,3 +166,34 @@ def _refine_by_moves(
         if not improved:
             break
     return rings
+
+
+def _refine_by_merges(
+    evaluator: IncrementalCostEvaluator,
+    rings: list[RingState],
+) -> bool:
+    """First-improvement pairwise ring merges, in place.
+
+    Keeps folding ring pairs whose union costs less than the parts until no
+    pair improves; the emptied slot is replaced with a fresh ring so it
+    stays available as a move target for the next move pass. Returns
+    whether anything merged (so the caller knows to re-run moves)."""
+    merged_any = False
+    improved = True
+    while improved:
+        improved = False
+        for i in range(len(rings)):
+            if not rings[i].members:
+                continue
+            for j in range(i + 1, len(rings)):
+                if not rings[j].members:
+                    continue
+                union = evaluator.rebuild(rings[i].members + rings[j].members)
+                separate = evaluator.ring_cost(rings[i]) + evaluator.ring_cost(
+                    rings[j]
+                )
+                if evaluator.ring_cost(union) < separate - 1e-9:
+                    rings[i] = union
+                    rings[j] = evaluator.new_ring()
+                    merged_any = improved = True
+    return merged_any

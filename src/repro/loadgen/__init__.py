@@ -1,0 +1,61 @@
+"""Open-loop load harness: saturation sweeps over the live RPC transport.
+
+The pieces, bottom up:
+
+- :mod:`~repro.loadgen.seeding` — deterministic seed derivation;
+- :mod:`~repro.loadgen.arrivals` — Poisson and diurnal arrival schedules
+  (open-loop: arrivals fire on time regardless of completions);
+- :mod:`~repro.loadgen.identity` — seeded virtual-agent populations;
+- :mod:`~repro.loadgen.workload` — zipf-skewed batched fingerprint claims;
+- :mod:`~repro.loadgen.runner` — the open-loop dispatcher + honest
+  latency/goodput accounting;
+- :mod:`~repro.loadgen.sweep` — the offered-load staircase, knee
+  detection, and per-step confidence intervals;
+- :mod:`~repro.loadgen.stats` — repeated-trial mean ± t-interval helpers.
+
+Entry points: ``repro loadgen`` (CLI) and ``benchmarks/bench_loadgen.py``
+(writes ``BENCH_load.json``, the scaling regression gate).
+"""
+
+from repro.loadgen.arrivals import DiurnalProcess, PoissonProcess, make_arrivals
+from repro.loadgen.identity import AgentIdentity, IdentityPool
+from repro.loadgen.runner import (
+    LOAD_LATENCY_BUCKETS_S,
+    OpenLoopRunner,
+    StepResult,
+    hotspot_skew,
+)
+from repro.loadgen.seeding import derive_seed
+from repro.loadgen.stats import ConfidenceInterval, t_critical, t_interval
+from repro.loadgen.sweep import (
+    SweepConfig,
+    SweepDriver,
+    SweepReport,
+    SweepStep,
+    find_knee,
+)
+from repro.loadgen.workload import LoadRequest, ZipfSampler, ZipfWorkload
+
+__all__ = [
+    "AgentIdentity",
+    "ConfidenceInterval",
+    "DiurnalProcess",
+    "IdentityPool",
+    "LOAD_LATENCY_BUCKETS_S",
+    "LoadRequest",
+    "OpenLoopRunner",
+    "PoissonProcess",
+    "StepResult",
+    "SweepConfig",
+    "SweepDriver",
+    "SweepReport",
+    "SweepStep",
+    "ZipfSampler",
+    "ZipfWorkload",
+    "derive_seed",
+    "find_knee",
+    "hotspot_skew",
+    "make_arrivals",
+    "t_critical",
+    "t_interval",
+]

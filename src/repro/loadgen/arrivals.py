@@ -1,0 +1,151 @@
+"""Open-loop arrival processes: when each request *must* fire.
+
+Closed-loop drivers (every benchmark before the load harness) send the next
+request when the previous one completes, so a slowing server quietly slows
+its own offered load and the measured latency stays flattering. An
+*open-loop* driver fixes the arrival schedule up front: requests fire at
+their scheduled times whether or not earlier ones finished, so queueing
+delay shows up in the latency distribution — which is the entire point of a
+saturation study.
+
+Two processes cover the harness:
+
+- :class:`PoissonProcess` — homogeneous Poisson arrivals at ``rate_rps``
+  (i.i.d. exponential interarrivals), the memoryless baseline;
+- :class:`DiurnalProcess` — a non-homogeneous Poisson process whose rate
+  follows a raised-cosine day/night curve between ``base_rps`` and
+  ``peak_rps`` over ``period_s``, sampled exactly by Lewis–Shedler
+  thinning against the peak rate.
+
+Both are deterministic under their seed and *stateless across calls*:
+``schedule(duration)`` reseeds internally, so calling it twice yields the
+identical schedule — the property ``repro loadgen --check`` gates on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Protocol
+
+from repro.loadgen.seeding import derive_seed
+
+
+class ArrivalProcess(Protocol):
+    """Anything that can emit a deterministic arrival schedule."""
+
+    def schedule(self, duration_s: float) -> list[float]:
+        """Arrival offsets (seconds, ascending, in ``[0, duration_s)``)."""
+        ...
+
+
+def _check_duration(duration_s: float) -> None:
+    if not duration_s > 0:
+        raise ValueError(f"duration must be > 0, got {duration_s!r}")
+
+
+class PoissonProcess:
+    """Homogeneous Poisson arrivals: exponential interarrivals at a fixed
+    rate. ``schedule`` is a pure function of ``(rate_rps, seed, duration)``."""
+
+    def __init__(self, rate_rps: float, seed: int = 0) -> None:
+        if not rate_rps > 0:
+            raise ValueError(f"rate must be > 0 requests/s, got {rate_rps!r}")
+        self.rate_rps = float(rate_rps)
+        self.seed = int(seed)
+
+    def schedule(self, duration_s: float) -> list[float]:
+        _check_duration(duration_s)
+        rng = random.Random(derive_seed("poisson", self.seed, self.rate_rps))
+        out: list[float] = []
+        t = rng.expovariate(self.rate_rps)
+        while t < duration_s:
+            out.append(t)
+            t += rng.expovariate(self.rate_rps)
+        return out
+
+    def __repr__(self) -> str:
+        return f"PoissonProcess(rate_rps={self.rate_rps:g}, seed={self.seed})"
+
+
+class DiurnalProcess:
+    """Non-homogeneous Poisson arrivals on a day/night raised cosine.
+
+    The instantaneous rate is
+    ``base + (peak - base) * (1 - cos(2*pi*t/period)) / 2`` — the trough at
+    t=0 and the peak at half period — and arrivals are drawn exactly via
+    Lewis–Shedler thinning: candidate arrivals at the peak rate, each kept
+    with probability ``rate(t)/peak``.
+    """
+
+    def __init__(
+        self,
+        base_rps: float,
+        peak_rps: float,
+        period_s: float,
+        seed: int = 0,
+    ) -> None:
+        if not base_rps > 0:
+            raise ValueError(f"base rate must be > 0, got {base_rps!r}")
+        if peak_rps < base_rps:
+            raise ValueError(
+                f"peak rate {peak_rps!r} must be >= base rate {base_rps!r}"
+            )
+        if not period_s > 0:
+            raise ValueError(f"period must be > 0 seconds, got {period_s!r}")
+        self.base_rps = float(base_rps)
+        self.peak_rps = float(peak_rps)
+        self.period_s = float(period_s)
+        self.seed = int(seed)
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at offset ``t`` seconds."""
+        phase = 2.0 * math.pi * (t / self.period_s)
+        return self.base_rps + (self.peak_rps - self.base_rps) * (
+            1.0 - math.cos(phase)
+        ) / 2.0
+
+    def schedule(self, duration_s: float) -> list[float]:
+        _check_duration(duration_s)
+        rng = random.Random(
+            derive_seed(
+                "diurnal", self.seed, self.base_rps, self.peak_rps, self.period_s
+            )
+        )
+        out: list[float] = []
+        t = 0.0
+        while True:
+            t += rng.expovariate(self.peak_rps)
+            if t >= duration_s:
+                return out
+            if rng.random() * self.peak_rps <= self.rate_at(t):
+                out.append(t)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiurnalProcess(base_rps={self.base_rps:g}, "
+            f"peak_rps={self.peak_rps:g}, period_s={self.period_s:g}, "
+            f"seed={self.seed})"
+        )
+
+
+def make_arrivals(
+    kind: str, rate_rps: float, seed: int = 0, period_s: float = 4.0
+) -> ArrivalProcess:
+    """Factory keyed by CLI spelling: ``poisson`` or ``diurnal``.
+
+    For ``diurnal`` the given ``rate_rps`` is the *mean* rate: the raised
+    cosine averages to ``(base + peak)/2``, so base and peak are derived as
+    ``rate/2`` and ``3*rate/2`` — offered load stays comparable across the
+    two processes at the same nominal rate.
+    """
+    if kind == "poisson":
+        return PoissonProcess(rate_rps, seed=seed)
+    if kind == "diurnal":
+        return DiurnalProcess(
+            base_rps=rate_rps / 2.0,
+            peak_rps=rate_rps * 1.5,
+            period_s=period_s,
+            seed=seed,
+        )
+    raise ValueError(f"unknown arrival process {kind!r} (poisson|diurnal)")

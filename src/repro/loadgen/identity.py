@@ -1,0 +1,97 @@
+"""Virtual agent identities: thousands of clients multiplexed on one wire.
+
+The transport keeps one multiplexed TCP connection per ring member, so
+"millions of users" does not mean millions of sockets — it means millions
+of *identities* whose requests interleave on those connections, each
+carrying its own source affiliation (which similarity pool its data comes
+from) and home coordinator. :class:`IdentityPool` materializes a seeded
+population of such identities lazily: agent ``i`` is a pure function of
+``(seed, i)``, so a pool of a million agents costs nothing until sampled.
+
+Source affiliation is what makes load *skewable*: the workload sampler
+draws sources zipf-style (PM-Dedup's popularity assumption — a few camera
+fleets or app cohorts dominate traffic), and every agent of a hot source
+hits that source's home ring member, turning popularity skew into
+measurable per-ring hotspot skew.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.loadgen.seeding import derive_seed
+
+
+@dataclass(frozen=True)
+class AgentIdentity:
+    """One virtual client: its id, source pool, and home coordinator."""
+
+    agent_id: str
+    source: int
+    home_node: str
+
+
+class IdentityPool:
+    """A seeded population of virtual agents over ``n_sources`` sources.
+
+    Args:
+        n_agents: population size (identities are lazy; millions are fine).
+        n_sources: similarity pools agents belong to. Each source is pinned
+            to a home node round-robin over ``node_ids`` after a seeded
+            shuffle — which node ends up hot depends on the seed, not on
+            node order.
+        node_ids: ring members requests are coordinated by.
+        seed: derivation seed; the same seed reproduces every identity.
+    """
+
+    def __init__(
+        self,
+        n_agents: int,
+        n_sources: int,
+        node_ids: Sequence[str],
+        seed: int = 0,
+    ) -> None:
+        if n_agents < 1:
+            raise ValueError(f"need at least one agent, got {n_agents}")
+        if not 1 <= n_sources <= n_agents:
+            raise ValueError(
+                f"n_sources must be in [1, n_agents], got {n_sources}"
+            )
+        if not node_ids:
+            raise ValueError("identity pool needs at least one node id")
+        self.n_agents = int(n_agents)
+        self.n_sources = int(n_sources)
+        self.node_ids = list(node_ids)
+        self.seed = int(seed)
+        order = list(range(self.n_sources))
+        random.Random(derive_seed("sources", self.seed)).shuffle(order)
+        self._home_of_source = {
+            src: self.node_ids[rank % len(self.node_ids)]
+            for rank, src in enumerate(order)
+        }
+        # Agents are dealt to sources round-robin so every source has
+        # ~n_agents/n_sources members regardless of popularity; *request*
+        # skew comes from the sampler, not the population.
+        self._agents_per_source = [
+            max(1, len(range(src, self.n_agents, self.n_sources)))
+            for src in range(self.n_sources)
+        ]
+
+    def home_of_source(self, source: int) -> str:
+        return self._home_of_source[source]
+
+    def agent(self, source: int, member: int) -> AgentIdentity:
+        """The ``member``-th agent of ``source`` (both deterministic)."""
+        if not 0 <= source < self.n_sources:
+            raise ValueError(f"source {source} out of range")
+        index = source + (member % self._agents_per_source[source]) * self.n_sources
+        return AgentIdentity(
+            agent_id=f"agent-{index:07d}",
+            source=source,
+            home_node=self._home_of_source[source],
+        )
+
+    def __len__(self) -> int:
+        return self.n_agents

@@ -1,0 +1,20 @@
+"""Deterministic seed derivation for the load harness.
+
+Every loadgen component (arrival process, workload sampler, per-trial
+sweep RNG) derives its :class:`random.Random` seed from a tuple of labeled
+parts via a keyed hash — stable across processes and Python versions
+(``repr`` of ints/floats is exact; no reliance on ``hash()``, which is
+randomized for strings), so the same CLI flags always produce the same
+request stream. That determinism is a gated property: see
+``repro loadgen --check``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def derive_seed(*parts: object) -> int:
+    """A 64-bit integer seed derived from ``parts`` (ints, floats, strings)."""
+    digest = hashlib.blake2b(repr(parts).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")

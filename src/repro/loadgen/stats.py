@@ -1,0 +1,104 @@
+"""Repeated-trial statistics: mean ± Student-t confidence intervals.
+
+ROADMAP's load-harness item is explicit: knee curves come from repeated
+seeded trials, *not single runs*. This module is the one place that turns a
+list of per-trial measurements into ``mean ± half_width`` at a chosen
+confidence level, so every benchmark reports uncertainty the same way.
+
+No scipy in the container, so the two-sided Student-t critical values are a
+checked-in table (df 1–30, then the normal limit) — the same numbers every
+stats textbook prints, exact to the digits given.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+# Two-sided critical values t_{df, 1-alpha/2}. Beyond df=30 the normal
+# approximation is within ~1.5% and we use the last entry + z limit blend.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+_T_99 = {
+    1: 63.657, 2: 9.925, 3: 5.841, 4: 4.604, 5: 4.032,
+    6: 3.707, 7: 3.499, 8: 3.355, 9: 3.250, 10: 3.169,
+    11: 3.106, 12: 3.055, 13: 3.012, 14: 2.977, 15: 2.947,
+    16: 2.921, 17: 2.898, 18: 2.878, 19: 2.861, 20: 2.845,
+    21: 2.831, 22: 2.819, 23: 2.807, 24: 2.797, 25: 2.787,
+    26: 2.779, 27: 2.771, 28: 2.763, 29: 2.756, 30: 2.750,
+}
+_Z = {0.95: 1.960, 0.99: 2.576}
+
+
+def t_critical(df: int, confidence: float = 0.95) -> float:
+    """Two-sided Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    table = {0.95: _T_95, 0.99: _T_99}.get(confidence)
+    if table is None:
+        raise ValueError(
+            f"confidence must be one of (0.95, 0.99), got {confidence!r}"
+        )
+    return table.get(df, _Z[confidence])
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """``mean ± half_width`` over ``n`` trials at ``confidence``."""
+
+    mean: float
+    half_width: float
+    n: int
+    confidence: float
+    stdev: float
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.half_width
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mean": self.mean,
+            "half_width": self.half_width,
+            "lo": self.lo,
+            "hi": self.hi,
+            "stdev": self.stdev,
+            "n": self.n,
+            "confidence": self.confidence,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.n})"
+
+
+def t_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Mean ± t-based half-width of the *mean* of ``samples``.
+
+    One sample still returns an interval (half-width 0 with a warning-level
+    n) so callers can format uniformly, but ROADMAP-grade results should
+    pass >= 5 trials.
+    """
+    xs = [float(x) for x in samples]
+    if not xs:
+        raise ValueError("t_interval needs at least one sample")
+    n = len(xs)
+    mean = sum(xs) / n
+    if n == 1:
+        return ConfidenceInterval(mean, 0.0, 1, confidence, 0.0)
+    var = sum((x - mean) ** 2 for x in xs) / (n - 1)
+    stdev = math.sqrt(var)
+    half = t_critical(n - 1, confidence) * stdev / math.sqrt(n)
+    return ConfidenceInterval(mean, half, n, confidence, stdev)

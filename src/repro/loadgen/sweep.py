@@ -1,0 +1,224 @@
+"""Saturation sweeps: step offered load until goodput stops tracking it.
+
+A saturation study is a staircase: hold the arrival rate at a step for a
+fixed window, repeat the step over >= 5 seeded trials, then raise the rate
+and do it again. While the cluster keeps up, goodput tracks offered load
+(efficiency ~ 1); past saturation the queue grows without bound, goodput
+flattens, and tail latency explodes. The *knee* is the last step that still
+tracked — the number every later scaling PR has to move.
+
+Each (step, trial) gets its own derived seed and its own key namespace, so
+trials are statistically independent, reproducible, and safe to run against
+one shared live cluster (no cross-trial claim collisions). Aggregates are
+mean ± Student-t intervals from :mod:`repro.loadgen.stats` — never single
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.loadgen.arrivals import make_arrivals
+from repro.loadgen.identity import IdentityPool
+from repro.loadgen.runner import OpenLoopRunner, StepResult, SubmitFn, hotspot_skew
+from repro.loadgen.seeding import derive_seed
+from repro.loadgen.stats import ConfidenceInterval, t_interval
+from repro.loadgen.workload import ZipfWorkload
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Workload shape shared by every step of a sweep."""
+
+    n_agents: int = 10_000
+    n_sources: int = 48
+    batch: int = 8
+    source_s: float = 1.1
+    key_s: float = 0.8
+    keys_per_source: int = 50_000
+    arrival_kind: str = "poisson"
+    diurnal_period_s: float = 4.0
+    duration_s: float = 1.0
+    trials: int = 5
+    seed: int = 7
+    knee_efficiency: float = 0.9
+    drain_timeout_s: float = 30.0
+
+    def as_dict(self) -> dict:
+        return {
+            "n_agents": self.n_agents,
+            "n_sources": self.n_sources,
+            "batch": self.batch,
+            "source_s": self.source_s,
+            "key_s": self.key_s,
+            "keys_per_source": self.keys_per_source,
+            "arrival_kind": self.arrival_kind,
+            "duration_s": self.duration_s,
+            "trials": self.trials,
+            "seed": self.seed,
+            "knee_efficiency": self.knee_efficiency,
+        }
+
+
+@dataclass
+class SweepStep:
+    """All trials of one offered-load step, with CI aggregates."""
+
+    offered_rps: float
+    trials: list[StepResult]
+    goodput: ConfidenceInterval
+    p50_s: ConfidenceInterval
+    p99_s: ConfidenceInterval
+    p999_s: ConfidenceInterval
+    per_node_share: dict[str, float] = field(default_factory=dict)
+    hotspot_skew: float = 1.0
+
+    @property
+    def efficiency(self) -> float:
+        return self.goodput.mean / self.offered_rps if self.offered_rps else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "offered_rps": self.offered_rps,
+            "goodput_rps": self.goodput.as_dict(),
+            "efficiency": self.efficiency,
+            "latency_p50_s": self.p50_s.as_dict(),
+            "latency_p99_s": self.p99_s.as_dict(),
+            "latency_p999_s": self.p999_s.as_dict(),
+            "per_node_share": dict(sorted(self.per_node_share.items())),
+            "hotspot_skew": self.hotspot_skew,
+            "trials": [t.as_dict() for t in self.trials],
+        }
+
+
+@dataclass
+class SweepReport:
+    """A full knee curve: steps, the detected knee, and the sweep config."""
+
+    steps: list[SweepStep]
+    config: SweepConfig
+    node_ids: list[str]
+    knee_offered_rps: float = 0.0
+    knee_goodput_rps: float = 0.0
+    saturated: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "config": self.config.as_dict(),
+            "node_ids": list(self.node_ids),
+            "steps": [s.as_dict() for s in self.steps],
+            "knee": {
+                "offered_rps": self.knee_offered_rps,
+                "goodput_rps": self.knee_goodput_rps,
+                "saturated": self.saturated,
+            },
+        }
+
+
+def find_knee(
+    steps: Sequence[SweepStep], efficiency: float = 0.9
+) -> tuple[Optional[SweepStep], bool]:
+    """The last step whose goodput still tracked offered load.
+
+    Returns ``(knee_step, saturated)``: ``saturated`` is True when some
+    step fell below the efficiency threshold (the staircase actually bent).
+    If every step tracked, the knee is the highest step measured — a lower
+    bound, flagged unsaturated so callers know to sweep further.
+    """
+    if not steps:
+        return None, False
+    knee = steps[0]
+    for step in steps:
+        if step.efficiency < efficiency:
+            return knee, True
+        if step.goodput.mean >= knee.goodput.mean:
+            knee = step
+    return knee, False
+
+
+class SweepDriver:
+    """Run the staircase against one submit function.
+
+    Args:
+        submit: the open-loop submission hook (live store or a fake).
+        node_ids: ring membership, used for identity homes and skew.
+        config: workload shape and trial counts.
+    """
+
+    def __init__(
+        self,
+        submit: SubmitFn,
+        node_ids: Sequence[str],
+        config: Optional[SweepConfig] = None,
+    ) -> None:
+        if not node_ids:
+            raise ValueError("sweep needs the ring membership")
+        self._submit = submit
+        self.node_ids = list(node_ids)
+        self.config = config if config is not None else SweepConfig()
+
+    def _trial(
+        self, step_idx: int, trial: int, offered_rps: float
+    ) -> StepResult:
+        cfg = self.config
+        trial_seed = derive_seed("sweep", cfg.seed, step_idx, trial)
+        pool = IdentityPool(
+            cfg.n_agents, cfg.n_sources, self.node_ids, seed=cfg.seed
+        )
+        workload = ZipfWorkload(
+            pool,
+            batch=cfg.batch,
+            source_s=cfg.source_s,
+            key_s=cfg.key_s,
+            keys_per_source=cfg.keys_per_source,
+            namespace=f"s{step_idx}t{trial}",
+            seed=trial_seed,
+        )
+        arrivals = make_arrivals(
+            cfg.arrival_kind, offered_rps, seed=trial_seed,
+            period_s=cfg.diurnal_period_s,
+        )
+        schedule = arrivals.schedule(cfg.duration_s)
+        runner = OpenLoopRunner(
+            self._submit, self.node_ids, drain_timeout_s=cfg.drain_timeout_s
+        )
+        return runner.run(schedule, workload.requests(len(schedule)), cfg.duration_s)
+
+    def run_step(self, step_idx: int, offered_rps: float) -> SweepStep:
+        cfg = self.config
+        trials = [
+            self._trial(step_idx, trial, offered_rps)
+            for trial in range(cfg.trials)
+        ]
+        per_node: dict[str, int] = {}
+        for t in trials:
+            for node, count in t.per_node.items():
+                per_node[node] = per_node.get(node, 0) + count
+        total = sum(per_node.values()) or 1
+        return SweepStep(
+            offered_rps=offered_rps,
+            trials=trials,
+            goodput=t_interval([t.goodput_rps for t in trials]),
+            p50_s=t_interval([t.p50_s for t in trials]),
+            p99_s=t_interval([t.p99_s for t in trials]),
+            p999_s=t_interval([t.p999_s for t in trials]),
+            per_node_share={n: c / total for n, c in per_node.items()},
+            hotspot_skew=hotspot_skew(per_node, self.node_ids),
+        )
+
+    def run(self, offered_steps: Sequence[float]) -> SweepReport:
+        if not offered_steps:
+            raise ValueError("sweep needs at least one offered-load step")
+        steps = [
+            self.run_step(i, float(rate)) for i, rate in enumerate(offered_steps)
+        ]
+        knee, saturated = find_knee(steps, self.config.knee_efficiency)
+        return SweepReport(
+            steps=steps,
+            config=self.config,
+            node_ids=self.node_ids,
+            knee_offered_rps=knee.offered_rps if knee else 0.0,
+            knee_goodput_rps=knee.goodput.mean if knee else 0.0,
+            saturated=saturated,
+        )

@@ -136,6 +136,13 @@ class Histogram:
         lower edge is the observed minimum and the overflow bucket's upper
         edge the observed maximum, so estimates never leave the observed
         range. Exact at q=0 and q=100.
+
+        The overflow bucket interpolates by *sample rank* (the r-th of its
+        c samples maps to ``lo + r/c * (max - lo)``) rather than by the
+        continuous target position: a tail query that lands just inside the
+        overflow bucket covers at least its first sample, so a p999 query
+        against 999 fast samples and one multi-second straggler reports the
+        straggler instead of collapsing to the last finite bucket bound.
         """
         if not self._count:
             raise ValueError(f"histogram {self.name!r} has no samples")
@@ -151,13 +158,19 @@ class Histogram:
             if not c:
                 continue
             if cumulative + c >= target:
+                overflow = i == len(self.bounds)
                 lo = self._min if i == 0 else self.bounds[i - 1]
-                hi = self._max if i == len(self.bounds) else self.bounds[i]
+                hi = self._max if overflow else self.bounds[i]
                 lo = max(lo, self._min)
                 hi = min(hi, self._max)
                 if hi <= lo:
-                    return lo
-                frac = (target - cumulative) / c
+                    # Clamping degenerated the bucket to a point; in the
+                    # overflow bucket the honest point is the observed max.
+                    return hi if overflow else lo
+                if overflow:
+                    frac = math.ceil(target - cumulative) / c
+                else:
+                    frac = (target - cumulative) / c
                 return lo + frac * (hi - lo)
             cumulative += c
         return self._max  # unreachable (target <= count), defensive
@@ -176,6 +189,7 @@ class Histogram:
             out["mean"] = self.mean
             out["p50"] = self.percentile(50)
             out["p99"] = self.percentile(99)
+            out["p999"] = self.percentile(99.9)
         cumulative = 0
         buckets: list[list] = []
         for i, bound in enumerate(self.bounds):

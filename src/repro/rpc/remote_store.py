@@ -863,6 +863,29 @@ class RemoteKVStore:
             self._a_put_if_absent_many(list(keys), value, consistency, coordinator)
         )
 
+    def submit_put_if_absent_many(
+        self,
+        keys: Iterable[str],
+        value: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        coordinator: Optional[str] = None,
+    ) -> "concurrent.futures.Future[list[bool]]":
+        """Open-loop submission: schedule the batched check-and-set on the
+        transport's loop and return its future *without waiting*.
+
+        This is what a load generator needs to keep an arrival process
+        honest — the caller fires batches on its schedule regardless of how
+        far behind the cluster is, and each in-flight batch pipelines over
+        the client's multiplexed per-node connections. Semantics per batch
+        are identical to :meth:`put_if_absent_many`; a call whose retries
+        run dry resolves the future with
+        :class:`~repro.rpc.errors.RpcTimeoutError`.
+        """
+        return asyncio.run_coroutine_threadsafe(
+            self._a_put_if_absent_many(list(keys), value, consistency, coordinator),
+            self._loop,
+        )
+
     async def _a_put_if_absent_many(
         self,
         keys: list[str],

@@ -190,7 +190,8 @@ class Summary:
         self._max = -math.inf
 
     def snapshot(self) -> dict[str, float]:
-        """Flat stats view (count/sum and, when nonempty, mean/min/max/p50/p99)."""
+        """Flat stats view (count/sum and, when nonempty, mean/min/max and
+        p50/p99/p999)."""
         out: dict[str, float] = {"count": float(self._count), "sum": self._sum}
         if self._count:
             out["mean"] = self.mean
@@ -198,6 +199,7 @@ class Summary:
             out["max"] = self._max
             out["p50"] = self.percentile(50)
             out["p99"] = self.percentile(99)
+            out["p999"] = self.percentile(99.9)
         return out
 
     def __repr__(self) -> str:

@@ -76,6 +76,34 @@ class TestHistogram:
         assert h.percentile(50) == pytest.approx(0.5, abs=0.02)
         assert h.percentile(90) == pytest.approx(0.9, abs=0.02)
 
+    def test_overflow_tail_interpolates_toward_max(self):
+        # Regression: 999 fast samples + 1 straggler in the overflow
+        # bucket. p999 targets exactly that straggler, so it must report
+        # the observed max — the old lower-edge interpolation collapsed
+        # it to ~the last finite bound (2.0) and hid the tail entirely.
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe_many([0.5] * 999)
+        h.observe(50.0)
+        assert h.percentile(99.9) == pytest.approx(50.0)
+        # Queries below the straggler's rank stay with the fast mass.
+        assert h.percentile(99) == pytest.approx(0.5, abs=1.0)
+
+    def test_overflow_tail_rank_spread(self):
+        # Several overflow samples: lower tail quantiles interpolate
+        # between the last bound and the max instead of pinning to either.
+        h = Histogram("h", buckets=(1.0,))
+        h.observe_many([0.5] * 90)
+        h.observe_many([7.0] * 10)  # overflow bucket spans (1.0, 7.0]
+        assert h.percentile(91) == pytest.approx(1.0 + 6.0 / 10, abs=1e-9)
+        assert h.percentile(100) == 7.0
+
+    def test_p999_in_snapshot(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe_many([0.5] * 999 + [50.0])
+        snap = h.snapshot()
+        assert snap["p999"] == pytest.approx(50.0)
+        assert set(snap) >= {"p50", "p99", "p999"}
+
     def test_merge_from(self):
         a = Histogram("a", buckets=(1.0, 2.0))
         b = Histogram("b", buckets=(1.0, 2.0))

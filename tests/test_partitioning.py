@@ -206,12 +206,15 @@ class TestRefineByMoves:
         nu = nu + nu.T
         return SNOD2Problem(model=model, nu=nu, duration=2.0, gamma=2, alpha=alpha)
 
-    def test_refine_does_no_rebuilds(self, medium_problem, monkeypatch):
-        """Regression: the old pass called evaluator.rebuild once per member
-        per candidate evaluation — O(N) full reconstructions per pass. The
-        incremental remove() path must not rebuild at all, so a refine pass
-        costs O(N·M) evaluator calls as the module docstring documents."""
+    def test_move_pass_does_no_rebuilds(self, medium_problem, monkeypatch):
+        """Regression: the old move pass called evaluator.rebuild once per
+        member per candidate evaluation — O(N) full reconstructions per
+        pass. The incremental remove() path must not rebuild at all, so a
+        move pass costs O(N·M) evaluator calls as the module docstring
+        documents. (Merge passes *do* rebuild — one per candidate pair,
+        O(M²) per pass — so the count is scoped to _refine_by_moves.)"""
         from repro.core.incremental import IncrementalCostEvaluator
+        from repro.core.partitioning.smart import _refine_by_moves
 
         calls = {"n": 0}
         original = IncrementalCostEvaluator.rebuild
@@ -221,8 +224,47 @@ class TestRefineByMoves:
             return original(self, members)
 
         monkeypatch.setattr(IncrementalCostEvaluator, "rebuild", counting)
-        SmartPartitioner(3, refine_passes=2).partition_checked(medium_problem)
+        evaluator = IncrementalCostEvaluator(medium_problem)
+        rings = [evaluator.new_ring() for _ in range(3)]
+        SmartPartitioner._fill_joint(
+            evaluator, rings, list(range(medium_problem.n_sources))
+        )
+        _refine_by_moves(evaluator, rings, 2)
         assert calls["n"] == 0
+
+    def test_merge_pass_reaches_coarse_optimum(self):
+        """Regression (hypothesis-found): at seed=112 the greedy + move
+        passes land 3.7% above the one-big-ring partition, which single
+        moves cannot reach — every intermediate move raises the cost. The
+        merge pass must collapse the rings to it."""
+        rng = np.random.default_rng(112)
+        from repro.core.model import SourceSpec
+
+        n, k = 4, 2
+        vectors = rng.dirichlet(np.ones(k), size=n)
+        sources = [
+            SourceSpec(
+                index=i,
+                rate=float(rng.uniform(20, 200)),
+                vector=tuple(vectors[i]),
+            )
+            for i in range(n)
+        ]
+        model = ChunkPoolModel(list(rng.uniform(50, 400, size=k)), sources)
+        lat = rng.uniform(0, 0.2, size=(n, n))
+        nu = np.triu(lat, 1)
+        problem = SNOD2Problem(
+            model=model,
+            nu=nu + nu.T,
+            duration=float(rng.uniform(0.5, 4)),
+            gamma=2,
+            alpha=1.5,
+        )
+        smart = problem.total_cost(
+            SmartPartitioner(n).partition_checked(problem)
+        )
+        one_ring = problem.total_cost([list(range(n))])
+        assert smart <= one_ring + 1e-9
 
     @pytest.mark.parametrize("seed", range(6))
     @pytest.mark.parametrize("m", [3, 4])
