@@ -16,6 +16,7 @@ from repro.chaos.migration_scenario import (
     MigrationChaosReport,
     run_migration_scenario,
 )
+from repro.chaos.overload_scenario import OverloadReport, run_overload_scenario
 from repro.chaos.restore_scenario import (
     RestoreChaosReport,
     run_restore_scenario,
@@ -30,6 +31,7 @@ from repro.chaos.scenarios import (
     get_scenario,
     partition_heal,
     rolling_restart,
+    slow_node,
 )
 
 __all__ = [
@@ -38,6 +40,7 @@ __all__ = [
     "FaultEvent",
     "InvariantReport",
     "MigrationChaosReport",
+    "OverloadReport",
     "RestoreChaosReport",
     "SCENARIOS",
     "check_invariants",
@@ -47,7 +50,9 @@ __all__ = [
     "partition_heal",
     "rolling_restart",
     "run_migration_scenario",
+    "run_overload_scenario",
     "run_restore_scenario",
     "run_scenario",
     "seeded_pool_workload",
+    "slow_node",
 ]

@@ -171,12 +171,15 @@ class _EventDriver:
         self.injector = injector
         self.killed: set[str] = set()
         self.isolated: set[str] = set()
+        self.slowed: dict[str, object] = {}  # node id -> installed SLOW rule
         self.recovery_times_s: list[float] = []
         self.log: list[str] = []
 
     @property
     def unhealthy(self) -> set[str]:
-        return self.killed | self.isolated
+        # A slowed member is alive and serving — but ingest touching it is
+        # degraded-mode work, so it counts toward the degraded clock.
+        return self.killed | self.isolated | set(self.slowed)
 
     def fire(self, event: FaultEvent) -> None:
         node = self.members[event.node_index]
@@ -207,6 +210,16 @@ class _EventDriver:
             RemoteReplicaRepairer(self.ring.store).repair_node(node)
             self.recovery_times_s.append(time.perf_counter() - started)
             self.isolated.discard(node)
+        elif event.action == "slow":
+            # Gray failure: the member stays up and keeps heartbeating;
+            # only its admitted service times inflate.
+            self.slowed[node] = self.injector.slow_serves(
+                event.median_s, dst=node, sigma=event.sigma
+            )
+        elif event.action == "unslow":
+            rule = self.slowed.pop(node, None)
+            if rule is not None:
+                self.injector.remove_rule(rule)
         self.log.append(f"{event.action}:{node}@{event.at_fraction:.2f}")
 
     def heal_everything(self) -> None:
@@ -217,6 +230,9 @@ class _EventDriver:
             self.log[-1] = f"auto-{self.log[-1]}"
         for node in sorted(self.isolated):
             self.fire(FaultEvent(0.99, "heal", self.members.index(node)))
+            self.log[-1] = f"auto-{self.log[-1]}"
+        for node in sorted(self.slowed):
+            self.fire(FaultEvent(0.99, "unslow", self.members.index(node)))
             self.log[-1] = f"auto-{self.log[-1]}"
 
 

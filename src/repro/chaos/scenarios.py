@@ -15,24 +15,34 @@ Actions:
   :meth:`~repro.rpc.cluster.LiveKVCluster.restart_node`);
 - ``isolate`` / ``heal`` — network partition of one member from every
   peer (the server stays alive but agent traffic is dropped), then heal
-  plus anti-entropy catch-up.
+  plus anti-entropy catch-up;
+- ``slow`` / ``unslow`` — gray failure: the member keeps answering
+  everything (heartbeats included) but its service times inflate by a
+  seeded lognormal sample around ``median_s`` — the failure mode that
+  binary up/down detectors cannot see and deadlines/admission control
+  exist for.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-ACTIONS = ("kill", "restart", "isolate", "heal")
+ACTIONS = ("kill", "restart", "isolate", "heal", "slow", "unslow")
 
 
 @dataclass(frozen=True)
 class FaultEvent:
     """One scheduled fault: do ``action`` to member ``node_index`` when
-    ingest progress reaches ``at_fraction`` of the workload."""
+    ingest progress reaches ``at_fraction`` of the workload.
+
+    ``median_s``/``sigma`` parameterize ``slow`` events only: the median
+    service-time inflation and the lognormal shape of its tail."""
 
     at_fraction: float
     action: str
     node_index: int
+    median_s: float = 0.0
+    sigma: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.at_fraction < 1.0:
@@ -43,6 +53,12 @@ class FaultEvent:
             raise ValueError(f"action must be one of {ACTIONS}, got {self.action!r}")
         if self.node_index < 0:
             raise ValueError(f"node_index must be >= 0, got {self.node_index!r}")
+        if self.action == "slow" and self.median_s <= 0:
+            raise ValueError(
+                f"slow events need median_s > 0, got {self.median_s!r}"
+            )
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma!r}")
 
 
 @dataclass(frozen=True)
@@ -140,11 +156,37 @@ def partition_heal(
     )
 
 
+def slow_node(
+    node_index: int = 1,
+    slow_at: float = 0.2,
+    unslow_at: float = 0.7,
+    median_s: float = 0.02,
+    sigma: float = 0.8,
+) -> ChaosScenario:
+    """One member turns gray mid-ingest: alive, heartbeating, answering —
+    but each admitted request's service time inflates by a seeded
+    lognormal sample around ``median_s`` (``sigma`` grows the 10× tail).
+    The ring must keep its ratio exact and its invariants intact while
+    deadlines, shedding, and brownout absorb the slowness."""
+    return ChaosScenario(
+        name="slow-node",
+        description=(
+            f"member {node_index} serves lognormal({median_s:g}s median, "
+            f"sigma={sigma:g}) slow from {slow_at:.0%} to {unslow_at:.0%}"
+        ),
+        events=(
+            FaultEvent(slow_at, "slow", node_index, median_s=median_s, sigma=sigma),
+            FaultEvent(unslow_at, "unslow", node_index),
+        ),
+    )
+
+
 SCENARIOS = {
     "crash-restart": lambda n_nodes: crash_restart(),
     "rolling-restart": rolling_restart,
     "flapping": lambda n_nodes: flapping(),
     "partition-heal": lambda n_nodes: partition_heal(),
+    "slow-node": lambda n_nodes: slow_node(),
 }
 
 

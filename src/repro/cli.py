@@ -137,14 +137,21 @@ def _build_parser() -> argparse.ArgumentParser:
             "rolling-restart",
             "flapping",
             "partition-heal",
+            "slow-node",
             "migrate-under-faults",
             "restore-under-zone-failure",
+            "overload",
         ),
         help="fault schedule to inject (default: crash-restart); "
-        "migrate-under-faults crashes a source-ring node while a live "
-        "migration's dual-lookup window is open; restore-under-zone-failure "
-        "fails m cloud-tier zones, evicts the edge shelves, and requires "
-        "byte-exact k-of-n restores plus a clean GC sweep",
+        "slow-node turns one member gray (alive but lognormally slow) "
+        "mid-ingest; migrate-under-faults crashes a source-ring node while "
+        "a live migration's dual-lookup window is open; "
+        "restore-under-zone-failure fails m cloud-tier zones, evicts the "
+        "edge shelves, and requires byte-exact k-of-n restores plus a "
+        "clean GC sweep; overload drives an open-loop generator past the "
+        "knee and requires bounded admitted latency, exact shed "
+        "accounting, and a post-reconciliation ratio equal to the "
+        "unloaded baseline",
     )
     chaos.add_argument(
         "--nodes", type=int, default=None,
@@ -180,6 +187,15 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--json", default=None, metavar="PATH", dest="report_json",
         help="also write the full chaos report as JSON",
+    )
+    chaos.add_argument(
+        "--knee-rps", type=float, default=400.0,
+        help="overload only — at-knee offered load; the beyond-knee step "
+        "offers 2x this (default 400)",
+    )
+    chaos.add_argument(
+        "--duration-s", type=float, default=0.6,
+        help="overload only — offered window per load step (default 0.6)",
     )
 
     restore = sub.add_parser(
@@ -710,6 +726,59 @@ def _cmd_chaos_restore(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_chaos_overload(args: argparse.Namespace) -> int:
+    from repro.chaos import run_overload_scenario
+
+    nodes = args.nodes if args.nodes is not None else 3
+    files = args.files if args.files is not None else 4
+    file_kb = args.file_kb if args.file_kb is not None else 32
+    print(f"chaos: scenario=overload nodes={nodes} "
+          f"files={files}x{file_kb}KiB seed={args.seed} gamma={args.gamma} "
+          f"knee={args.knee_rps:g}req/s window={args.duration_s:g}s")
+    report = run_overload_scenario(
+        nodes=nodes,
+        files_per_node=files,
+        file_kb=file_kb,
+        seed=args.seed,
+        gamma=args.gamma,
+        lookup_batch=args.batch,
+        knee_rps=args.knee_rps,
+        duration_s=args.duration_s,
+    )
+    knee, over = report.knee_step, report.overload_step
+    print(f"knee   @ {report.knee_rps:7.0f} req/s: "
+          f"arrivals={knee.arrivals} completed={knee.completed} "
+          f"shed={knee.shed} failed={knee.failed} p99={knee.p99_s * 1e3:.1f}ms")
+    print(f"beyond @ {report.overload_rps:7.0f} req/s: "
+          f"arrivals={over.arrivals} completed={over.completed} "
+          f"shed={over.shed} failed={over.failed} p99={over.p99_s * 1e3:.1f}ms "
+          f"(shed fraction {report.shed_fraction:.2f})")
+    b = report.brownout
+    print(f"brownout: trips={b.get('brownout.trips', 0)} "
+          f"write_through={b.get('brownout.write_through', 0)} "
+          f"journaled={b.get('brownout.journaled', 0)} "
+          f"reconciled={b.get('brownout.reconciled', 0)} "
+          f"corrected={b.get('brownout.corrected_chunks', 0)} "
+          f"breaker_opens={report.breaker_opens}")
+    print(f"dedup_ratio={report.dedup_ratio:.6f} "
+          f"(unloaded baseline {report.baseline_ratio:.6f}, "
+          f"match={report.ratio_matches_baseline})")
+    for name, ok in report.checks.items():
+        print(f"  {'ok ' if ok else 'FAIL'} {name}")
+    if args.report_json:
+        import json
+
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"report: wrote {args.report_json}")
+    if report.passed:
+        print("chaos: PASS — shedding bounded admitted latency and the "
+              "reconciled ratio matched the unloaded baseline exactly")
+        return 0
+    print("chaos: FAIL — " + "; ".join(report.violations), file=sys.stderr)
+    return 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import run_scenario
 
@@ -717,6 +786,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return _cmd_chaos_migration(args)
     if args.scenario == "restore-under-zone-failure":
         return _cmd_chaos_restore(args)
+    if args.scenario == "overload":
+        return _cmd_chaos_overload(args)
     nodes = args.nodes if args.nodes is not None else 3
     files = args.files if args.files is not None else 6
     file_kb = args.file_kb if args.file_kb is not None else 32

@@ -1,5 +1,6 @@
 """Deduplication engine substrate: index, pipeline, and accounting."""
 
+from repro.dedup.brownout import BrownoutIndex, BrownoutStats
 from repro.dedup.cache import CacheStats, LRUCacheIndex, ModelGuidedCacheIndex
 from repro.dedup.engine import DedupEngine, DedupResult, measure_dedup_ratio
 from repro.dedup.index import DedupIndex, InMemoryIndex
@@ -14,6 +15,8 @@ from repro.dedup.recipes import (
 from repro.dedup.stats import DedupStats
 
 __all__ = [
+    "BrownoutIndex",
+    "BrownoutStats",
     "CacheStats",
     "DedupEngine",
     "DedupIndex",

@@ -54,6 +54,7 @@ class StepResult:
     arrivals: int
     completed: int
     failed: int
+    shed: int
     span_s: float
     goodput_rps: float
     claims_new: int
@@ -78,6 +79,7 @@ class StepResult:
             "arrivals": self.arrivals,
             "completed": self.completed,
             "failed": self.failed,
+            "shed": self.shed,
             "span_s": self.span_s,
             "goodput_rps": self.goodput_rps,
             "efficiency": self.efficiency,
@@ -115,6 +117,12 @@ class OpenLoopRunner:
         node_ids: ring membership, for the skew denominator.
         drain_timeout_s: how long past the last arrival to wait for
             stragglers; anything still pending after that counts as failed.
+        shed_types: exception types counted as *shed* (deliberate
+            overload pushback — ``RpcOverloadError``, ``CircuitOpenError``)
+            rather than failed. Shed requests are the system working as
+            designed under overload; the latency percentiles cover
+            *admitted* (completed) requests only, and conservation becomes
+            ``arrivals == completed + shed + failed``.
     """
 
     def __init__(
@@ -122,10 +130,12 @@ class OpenLoopRunner:
         submit: SubmitFn,
         node_ids: Sequence[str] = (),
         drain_timeout_s: float = 30.0,
+        shed_types: tuple[type[BaseException], ...] = (),
     ) -> None:
         self._submit = submit
         self._node_ids = list(node_ids)
         self._drain_timeout_s = float(drain_timeout_s)
+        self._shed_types = tuple(shed_types)
 
     def run(
         self,
@@ -133,7 +143,8 @@ class OpenLoopRunner:
         requests: Iterable[LoadRequest],
         duration_s: float,
     ) -> StepResult:
-        completions: list[tuple[float, float, Optional[int], int]] = []
+        # Each completion: (latency, end, claims_new | None, nkeys, shed?).
+        completions: list[tuple[float, float, Optional[int], int, bool]] = []
         futures: list[Future] = []
         per_node: dict[str, int] = {}
         max_lag = 0.0
@@ -151,10 +162,15 @@ class OpenLoopRunner:
 
             def _done(f: Future, sched: float = target, nkeys: int = len(req.keys)):
                 end = time.perf_counter()
-                if f.cancelled() or f.exception() is not None:
-                    completions.append((end - sched, end, None, nkeys))
+                if f.cancelled():
+                    completions.append((end - sched, end, None, nkeys, False))
+                    return
+                exc = f.exception()
+                if exc is not None:
+                    shed = self._shed_types and isinstance(exc, self._shed_types)
+                    completions.append((end - sched, end, None, nkeys, bool(shed)))
                 else:
-                    completions.append((end - sched, end, sum(f.result()), nkeys))
+                    completions.append((end - sched, end, sum(f.result()), nkeys, False))
 
             fut.add_done_callback(_done)
             futures.append(fut)
@@ -173,11 +189,14 @@ class OpenLoopRunner:
 
         latency = Histogram("loadgen.latency_s", buckets=LOAD_LATENCY_BUCKETS_S)
         recorded = list(completions)
-        completed = failed = claims_new = claims_dup = 0
+        completed = failed = shed = claims_new = claims_dup = 0
         last_end = base + duration_s
-        for lat, end, new, nkeys in recorded:
+        for lat, end, new, nkeys, was_shed in recorded:
             if new is None:
-                failed += 1
+                if was_shed:
+                    shed += 1
+                else:
+                    failed += 1
                 continue
             completed += 1
             latency.observe(max(lat, 0.0))
@@ -202,6 +221,7 @@ class OpenLoopRunner:
             arrivals=arrivals,
             completed=completed,
             failed=failed,
+            shed=shed,
             span_s=span,
             goodput_rps=completed / span if span else 0.0,
             claims_new=claims_new,

@@ -32,23 +32,34 @@ from typing import Any, Optional
 
 from repro.kvstore.errors import NodeDownError
 from repro.rpc.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
     FrameError,
     RemoteCallError,
     RpcConnectionError,
     RpcError,
+    RpcOverloadError,
     RpcTimeoutError,
 )
 from repro.rpc.faults import FaultInjector, SendPlan
 from repro.rpc.framing import default_codec_name, encode_frame, get_codec, read_frame
 from repro.rpc.messages import Request, Response, correlation_ids
+from repro.rpc.overload import CONTROL_METHODS, BreakerBoard, Deadline, RetryBudget
 from repro.rpc.retry import RetryPolicy
 from repro.obs.histogram import Histogram
 from repro.obs.trace import NULL_TRACER, Tracer
 
 _NO_FAULTS = SendPlan()
 
+# Smallest per-attempt wait worth issuing once a deadline nearly expired.
+_MIN_ATTEMPT_TIMEOUT_S = 1e-4
+
 # Remote error types re-raised as their local exception classes.
-_REMOTE_TYPES = {"NodeDownError": NodeDownError}
+_REMOTE_TYPES = {
+    "NodeDownError": NodeDownError,
+    "RpcOverloadError": RpcOverloadError,
+    "DeadlineExceededError": DeadlineExceededError,
+}
 
 
 def raise_remote_error(error: Optional[dict[str, str]]) -> None:
@@ -72,6 +83,10 @@ class ClientStats:
     timeouts: int = 0
     connection_errors: int = 0
     failed_calls: int = 0
+    overload_errors: int = 0  # server shed us at admission
+    deadline_expired: int = 0  # budget died (locally or server-side)
+    circuit_open: int = 0  # failed fast without touching the wire
+    retry_budget_denied: int = 0  # retry wanted, token bucket empty
     by_method: dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> dict[str, Any]:
@@ -82,6 +97,10 @@ class ClientStats:
             "rpc.timeouts": self.timeouts,
             "rpc.connection_errors": self.connection_errors,
             "rpc.failed_calls": self.failed_calls,
+            "rpc.overload_errors": self.overload_errors,
+            "rpc.deadline_expired": self.deadline_expired,
+            "rpc.circuit_open": self.circuit_open,
+            "rpc.retry_budget_denied": self.retry_budget_denied,
             "rpc.by_method": dict(self.by_method),
         }
 
@@ -149,10 +168,15 @@ class _Connection:
                 pending = self.pending.get(response.msg_id)
                 if pending is None:
                     continue  # duplicate or stale (already-answered) response
-                if self._injector is not None and self._injector.should_drop_response(
-                    pending.src, self.node_id
-                ):
-                    continue  # the network ate the reply; the call will retry
+                if self._injector is not None:
+                    if self._injector.should_drop_response(pending.src, self.node_id):
+                        continue  # the network ate the reply; the call will retry
+                    delay_s = self._injector.response_delay(pending.src, self.node_id)
+                    if delay_s > 0:
+                        # The reply crawls back: it races the per-attempt
+                        # timeout exactly like a delayed request would.
+                        self._deliver_later(pending.future, response, delay_s)
+                        continue
                 if not pending.future.done():
                     pending.future.set_result(response)
         except (OSError, FrameError) as exc:
@@ -160,6 +184,18 @@ class _Connection:
         except asyncio.CancelledError:
             error = RpcConnectionError(self.node_id, "client closed")
         self._fail_all(error)
+
+    def _deliver_later(
+        self, future: asyncio.Future, response: Response, delay_s: float
+    ) -> None:
+        async def _deliver() -> None:
+            await asyncio.sleep(delay_s)
+            if not self.closed and not future.done():
+                future.set_result(response)
+
+        task = asyncio.create_task(_deliver())
+        self._send_tasks.add(task)
+        task.add_done_callback(self._send_tasks.discard)
 
     def _fail_all(self, error: RpcError) -> None:
         self.closed = True
@@ -196,6 +232,19 @@ class RpcClient:
         tracer: optional :class:`~repro.obs.trace.Tracer`; each call opens a
             ``rpc.client.<method>`` span whose span id *is* the correlation
             id, so server-side handler spans link to it across the wire.
+        deadline_s: default end-to-end budget per data-plane call (None =
+            unbounded, the legacy behavior). Carried on the wire per
+            attempt; retries stop when the budget — not the attempt
+            count — runs out.
+        breakers: optional :class:`~repro.rpc.overload.BreakerBoard`; per
+            (src, dst) circuit breakers that fail calls fast after
+            repeated transport failures.
+        retry_budget: optional :class:`~repro.rpc.overload.RetryBudget`
+            bounding retry amplification across concurrent calls.
+
+    Control methods (:data:`~repro.rpc.overload.CONTROL_METHODS`) bypass
+    deadline, breaker, and budget: pings must flow to an overloaded node
+    (busy is not dead) and recovery tooling must reach a broken one.
 
     All methods must run on the event loop that owns the connections.
     """
@@ -209,14 +258,22 @@ class RpcClient:
         fault_injector: Optional[FaultInjector] = None,
         seed: int = 0,
         tracer: Optional[Tracer] = None,
+        deadline_s: Optional[float] = None,
+        breakers: Optional[BreakerBoard] = None,
+        retry_budget: Optional[RetryBudget] = None,
     ) -> None:
         if timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {timeout_s!r}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s!r}")
         self.addresses = dict(addresses)
         self.codec = get_codec(codec if codec is not None else default_codec_name())
         self.timeout_s = timeout_s
         self.retry = retry if retry is not None else RetryPolicy()
         self.fault_injector = fault_injector
+        self.deadline_s = deadline_s
+        self.breakers = breakers
+        self.retry_budget = retry_budget
         self.stats = ClientStats()
         self.rtt = Histogram("rpc.rtt_s")
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -251,19 +308,36 @@ class RpcClient:
         params: Optional[dict[str, Any]] = None,
         src: Optional[str] = None,
         timeout_s: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Any:
         """One logical call: send, await the correlated response, retry on
         silence, raise :class:`RpcTimeoutError` when the budget is spent.
 
         Remote application errors are re-raised typed (never retried — they
         are deterministic); transport silence and dead connections are
-        retried per the policy.
+        retried per the policy, *bounded by the deadline*: retries stop
+        when the end-to-end budget runs out, not just the attempt count,
+        and each attempt's frame carries the shrinking remainder so the
+        server can drop work nobody is waiting for. ``RpcOverloadError``
+        pushback is surfaced immediately (retrying into a shedding server
+        is the amplification we are trying to prevent).
         """
         timeout = timeout_s if timeout_s is not None else self.timeout_s
+        control = method in CONTROL_METHODS
+        if deadline is None and self.deadline_s is not None and not control:
+            deadline = Deadline.after(self.deadline_s)
+        breaker = None
+        if self.breakers is not None and not control:
+            breaker = self.breakers.for_pair(src, dst)
+            if not breaker.allow():
+                self.stats.circuit_open += 1
+                self.stats.failed_calls += 1
+                raise CircuitOpenError(node_id=dst)
         msg_id = next(self._ids)
-        frame = encode_frame(
-            Request(msg_id, method, params or {}, src=src, dst=dst).to_wire(), self.codec
-        )
+        request = Request(msg_id, method, params or {}, src=src, dst=dst)
+        # Without a deadline the frame is immutable across attempts and
+        # encoded once; with one, each attempt re-stamps the remainder.
+        frame = encode_frame(request.to_wire(), self.codec) if deadline is None else b""
         self.stats.calls += 1
         self.stats.by_method[method] = self.stats.by_method.get(method, 0) + 1
         backoffs = self.retry.backoff_delays(self._rng)
@@ -271,6 +345,7 @@ class RpcClient:
         future: asyncio.Future = loop.create_future()
         last_conn: Optional[_Connection] = None
         last_error: Optional[RpcError] = None
+        attempts_made = 0
         started = time.perf_counter()
         # The span id is the correlation id: the matching server span opens
         # with parent_id=msg_id, so one client batch reads client→server
@@ -281,9 +356,15 @@ class RpcClient:
             try:
                 for attempt in range(self.retry.attempts):
                     if attempt:
+                        if self.retry_budget is not None and not self.retry_budget.try_spend():
+                            self.stats.retry_budget_denied += 1
+                            break  # storm guard: no token, no retry
                         self.stats.retries += 1
                         await asyncio.sleep(next(backoffs))
+                    if deadline is not None and deadline.remaining() <= 0:
+                        break  # the budget, not the attempt count, ran out
                     self.stats.attempts += 1
+                    attempts_made += 1
                     if future.done():
                         future.exception()  # retrieve, to silence the loop's warning
                         future = loop.create_future()
@@ -297,27 +378,80 @@ class RpcClient:
                             conn = await self._connection(dst)
                         except RpcConnectionError as exc:
                             self.stats.connection_errors += 1
+                            if breaker is not None:
+                                breaker.record_failure()
                             last_error = exc
                             continue
                         conn.pending[msg_id] = _Pending(future, src)
                         last_conn = conn
+                        if deadline is not None:
+                            frame = encode_frame(
+                                Request(
+                                    msg_id, method, request.params, src=src, dst=dst,
+                                    deadline_s=max(deadline.remaining(), 0.0),
+                                ).to_wire(),
+                                self.codec,
+                            )
                         conn.send_soon(frame, delay_s=plan.delay_s, duplicate=plan.duplicate)
+                    attempt_timeout = timeout
+                    if deadline is not None:
+                        attempt_timeout = min(
+                            timeout, max(deadline.remaining(), _MIN_ATTEMPT_TIMEOUT_S)
+                        )
                     try:
-                        response = await asyncio.wait_for(asyncio.shield(future), timeout)
+                        response = await asyncio.wait_for(
+                            asyncio.shield(future), attempt_timeout
+                        )
                     except asyncio.TimeoutError:
                         self.stats.timeouts += 1
-                        last_error = RpcTimeoutError(method, dst, self.retry.attempts, timeout)
+                        if breaker is not None:
+                            breaker.record_failure()
+                        last_error = RpcTimeoutError(
+                            method, dst, attempts_made, timeout,
+                            elapsed_s=time.perf_counter() - started,
+                            deadline_left_s=None if deadline is None else deadline.remaining(),
+                        )
                         continue
                     except RpcConnectionError as exc:
                         self.stats.connection_errors += 1
+                        if breaker is not None:
+                            breaker.record_failure()
                         last_error = exc
                         continue
                     self.rtt.observe(time.perf_counter() - started)
                     if rec is not None:
                         rec.attrs["attempts"] = attempt + 1
                     if response.ok:
+                        if breaker is not None:
+                            breaker.record_success()
+                        if self.retry_budget is not None:
+                            self.retry_budget.on_success()
                         return response.result
-                    raise_remote_error(response.error)
+                    try:
+                        raise_remote_error(response.error)
+                    except RpcOverloadError:
+                        # Backpressure: the server answered, but with "go
+                        # away". Counts against the breaker (the pair is
+                        # unhealthy for data traffic) and is never retried
+                        # here — retrying into a shedding node is exactly
+                        # the amplification the budget exists to stop.
+                        self.stats.overload_errors += 1
+                        if breaker is not None:
+                            breaker.record_failure()
+                        raise
+                    except DeadlineExceededError:
+                        # The server dropped expired work; the transport
+                        # and the node are fine — don't punish the pair.
+                        self.stats.deadline_expired += 1
+                        if breaker is not None:
+                            breaker.record_success()
+                        raise
+                    except Exception:
+                        # Any other application error proves the pair
+                        # healthy end to end.
+                        if breaker is not None:
+                            breaker.record_success()
+                        raise
             finally:
                 if last_conn is not None and last_conn.pending.get(msg_id, None) is not None:
                     del last_conn.pending[msg_id]
@@ -326,8 +460,15 @@ class RpcClient:
             self.stats.failed_calls += 1
             if rec is not None:
                 rec.attrs["failed"] = True
+            elapsed = time.perf_counter() - started
+            deadline_left = None if deadline is None else deadline.remaining()
+            if deadline is not None and deadline.expired:
+                self.stats.deadline_expired += 1
             if isinstance(last_error, RpcTimeoutError) or last_error is None:
-                raise RpcTimeoutError(method, dst, self.retry.attempts, timeout)
+                raise RpcTimeoutError(
+                    method, dst, attempts_made, timeout,
+                    elapsed_s=elapsed, deadline_left_s=deadline_left,
+                )
             raise last_error
 
     async def ping(self, dst: str, src: Optional[str] = None) -> float:

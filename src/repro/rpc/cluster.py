@@ -26,6 +26,7 @@ from repro.kvstore.wal import WriteAheadLog
 from repro.obs.trace import Tracer
 from repro.rpc.client import RpcClient
 from repro.rpc.faults import FaultInjector
+from repro.rpc.overload import AdmissionController, BreakerBoard, RetryBudget
 from repro.rpc.remote_store import RemoteKVStore
 from repro.rpc.retry import RetryPolicy
 from repro.rpc.server import NodeServer
@@ -63,6 +64,20 @@ class LiveKVCluster:
             the phi-accrual detector. 0 disables the prober.
         heartbeat_detector: optional detector override for the prober
             (e.g. a lower threshold in tests).
+        deadline_s: default end-to-end deadline budget per data-plane call
+            (None = unbounded). Carried on the wire; servers drop work
+            whose budget expired in queue.
+        admission_queue: when > 0, each node server runs a bounded request
+            queue of this size with load shedding (``RpcOverloadError``)
+            past ``admission_shed_start`` of it. 0 = legacy inline serve.
+        admission_shed_start: queue fraction where probabilistic shedding
+            begins (RED-style ramp to certain shed at the bound).
+        service_workers: queue-draining tasks per node (with admission).
+        breaker_failures: consecutive transport failures per (src, dst)
+            pair before the client's circuit breaker opens. 0 = disabled.
+        breaker_cooldown_s: open-state cooldown before a half-open probe.
+        retry_budget: token-bucket capacity bounding retry amplification
+            across concurrent calls. 0 = disabled.
     """
 
     def __init__(
@@ -84,6 +99,13 @@ class LiveKVCluster:
         snapshot_every: int = 1024,
         heartbeat_interval_s: float = 0.0,
         heartbeat_detector: Optional[PhiAccrualDetector] = None,
+        deadline_s: Optional[float] = None,
+        admission_queue: int = 0,
+        admission_shed_start: float = 0.75,
+        service_workers: int = 1,
+        breaker_failures: int = 0,
+        breaker_cooldown_s: float = 0.25,
+        retry_budget: float = 0.0,
     ) -> None:
         ids = list(node_ids)
         if not ids:
@@ -94,9 +116,21 @@ class LiveKVCluster:
             raise ValueError(
                 f"heartbeat_interval_s must be >= 0, got {heartbeat_interval_s!r}"
             )
+        if admission_queue < 0:
+            raise ValueError(f"admission_queue must be >= 0, got {admission_queue!r}")
         self.fault_injector = fault_injector
         self._codec = codec
         self._tracer = tracer
+        self._seed = seed
+        self._admission_queue = int(admission_queue)
+        self._admission_shed_start = float(admission_shed_start)
+        self._service_workers = int(service_workers)
+        self.breakers = (
+            BreakerBoard(breaker_failures, breaker_cooldown_s)
+            if breaker_failures > 0
+            else None
+        )
+        self.retry_budget = RetryBudget(retry_budget) if retry_budget > 0 else None
         self._data_dir = Path(data_dir) if data_dir is not None else None
         self._snapshot_every = snapshot_every
         self._loop = asyncio.new_event_loop()
@@ -114,11 +148,7 @@ class LiveKVCluster:
 
             async def boot() -> None:
                 for node_id in ids:
-                    server = NodeServer(
-                        node=StorageNode(node_id, wal=self._open_wal(node_id)),
-                        codec=codec,
-                        tracer=tracer,
-                    )
+                    server = self._make_server(node_id)
                     addresses[node_id] = await server.start(host)
                     self.servers[node_id] = server
 
@@ -131,6 +161,9 @@ class LiveKVCluster:
                 fault_injector=fault_injector,
                 seed=seed,
                 tracer=tracer,
+                deadline_s=deadline_s,
+                breakers=self.breakers,
+                retry_budget=self.retry_budget,
             )
             self.store = RemoteKVStore(
                 client=self.client,
@@ -160,6 +193,29 @@ class LiveKVCluster:
     def _run(self, coro):
         """Run a coroutine on the cluster's loop thread and wait for it."""
         return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def _make_server(self, node_id: str) -> NodeServer:
+        """One NodeServer, configured like every other member (all four
+        construction sites — boot, restart, add — share this)."""
+        admission = None
+        if self._admission_queue > 0:
+            # Per-node seed derived without str(hash): crc32 is stable
+            # across processes, so chaos runs replay identical shedding.
+            import zlib
+
+            admission = AdmissionController(
+                max_queue=self._admission_queue,
+                shed_start=self._admission_shed_start,
+                seed=self._seed * 1_000_003 + zlib.crc32(node_id.encode()),
+            )
+        return NodeServer(
+            node=StorageNode(node_id, wal=self._open_wal(node_id)),
+            codec=self._codec,
+            tracer=self._tracer,
+            admission=admission,
+            service_workers=self._service_workers,
+            fault_injector=self.fault_injector,
+        )
 
     def _open_wal(self, node_id: str) -> Optional[WriteAheadLog]:
         if self._data_dir is None:
@@ -220,11 +276,7 @@ class LiveKVCluster:
             raise KeyError(f"unknown node {node_id!r}")
         if node_id not in self._killed:
             raise RuntimeError(f"node {node_id!r} is not killed")
-        server = NodeServer(
-            node=StorageNode(node_id, wal=self._open_wal(node_id)),
-            codec=self._codec,
-            tracer=self._tracer,
-        )
+        server = self._make_server(node_id)
         host, port = self.client.addresses[node_id]
         self._run(server.start(host, port))  # same port: peers need no update
         self.servers[node_id] = server
@@ -246,11 +298,7 @@ class LiveKVCluster:
         (:meth:`RemoteKVStore.add_node`)."""
         if node_id in self.servers:
             raise ValueError(f"node {node_id!r} is already a member")
-        server = NodeServer(
-            node=StorageNode(node_id, wal=self._open_wal(node_id)),
-            codec=self._codec,
-            tracer=self._tracer,
-        )
+        server = self._make_server(node_id)
         address = self._run(server.start(host))
         self.servers[node_id] = server
         try:

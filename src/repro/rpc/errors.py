@@ -9,6 +9,8 @@ way an in-process ring does, just with more specific types.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.kvstore.errors import KVStoreError
 
 
@@ -30,22 +32,77 @@ class RpcConnectionError(RpcError):
 
 
 class RpcTimeoutError(RpcError):
-    """A call exhausted its retry budget without receiving a response.
+    """A call exhausted its retry or deadline budget without a response.
 
-    Raised only after the full retry schedule (per-attempt timeout ×
-    ``attempts``, with backoff between attempts) has run dry — transient
-    drops and delays are masked by the retries and never surface as this.
+    Raised only after the retry schedule (or the end-to-end deadline,
+    whichever runs out first) has run dry — transient drops and delays are
+    masked by the retries and never surface as this. The message reports
+    *elapsed wall time*, not ``attempts × timeout_s``: backoff sleeps
+    between attempts dominate once retries kick in, so the naive product
+    undersells how long the caller actually waited.
     """
 
-    def __init__(self, method: str, node_id: str, attempts: int, timeout_s: float) -> None:
-        super().__init__(
+    def __init__(
+        self,
+        method: str,
+        node_id: str,
+        attempts: int,
+        timeout_s: float,
+        elapsed_s: Optional[float] = None,
+        deadline_left_s: Optional[float] = None,
+    ) -> None:
+        msg = (
             f"call {method!r} to node {node_id!r} timed out after "
-            f"{attempts} attempt(s) of {timeout_s:g}s each"
+            f"{attempts} attempt(s) (per-attempt timeout {timeout_s:g}s"
         )
+        if elapsed_s is not None:
+            msg += f", {elapsed_s:.3f}s elapsed"
+        if deadline_left_s is not None:
+            if deadline_left_s <= 0:
+                msg += ", deadline budget exhausted"
+            else:
+                msg += f", {deadline_left_s:.3f}s of deadline left"
+        msg += ")"
+        super().__init__(msg)
         self.method = method
         self.node_id = node_id
         self.attempts = attempts
         self.timeout_s = timeout_s
+        self.elapsed_s = elapsed_s
+        self.deadline_left_s = deadline_left_s
+
+
+class RpcOverloadError(RpcError):
+    """The server shed this request at admission: its bounded queue is at
+    (or ramping toward) capacity. Busy is not dead — the node is alive and
+    answering pings; callers should back off, not mark it down."""
+
+    def __init__(self, message: str = "", node_id: Optional[str] = None) -> None:
+        if not message:
+            message = f"node {node_id!r} shed the request: admission queue full"
+        super().__init__(message)
+        self.node_id = node_id
+
+
+class DeadlineExceededError(RpcError):
+    """The call's end-to-end deadline budget ran out.
+
+    Raised server-side when queued work expires before execution (dropped,
+    not executed — serving it would burn capacity on an answer nobody is
+    waiting for) and client-side when the budget dies between attempts.
+    """
+
+
+class CircuitOpenError(RpcError):
+    """The client's circuit breaker for this (coordinator, node) pair is
+    open: recent calls failed, so this one fails fast without touching the
+    wire. Half-open probes re-test the pair after the cooldown."""
+
+    def __init__(self, message: str = "", node_id: Optional[str] = None) -> None:
+        if not message:
+            message = f"circuit open for node {node_id!r}: failing fast"
+        super().__init__(message)
+        self.node_id = node_id
 
 
 class RemoteCallError(RpcError):

@@ -8,10 +8,17 @@ The transport consults a :class:`FaultInjector` at two points:
   *duplicated* (the frame is written twice; the server's idempotency cache
   makes the second delivery harmless and the client discards the second
   response).
-- :meth:`FaultInjector.should_drop_response` — when a response frame
-  arrives: dropping here models "the server did the work but the network
-  ate the reply", the scenario that distinguishes at-most-once from
-  at-least-once semantics.
+- :meth:`FaultInjector.should_drop_response` /
+  :meth:`FaultInjector.response_delay` — when a response frame arrives:
+  dropping here models "the server did the work but the network ate the
+  reply" (the scenario that distinguishes at-most-once from at-least-once
+  semantics); delaying here models "the server did the work *slowly*" as
+  seen from the client, distinct from a request the network ate.
+- :meth:`FaultInjector.plan_serve` — before a server executes admitted
+  work: SLOW rules inflate service time by a seeded lognormal multiple of
+  a median, the gray-failure shape (a lagging disk or a GC-thrashing
+  process: mostly fine, occasionally 10×) that binary up/down faults
+  cannot express.
 
 Rules match on the (src, dst) *coordinator → replica node* pair, with
 ``None`` as a wildcard, an optional probability, and an optional ``times``
@@ -25,6 +32,7 @@ test replays the exact same fault sequence every run.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Optional
@@ -32,6 +40,7 @@ from typing import Optional
 DROP = "drop"
 DELAY = "delay"
 DUPLICATE = "duplicate"
+SLOW = "slow"
 
 REQUEST = "request"
 RESPONSE = "response"
@@ -42,12 +51,17 @@ class FaultRule:
     """One injected-fault pattern.
 
     Attributes:
-        kind: DROP, DELAY, or DUPLICATE.
+        kind: DROP, DELAY, DUPLICATE, or SLOW.
         src: coordinator node id to match (None = any).
         dst: replica node id to match (None = any).
-        direction: REQUEST or RESPONSE (delay/duplicate are request-only).
+        direction: REQUEST or RESPONSE (duplicate is request-only; SLOW
+            acts server-side at ``dst`` and ignores direction).
         probability: chance the rule fires when it matches.
-        delay_s: hold time for DELAY rules.
+        delay_s: hold time for DELAY rules; *median* service-time
+            inflation for SLOW rules.
+        sigma: lognormal shape for SLOW rules — 0 means a constant
+            ``delay_s`` inflation, larger values grow the heavy tail
+            (occasional 10× stalls) around the same median.
         times: remaining firings before the rule retires (None = unlimited).
     """
 
@@ -57,19 +71,22 @@ class FaultRule:
     direction: str = REQUEST
     probability: float = 1.0
     delay_s: float = 0.0
+    sigma: float = 0.0
     times: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in (DROP, DELAY, DUPLICATE):
+        if self.kind not in (DROP, DELAY, DUPLICATE, SLOW):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.direction not in (REQUEST, RESPONSE):
             raise ValueError(f"unknown direction {self.direction!r}")
-        if self.kind in (DELAY, DUPLICATE) and self.direction != REQUEST:
+        if self.kind == DUPLICATE and self.direction != REQUEST:
             raise ValueError(f"{self.kind} faults apply to requests only")
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError(f"probability must be in [0, 1], got {self.probability!r}")
         if self.delay_s < 0:
             raise ValueError(f"delay_s must be >= 0, got {self.delay_s!r}")
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma!r}")
         if self.times is not None and self.times < 1:
             raise ValueError(f"times must be >= 1 or None, got {self.times!r}")
 
@@ -99,14 +116,18 @@ class FaultStats:
     dropped_requests: int = 0
     dropped_responses: int = 0
     delayed_requests: int = 0
+    delayed_responses: int = 0
     duplicated_requests: int = 0
+    slowed_serves: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
             "faults.dropped_requests": self.dropped_requests,
             "faults.dropped_responses": self.dropped_responses,
             "faults.delayed_requests": self.delayed_requests,
+            "faults.delayed_responses": self.delayed_responses,
             "faults.duplicated_requests": self.duplicated_requests,
+            "faults.slowed_serves": self.slowed_serves,
         }
 
 
@@ -173,6 +194,42 @@ class FaultInjector:
             )
         )
 
+    def delay_responses(
+        self,
+        delay_s: float,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        probability: float = 1.0,
+        times: Optional[int] = None,
+    ) -> FaultRule:
+        """Hold response frames for ``delay_s`` before the client sees them:
+        the server did the work, the reply crawled back — distinguishable
+        from a request the network ate (the work *did* happen)."""
+        return self.add_rule(
+            FaultRule(
+                DELAY, src, dst, RESPONSE,
+                probability=probability, delay_s=delay_s, times=times,
+            )
+        )
+
+    def slow_serves(
+        self,
+        median_s: float,
+        dst: Optional[str] = None,
+        sigma: float = 0.0,
+        probability: float = 1.0,
+        times: Optional[int] = None,
+    ) -> FaultRule:
+        """Inflate ``dst``'s service time by a seeded lognormal sample with
+        the given median — the gray-failure knob (a slow node, not a dead
+        one: it still answers everything, just late)."""
+        return self.add_rule(
+            FaultRule(
+                SLOW, None, dst, REQUEST,
+                probability=probability, delay_s=median_s, sigma=sigma, times=times,
+            )
+        )
+
     def duplicate_requests(
         self,
         src: Optional[str] = None,
@@ -198,6 +255,14 @@ class FaultInjector:
             self._partitions.discard(frozenset((a, b)))
         else:
             raise ValueError("heal() takes both node ids or neither")
+
+    def remove_rule(self, rule: FaultRule) -> None:
+        """Retire one installed rule (no-op if already gone) — the undo for
+        long-lived rules like a ``slow_serves`` gray failure."""
+        try:
+            self.rules.remove(rule)
+        except ValueError:
+            pass
 
     def clear(self) -> None:
         """Retire every rule and partition."""
@@ -248,3 +313,29 @@ class FaultInjector:
             self.stats.dropped_responses += 1
             return True
         return False
+
+    def response_delay(self, src: Optional[str], dst: Optional[str]) -> float:
+        """How long to hold one incoming response frame before delivery
+        (0.0 = deliver now). Consulted after :meth:`should_drop_response`."""
+        delay_s = sum(r.delay_s for r in self._fire(DELAY, RESPONSE, src, dst))
+        if delay_s:
+            self.stats.delayed_responses += 1
+        return delay_s
+
+    def plan_serve(self, node_id: Optional[str]) -> float:
+        """Service-time inflation for one admitted request at ``node_id``.
+
+        SLOW rules match on ``dst`` only (a slow node is slow for every
+        caller). Each fired rule contributes a lognormal sample whose
+        median is the rule's ``delay_s``: ``exp(N(ln(median), sigma))``,
+        drawn from the injector's seeded RNG.
+        """
+        total = 0.0
+        for rule in self._fire(SLOW, REQUEST, None, node_id):
+            if rule.sigma > 0 and rule.delay_s > 0:
+                total += self._rng.lognormvariate(math.log(rule.delay_s), rule.sigma)
+            else:
+                total += rule.delay_s
+        if total:
+            self.stats.slowed_serves += 1
+        return total

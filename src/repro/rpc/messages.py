@@ -34,6 +34,12 @@ class Request:
 
     ``src`` is the coordinator the call acts for — fault injection and
     contact accounting are keyed on the (src, dst) node pair.
+
+    ``deadline_s`` is the call's remaining end-to-end budget *in seconds*
+    (a duration, not a timestamp — no clock agreement needed). The client
+    re-stamps it per attempt with what is left; the server drops work
+    whose local queue wait exceeds it. ``None`` (and its absence on old
+    frames) means unbounded, so mixed-version peers interoperate.
     """
 
     msg_id: str
@@ -41,9 +47,10 @@ class Request:
     params: dict[str, Any] = field(default_factory=dict)
     src: Optional[str] = None
     dst: Optional[str] = None
+    deadline_s: Optional[float] = None
 
     def to_wire(self) -> dict[str, Any]:
-        return {
+        wire = {
             "kind": "req",
             "id": self.msg_id,
             "method": self.method,
@@ -51,18 +58,23 @@ class Request:
             "src": self.src,
             "dst": self.dst,
         }
+        if self.deadline_s is not None:
+            wire["deadline_s"] = self.deadline_s
+        return wire
 
     @staticmethod
     def from_wire(obj: Any) -> "Request":
         try:
             if obj["kind"] != "req":
                 raise FrameError(f"expected a request, got kind {obj['kind']!r}")
+            deadline_s = obj.get("deadline_s")
             return Request(
                 msg_id=obj["id"],
                 method=obj["method"],
                 params=obj.get("params") or {},
                 src=obj.get("src"),
                 dst=obj.get("dst"),
+                deadline_s=None if deadline_s is None else float(deadline_s),
             )
         except (KeyError, TypeError) as exc:
             raise FrameError(f"malformed request frame: {obj!r}") from exc

@@ -22,6 +22,29 @@ Two server-side behaviors make retries safe:
   Control operations (``set_down``, ``dump``, ``stats``) keep working so
   an operator — or a test — can inspect and recover the node.
 
+Overload protection (opt-in via ``admission``): data-plane requests flow
+through a bounded queue drained by worker tasks instead of being executed
+inline on the connection loop. At the queue bound the server *sheds* —
+answers immediately with a typed ``RpcOverloadError`` instead of queueing
+work it cannot serve in time — and work whose end-to-end deadline expired
+while queued is *dropped* (``DeadlineExceededError``), not executed:
+serving it would burn capacity on an answer nobody is still waiting for.
+Three carve-outs keep the semantics honest:
+
+- control methods (:data:`~repro.rpc.overload.CONTROL_METHODS`) bypass
+  admission entirely — a shedding node still answers pings, so the
+  phi-accrual detector never confuses *busy* with *dead*;
+- replays bypass admission — the cached response costs nothing to return,
+  and shedding a retry of already-executed work would make the client
+  retry (or fail) an operation the server in fact applied;
+- shed responses are **never** cached in the idempotency store: a later
+  retry of the same correlation id must get a fresh admission decision,
+  not a replayed "busy".
+
+Responses from workers may complete out of submission order; that is safe
+(the client matches by correlation id) but concurrent frame writes are
+not, so each connection serializes writes behind a lock.
+
 Wire value encoding: a stored entry travels as ``[value, timestamp,
 tombstone]``; ``multi_put`` takes ``[key, value, timestamp, tombstone]``
 rows. Fingerprints and metadata are strings, so both codecs round-trip
@@ -42,9 +65,11 @@ from repro.kvstore.node import StorageNode
 from repro.kvstore.repair import _bucket_of, merkle_from_items
 from repro.obs.histogram import Histogram
 from repro.obs.trace import NULL_TRACER, Tracer
-from repro.rpc.errors import FrameError
+from repro.rpc.errors import DeadlineExceededError, FrameError, RpcOverloadError
+from repro.rpc.faults import FaultInjector
 from repro.rpc.framing import get_codec, read_frame, write_frame
 from repro.rpc.messages import Request, Response
+from repro.rpc.overload import CONTROL_METHODS, AdmissionController
 
 # Correlation ids remembered for retry/duplicate suppression.
 DEFAULT_IDEMPOTENCY_CAPACITY = 4096
@@ -58,6 +83,8 @@ class ServerStats:
     replays: int = 0  # answered from the idempotency cache
     errors: int = 0
     connections: int = 0
+    shed: int = 0  # refused at admission (RpcOverloadError)
+    deadline_drops: int = 0  # expired in queue, dropped unexecuted
     by_method: dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> dict[str, Any]:
@@ -66,6 +93,8 @@ class ServerStats:
             "server.replays": self.replays,
             "server.errors": self.errors,
             "server.connections": self.connections,
+            "server.shed": self.shed,
+            "server.deadline_drops": self.deadline_drops,
             "server.by_method": dict(self.by_method),
         }
 
@@ -88,6 +117,14 @@ class NodeServer:
         tracer: optional :class:`~repro.obs.trace.Tracer`; each handled
             request opens a ``rpc.server.<method>`` span parented on the
             request's correlation id, linking it to the client call span.
+        admission: optional :class:`~repro.rpc.overload.AdmissionController`;
+            when given, data-plane requests flow through a bounded queue
+            drained by ``service_workers`` tasks and excess load is shed
+            with ``RpcOverloadError``. ``None`` keeps the legacy inline
+            dispatch (no queue, no shedding).
+        service_workers: queue-draining tasks when admission is on.
+        fault_injector: optional injector consulted per admitted request
+            for SLOW service-time inflation (gray failures).
     """
 
     def __init__(
@@ -97,6 +134,9 @@ class NodeServer:
         codec: Optional[str] = None,
         idempotency_capacity: int = DEFAULT_IDEMPOTENCY_CAPACITY,
         tracer: Optional[Tracer] = None,
+        admission: Optional[AdmissionController] = None,
+        service_workers: int = 1,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if node is None:
             if node_id is None:
@@ -124,6 +164,20 @@ class NodeServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._conn_tasks: set[asyncio.Task] = set()
         self.address: Optional[tuple[str, int]] = None
+        if service_workers < 1:
+            raise ValueError(f"service_workers must be >= 1, got {service_workers!r}")
+        self.admission = admission
+        self.fault_injector = fault_injector
+        self._service_workers = int(service_workers)
+        self._queue: Optional[asyncio.Queue] = None
+        self._workers: list[asyncio.Task] = []
+        self._depth = 0  # admitted-but-unfinished requests (the queue bound)
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted requests waiting or executing right now (honest
+        overload signal for metrics and future autoscaling)."""
+        return self._depth
 
     @property
     def node_id(self) -> str:
@@ -140,6 +194,11 @@ class NodeServer:
         self._server = await asyncio.start_server(self._handle_connection, host, port)
         sock = self._server.sockets[0]
         self.address = sock.getsockname()[:2]
+        if self.admission is not None:
+            self._queue = asyncio.Queue()
+            self._workers = [
+                asyncio.create_task(self._worker()) for _ in range(self._service_workers)
+            ]
         return self.address
 
     async def stop(self) -> None:
@@ -148,10 +207,14 @@ class NodeServer:
             return
         self._server.close()
         await self._server.wait_closed()
-        for task in list(self._conn_tasks):
+        for task in list(self._conn_tasks) + self._workers:
             task.cancel()
-        if self._conn_tasks:
-            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        pending = list(self._conn_tasks) + self._workers
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._workers = []
+        self._queue = None
+        self._depth = 0
         self._server = None
 
     # ------------------------------------------------------------------ #
@@ -166,6 +229,10 @@ class NodeServer:
         if task is not None:
             self._conn_tasks.add(task)
             task.add_done_callback(self._conn_tasks.discard)
+        # Workers interleave responses from many requests on this stream;
+        # the lock keeps each frame write atomic (ordering is irrelevant —
+        # the client matches responses by correlation id).
+        write_lock = asyncio.Lock()
         try:
             while True:
                 try:
@@ -174,8 +241,9 @@ class NodeServer:
                     break  # protocol violation: drop the connection
                 if obj is None:
                     break
-                response = self._dispatch(Request.from_wire(obj))
-                await write_frame(writer, response.to_wire(), self.codec)
+                request = Request.from_wire(obj)
+                received = time.perf_counter()
+                await self._serve(request, writer, write_lock, received)
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
         finally:
@@ -184,6 +252,96 @@ class NodeServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    async def _serve(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        received: float,
+    ) -> None:
+        """Route one frame: replay/control inline, data plane through
+        admission + the worker queue (when admission is configured)."""
+        if (
+            self.admission is None
+            or request.method in CONTROL_METHODS
+            or request.msg_id in self._seen
+        ):
+            await self._execute(request, writer, write_lock, received)
+            return
+        if not self.admission.decide(self._depth):
+            self.stats.shed += 1
+            response = Response.failure(
+                request.msg_id, RpcOverloadError(node_id=self.node_id)
+            )
+            # Deliberately NOT cached: a retry of this id deserves a fresh
+            # admission decision, not a replayed "busy".
+            await self._write_response(writer, write_lock, response)
+            return
+        self._depth += 1
+        assert self._queue is not None
+        self._queue.put_nowait((request, writer, write_lock, received))
+
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        while True:
+            request, writer, write_lock, received = await self._queue.get()
+            try:
+                await self._execute(request, writer, write_lock, received)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # A wedged response write must not kill the drain loop.
+                pass
+            finally:
+                self._depth -= 1
+                self._queue.task_done()
+
+    async def _execute(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        received: float,
+    ) -> None:
+        # Expired-in-queue work is dropped, not executed: the client has
+        # already given up, so serving it only steals capacity from calls
+        # that can still make their deadlines. Replays are exempt (the
+        # answer is free) and the wait is measured locally from the frame's
+        # receipt — deadline_s is a duration, so no clock sync is assumed.
+        if (
+            request.deadline_s is not None
+            and request.msg_id not in self._seen
+            and time.perf_counter() - received >= request.deadline_s
+        ):
+            self.stats.deadline_drops += 1
+            response = Response.failure(
+                request.msg_id,
+                DeadlineExceededError(
+                    f"node {self.node_id!r} dropped {request.method!r}: "
+                    f"deadline ({request.deadline_s:.3f}s) expired in queue"
+                ),
+            )
+            await self._write_response(writer, write_lock, response)
+            return
+        if self.fault_injector is not None and request.method not in CONTROL_METHODS:
+            slow_s = self.fault_injector.plan_serve(self.node_id)
+            if slow_s > 0:
+                await asyncio.sleep(slow_s)  # gray failure: serve, but late
+        response = self._dispatch(request)
+        await self._write_response(writer, write_lock, response)
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response: Response,
+    ) -> None:
+        try:
+            async with write_lock:
+                await write_frame(writer, response.to_wire(), self.codec)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # peer went away; its retry will reconnect
 
     def _dispatch(self, request: Request) -> Response:
         started = time.perf_counter()

@@ -88,6 +88,36 @@ class EFDedupConfig:
         content_batch: content plane — buffered payload writes per batched
             ``put_chunks`` message to a ring member (the payload analogue
             of ``lookup_batch``).
+        rpc_deadline_s: live transport only — end-to-end deadline budget
+            per data-plane call (None = unbounded). Retries stop when the
+            budget runs out; servers drop work whose budget expired while
+            queued.
+        admission_queue: live transport only — bounded request queue per
+            node server; past ``admission_shed_start`` of it, requests are
+            probabilistically shed with a typed ``RpcOverloadError``. 0
+            (default) disables admission control.
+        admission_shed_start: queue fraction where the RED-style shed ramp
+            begins (certain shed at the bound).
+        service_workers: live transport only — queue-draining tasks per
+            node server when admission control is on.
+        breaker_failures: live transport only — consecutive transport
+            failures per (coordinator, node) pair before the client's
+            circuit breaker opens (fail-fast). 0 (default) disables.
+        breaker_cooldown_s: open-breaker cooldown before one half-open
+            probe re-tests the pair.
+        retry_budget: live transport only — retry-amplification token
+            bucket capacity shared across concurrent calls (first attempts
+            are free; each retry spends a token, each success deposits a
+            fraction). 0 (default) disables.
+        brownout: live transport only — when True, each agent's ring index
+            is wrapped in a :class:`~repro.dedup.brownout.BrownoutIndex`:
+            if the index ring sheds or breaks, ingest falls back to
+            write-through (chunk stored without a dedup verdict, the
+            fingerprint journaled) and
+            :meth:`~repro.system.ring.D2Ring.reconcile_brownouts` later
+            replays the journal to restore exact dedup accounting.
+        brownout_cooldown_s: how long a tripped brownout serves
+            write-through before probing the ring again.
     """
 
     chunk_size: int = 128 * 1024
@@ -112,6 +142,15 @@ class EFDedupConfig:
     ec_zones: int | None = None
     spill_mode: str = "sync"
     content_batch: int = 16
+    rpc_deadline_s: float | None = None
+    admission_queue: int = 0
+    admission_shed_start: float = 0.75
+    service_workers: int = 1
+    breaker_failures: int = 0
+    breaker_cooldown_s: float = 0.25
+    retry_budget: float = 0.0
+    brownout: bool = False
+    brownout_cooldown_s: float = 0.25
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -183,6 +222,38 @@ class EFDedupConfig:
             raise ValueError(
                 f"content_batch must be >= 1, got {self.content_batch!r}"
             )
+        if self.rpc_deadline_s is not None and self.rpc_deadline_s <= 0:
+            raise ValueError(
+                f"rpc_deadline_s must be positive or None, got {self.rpc_deadline_s!r}"
+            )
+        if self.admission_queue < 0:
+            raise ValueError(
+                f"admission_queue must be >= 0, got {self.admission_queue!r}"
+            )
+        if not 0.0 < self.admission_shed_start <= 1.0:
+            raise ValueError(
+                f"admission_shed_start must be in (0, 1], got {self.admission_shed_start!r}"
+            )
+        if self.service_workers < 1:
+            raise ValueError(
+                f"service_workers must be >= 1, got {self.service_workers!r}"
+            )
+        if self.breaker_failures < 0:
+            raise ValueError(
+                f"breaker_failures must be >= 0, got {self.breaker_failures!r}"
+            )
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be positive, got {self.breaker_cooldown_s!r}"
+            )
+        if self.retry_budget < 0:
+            raise ValueError(
+                f"retry_budget must be >= 0, got {self.retry_budget!r}"
+            )
+        if self.brownout_cooldown_s <= 0:
+            raise ValueError(
+                f"brownout_cooldown_s must be positive, got {self.brownout_cooldown_s!r}"
+            )
         if self.transport != "asyncio":
             if self.data_dir is not None:
                 raise ValueError("data_dir requires transport='asyncio'")
@@ -190,6 +261,12 @@ class EFDedupConfig:
                 raise ValueError(
                     "heartbeat_interval_s requires transport='asyncio'"
                 )
+            for knob in (
+                "rpc_deadline_s", "admission_queue", "breaker_failures",
+                "retry_budget", "brownout",
+            ):
+                if getattr(self, knob):
+                    raise ValueError(f"{knob} requires transport='asyncio'")
 
     def hash_time_s(self, nbytes: int) -> float:
         """CPU time to chunk + fingerprint ``nbytes`` of input."""

@@ -110,6 +110,13 @@ class D2Ring:
                 tracer=tracer,
                 data_dir=self.config.data_dir,
                 heartbeat_interval_s=self.config.heartbeat_interval_s,
+                deadline_s=self.config.rpc_deadline_s,
+                admission_queue=self.config.admission_queue,
+                admission_shed_start=self.config.admission_shed_start,
+                service_workers=self.config.service_workers,
+                breaker_failures=self.config.breaker_failures,
+                breaker_cooldown_s=self.config.breaker_cooldown_s,
+                retry_budget=self.config.retry_budget,
             )
             self.store = self._live.store
         else:
@@ -132,6 +139,7 @@ class D2Ring:
             content_plane.register_ring(self)
         self.agents: dict[str, DedupAgent] = {}
         self.ring_indexes: dict[str, RingIndex] = {}
+        self.brownouts: dict[str, "BrownoutIndex"] = {}
         for node_id in self.members:
             self._make_agent(node_id)
 
@@ -150,13 +158,75 @@ class D2Ring:
         )
         self.ring_indexes[node_id] = ring_index
         index = ring_index
-        if self.config.cache_capacity > 0:
-            # A presence cache answers hot duplicates at the agent instead of
-            # crossing (what may be) the wire; decisions are unchanged.
-            index = LRUCacheIndex(ring_index, capacity=self.config.cache_capacity)
         sink = (
             self.cloud.receive_chunk if self.content is None else self._store_unique_chunk
         )
+        if self.config.brownout:
+            # Brownout wraps the *ring* index (the trippable hop); the LRU
+            # cache stacks above it, so cached duplicates keep answering
+            # locally during a brownout and write-through verdicts populate
+            # the cache like real ones.
+            from repro.dedup.brownout import BrownoutIndex
+            from repro.kvstore.errors import UnavailableError
+            from repro.rpc.errors import (
+                CircuitOpenError,
+                DeadlineExceededError,
+                RpcOverloadError,
+                RpcTimeoutError,
+            )
+
+            # UnavailableError belongs in the trip set too: under overload
+            # a shed/timed-out replica write surfaces as a failed ack
+            # quorum, which is pushback, not data loss.
+            brownout = BrownoutIndex(
+                ring_index,
+                trip_on=(
+                    RpcOverloadError,
+                    CircuitOpenError,
+                    RpcTimeoutError,
+                    DeadlineExceededError,
+                    UnavailableError,
+                ),
+                cooldown_s=self.config.brownout_cooldown_s,
+            )
+            self.brownouts[node_id] = brownout
+            index = brownout
+
+            if self.content is None:
+                # The shared cloud store is ground truth for uniqueness:
+                # ingest is serial and every "unique" verdict uploads
+                # synchronously, so receive_chunk returning False means
+                # this occurrence was a false unique — whether from a
+                # write-through verdict or from an index replica that
+                # missed a partially-acked write under overload. Repair
+                # the engine's accounting on the spot; the journal replay
+                # then only has to repair the *index*.
+                def sink_with_lengths(
+                    chunk, fingerprint, _sink=sink, _b=brownout, _nid=node_id
+                ):
+                    _b.note_length(fingerprint, chunk.length)
+                    if _sink(chunk, fingerprint) is False:
+                        stats = self.agents[_nid].engine.stats
+                        stats.unique_chunks -= 1
+                        stats.unique_bytes -= chunk.length
+                        stats.duplicate_chunks += 1
+                        _b.stats.corrected_chunks += 1
+                        _b.stats.corrected_bytes += chunk.length
+            else:
+                # Content-plane sinks have no authoritative duplicate
+                # signal; accounting repair waits for the journal replay.
+                def sink_with_lengths(chunk, fingerprint, _sink=sink, _b=brownout):
+                    # Lengths captured at the sink repair the accounting
+                    # later: identical fingerprint ⇒ identical content ⇒
+                    # one length.
+                    _b.note_length(fingerprint, chunk.length)
+                    _sink(chunk, fingerprint)
+
+            sink = sink_with_lengths
+        if self.config.cache_capacity > 0:
+            # A presence cache answers hot duplicates at the agent instead of
+            # crossing (what may be) the wire; decisions are unchanged.
+            index = LRUCacheIndex(index, capacity=self.config.cache_capacity)
         self.agents[node_id] = DedupAgent(
             node_id=node_id,
             index=index,
@@ -281,6 +351,53 @@ class D2Ring:
     def dedup_ratio(self) -> float:
         return self.combined_stats().dedup_ratio
 
+    def reconcile_brownouts(self) -> dict:
+        """Replay every agent's brownout journal against the (recovered)
+        ring index and repair the engines' unique/duplicate accounting.
+
+        Returns a merged report; after it, :attr:`dedup_ratio` equals what
+        an unloaded run over the same inputs would have produced (the
+        brownout only ever mis-*classified* chunks, it never lost one).
+        Safe to call when nothing tripped (an empty journal is a no-op).
+
+        Cloud-sink rings repair the accounting *at the sink* (the cloud's
+        duplicate signal is authoritative), so the replay here only lands
+        the write-through claims in the index; content-plane rings repair
+        the engines' stats from the replay verdicts instead.
+        """
+        report = {
+            "replayed": 0,
+            "corrected_chunks": 0,
+            "corrected_bytes": 0,
+            "missing_lengths": 0,
+        }
+        for node_id, brownout in self.brownouts.items():
+            part = brownout.reconcile(
+                stats=(
+                    None
+                    if self.content is None
+                    else self.agents[node_id].engine.stats
+                )
+            )
+            for key in report:
+                report[key] += part[key]
+        return report
+
+    def brownout_metrics(self) -> dict[str, int]:
+        """Merged brownout counters across agents (empty when disabled)."""
+        merged: dict[str, int] = {}
+        for brownout in self.brownouts.values():
+            for name, value in brownout.stats.snapshot().items():
+                merged[name] = merged.get(name, 0) + value
+        if self.brownouts:
+            merged["brownout.active"] = sum(
+                1 for b in self.brownouts.values() if b.active
+            )
+            merged["brownout.journal_depth"] = sum(
+                len(b.journal) for b in self.brownouts.values()
+            )
+        return merged
+
     def local_lookup_fraction(self) -> float:
         """Observed fraction of lookups served locally — compare with the
         model's γ/|P| (Eq. 2)."""
@@ -367,8 +484,22 @@ class D2Ring:
             # Conditional like rpc.*: only content-plane deployments export
             # it, and then on both transports identically.
             hub.register(f"{prefix}content", self.content.snapshot)
+        if self.brownouts:
+            hub.register(
+                f"{prefix}brownout",
+                lambda: {
+                    k.removeprefix("brownout."): v
+                    for k, v in self.brownout_metrics().items()
+                },
+            )
         if self._live is not None:
             client = self._live.client
+            if self._live.breakers is not None:
+                breakers = self._live.breakers
+                hub.register(
+                    f"{prefix}rpc.breakers",
+                    lambda: {"open": float(breakers.open_count)},
+                )
             hub.register(
                 f"{prefix}rpc",
                 lambda: {
@@ -448,6 +579,7 @@ class D2Ring:
         self.members.remove(node_id)
         del self.agents[node_id]
         del self.ring_indexes[node_id]
+        self.brownouts.pop(node_id, None)
 
     # ------------------------------------------------------------------ #
     # failure injection

@@ -229,7 +229,7 @@ class TestFaultInjector:
         with pytest.raises(ValueError):
             FaultRule("drop", probability=1.5)
         with pytest.raises(ValueError):
-            FaultRule("delay", direction="response")
+            FaultRule("duplicate", direction="response")  # dup is request-only
         with pytest.raises(ValueError):
             FaultRule("drop", times=0)
 
