@@ -11,6 +11,10 @@ replicas converged. Exposed as ``repro chaos`` on the CLI and measured by
 ``benchmarks/bench_chaos_recovery.py``.
 """
 
+from repro.chaos.hotindex_scenario import (
+    HotIndexChaosReport,
+    run_hotindex_scenario,
+)
 from repro.chaos.invariants import InvariantReport, check_invariants
 from repro.chaos.migration_scenario import (
     MigrationChaosReport,
@@ -38,6 +42,7 @@ __all__ = [
     "ChaosReport",
     "ChaosScenario",
     "FaultEvent",
+    "HotIndexChaosReport",
     "InvariantReport",
     "MigrationChaosReport",
     "OverloadReport",
@@ -49,6 +54,7 @@ __all__ = [
     "get_scenario",
     "partition_heal",
     "rolling_restart",
+    "run_hotindex_scenario",
     "run_migration_scenario",
     "run_overload_scenario",
     "run_restore_scenario",

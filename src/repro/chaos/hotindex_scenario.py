@@ -1,0 +1,228 @@
+"""Hot-index partial migration under live ingest (the secure tier's
+cutover protocol, stressed the way :mod:`migration_scenario` stresses
+ring migration).
+
+A two-ring secure :class:`DurableEFDedupCluster` ingests a seeded segment
+on ring 0, then migrates the hot slice of the cloud key index to the
+edge and — while the dual-lookup window is open — ring 1 re-ingests the
+same content (the cross-ring claims the hot slice exists to serve),
+a file is deleted and GC-swept mid-window (invalidating edge and cloud
+copies of its keys), and the same content is re-uploaded so the
+timestamp-bounded delta pass at :meth:`close_hot_index_window` has real
+work to do. A third segment lands after commit.
+
+The acceptance check mirrors the other chaos scenarios: the final dedup
+ratio must match a migration-free run of the *identical* schedule (same
+seeds, same delete, same sweep) bit-for-bit. That holds by construction
+— the edge hot index only ever holds entries the cloud index also holds,
+so migration may move lookups, never verdicts.
+
+Exposed as ``repro chaos hot-index`` on the CLI and measured by
+``benchmarks/bench_secure.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chaos.runner import _round_robin, seeded_pool_workload
+from repro.core.costs import SNOD2Problem
+from repro.core.model import ChunkPoolModel, grouped_sources
+from repro.network.costmatrix import latency_cost_matrix
+from repro.network.topology import build_testbed
+from repro.system.cluster import DurableEFDedupCluster
+from repro.system.config import EFDedupConfig
+
+
+@dataclass
+class HotIndexChaosReport:
+    """Outcome of one migrate-hot-slice-under-ingest run vs its
+    migration-free twin."""
+
+    seed: int
+    nodes: int
+    total_files: int
+    events_fired: list[str]
+    dedup_ratio: float
+    baseline_ratio: float
+    state: str
+    edge_hits: int
+    entries_streamed: int
+    entries_restreamed: int
+    secure: dict[str, float] = field(default_factory=dict)
+    baseline_secure: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ratio_matches_baseline(self) -> bool:
+        return abs(self.dedup_ratio - self.baseline_ratio) < 1e-12
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.ratio_matches_baseline
+            and self.state == "COMMITTED"
+            and self.edge_hits > 0
+            and self.entries_restreamed > 0  # the delta pass actually fired
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": "hot-index",
+            "seed": self.seed,
+            "nodes": self.nodes,
+            "total_files": self.total_files,
+            "passed": self.passed,
+            "events_fired": list(self.events_fired),
+            "dedup_ratio": self.dedup_ratio,
+            "baseline_ratio": self.baseline_ratio,
+            "ratio_matches_baseline": self.ratio_matches_baseline,
+            "state": self.state,
+            "edge_hits": self.edge_hits,
+            "entries_streamed": self.entries_streamed,
+            "entries_restreamed": self.entries_restreamed,
+            "secure": dict(self.secure),
+            "baseline_secure": dict(self.baseline_secure),
+        }
+
+
+def _build_cluster(
+    nodes: int, hot_size: int, wan_rtt_s: float
+) -> DurableEFDedupCluster:
+    model = ChunkPoolModel(
+        [150.0, 150.0],
+        grouped_sources(
+            [i % 2 for i in range(nodes)], [[0.9, 0.1], [0.1, 0.9]], 80.0
+        ),
+    )
+    topo = build_testbed(nodes, min(3, nodes))
+    problem = SNOD2Problem(
+        model=model,
+        nu=latency_cost_matrix(topo),
+        duration=2.0,
+        gamma=2,
+        alpha=50.0,
+    )
+    config = EFDedupConfig(
+        chunk_size=4096,
+        replication_factor=2,
+        lookup_batch=16,
+        secure=True,
+        hot_index_size=hot_size,
+        wan_rtt_s=wan_rtt_s,
+    )
+    half = nodes // 2
+    cluster = DurableEFDedupCluster(topo, problem, config=config)
+    cluster.partition = [list(range(half)), list(range(half, nodes))]
+    cluster.deploy()
+    return cluster
+
+
+def _run_hotindex(
+    nodes: int,
+    files_per_node: int,
+    file_kb: int,
+    seed: int,
+    hot_size: int,
+    wan_rtt_s: float,
+    migrate: bool,
+    events: list[str],
+) -> tuple[float, dict[str, float], str, int, int, int]:
+    """One full ingest → migrate → (sweep mid-window) → commit pass."""
+    half = nodes // 2
+    cluster = _build_cluster(nodes, hot_size, wan_rtt_s)
+    try:
+        # Segment 1: ring 0 uploads — every unique chunk is claimed
+        # (popularity observed), sealed, and key-registered. One extra
+        # file of workload-unique bytes is the mid-window GC victim.
+        seg1 = _round_robin(
+            seeded_pool_workload(half, files_per_node, file_kb, seed=seed)
+        )
+        for i, (nid, data) in enumerate(seg1):
+            cluster.ingest_file(nid, f"s1-{i}", data)
+        victim_data = seeded_pool_workload(1, 1, file_kb, seed=seed + 7)[
+            "edge-0"
+        ][0]
+        cluster.ingest_file("edge-0", "victim", victim_data)
+
+        streamed = 0
+        if migrate:
+            report = cluster.migrate_hot_index()
+            streamed = report.entries_streamed
+            events.append("migrate:window-open")
+
+        # Window: ring 1 re-ingests segment 1 (cross-ring claims land on
+        # the migrated hot slice). Mid-window, the victim is deleted and
+        # swept — its keys vanish from vault, cloud index, and edge copy —
+        # then re-uploaded, so commit must delta-restream them.
+        mid = len(seg1) // 2
+        for i, (nid, data) in enumerate(seg1):
+            if i == mid:
+                cluster.delete_file("victim")
+                cluster.gc_sweep()
+                events.append("sweep:victim@window-mid")
+                cluster.ingest_file("edge-0", "victim-again", victim_data)
+                events.append("reupload:victim@window-mid")
+            peer = f"edge-{int(nid.split('-')[1]) + half}"
+            cluster.ingest_file(peer, f"s2-{i}", data)
+
+        restreamed = 0
+        if migrate:
+            report = cluster.close_hot_index_window()
+            restreamed = report.entries_restreamed
+            events.append("close:window-commit")
+
+        # Segment 3: every node, fresh seed — post-commit steady state.
+        for i, (nid, data) in enumerate(
+            _round_robin(seeded_pool_workload(nodes, 1, file_kb, seed=seed + 2))
+        ):
+            cluster.ingest_file(nid, f"s3-{i}", data)
+
+        ratio = cluster.combined_stats().dedup_ratio
+        return (
+            ratio,
+            cluster.secure.metrics(),
+            cluster.secure.hotindex.state,
+            cluster.secure.hotindex.edge_hits,
+            streamed,
+            restreamed,
+        )
+    finally:
+        cluster.shutdown()
+
+
+def run_hotindex_scenario(
+    nodes: int = 4,
+    files_per_node: int = 2,
+    file_kb: int = 8,
+    seed: int = 7,
+    hot_size: int = 64,
+    wan_rtt_s: float = 0.0,
+    skip_baseline: bool = False,
+) -> HotIndexChaosReport:
+    """Run the hot-index migration scenario and its migration-free twin."""
+    if nodes < 4 or nodes % 2:
+        raise ValueError(f"hot-index scenario needs an even node count >= 4, got {nodes}")
+    events: list[str] = []
+    ratio, secure, state, edge_hits, streamed, restreamed = _run_hotindex(
+        nodes, files_per_node, file_kb, seed, hot_size, wan_rtt_s, True, events
+    )
+    if skip_baseline:
+        baseline, base_secure = ratio, dict(secure)
+    else:
+        baseline, base_secure, _, _, _, _ = _run_hotindex(
+            nodes, files_per_node, file_kb, seed, hot_size, wan_rtt_s, False, []
+        )
+    return HotIndexChaosReport(
+        seed=seed,
+        nodes=nodes,
+        total_files=(nodes // 2) * files_per_node * 2 + 2 + nodes,
+        events_fired=events,
+        dedup_ratio=ratio,
+        baseline_ratio=baseline,
+        state=state,
+        edge_hits=edge_hits,
+        entries_streamed=streamed,
+        entries_restreamed=restreamed,
+        secure=secure,
+        baseline_secure=base_secure,
+    )

@@ -31,6 +31,13 @@ The subcommands cover the workflows a user runs repeatedly:
                         tier), optionally fail zones / evict the edge
                         copies / delete files and GC-sweep, then restore
                         every file; ``--check`` gates on byte-exactness;
+- ``repro secure``    — the secure dedup tier, end to end: two rings ingest
+                        the same content, cross-ring dedup hits are granted
+                        only after a proof-of-ownership challenge, payloads
+                        are convergently encrypted at rest, and the hot
+                        slice of the cloud key index is live-migrated to
+                        the edge mid-run; ``--check`` gates on PoW
+                        acceptance, window commit, and byte-exact restores;
 - ``repro replan``    — the full control loop, live: fit the estimator on
                         sampled files (restarts fanned out over a
                         ProcessPoolExecutor with ``--workers``), deploy the
@@ -141,6 +148,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "migrate-under-faults",
             "restore-under-zone-failure",
             "overload",
+            "hot-index",
         ),
         help="fault schedule to inject (default: crash-restart); "
         "slow-node turns one member gray (alive but lognormally slow) "
@@ -151,7 +159,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "clean GC sweep; overload drives an open-loop generator past the "
         "knee and requires bounded admitted latency, exact shed "
         "accounting, and a post-reconciliation ratio equal to the "
-        "unloaded baseline",
+        "unloaded baseline; hot-index migrates the secure tier's hot key "
+        "slice to the edge under live ingest with a GC sweep mid-window "
+        "and requires a ratio exactly equal to the migration-free twin",
     )
     chaos.add_argument(
         "--nodes", type=int, default=None,
@@ -196,6 +206,47 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--duration-s", type=float, default=0.6,
         help="overload only — offered window per load step (default 0.6)",
+    )
+    chaos.add_argument(
+        "--hot-size", type=int, default=64,
+        help="hot-index only — fingerprints migrated to the edge (default 64)",
+    )
+
+    secure = sub.add_parser(
+        "secure",
+        help="run the secure dedup tier: convergent encryption, "
+        "proof-of-ownership claims, and hot-index partial migration",
+    )
+    secure.add_argument(
+        "--nodes", type=int, default=4,
+        help="edge nodes, split into two rings (default 4; must be even)",
+    )
+    secure.add_argument(
+        "--files", type=int, default=2, help="files per ring-0 node (default 2)"
+    )
+    secure.add_argument(
+        "--file-kb", type=int, default=16, help="file size in KiB (default 16)"
+    )
+    secure.add_argument("--gamma", type=int, default=2, help="replication factor")
+    secure.add_argument("--seed", type=int, default=7, help="workload seed")
+    secure.add_argument(
+        "--hot-size", type=int, default=64,
+        help="fingerprints migrated to the edge hot index (default 64)",
+    )
+    secure.add_argument(
+        "--wan-rtt-ms", type=float, default=0.0,
+        help="simulated WAN round-trip per cloud index lookup (default 0)",
+    )
+    secure.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless every cross-ring claim was PoW-proven, the "
+        "hot window committed, restores are byte-exact, and stored "
+        "payloads differ from their plaintext",
+    )
+    secure.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write the cluster's unified metrics (including secure.*) as "
+        "a repro.metrics/v1 JSON export",
     )
 
     restore = sub.add_parser(
@@ -779,6 +830,52 @@ def _cmd_chaos_overload(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_chaos_hotindex(args: argparse.Namespace) -> int:
+    from repro.chaos import run_hotindex_scenario
+
+    nodes = args.nodes if args.nodes is not None else 4
+    files = args.files if args.files is not None else 2
+    file_kb = args.file_kb if args.file_kb is not None else 8
+    print(f"chaos: scenario=hot-index nodes={nodes} "
+          f"files={files}x{file_kb}KiB/segment seed={args.seed} "
+          f"hot_size={args.hot_size}")
+    report = run_hotindex_scenario(
+        nodes=nodes,
+        files_per_node=files,
+        file_kb=file_kb,
+        seed=args.seed,
+        hot_size=args.hot_size,
+    )
+    print(f"events: {', '.join(report.events_fired) or '(none)'}")
+    print(f"hotindex: state={report.state} "
+          f"streamed={report.entries_streamed} "
+          f"delta={report.entries_restreamed} "
+          f"edge_hits={report.edge_hits}")
+    sec = report.secure
+    print(f"secure: claims={sec.get('claims', 0):.0f} "
+          f"granted={sec.get('granted', 0):.0f} "
+          f"denied={sec.get('denied', 0):.0f} "
+          f"skipped_upload_bytes={sec.get('skipped_upload_bytes', 0):.0f}")
+    print(f"dedup_ratio={report.dedup_ratio:.6f} "
+          f"(migration-free baseline {report.baseline_ratio:.6f}, "
+          f"match={report.ratio_matches_baseline})")
+    if args.report_json:
+        import json
+
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"report: wrote {args.report_json}")
+    if report.passed:
+        print("chaos: PASS — hot slice committed under ingest and a "
+              "mid-window GC sweep, dedup matched the migration-free twin")
+        return 0
+    print("chaos: FAIL — "
+          f"state={report.state}, edge_hits={report.edge_hits}, "
+          f"delta={report.entries_restreamed}, ratio {report.dedup_ratio} "
+          f"vs baseline {report.baseline_ratio}", file=sys.stderr)
+    return 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import run_scenario
 
@@ -788,6 +885,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return _cmd_chaos_restore(args)
     if args.scenario == "overload":
         return _cmd_chaos_overload(args)
+    if args.scenario == "hot-index":
+        return _cmd_chaos_hotindex(args)
     nodes = args.nodes if args.nodes is not None else 3
     files = args.files if args.files is not None else 6
     file_kb = args.file_kb if args.file_kb is not None else 32
@@ -845,6 +944,120 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           [f"ratio {report.dedup_ratio} != baseline {report.baseline_ratio}"]),
           file=sys.stderr)
     return 1
+
+
+def _cmd_secure(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.chaos.runner import _round_robin, seeded_pool_workload
+    from repro.core.costs import SNOD2Problem
+    from repro.core.model import ChunkPoolModel, grouped_sources
+    from repro.network.costmatrix import latency_cost_matrix
+    from repro.system.cluster import DurableEFDedupCluster
+    from repro.system.config import EFDedupConfig
+
+    if args.nodes < 4 or args.nodes % 2:
+        print(f"secure: --nodes must be an even count >= 4, got {args.nodes}",
+              file=sys.stderr)
+        return 2
+    nodes, half = args.nodes, args.nodes // 2
+    model = ChunkPoolModel(
+        [150.0, 150.0],
+        grouped_sources(
+            [i % 2 for i in range(nodes)], [[0.9, 0.1], [0.1, 0.9]], 80.0
+        ),
+    )
+    topology = build_testbed(nodes, min(3, nodes))
+    problem = SNOD2Problem(
+        model=model,
+        nu=latency_cost_matrix(topology),
+        duration=2.0,
+        gamma=args.gamma,
+        alpha=50.0,
+    )
+    config = EFDedupConfig(
+        chunk_size=4096,
+        replication_factor=args.gamma,
+        lookup_batch=16,
+        secure=True,
+        hot_index_size=args.hot_size,
+        wan_rtt_s=args.wan_rtt_ms / 1e3,
+    )
+    print(f"secure: nodes={nodes} (2 rings) files={args.files}x"
+          f"{args.file_kb}KiB seed={args.seed} hot_size={args.hot_size} "
+          f"wan_rtt={args.wan_rtt_ms:g}ms")
+    cluster = DurableEFDedupCluster(topology, problem, config=config)
+    cluster.partition = [list(range(half)), list(range(half, nodes))]
+    cluster.deploy()
+    try:
+        files: dict[str, bytes] = {}
+        seg1 = _round_robin(
+            seeded_pool_workload(half, args.files, args.file_kb, seed=args.seed)
+        )
+        for i, (nid, data) in enumerate(seg1):
+            files[f"a-{i}"] = data
+            cluster.ingest_file(nid, f"a-{i}", data)
+        wan_before = cluster.cloud.received_bytes
+        print(f"ring 0: ingested {len(seg1)} files "
+              f"({sum(len(d) for _, d in seg1) / 1e6:.2f} MB), "
+              f"cloud received {wan_before / 1e6:.2f} MB ciphertext")
+
+        report = cluster.migrate_hot_index()
+        print(f"hotindex: streamed {report.entries_streamed} of "
+              f"{report.planned} planned hot keys to the edge "
+              f"(window open at ts={report.cutover_ts})")
+
+        t0 = _time.perf_counter()
+        for i, (nid, data) in enumerate(seg1):
+            peer = f"edge-{int(nid.split('-')[1]) + half}"
+            files[f"b-{i}"] = data
+            cluster.ingest_file(peer, f"b-{i}", data)
+        window_s = _time.perf_counter() - t0
+        report = cluster.close_hot_index_window()
+        wan_skipped = cluster.secure.stats.skipped_upload_bytes
+        print(f"ring 1: re-ingested the same content in {window_s:.3f}s — "
+              f"claims proven by PoW skipped {wan_skipped / 1e6:.2f} MB of "
+              f"WAN uploads (cloud received "
+              f"{(cluster.cloud.received_bytes - wan_before) / 1e6:.2f} MB new)")
+        print(f"hotindex: window closed (delta={report.entries_restreamed}), "
+              f"edge_hits={cluster.secure.hotindex.edge_hits} "
+              f"cloud_hits={cluster.secure.hotindex.cloud_hits} "
+              f"misses={cluster.secure.hotindex.misses}")
+        stats = cluster.secure.stats
+        pow_stats = cluster.secure.pow.stats
+        print(f"pow: challenges={pow_stats.challenges} "
+              f"accepted={pow_stats.accepted} rejected={pow_stats.rejected}")
+        print(f"crypto: sealed {stats.sealed_chunks} chunks "
+              f"({stats.sealed_bytes / 1e6:.2f} MB), "
+              f"vault holds {len(cluster.secure.vault)} convergent keys")
+        print(f"dedup_ratio={cluster.combined_stats().dedup_ratio:.3f}")
+
+        mismatches = sum(
+            1 for fid, data in files.items()
+            if cluster.restore_file(fid) != data
+        )
+        print(f"restore: {len(files)} files decrypted and reassembled, "
+              f"mismatches={mismatches}")
+        if args.metrics_json:
+            count = cluster.metrics_hub().dump_json(args.metrics_json)
+            print(f"metrics: wrote {count} series to {args.metrics_json}")
+        if not args.check:
+            return 0
+        committed = cluster.secure.hotindex.state == "COMMITTED"
+        all_proven = stats.granted > 0 and stats.denied == 0
+        sealed = stats.sealed_bytes > 0 and wan_skipped > 0
+        ok = committed and all_proven and sealed and mismatches == 0
+        if ok:
+            print("secure: PASS — every cross-ring claim was PoW-proven, "
+                  "the hot window committed, and every restore was "
+                  "byte-exact through decryption")
+            return 0
+        print("secure: FAIL — "
+              f"committed={committed} proven={all_proven} "
+              f"sealed={sealed} mismatches={mismatches}", file=sys.stderr)
+        return 1
+    finally:
+        cluster.shutdown()
 
 
 def _cmd_restore(args: argparse.Namespace) -> int:
@@ -1380,6 +1593,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "loadgen": _cmd_loadgen,
         "chaos": _cmd_chaos,
         "restore": _cmd_restore,
+        "secure": _cmd_secure,
         "replan": _cmd_replan,
     }
     return handlers[args.command](args)

@@ -283,6 +283,14 @@ class ContentPlane:
             self.stats.sweeps += 1
             return report
         ordered = sorted(candidates)
+        # Agent presence caches must forget the doomed fingerprints before
+        # (not after) the payloads go: a stale cached "present" would mark
+        # a re-ingested chunk duplicate without re-storing it — data loss
+        # at the next restore.
+        for ring in self._rings.values():
+            invalidate = getattr(ring, "invalidate_cached_presence", None)
+            if invalidate is not None:
+                invalidate(ordered)
         for store in self.ring_stores():
             copies, freed = store.delete_many(ordered)
             report.edge_copies_deleted += copies

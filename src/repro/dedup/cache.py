@@ -29,11 +29,15 @@ from repro.dedup.index import DedupIndex
 # Maps a fingerprint to the probability its chunk recurs soon (model-derived).
 RecurrenceScorer = Callable[[str], float]
 
+_MISSING = object()  # cache values are None, so pop needs a real sentinel
+
 
 class CacheStats:
     """Hit/miss accounting for a cache layer."""
 
-    __slots__ = ("hits", "misses", "admissions", "rejections", "evictions")
+    __slots__ = (
+        "hits", "misses", "admissions", "rejections", "evictions", "invalidations",
+    )
 
     def __init__(self) -> None:
         self.hits = 0
@@ -41,6 +45,7 @@ class CacheStats:
         self.admissions = 0
         self.rejections = 0
         self.evictions = 0
+        self.invalidations = 0
 
     @property
     def hit_rate(self) -> float:
@@ -57,6 +62,7 @@ class CacheStats:
             "cache.admissions": float(self.admissions),
             "cache.rejections": float(self.rejections),
             "cache.evictions": float(self.evictions),
+            "cache.invalidations": float(self.invalidations),
             "cache.hit_rate": self.hit_rate,
         }
 
@@ -98,6 +104,24 @@ class LRUCacheIndex(DedupIndex):
         """Whether :meth:`_admit` would insert this key — pure (no stats, no
         mutation), so the batched path can simulate cache evolution."""
         return True
+
+    def discard(self, fingerprint: str) -> bool:
+        """Invalidate one cached presence entry; True if it was cached.
+
+        Required whenever presence stops being true *below* the cache —
+        a GC sweep reclaimed the chunk, or brownout reconciliation is about
+        to re-derive the verdict. A stale cached "present" would mark a
+        re-ingested chunk duplicate without re-storing its payload, losing
+        data on restore.
+        """
+        return self._cache.pop(fingerprint, _MISSING) is not _MISSING
+
+    def discard_many(self, fingerprints) -> int:
+        """Invalidate a batch of cached presence entries; returns how many
+        were actually cached (counted in ``stats.invalidations``)."""
+        dropped = sum(1 for fp in fingerprints if self.discard(fp))
+        self.stats.invalidations += dropped
+        return dropped
 
     # -- DedupIndex API --------------------------------------------------#
 

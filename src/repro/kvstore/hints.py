@@ -54,5 +54,22 @@ class HintBuffer:
         return sum(len(b) for b in self._hints.values())
 
     def take_for(self, node_id: str) -> list[Hint]:
-        """Remove and return all hints buffered for ``node_id``."""
+        """Remove and return all hints buffered for ``node_id``.
+
+        Taking a hint does **not** mean it was delivered: callers that
+        replay hints over a fallible channel must :meth:`restore` whatever
+        was not confirmed delivered, or a failed replay silently loses the
+        writes the hints were buffering.
+        """
         return self._hints.pop(node_id, [])
+
+    def restore(self, node_id: str, hints: list[Hint]) -> None:
+        """Re-buffer hints whose delivery could not be confirmed.
+
+        Prepends (the restored hints predate anything buffered since the
+        take), preserving replay order, and bypasses the per-node bound —
+        these hints were already accepted once and must not be dropped on
+        the way back in.
+        """
+        if hints:
+            self._hints[node_id][:0] = hints

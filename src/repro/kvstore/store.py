@@ -41,6 +41,7 @@ class StoreStats:
     remote_reads: int = 0
     hints_stored: int = 0
     hints_replayed: int = 0
+    replay_failures: int = 0
     unavailable_errors: int = 0
     remote_contacts: int = 0
     batch_rounds: int = 0
@@ -68,6 +69,7 @@ class StoreStats:
             "remote_reads": float(self.remote_reads),
             "hints_stored": float(self.hints_stored),
             "hints_replayed": float(self.hints_replayed),
+            "replay_failures": float(self.replay_failures),
             "unavailable_errors": float(self.unavailable_errors),
             "remote_contacts": float(self.remote_contacts),
             "batch_rounds": float(self.batch_rounds),
@@ -135,11 +137,25 @@ class DistributedKVStore:
         self._node(node_id).mark_down()
 
     def mark_up(self, node_id: str) -> None:
-        """Recover ``node_id`` and replay any hints buffered for it."""
+        """Recover ``node_id`` and replay any hints buffered for it.
+
+        Hints are only consumed once their delivery succeeded: if a replay
+        fails partway, the undelivered tail is re-buffered (counted in
+        ``stats.replay_failures``) so a later recovery can retry it instead
+        of silently losing the buffered writes.
+        """
         node = self._node(node_id)
         node.mark_up()
-        for hint in self.hints.take_for(node_id):
-            node.local_put(hint.key, hint.value, hint.timestamp, tombstone=hint.tombstone)
+        hints = self.hints.take_for(node_id)
+        for i, hint in enumerate(hints):
+            try:
+                node.local_put(
+                    hint.key, hint.value, hint.timestamp, tombstone=hint.tombstone
+                )
+            except Exception:
+                self.hints.restore(node_id, hints[i:])
+                self.stats.replay_failures += 1
+                raise
             self.stats.hints_replayed += 1
 
     def alive_nodes(self) -> list[str]:

@@ -73,6 +73,12 @@ class Deadline:
         if budget_s <= 0:
             raise ValueError(f"deadline budget must be positive, got {budget_s!r}")
         self.budget_s = float(budget_s)
+        # Clock contract: ``_started`` must be a time.monotonic() reading —
+        # elapsed()/remaining() always subtract it from time.monotonic(),
+        # so a test-supplied epoch or simulated-clock value here silently
+        # yields a deadline that is already (or never) expired. Tests that
+        # need a controlled deadline should pass a *recent monotonic*
+        # reading (e.g. ``time.monotonic() - 0.4``), not an arbitrary one.
         self._started = time.monotonic() if _started is None else _started
 
     @classmethod
@@ -147,6 +153,16 @@ class CircuitBreaker:
     breaker opens: calls fail fast (no frames sent) until ``cooldown_s``
     passes, then exactly one probe is let through half-open. The probe's
     fate decides: success closes, failure re-opens for another cooldown.
+
+    Clock contract: ``allow``/``record_failure`` accept an optional
+    ``now`` for tests. A breaker instance must use **one** time source for
+    its whole lifetime — either every call passes ``now`` (manual clock)
+    or none does (``time.monotonic()``). Mixing would compare an
+    ``_opened_at`` from one clock against a ``now`` from the other, so the
+    cooldown window becomes nonsense (an epoch timestamp next to a
+    monotonic one can hold a breaker open for decades, or not at all).
+    The first timed call pins the mode; a call on the other clock raises
+    ``ValueError``.
     """
 
     def __init__(self, failure_threshold: int = 5, cooldown_s: float = 0.25) -> None:
@@ -163,12 +179,27 @@ class CircuitBreaker:
         self.opens = 0  # times the breaker tripped open (for metrics)
         self._opened_at = 0.0
         self._probing = False
+        self._clock_mode: Optional[str] = None  # "manual" | "monotonic"
+
+    def _resolve_now(self, now: Optional[float]) -> float:
+        """Pin the breaker to one clock on first use; reject mixing."""
+        mode = "monotonic" if now is None else "manual"
+        if self._clock_mode is None:
+            self._clock_mode = mode
+        elif self._clock_mode != mode:
+            raise ValueError(
+                f"CircuitBreaker is pinned to its {self._clock_mode} clock; "
+                f"a {mode} timestamp here would compare times from two "
+                "different clocks within one cooldown window (either always "
+                "pass now=, or never)"
+            )
+        return time.monotonic() if now is None else now
 
     def allow(self, now: Optional[float] = None) -> bool:
         """May a call proceed right now? (May transition open → half-open.)"""
+        now = self._resolve_now(now)
         if self.state == CLOSED:
             return True
-        now = time.monotonic() if now is None else now
         if self.state == OPEN:
             if now - self._opened_at < self.cooldown_s:
                 return False
@@ -186,7 +217,7 @@ class CircuitBreaker:
         self._probing = False
 
     def record_failure(self, now: Optional[float] = None) -> None:
-        now = time.monotonic() if now is None else now
+        now = self._resolve_now(now)
         if self.state == HALF_OPEN:
             # The probe failed: straight back to open for a fresh cooldown.
             self.state = OPEN

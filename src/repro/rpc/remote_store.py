@@ -56,6 +56,10 @@ from repro.obs.trace import NULL_TRACER, Tracer
 from repro.rpc.client import RpcClient
 from repro.rpc.errors import RpcError
 
+# Hints replayed per multi_put during recovery: bounded so one failed
+# frame forfeits at most this much progress (the rest is re-buffered).
+_HINT_REPLAY_BATCH = 256
+
 
 def _entry_from_wire(row) -> Optional[VersionedValue]:
     if row is None:
@@ -209,10 +213,23 @@ class RemoteKVStore:
         await self._client.call(node_id, "set_down", {"down": False})
         self._down.discard(node_id)
         hints = self.hints.take_for(node_id)
-        if hints:
-            entries = [[h.key, h.value, h.timestamp, h.tombstone] for h in hints]
-            await self._client.call(node_id, "multi_put", {"entries": entries})
-            self.stats.hints_replayed += len(hints)
+        # Replay in bounded batches and only count a batch delivered once
+        # its multi_put acked. If a batch fails (timeout, overload shed,
+        # re-crash), the undelivered tail is re-buffered so the next
+        # recovery retries it — a failed replay must not lose the writes
+        # the hints were buffering.
+        delivered = 0
+        try:
+            while delivered < len(hints):
+                batch = hints[delivered : delivered + _HINT_REPLAY_BATCH]
+                entries = [[h.key, h.value, h.timestamp, h.tombstone] for h in batch]
+                await self._client.call(node_id, "multi_put", {"entries": entries})
+                delivered += len(batch)
+                self.stats.hints_replayed += len(batch)
+        except RpcError:
+            self.hints.restore(node_id, hints[delivered:])
+            self.stats.replay_failures += 1
+            raise
         await self._a_recovery_repair(node_id)
 
     async def _a_recovery_repair(self, node_id: str) -> None:

@@ -1,0 +1,57 @@
+"""Secure dedup tier: convergent encryption, proof of ownership, hot index.
+
+The PM-Dedup-direction security layer over the EF-dedup data plane (see
+PAPERS.md): chunk payloads are convergently encrypted (identical
+plaintexts still deduplicate), every cross-ring dedup hit is gated on a
+proof of ownership, and the popular slice of the cloud-side key index is
+partially migrated into the edge so hot claims skip the WAN round trip.
+
+Quick start::
+
+    from repro.secure import SecureTier
+
+    tier = SecureTier(hot_index_size=256, wan_rtt_s=0.01)
+    # ... or switch it on for a whole cluster:
+    #   EFDedupConfig(secure=True, hot_index_size=256, wan_rtt_s=0.01)
+    #   with DurableEFDedupCluster (CLI: `repro secure`).
+"""
+
+from repro.secure.crypto import (
+    KEY_CONTEXT,
+    KeyVault,
+    convergent_key,
+    decrypt,
+    encrypt,
+    encrypt_convergent,
+)
+from repro.secure.hotindex import (
+    HOT_MIGRATION_STATES,
+    EdgeHotIndex,
+    HotIndexManager,
+    HotMigrationReport,
+    PopularityTracker,
+    SecureCloudIndex,
+)
+from repro.secure.pow import PoWChallenge, PoWStats, PoWVerifier, make_proof
+from repro.secure.tier import SecureStats, SecureTier
+
+__all__ = [
+    "KEY_CONTEXT",
+    "KeyVault",
+    "convergent_key",
+    "decrypt",
+    "encrypt",
+    "encrypt_convergent",
+    "HOT_MIGRATION_STATES",
+    "EdgeHotIndex",
+    "HotIndexManager",
+    "HotMigrationReport",
+    "PopularityTracker",
+    "SecureCloudIndex",
+    "PoWChallenge",
+    "PoWStats",
+    "PoWVerifier",
+    "make_proof",
+    "SecureStats",
+    "SecureTier",
+]

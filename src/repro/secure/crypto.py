@@ -1,0 +1,128 @@
+"""Convergent encryption of chunk payloads.
+
+PM-Dedup-style secure dedup (see PAPERS.md) encrypts every chunk under a
+key derived *from its own plaintext* — two owners of the same chunk derive
+the same key and produce the same ciphertext, so deduplication keeps
+working bit-for-bit across tenants while the stored bytes reveal nothing
+to a storage operator who lacks the plaintext.
+
+Two deliberate separations:
+
+- **key ≠ fingerprint.** The dedup fingerprint
+  (:func:`~repro.chunking.hashing.default_fingerprint`) is a *public*
+  index key: it travels in recipes, index rows, and migration streams.
+  The convergent key is ``SHA-256(context ‖ plaintext)`` under a distinct
+  domain-separation context, so knowing a fingerprint never yields the
+  decryption key — which is exactly what makes the proof-of-ownership
+  gate (:mod:`repro.secure.pow`) meaningful.
+- **stdlib only.** The cipher is a keyed-BLAKE2b counter-mode keystream
+  XORed over the payload: length-preserving, deterministic, and its own
+  inverse (``decrypt is encrypt``). It is *not* authenticated — the
+  restore path already re-fingerprints every chunk
+  (:func:`repro.dedup.recipes.restore_file`), which catches substitution
+  after decryption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+#: Domain-separation prefix for key derivation. Versioned so a future key
+#: schedule change cannot silently collide with v1 keys.
+KEY_CONTEXT = b"repro-secure-convergent-v1:"
+
+_STREAM_BLOCK = 64  # BLAKE2b's maximum digest — one hash call per 64 bytes
+
+
+def convergent_key(plaintext: "bytes | memoryview") -> str:
+    """Derive the convergent key (hex) for a chunk's plaintext.
+
+    Deterministic by design: identical plaintexts give identical keys and
+    therefore identical ciphertexts — that determinism is what preserves
+    the dedup ratio exactly. Distinct from the chunk's dedup fingerprint
+    (different domain context, untruncated), so an adversary holding only
+    the fingerprint cannot derive it.
+    """
+    h = hashlib.sha256(KEY_CONTEXT)
+    h.update(plaintext)
+    return h.hexdigest()
+
+
+def _keystream(key: bytes, nbytes: int) -> bytes:
+    blocks = [
+        hashlib.blake2b(
+            counter.to_bytes(8, "big"), digest_size=_STREAM_BLOCK, key=key
+        ).digest()
+        for counter in range((nbytes + _STREAM_BLOCK - 1) // _STREAM_BLOCK)
+    ]
+    return b"".join(blocks)[:nbytes]
+
+
+def encrypt(data: "bytes | memoryview", key_hex: str) -> bytes:
+    """XOR ``data`` with the keyed counter-mode keystream (own inverse)."""
+    data = bytes(data)
+    n = len(data)
+    if n == 0:
+        return b""
+    stream = _keystream(bytes.fromhex(key_hex), n)
+    # One big-int XOR beats a per-byte loop by orders of magnitude in
+    # CPython — this is the ingest hot path when the secure tier is on.
+    return (int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")).to_bytes(
+        n, "big"
+    )
+
+
+#: The cipher is an XOR stream: decryption is the same operation.
+decrypt = encrypt
+
+
+def encrypt_convergent(plaintext: "bytes | memoryview") -> tuple[bytes, str]:
+    """Seal one chunk: returns ``(ciphertext, convergent key)``."""
+    key = convergent_key(plaintext)
+    return encrypt(plaintext, key), key
+
+
+class KeyVault:
+    """Server-side fingerprint → convergent-key map.
+
+    The storage side never derives keys (it never sees plaintext); it
+    *learns* each key once, when the first owner uploads the chunk, and
+    uses it to (a) verify later owners' proofs of ownership and (b) hand
+    restores their decryption key. GC sweeps must :meth:`discard_many`
+    reclaimed fingerprints — a re-uploaded chunk re-registers the same
+    key, so dropping is always safe.
+    """
+
+    def __init__(self) -> None:
+        self._keys: dict[str, str] = {}
+        self.registrations = 0
+
+    def put(self, fingerprint: str, key_hex: str) -> bool:
+        """Register a key; True when the fingerprint was new."""
+        if fingerprint in self._keys:
+            return False
+        self._keys[fingerprint] = key_hex
+        self.registrations += 1
+        return True
+
+    def get(self, fingerprint: str) -> str:
+        try:
+            return self._keys[fingerprint]
+        except KeyError:
+            raise KeyError(
+                f"no convergent key registered for fingerprint {fingerprint!r}"
+            ) from None
+
+    def discard_many(self, fingerprints: Iterable[str]) -> int:
+        dropped = 0
+        for fingerprint in fingerprints:
+            if self._keys.pop(fingerprint, None) is not None:
+                dropped += 1
+        return dropped
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)

@@ -61,6 +61,10 @@ class EFDedupCluster:
         # Payload data plane; None on the accounting-only base cluster.
         # Subclasses set it before deploy() so rings grow content stores.
         self.content_plane = None
+        # Deployment-shared secure tier (convergent encryption + PoW +
+        # hot key index); built by DurableEFDedupCluster when
+        # config.secure is set — it needs the payload plane.
+        self.secure = None
         self.partition: Optional[Partition] = None
         self.rings: list[D2Ring] = []
         self._ring_of: dict[str, D2Ring] = {}
@@ -103,6 +107,11 @@ class EFDedupCluster:
         """Instantiate the planned rings (index stores + agents)."""
         if self.partition is None:
             raise RuntimeError("call plan() before deploy()")
+        if self.config.secure and self.secure is None:
+            raise RuntimeError(
+                "config.secure requires a payload data plane — deploy a "
+                "DurableEFDedupCluster"
+            )
         self.rings = [
             D2Ring(
                 ring_id=f"ring-{i}",
@@ -110,6 +119,7 @@ class EFDedupCluster:
                 cloud=self.cloud,
                 config=self.config,
                 content_plane=self.content_plane,
+                secure=self.secure,
             )
             for i, members in enumerate(self.node_rings())
         ]
@@ -259,6 +269,12 @@ class DurableEFDedupCluster(EFDedupCluster):
             self.tier, gc=self.gc, spill_mode=cfg.spill_mode
         )
         self.recipes = RecipeStore()
+        if cfg.secure:
+            from repro.secure import SecureTier
+
+            self.secure = SecureTier(
+                hot_index_size=cfg.hot_index_size, wan_rtt_s=cfg.wan_rtt_s
+            )
 
     # ------------------------------------------------------------------ #
     # file lifecycle
@@ -290,6 +306,13 @@ class DurableEFDedupCluster(EFDedupCluster):
         prefetched = self.content_plane.fetch_many(
             [entry.fingerprint for entry in recipe.entries]
         )
+        if self.secure is not None:
+            # Stored bytes are ciphertext under the secure tier; decrypt
+            # before reassembly so fingerprint verification sees plaintext.
+            prefetched = {
+                fp: self.secure.open(fp, sealed)
+                for fp, sealed in prefetched.items()
+            }
         return restore_file(recipe, prefetched.__getitem__)
 
     def delete_file(self, file_id: str) -> int:
@@ -317,6 +340,29 @@ class DurableEFDedupCluster(EFDedupCluster):
         )
 
     # ------------------------------------------------------------------ #
+    # secure tier: hot-index partial migration
+    # ------------------------------------------------------------------ #
+
+    def migrate_hot_index(self):
+        """Stream the hot slice of the secure key index to the edge and
+        open the dual-lookup window (ingest may continue throughout);
+        returns the :class:`~repro.secure.hotindex.HotMigrationReport`.
+        Call :meth:`close_hot_index_window` to commit."""
+        if self.secure is None:
+            raise RuntimeError(
+                "hot-index migration requires config.secure=True"
+            )
+        return self.secure.migrate_hot_slice()
+
+    def close_hot_index_window(self):
+        """Delta-restream in-window key inserts and commit the hot slice."""
+        if self.secure is None:
+            raise RuntimeError(
+                "hot-index migration requires config.secure=True"
+            )
+        return self.secure.close_hot_window()
+
+    # ------------------------------------------------------------------ #
     # cloud-tier zone faults
     # ------------------------------------------------------------------ #
 
@@ -341,6 +387,8 @@ class DurableEFDedupCluster(EFDedupCluster):
         hub.register("content.cloud_tier", self.tier.metrics)
         hub.register("content.gc", self.gc.metrics)
         hub.register("content.plane", self.content_plane.metrics)
+        if self.secure is not None:
+            hub.register("secure", self.secure.metrics)
         return hub
 
 

@@ -118,6 +118,21 @@ class EFDedupConfig:
             replays the journal to restore exact dedup accounting.
         brownout_cooldown_s: how long a tripped brownout serves
             write-through before probing the ring again.
+        secure: when True, the cluster grows a
+            :class:`~repro.secure.tier.SecureTier`: chunk payloads are
+            convergently encrypted before upload, cross-ring dedup hits
+            are gated on proof of ownership, and uploads first *claim*
+            against a deployment-wide key index (a proven hit skips the
+            WAN upload). Requires a payload data plane
+            (:class:`~repro.system.cluster.DurableEFDedupCluster`).
+        hot_index_size: secure tier only — fingerprints in the hot slice
+            of the cloud key index that
+            :meth:`~repro.secure.tier.SecureTier.migrate_hot_slice`
+            partially migrates to the edge; 0 keeps all claims on the
+            cloud index.
+        wan_rtt_s: secure tier only — simulated WAN round trip each
+            *cloud* key-index lookup pays (a real sleep, so latency
+            benchmarks measure the edge-hot win honestly); 0 disables.
     """
 
     chunk_size: int = 128 * 1024
@@ -151,6 +166,9 @@ class EFDedupConfig:
     retry_budget: float = 0.0
     brownout: bool = False
     brownout_cooldown_s: float = 0.25
+    secure: bool = False
+    hot_index_size: int = 0
+    wan_rtt_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -254,6 +272,16 @@ class EFDedupConfig:
             raise ValueError(
                 f"brownout_cooldown_s must be positive, got {self.brownout_cooldown_s!r}"
             )
+        if self.hot_index_size < 0:
+            raise ValueError(
+                f"hot_index_size must be >= 0, got {self.hot_index_size!r}"
+            )
+        if self.wan_rtt_s < 0:
+            raise ValueError(f"wan_rtt_s must be >= 0, got {self.wan_rtt_s!r}")
+        if not self.secure:
+            for knob in ("hot_index_size", "wan_rtt_s"):
+                if getattr(self, knob):
+                    raise ValueError(f"{knob} requires secure=True")
         if self.transport != "asyncio":
             if self.data_dir is not None:
                 raise ValueError("data_dir requires transport='asyncio'")

@@ -483,6 +483,7 @@ class LiveMigrator:
                             cloud=cluster.cloud,
                             config=cluster.config,
                             content_plane=cluster.content_plane,
+                            secure=cluster.secure,
                         )
                     )
             for mv in self.report.moves:

@@ -59,6 +59,13 @@ class D2Ring:
             fingerprint, then spill to the plane's erasure-coded cloud
             tier) and restores fetch through the plane instead of the
             accounting cloud.
+        secure: optional deployment-shared
+            :class:`~repro.secure.tier.SecureTier`; when given, unique
+            chunks first *claim* against the tier's key index (a proven
+            cross-ring hit skips the WAN upload), payloads are sealed
+            with convergent encryption before storage, and restores
+            decrypt. Requires ``content_plane`` — the accounting-only
+            cloud path has nowhere to keep ciphertext.
     """
 
     def __init__(
@@ -71,6 +78,7 @@ class D2Ring:
         fault_injector=None,
         tracer=None,
         content_plane=None,
+        secure=None,
     ) -> None:
         if not members:
             raise ValueError(f"ring {ring_id!r} needs at least one member")
@@ -127,6 +135,12 @@ class D2Ring:
                 default_consistency=self.config.consistency,
                 strategy=strategy,
             )
+        if secure is not None and content_plane is None:
+            raise ValueError(
+                "secure tier requires a content plane (ciphertext payloads "
+                "need somewhere to live — use DurableEFDedupCluster)"
+            )
+        self.secure = secure
         self.recipes = RecipeStore()
         self._content_plane = content_plane
         self.content = None
@@ -147,7 +161,26 @@ class D2Ring:
         """Content-plane unique sink: account the WAN upload on the cloud
         (the chaos invariants compare unique claims against its counters),
         shelf the payload on the owning ring member, and spill it to the
-        erasure-coded tier for durability."""
+        erasure-coded tier for durability.
+
+        With a secure tier, a *ring*-unique chunk first claims against
+        the deployment-wide key index: a proven hit means another ring
+        already uploaded the identical ciphertext, so the whole upload is
+        skipped (cross-ring dedup instead of redundant WAN bytes). On a
+        miss the payload is sealed — convergent encryption, so identical
+        plaintexts still produce identical stored bytes — and its key is
+        published for later claimants.
+        """
+        if self.secure is not None:
+            data = bytes(chunk.data)
+            if self.secure.claim(fingerprint, data):
+                return
+            sealed = self.secure.seal(fingerprint, data)
+            self.cloud.receive_chunk(chunk, fingerprint)
+            self.content.put_chunk(fingerprint, sealed)
+            self._content_plane.spill(fingerprint, sealed)
+            self.secure.register(fingerprint)
+            return
         self.cloud.receive_chunk(chunk, fingerprint)
         self.content.put_chunk(fingerprint, chunk.data)
         self._content_plane.spill(fingerprint, chunk.data)
@@ -315,6 +348,14 @@ class D2Ring:
             prefetched = self._content_plane.fetch_many(
                 [entry.fingerprint for entry in recipe.entries]
             )
+            if self.secure is not None:
+                # Stored bytes are ciphertext; decrypt before reassembly
+                # so restore_file's fingerprint verification sees the
+                # plaintext the recipe was cut from.
+                prefetched = {
+                    fp: self.secure.open(fp, sealed)
+                    for fp, sealed in prefetched.items()
+                }
             return restore_file(recipe, prefetched.__getitem__)
         return restore_file(recipe, self.cloud.get_chunk)
 
@@ -351,6 +392,53 @@ class D2Ring:
     def dedup_ratio(self) -> float:
         return self.combined_stats().dedup_ratio
 
+    def _agent_caches(self, node_id: Optional[str] = None):
+        """Every LRU presence cache in the agents' index wrapper stacks.
+
+        An agent's ``engine.index`` may be wrapped arbitrarily deep (cache
+        over brownout over ring index, a migration window's
+        ``DualLookupIndex`` over all of that), so walk the known wrapper
+        attributes instead of assuming the cache is outermost.
+        """
+        agents = (
+            [self.agents[node_id]] if node_id is not None else self.agents.values()
+        )
+        for agent in agents:
+            index = agent.engine.index
+            seen: set[int] = set()
+            while index is not None and id(index) not in seen:
+                seen.add(id(index))
+                if isinstance(index, LRUCacheIndex):
+                    yield index
+                index = (
+                    getattr(index, "primary", None)
+                    or getattr(index, "backing", None)
+                    or getattr(index, "inner", None)
+                )
+
+    def invalidate_cached_presence(self, fingerprints: Iterable[str]) -> int:
+        """Drop fingerprints from every agent's presence cache.
+
+        Called whenever presence stops being true beneath the caches — a
+        GC sweep reclaimed the chunks, or reconciliation is about to
+        re-derive their verdicts. Without it a stale cache hit marks a
+        re-ingested chunk "duplicate" although its payload is gone, and
+        the file is unrestorable. Returns entries actually dropped.
+        """
+        fps = list(fingerprints)
+        if not fps:
+            return 0
+        dropped = 0
+        for cache in self._agent_caches():
+            dropped += cache.discard_many(fps)
+        if self.secure is not None:
+            # The shared tier's vault and key indexes must also forget
+            # reclaimed chunks — a stale key would grant a dedup claim
+            # for a payload that no longer exists. forget() is
+            # idempotent, so every ring of the deployment may call it.
+            self.secure.forget(fps)
+        return dropped
+
     def reconcile_brownouts(self) -> dict:
         """Replay every agent's brownout journal against the (recovered)
         ring index and repair the engines' unique/duplicate accounting.
@@ -372,6 +460,14 @@ class D2Ring:
             "missing_lengths": 0,
         }
         for node_id, brownout in self.brownouts.items():
+            # Journaled fingerprints may sit in this agent's presence cache
+            # with a provisional write-through verdict behind them; drop
+            # them so post-reconcile lookups re-consult the repaired index
+            # instead of a cache entry that predates the repair.
+            journaled = {fp for fp, _ in brownout.journal}
+            if journaled:
+                for cache in self._agent_caches(node_id):
+                    cache.discard_many(journaled)
             part = brownout.reconcile(
                 stats=(
                     None

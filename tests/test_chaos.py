@@ -184,3 +184,31 @@ class TestMigrationScenario:
     def test_gamma_floor_rejected(self):
         with pytest.raises(ValueError, match="gamma"):
             run_migration_scenario(gamma=1)
+
+
+class TestHotIndexScenario:
+    def test_hot_slice_migration_matches_migration_free_twin(self):
+        from repro.chaos import run_hotindex_scenario
+
+        report = run_hotindex_scenario(seed=7)
+        assert report.passed
+        assert report.state == "COMMITTED"
+        assert report.dedup_ratio == report.baseline_ratio > 1.0
+        assert report.edge_hits > 0  # hot claims answered at the edge
+        assert report.entries_streamed > 0
+        assert report.entries_restreamed > 0  # swept-then-reuploaded keys
+        assert report.events_fired == [
+            "migrate:window-open",
+            "sweep:victim@window-mid",
+            "reupload:victim@window-mid",
+            "close:window-commit",
+        ]
+        doc = report.as_dict()
+        assert doc["passed"] is True
+        assert doc["scenario"] == "hot-index"
+
+    def test_node_count_validated(self):
+        from repro.chaos import run_hotindex_scenario
+
+        with pytest.raises(ValueError, match="even node count"):
+            run_hotindex_scenario(nodes=3)

@@ -139,6 +139,7 @@ class TestCacheStatsSnapshot:
             "cache.admissions": 1.0,
             "cache.rejections": 0.0,
             "cache.evictions": 0.0,
+            "cache.invalidations": 0.0,
             "cache.hit_rate": 0.5,
         }
 

@@ -287,6 +287,65 @@ class TestHintBuffer:
         with pytest.raises(ValueError):
             HintBuffer(max_hints_per_node=0)
 
+    def test_restore_rebuffers_undelivered_hints_in_order(self):
+        buf = HintBuffer()
+        buf.add(Hint("n1", "a", "v", 1))
+        buf.add(Hint("n1", "b", "v", 2))
+        taken = buf.take_for("n1")
+        buf.restore("n1", taken[1:])  # first delivered, second failed
+        buf.add(Hint("n1", "c", "v", 3))  # new write while still down
+        assert [h.key for h in buf.take_for("n1")] == ["b", "c"]
+
+    def test_restore_bypasses_per_node_bound(self):
+        # Re-buffering must never drop: these writes were already
+        # accepted once; the bound only applies to *new* hints.
+        buf = HintBuffer(max_hints_per_node=2)
+        taken = [Hint("n1", f"k{i}", "v", i) for i in range(3)]
+        buf.add(Hint("n1", "new", "v", 9))
+        buf.restore("n1", taken)
+        assert buf.pending_for("n1") == 4
+        assert buf.dropped == 0
+
+
+class TestHintReplayFailureRegression:
+    """A hint replay that fails mid-way must not lose the undelivered
+    hints — before the fix, ``take_for`` popped everything up front and a
+    replay error dropped the tail on the floor (silent data loss on the
+    recovered replica)."""
+
+    def test_failed_replay_rebuffers_and_next_recovery_delivers(self):
+        store = make_store(n=4, rf=2)
+        victim = store.replicas_for("k0")[0]
+        store.mark_down(victim)
+        keys = [f"k{i}" for i in range(6) if victim in store.replicas_for(f"k{i}")]
+        for key in keys:
+            store.put(key, "v")
+        pending = store.hints.pending_for(victim)
+        assert pending == len(keys) > 1
+
+        node = store.nodes[victim]
+        real_local_put = node.local_put
+        calls = {"n": 0}
+
+        def flaky_local_put(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected replay fault")
+            return real_local_put(*args, **kwargs)
+
+        node.local_put = flaky_local_put
+        with pytest.raises(RuntimeError, match="injected replay fault"):
+            store.mark_up(victim)
+        # Nothing delivered before the fault, so nothing may be lost.
+        assert store.hints.pending_for(victim) == pending
+        assert store.stats.replay_failures == 1
+
+        store.mark_up(victim)  # second recovery attempt succeeds
+        assert store.hints.pending_for(victim) == 0
+        assert store.stats.hints_replayed == pending
+        for key in keys:
+            assert node.local_get(key).value == "v"
+
 
 class TestTombstones:
     """Deletion semantics under failures — regression tests for the

@@ -193,6 +193,33 @@ class TestCircuitBreaker:
         assert board.open_count == 1
         assert board.snapshot()["a->b"]["opens"] == 1
 
+    def test_mixing_manual_and_monotonic_clocks_raises(self):
+        # Regression: a test-supplied `now` compared against a later
+        # time.monotonic() reading (or vice versa) makes the cooldown
+        # window nonsense — an epoch-style manual timestamp next to a
+        # monotonic one can hold the breaker open for decades. The first
+        # timed call pins the clock; the other clock is rejected.
+        b = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        b.record_failure(now=0.0)  # pins the manual clock
+        with pytest.raises(ValueError, match="pinned to its manual clock"):
+            b.allow()  # monotonic call on a manually-clocked breaker
+
+        b2 = CircuitBreaker(failure_threshold=1, cooldown_s=0.01)
+        assert b2.allow() is True  # pins the monotonic clock
+        with pytest.raises(ValueError, match="pinned to its monotonic clock"):
+            b2.record_failure(now=123.0)
+
+    def test_consistent_clock_use_stays_valid(self):
+        manual = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        manual.record_failure(now=0.0)
+        assert manual.allow(now=1.5)  # same clock throughout: fine
+        monotonic = CircuitBreaker(failure_threshold=1, cooldown_s=0.001)
+        monotonic.record_failure()
+        import time as _time
+
+        _time.sleep(0.002)
+        assert monotonic.allow()  # cooldown elapsed on the real clock
+
 
 class TestRetryBudget:
     def test_bucket_bounds_grants_and_successes_refill(self):

@@ -156,6 +156,29 @@ class TestCLI:
         with pytest.raises(SystemExit):
             cli_main([])
 
+    def test_secure_command_check(self, capsys, tmp_path):
+        metrics = tmp_path / "secure_metrics.json"
+        rc = cli_main(["secure", "--check", "--metrics-json", str(metrics)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "hotindex: streamed" in out
+        assert "pow: challenges=" in out
+        assert "secure: PASS" in out
+        assert metrics.exists()
+
+    def test_secure_rejects_odd_node_count(self, capsys):
+        assert cli_main(["secure", "--nodes", "5"]) == 2
+        assert "even count" in capsys.readouterr().err
+
+    def test_chaos_hotindex_command(self, capsys, tmp_path):
+        report = tmp_path / "hotindex.json"
+        rc = cli_main(["chaos", "hot-index", "--json", str(report)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "state=COMMITTED" in out
+        assert "chaos: PASS" in out
+        assert report.exists()
+
     def test_replan_command_check(self, capsys, tmp_path):
         metrics = tmp_path / "replan_metrics.json"
         rc = cli_main(

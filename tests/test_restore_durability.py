@@ -27,7 +27,7 @@ NODES = 4
 RS_K, RS_M = 3, 2
 
 
-def make_cluster(tmp_path, transport="asyncio", spill_mode="sync", nodes=NODES):
+def make_cluster(tmp_path, transport="asyncio", spill_mode="sync", nodes=NODES, **extra):
     model = ChunkPoolModel(
         [150.0, 150.0],
         grouped_sources(
@@ -52,6 +52,7 @@ def make_cluster(tmp_path, transport="asyncio", spill_mode="sync", nodes=NODES):
         ec_data_shards=RS_K,
         ec_parity_shards=RS_M,
         spill_mode=spill_mode,
+        **extra,
     )
     cluster = DurableEFDedupCluster(
         topo, problem, config=config, journal_dir=str(tmp_path / "journal")
@@ -128,6 +129,33 @@ class TestLiveRestorePath:
         try:
             with pytest.raises(RecipeError):
                 cluster.restore_file("never-ingested")
+        finally:
+            cluster.shutdown()
+
+
+class TestPresenceCacheInvalidation:
+    def test_reingest_after_sweep_restores_despite_warm_caches(self, tmp_path):
+        """Regression: the per-agent LRU presence caches were never told
+        about a GC sweep. Re-ingesting swept content hit the stale cache
+        entry ("already present"), the payload was never stored anywhere,
+        and the restore failed on the missing chunks — silent data loss."""
+        cluster = make_cluster(tmp_path, transport="inproc", cache_capacity=512)
+        try:
+            data = seeded_pool_workload(1, 1, 16, seed=17)["edge-0"][0]
+            cluster.ingest_file("edge-0", "first", data)
+            assert cluster.restore_file("first") == data  # caches now warm
+            cluster.delete_file("first")
+            cluster.gc_sweep()
+            invalidated = sum(
+                cache.stats.invalidations
+                for ring in cluster.rings
+                for cache in ring._agent_caches()
+            )
+            assert invalidated > 0  # the sweep reached the presence caches
+            # The same node re-uploads the same bytes as a new file: every
+            # chunk must be treated as absent again and re-stored.
+            cluster.ingest_file("edge-0", "second", data)
+            assert cluster.restore_file("second") == data
         finally:
             cluster.shutdown()
 

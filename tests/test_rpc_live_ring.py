@@ -147,7 +147,8 @@ class TestRingTransportWiring:
             assert 0.0 < metrics["cache.hit_rate"] <= 1.0
             assert set(metrics) == {
                 "cache.hits", "cache.misses", "cache.admissions",
-                "cache.rejections", "cache.evictions", "cache.hit_rate",
+                "cache.rejections", "cache.evictions", "cache.invalidations",
+                "cache.hit_rate",
             }
             # cache hits shrink the wire traffic but not the decisions
             assert ring.local_lookup_fraction() >= 0.0

@@ -13,6 +13,8 @@ from repro.rpc import (
     LiveKVCluster,
     RemoteReplicaRepairer,
     RetryPolicy,
+    RpcError,
+    RpcTimeoutError,
 )
 
 NODE_IDS = ["n0", "n1", "n2"]
@@ -101,6 +103,47 @@ class TestCrashRestartLifecycle:
                 cluster.restart_node("n0")
             with pytest.raises(KeyError):
                 cluster.kill_node("ghost")
+
+
+class TestHintReplayFailure:
+    def test_failed_wire_replay_rebuffers_hints_for_next_recovery(self):
+        """Regression: a hint replay whose multi_put dies on the wire used to
+        lose every undelivered hint (take_for had already popped them). The
+        tail must be re-buffered and delivered by the next recovery."""
+        with live_cluster() as cluster:
+            store = cluster.store
+            victim = "n2"
+            store.mark_down(victim)
+            keys = keys_on(store, victim, n=4)
+            for k in keys:
+                store.put(k, "while-down")
+            assert store.hints.pending_for(victim) == len(keys)
+
+            real_call = store._client.call
+            state = {"failed": False}
+
+            async def flaky_call(node_id, method, params, **kwargs):
+                if method == "multi_put" and not state["failed"]:
+                    state["failed"] = True
+                    raise RpcTimeoutError(method, node_id, attempts=1, timeout_s=0.0)
+                return await real_call(node_id, method, params, **kwargs)
+
+            store._client.call = flaky_call
+            try:
+                with pytest.raises(RpcError):
+                    store.mark_up(victim)
+                # Nothing was confirmed delivered: every hint must survive.
+                assert store.hints.pending_for(victim) == len(keys)
+                assert store.stats.replay_failures == 1
+                assert store.stats.hints_replayed == 0
+                # The next recovery attempt replays the rebuffered tail.
+                store.mark_up(victim)
+            finally:
+                store._client.call = real_call
+            assert store.hints.pending_for(victim) == 0
+            assert store.stats.hints_replayed == len(keys)
+            for k in keys:
+                assert cluster.servers[victim].node.local_get(k).value == "while-down"
 
 
 class TestRemoteAntiEntropy:
